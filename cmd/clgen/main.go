@@ -1,0 +1,129 @@
+// Command clgen is the benchmark synthesizer's command-line interface:
+// it mines the (synthetic) GitHub dataset, builds the language corpus,
+// trains a character-level model, and samples OpenCL kernels that pass the
+// rejection filter (Figure 4, left half).
+//
+// Usage:
+//
+//	clgen -mode corpus [-repos N] [-seed S]
+//	clgen -mode train  [-model FILE] [-backend ngram|lstm] [-repos N]
+//	clgen -mode sample [-n N] [-model FILE] [-repos N] [-seed S] [-temp T] [-free]
+//	clgen -mode stats  [-repos N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clgen/internal/core"
+	"clgen/internal/corpus"
+	"clgen/internal/experiments"
+	"clgen/internal/github"
+	"clgen/internal/model"
+	"clgen/internal/nn"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "sample", "corpus | train | sample | stats")
+		modelF  = flag.String("model", "", "model file to write (train) or read (sample)")
+		repos   = flag.Int("repos", 100, "repositories to mine")
+		seed    = flag.Int64("seed", 1, "random seed")
+		n       = flag.Int("n", 10, "kernels to synthesize")
+		temp    = flag.Float64("temp", 0.9, "sampling temperature")
+		backend = flag.String("backend", "ngram", "language-model backend: ngram | lstm")
+		free    = flag.Bool("free", true, "free-signature sampling (§4.3 mode 2)")
+		order   = flag.Int("order", 0, "n-gram order (0 = tuned default)")
+		hidden  = flag.Int("hidden", 128, "LSTM hidden units")
+		layers  = flag.Int("layers", 2, "LSTM layers")
+		epochs  = flag.Int("epochs", 8, "LSTM training epochs")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "corpus", "stats":
+		files := github.Mine(github.MinerConfig{Seed: *seed, Repos: *repos, FilesPerRepo: 8})
+		c, err := corpus.Build(files)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderCorpusStats(c.Stats))
+		if *mode == "corpus" {
+			fmt.Println("\n--- corpus sample (first kernel) ---")
+			if len(c.Kernels) > 0 {
+				fmt.Println(c.Kernels[0])
+			}
+		}
+	case "train":
+		cfg := coreConfig(*repos, *seed, *backend, *order, *hidden, *layers, *epochs)
+		fmt.Fprintf(os.Stderr, "building corpus and training %s model...\n", cfg.Backend)
+		g, err := core.Build(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *modelF == "" {
+			fatal(fmt.Errorf("-mode train needs -model FILE"))
+		}
+		if err := g.Model.SaveFile(*modelF); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "model written to %s\n", *modelF)
+	case "sample":
+		var m *model.Model
+		if *modelF != "" {
+			loaded, err := model.LoadFile(*modelF)
+			if err != nil {
+				fatal(err)
+			}
+			m = loaded
+		}
+		cfg := coreConfig(*repos, *seed, *backend, *order, *hidden, *layers, *epochs)
+		var g *core.CLgen
+		if m != nil {
+			g = &core.CLgen{Model: m}
+		} else {
+			fmt.Fprintf(os.Stderr, "building corpus and training %s model...\n", cfg.Backend)
+			built, err := core.Build(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			g = built
+		}
+		opts := model.SampleOpts{Temperature: *temp}
+		if *free {
+			opts.Seed = model.FreeSeed
+		}
+		kernels, stats, err := g.Synthesize(*n, opts, *seed+100)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+		for i, k := range kernels {
+			fmt.Printf("// --- kernel %d ---\n%s\n\n", i+1, k)
+		}
+		fmt.Fprintf(os.Stderr, "accepted %d/%d samples (%.0f%% acceptance)\n",
+			stats.Accepted, stats.Attempts, stats.AcceptRate()*100)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// coreConfig assembles the synthesis configuration from flags.
+func coreConfig(repos int, seed int64, backend string, order, hidden, layers, epochs int) core.Config {
+	return core.Config{
+		Miner:      github.MinerConfig{Seed: seed, Repos: repos, FilesPerRepo: 8},
+		Backend:    core.Backend(backend),
+		NGramOrder: order,
+		LSTMHidden: hidden,
+		LSTMLayers: layers,
+		LSTMTrain: nn.TrainConfig{
+			Epochs: epochs, SeqLen: 64, LearnRate: 0.5, DecayEvery: 4,
+			BatchSeqs: 1, Seed: seed,
+		},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clgen:", err)
+	os.Exit(1)
+}

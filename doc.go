@@ -1,0 +1,11 @@
+// Package clgen is a from-scratch Go reproduction of "Synthesizing
+// Benchmarks for Predictive Modeling" (Cummins, Petoumenos, Wang, Leather;
+// CGO 2017) — the CLgen system: a deep-learning benchmark synthesizer for
+// OpenCL, its host driver, and the predictive-modeling evaluation built on
+// them.
+//
+// The repository layout, the system inventory, and the mapping from every
+// table and figure of the paper to the code that regenerates it are
+// documented in DESIGN.md; measured results are recorded in
+// EXPERIMENTS.md. Start with examples/quickstart.
+package clgen

@@ -1,0 +1,134 @@
+// Feature-space: extract the Grewe et al. features from the benchmark
+// suites and a batch of synthesized kernels, project everything onto two
+// principal components, and report each synthetic kernel's nearest
+// benchmark — the mechanism behind Figures 3 and 9.
+//
+//	go run ./examples/feature-space
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"clgen/internal/core"
+	"clgen/internal/features"
+	"clgen/internal/github"
+	"clgen/internal/ml"
+	"clgen/internal/model"
+	"clgen/internal/suites"
+)
+
+// point is one named feature vector.
+type point struct {
+	name string
+	vec  []float64
+}
+
+func main() {
+	// Benchmark features.
+	var benches []point
+	for _, b := range suites.All() {
+		k, err := b.Load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		benches = append(benches, point{b.ID(), staticVec(k.Static)})
+	}
+	fmt.Printf("extracted static features from %d benchmarks\n", len(benches))
+
+	// Synthetic kernels.
+	g, err := core.Build(core.Config{
+		Miner: github.MinerConfig{Seed: 4, Repos: 60, FilesPerRepo: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernels, _, err := g.Synthesize(25, model.SampleOpts{Seed: model.FreeSeed}, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var synth []point
+	for i, src := range kernels {
+		fs, err := features.ExtractSource(src)
+		if err != nil {
+			continue
+		}
+		synth = append(synth, point{fmt.Sprintf("clgen-%02d", i), staticVec(fs[0])})
+	}
+
+	// PCA over everything (Figure 3's projection).
+	var X [][]float64
+	for _, p := range benches {
+		X = append(X, p.vec)
+	}
+	for _, p := range synth {
+		X = append(X, p.vec)
+	}
+	pca, err := ml.PCA(X, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PCA: PC1 explains %.0f%%, PC2 %.0f%% of variance\n\n",
+		pca.Explained[0]*100, pca.Explained[1]*100)
+
+	// Nearest benchmark per synthetic kernel, in the projected space.
+	fmt.Println("synthetic kernel -> nearest benchmark (projected distance):")
+	var exact int
+	for _, s := range synth {
+		sz := pca.Transform(s.vec)
+		bestName, bestD := "", math.Inf(1)
+		for _, b := range benches {
+			bz := pca.Transform(b.vec)
+			d := math.Hypot(sz[0]-bz[0], sz[1]-bz[1])
+			if d < bestD {
+				bestD, bestName = d, b.name
+			}
+		}
+		marker := ""
+		if bestD < 1e-9 {
+			marker = "  <- exact feature match (Figure 9)"
+			exact++
+		}
+		fmt.Printf("  %-10s -> %-26s d=%.3f%s\n", s.name, bestName, bestD, marker)
+	}
+	fmt.Printf("\n%d/%d synthetic kernels exactly match a benchmark's features\n", exact, len(synth))
+
+	// Density comparison: mean nearest-benchmark distance of benchmarks
+	// themselves vs synthetic kernels — CLgen code concentrates where real
+	// programs live.
+	fmt.Printf("mean distance to nearest benchmark: benchmarks %.3f, synthetic %.3f\n",
+		meanNearest(benches, benches, pca, true), meanNearest(synth, benches, pca, false))
+}
+
+func staticVec(s features.Static) []float64 {
+	return []float64{
+		float64(s.Comp), float64(s.Mem), float64(s.LocalMem),
+		float64(s.Coalesced), float64(s.Branches),
+	}
+}
+
+func meanNearest(from, to []point, pca *ml.PCAModel, skipSelf bool) float64 {
+	var ds []float64
+	for i, f := range from {
+		fz := pca.Transform(f.vec)
+		best := math.Inf(1)
+		for j, t := range to {
+			if skipSelf && i == j {
+				continue
+			}
+			tz := pca.Transform(t.vec)
+			if d := math.Hypot(fz[0]-tz[0], fz[1]-tz[1]); d < best {
+				best = d
+			}
+		}
+		ds = append(ds, best)
+	}
+	sort.Float64s(ds)
+	var sum float64
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / float64(len(ds))
+}

@@ -1,0 +1,102 @@
+// Synthesis-pipeline: the complete Figure 4 pipeline, stage by stage —
+// search engine, rejection filter, code rewriter, model, synthesizer,
+// argument extractor, benchmark driver, dynamic checker, and performance
+// results on both experimental platforms.
+//
+//	go run ./examples/synthesis-pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"clgen/internal/corpus"
+	"clgen/internal/driver"
+	"clgen/internal/github"
+	"clgen/internal/model"
+	"clgen/internal/platform"
+	"clgen/internal/rewriter"
+)
+
+func main() {
+	// Stage 1: the search engine mines content files.
+	files := github.Mine(github.MinerConfig{Seed: 9, Repos: 80, FilesPerRepo: 8})
+	fmt.Printf("[search engine]    %d content files from GitHub\n", len(files))
+
+	// Stage 2: rejection filter — demonstrate on one file each way.
+	var accepted, rejected *github.ContentFile
+	for i := range files {
+		res := corpus.Filter(files[i].Text, true)
+		if res.OK && accepted == nil {
+			accepted = &files[i]
+		}
+		if !res.OK && rejected == nil {
+			rejected = &files[i]
+		}
+		if accepted != nil && rejected != nil {
+			break
+		}
+	}
+	fmt.Printf("[rejection filter] accepts %s, rejects %s (%s)\n",
+		accepted.Path, rejected.Path, corpus.Filter(rejected.Text, true).Reason)
+
+	// Stage 3: code rewriter on the accepted file.
+	normalized, err := rewriter.Normalize(accepted.Text, corpus.ShimPreprocessor())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[code rewriter]    %d -> %d bytes, canonical identifiers\n",
+		len(accepted.Text), len(normalized))
+
+	// Stage 4: corpus + model.
+	c, err := corpus.Build(files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := model.TrainNGram(c.Text, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[language model]   trained on %d kernels (%d corpus lines)\n",
+		c.Stats.Kernels, c.Stats.CorpusLines)
+
+	// Stage 5: synthesizer with an argument specification (§4.3 mode 1) —
+	// the paper's running example: three float arrays and a read-only int.
+	seed := model.SeedText(model.DefaultArgSpec())
+	fmt.Printf("[synthesizer]      seeding with %q\n", seed)
+	rng := rand.New(rand.NewSource(11))
+	var kernel string
+	for attempts := 1; ; attempts++ {
+		k := m.SampleKernel(rng, model.SampleOpts{Seed: seed})
+		if res := corpus.FilterSample(k); res.OK {
+			fmt.Printf("[synthesizer]      accepted after %d attempt(s)\n", attempts)
+			kernel = k
+			break
+		}
+	}
+	fmt.Println("--- synthesized benchmark ---")
+	fmt.Println(kernel)
+
+	// Stage 6: benchmark driver + dynamic checker (§5).
+	k, err := driver.Load(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := driver.Check(k, 4096, 3, driver.RunConfig{})
+	fmt.Printf("[dynamic checker]  %s\n", res.Verdict)
+	if !res.OK() {
+		fmt.Println("(kernel rejected; rerun with another seed)")
+		return
+	}
+
+	// Stage 7: performance results on both Table 4 systems.
+	for _, sys := range []*platform.System{platform.SystemAMD, platform.SystemNVIDIA} {
+		meas, err := driver.Measure(k, 1<<20, sys, 3, driver.MeasureConfig{ExecCap: 8192})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[performance]      %-6s cpu=%8.3fms gpu=%8.3fms -> map to %s\n",
+			sys.Name, meas.CPUTime*1e3, meas.GPUTime*1e3, meas.Oracle)
+	}
+}

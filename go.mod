@@ -1,0 +1,3 @@
+module clgen
+
+go 1.22

@@ -1,0 +1,547 @@
+package clc
+
+// This file defines the abstract syntax tree produced by the parser.
+// Nodes carry positions for diagnostics and, after semantic analysis,
+// expressions carry their resolved types.
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Decls []Decl
+}
+
+// NodePos returns the position of the first declaration.
+func (f *File) NodePos() Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].NodePos()
+	}
+	return Pos{Line: 1, Col: 1}
+}
+
+// Kernels returns the kernel functions declared in the file.
+func (f *File) Kernels() []*FuncDecl {
+	var ks []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.IsKernel {
+			ks = append(ks, fd)
+		}
+	}
+	return ks
+}
+
+// Functions returns all function declarations in the file.
+func (f *File) Functions() []*FuncDecl {
+	var fs []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok {
+			fs = append(fs, fd)
+		}
+	}
+	return fs
+}
+
+// Function returns the function with the given name, or nil.
+func (f *File) Function(name string) *FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	decl()
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	Pos      Pos
+	Name     string
+	Ret      Type
+	Params   []*ParamDecl
+	Body     *BlockStmt // nil for prototypes
+	IsKernel bool
+	IsInline bool
+}
+
+func (d *FuncDecl) decl()        {}
+func (d *FuncDecl) NodePos() Pos { return d.Pos }
+
+// ParamDecl is a single function parameter.
+type ParamDecl struct {
+	Pos     Pos
+	Name    string
+	Type    Type
+	IsConst bool   // declared const
+	Access  string // "", "read_only", "write_only", "read_write"
+}
+
+func (d *ParamDecl) NodePos() Pos { return d.Pos }
+
+// VarDecl is a file-scope or block-scope variable declaration. A single
+// VarDecl declares one name; comma-separated declarators are split by the
+// parser.
+type VarDecl struct {
+	Pos     Pos
+	Name    string
+	Type    Type
+	Space   AddrSpace
+	IsConst bool
+	Init    Expr // may be nil
+}
+
+func (d *VarDecl) decl()        {}
+func (d *VarDecl) NodePos() Pos { return d.Pos }
+
+// TypedefDecl aliases a type name.
+type TypedefDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+func (d *TypedefDecl) decl()        {}
+func (d *TypedefDecl) NodePos() Pos { return d.Pos }
+
+// StructDecl declares a struct type at file scope.
+type StructDecl struct {
+	Pos  Pos
+	Type *StructType
+}
+
+func (d *StructDecl) decl()        {}
+func (d *StructDecl) NodePos() Pos { return d.Pos }
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is a brace-enclosed statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (s *BlockStmt) stmt()        {}
+func (s *BlockStmt) NodePos() Pos { return s.Pos }
+
+// DeclStmt wraps one or more variable declarations appearing in a block.
+type DeclStmt struct {
+	Pos   Pos
+	Decls []*VarDecl
+}
+
+func (s *DeclStmt) stmt()        {}
+func (s *DeclStmt) NodePos() Pos { return s.Pos }
+
+// ExprStmt is an expression evaluated for side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *ExprStmt) stmt()        {}
+func (s *ExprStmt) NodePos() Pos { return s.Pos }
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+func (s *EmptyStmt) stmt()        {}
+func (s *EmptyStmt) NodePos() Pos { return s.Pos }
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+func (s *IfStmt) stmt()        {}
+func (s *IfStmt) NodePos() Pos { return s.Pos }
+
+// ForStmt is a C-style for loop. Init may be a DeclStmt or ExprStmt or nil;
+// Cond and Post may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+func (s *ForStmt) stmt()        {}
+func (s *ForStmt) NodePos() Pos { return s.Pos }
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+func (s *WhileStmt) stmt()        {}
+func (s *WhileStmt) NodePos() Pos { return s.Pos }
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+func (s *DoWhileStmt) stmt()        {}
+func (s *DoWhileStmt) NodePos() Pos { return s.Pos }
+
+// ReturnStmt returns from a function, optionally with a value.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+func (s *ReturnStmt) stmt()        {}
+func (s *ReturnStmt) NodePos() Pos { return s.Pos }
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+func (s *BreakStmt) stmt()        {}
+func (s *BreakStmt) NodePos() Pos { return s.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *ContinueStmt) stmt()        {}
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+
+// SwitchStmt is a switch over an integer expression.
+type SwitchStmt struct {
+	Pos   Pos
+	Tag   Expr
+	Cases []*CaseClause
+}
+
+func (s *SwitchStmt) stmt()        {}
+func (s *SwitchStmt) NodePos() Pos { return s.Pos }
+
+// CaseClause is one case (or default, when Value is nil) of a switch.
+type CaseClause struct {
+	Pos   Pos
+	Value Expr // nil for default
+	Body  []Stmt
+}
+
+func (c *CaseClause) NodePos() Pos { return c.Pos }
+
+// --- Expressions ---
+
+// Expr is an expression node. After semantic analysis, ExprType returns the
+// resolved type (nil before).
+type Expr interface {
+	Node
+	expr()
+	// ExprType returns the type assigned during semantic analysis, or nil.
+	ExprType() Type
+}
+
+// exprBase carries the resolved type for all expression nodes.
+type exprBase struct{ T Type }
+
+func (e *exprBase) expr() {}
+
+// ExprType returns the semantic type of the expression.
+func (e *exprBase) ExprType() Type { return e.T }
+
+// SetType records the semantic type; used by the type checker.
+func (e *exprBase) SetType(t Type) { e.T = t }
+
+// Ident is a name reference.
+type Ident struct {
+	exprBase
+	Pos  Pos
+	Name string
+}
+
+func (e *Ident) NodePos() Pos { return e.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Pos   Pos
+	Text  string
+	Value int64
+}
+
+func (e *IntLit) NodePos() Pos { return e.Pos }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Pos   Pos
+	Text  string
+	Value float64
+}
+
+func (e *FloatLit) NodePos() Pos { return e.Pos }
+
+// CharLit is a character literal with its integer value.
+type CharLit struct {
+	exprBase
+	Pos   Pos
+	Text  string
+	Value int64
+}
+
+func (e *CharLit) NodePos() Pos { return e.Pos }
+
+// StringLit is a string literal (rare in kernels; accepted and ignored by
+// the interpreter except as printf-style arguments).
+type StringLit struct {
+	exprBase
+	Pos  Pos
+	Text string
+}
+
+func (e *StringLit) NodePos() Pos { return e.Pos }
+
+// BinaryExpr is a binary operation. Op is a token kind (ADD, LAND, ...).
+type BinaryExpr struct {
+	exprBase
+	Pos  Pos
+	Op   TokenKind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+
+// AssignExpr is an assignment or compound assignment. Op is ASSIGN,
+// ADDASSIGN, etc.
+type AssignExpr struct {
+	exprBase
+	Pos  Pos
+	Op   TokenKind
+	X, Y Expr
+}
+
+func (e *AssignExpr) NodePos() Pos { return e.Pos }
+
+// UnaryExpr is a prefix unary operation: -x, !x, ~x, *p, &v, ++x, --x.
+type UnaryExpr struct {
+	exprBase
+	Pos Pos
+	Op  TokenKind
+	X   Expr
+}
+
+func (e *UnaryExpr) NodePos() Pos { return e.Pos }
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	exprBase
+	Pos Pos
+	Op  TokenKind // INC or DEC
+	X   Expr
+}
+
+func (e *PostfixExpr) NodePos() Pos { return e.Pos }
+
+// CondExpr is the ternary conditional c ? a : b.
+type CondExpr struct {
+	exprBase
+	Pos        Pos
+	Cond, A, B Expr
+}
+
+func (e *CondExpr) NodePos() Pos { return e.Pos }
+
+// CallExpr is a function call.
+type CallExpr struct {
+	exprBase
+	Pos  Pos
+	Fun  string
+	Args []Expr
+}
+
+func (e *CallExpr) NodePos() Pos { return e.Pos }
+
+// IndexExpr is array/pointer indexing a[i].
+type IndexExpr struct {
+	exprBase
+	Pos   Pos
+	X     Expr
+	Index Expr
+}
+
+func (e *IndexExpr) NodePos() Pos { return e.Pos }
+
+// MemberExpr is member access: struct fields, or vector component
+// selection (v.x, v.s0, v.lo, ...). Arrow records p->f access.
+type MemberExpr struct {
+	exprBase
+	Pos    Pos
+	X      Expr
+	Member string
+	Arrow  bool
+}
+
+func (e *MemberExpr) NodePos() Pos { return e.Pos }
+
+// CastExpr is an explicit cast. OpenCL vector literals such as
+// (float4)(a, b, c, d) parse as a CastExpr whose X is an ArgPack.
+type CastExpr struct {
+	exprBase
+	Pos Pos
+	To  Type
+	X   Expr
+}
+
+func (e *CastExpr) NodePos() Pos { return e.Pos }
+
+// ArgPack is a parenthesized comma-separated list used as the operand of a
+// vector-literal cast: (float4)(x, y, 0.0f, 1.0f).
+type ArgPack struct {
+	exprBase
+	Pos  Pos
+	Args []Expr
+}
+
+func (e *ArgPack) NodePos() Pos { return e.Pos }
+
+// InitList is a braced initializer: {1, 2, 3}.
+type InitList struct {
+	exprBase
+	Pos   Pos
+	Elems []Expr
+}
+
+func (e *InitList) NodePos() Pos { return e.Pos }
+
+// SizeofExpr is sizeof(type) or sizeof expr.
+type SizeofExpr struct {
+	exprBase
+	Pos  Pos
+	Type Type // non-nil for sizeof(type)
+	X    Expr // non-nil for sizeof expr
+}
+
+func (e *SizeofExpr) NodePos() Pos { return e.Pos }
+
+// Walk traverses the AST rooted at n in depth-first order, calling fn for
+// each node. If fn returns false, children of that node are not visited.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Walk(p, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *DoWhileStmt:
+		Walk(x.Body, fn)
+		Walk(x.Cond, fn)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *SwitchStmt:
+		Walk(x.Tag, fn)
+		for _, c := range x.Cases {
+			if c.Value != nil {
+				Walk(c.Value, fn)
+			}
+			for _, s := range c.Body {
+				Walk(s, fn)
+			}
+		}
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *AssignExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *PostfixExpr:
+		Walk(x.X, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.A, fn)
+		Walk(x.B, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *MemberExpr:
+		Walk(x.X, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *ArgPack:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *InitList:
+		for _, e := range x.Elems {
+			Walk(e, fn)
+		}
+	case *SizeofExpr:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Builtin describes an OpenCL C built-in function recognized by the
+// semantic checker and the interpreter. OpenCL built-ins are generic over a
+// "gentype"; rather than enumerating every overload, each builtin carries a
+// result rule applied to the (checked) argument types.
+type Builtin struct {
+	Name    string
+	MinArgs int
+	MaxArgs int
+	Result  ResultRule
+	// Sync marks work-group synchronization built-ins (barrier and fences).
+	Sync bool
+	// Atomic marks atomic memory operations.
+	Atomic bool
+}
+
+// ResultRule selects how a builtin's result type is derived from its
+// argument types.
+type ResultRule int
+
+// Result rules.
+const (
+	ResVoid       ResultRule = iota // void
+	ResSizeT                        // size_t (ulong)
+	ResUInt                         // uint
+	ResInt                          // int
+	ResGentype                      // type of the widest arithmetic argument
+	ResScalarBase                   // scalar element type of the first argument
+	ResIntLike                      // integer type with the first argument's shape
+	ResPointee                      // element type of the first pointer argument
+	ResFloat4                       // float4 (cross on float4 inputs keeps shape; rule refined in sema)
+)
+
+// builtins is the registry of recognized built-in functions.
+var builtins = map[string]*Builtin{}
+
+func reg(name string, minArgs, maxArgs int, res ResultRule) *Builtin {
+	b := &Builtin{Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Result: res}
+	builtins[name] = b
+	return b
+}
+
+func init() {
+	// Work-item functions.
+	for _, n := range []string{"get_global_id", "get_local_id", "get_group_id",
+		"get_global_size", "get_local_size", "get_num_groups", "get_global_offset"} {
+		reg(n, 1, 1, ResSizeT)
+	}
+	reg("get_work_dim", 0, 0, ResUInt)
+
+	// Synchronization.
+	reg("barrier", 1, 1, ResVoid).Sync = true
+	reg("mem_fence", 1, 1, ResVoid).Sync = true
+	reg("read_mem_fence", 1, 1, ResVoid).Sync = true
+	reg("write_mem_fence", 1, 1, ResVoid).Sync = true
+	reg("work_group_barrier", 1, 2, ResVoid).Sync = true
+
+	// Math (gentype): unary.
+	for _, n := range []string{"sqrt", "rsqrt", "cbrt", "sin", "cos", "tan",
+		"asin", "acos", "atan", "sinh", "cosh", "tanh", "asinh", "acosh", "atanh",
+		"exp", "exp2", "exp10", "expm1", "log", "log2", "log10", "log1p",
+		"fabs", "floor", "ceil", "round", "trunc", "rint", "erf", "erfc",
+		"tgamma", "lgamma", "sign", "degrees", "radians", "sinpi", "cospi", "tanpi",
+		"native_sqrt", "native_rsqrt", "native_sin", "native_cos", "native_tan",
+		"native_exp", "native_exp2", "native_log", "native_log2", "native_log10",
+		"native_recip", "half_sqrt", "half_rsqrt", "half_sin", "half_cos",
+		"half_exp", "half_exp2", "half_log", "half_log2", "half_log10", "half_tan",
+		"half_recip"} {
+		reg(n, 1, 1, ResGentype)
+	}
+	// Math: binary.
+	for _, n := range []string{"atan2", "pow", "powr", "fmod", "fmin", "fmax",
+		"fdim", "copysign", "hypot", "maxmag", "minmag", "nextafter", "remainder",
+		"half_divide", "native_divide", "half_powr", "native_powr", "ldexp", "pown",
+		"rootn", "step", "mix2"} {
+		reg(n, 2, 2, ResGentype)
+	}
+	// Math: ternary.
+	for _, n := range []string{"mad", "fma", "mix", "smoothstep", "clamp"} {
+		reg(n, 3, 3, ResGentype)
+	}
+
+	// Integer functions.
+	reg("abs", 1, 1, ResIntLike)
+	reg("abs_diff", 2, 2, ResIntLike)
+	reg("min", 2, 2, ResGentype)
+	reg("max", 2, 2, ResGentype)
+	reg("add_sat", 2, 2, ResGentype)
+	reg("sub_sat", 2, 2, ResGentype)
+	reg("hadd", 2, 2, ResGentype)
+	reg("rhadd", 2, 2, ResGentype)
+	reg("mul24", 2, 2, ResGentype)
+	reg("mad24", 3, 3, ResGentype)
+	reg("mul_hi", 2, 2, ResGentype)
+	reg("mad_hi", 3, 3, ResGentype)
+	reg("mad_sat", 3, 3, ResGentype)
+	reg("rotate", 2, 2, ResGentype)
+	reg("popcount", 1, 1, ResIntLike)
+	reg("clz", 1, 1, ResIntLike)
+	reg("ctz", 1, 1, ResIntLike)
+	reg("upsample", 2, 2, ResGentype)
+
+	// Geometric.
+	reg("dot", 2, 2, ResScalarBase)
+	reg("cross", 2, 2, ResGentype)
+	reg("length", 1, 1, ResScalarBase)
+	reg("fast_length", 1, 1, ResScalarBase)
+	reg("distance", 2, 2, ResScalarBase)
+	reg("fast_distance", 2, 2, ResScalarBase)
+	reg("normalize", 1, 1, ResGentype)
+	reg("fast_normalize", 1, 1, ResGentype)
+
+	// Relational.
+	for _, n := range []string{"isnan", "isinf", "isfinite", "isnormal", "signbit"} {
+		reg(n, 1, 1, ResIntLike)
+	}
+	for _, n := range []string{"isequal", "isnotequal", "isgreater",
+		"isgreaterequal", "isless", "islessequal", "islessgreater", "isordered",
+		"isunordered"} {
+		reg(n, 2, 2, ResIntLike)
+	}
+	reg("any", 1, 1, ResInt)
+	reg("all", 1, 1, ResInt)
+	reg("select", 3, 3, ResGentype)
+	reg("bitselect", 3, 3, ResGentype)
+	reg("shuffle", 2, 2, ResGentype)
+	reg("shuffle2", 3, 3, ResGentype)
+
+	// Atomics (32-bit legacy atom_* and atomic_* spellings).
+	for _, base := range []string{"add", "sub", "inc", "dec", "xchg", "min",
+		"max", "and", "or", "xor"} {
+		n := 2
+		if base == "inc" || base == "dec" {
+			n = 1
+		}
+		reg("atomic_"+base, n, n, ResPointee).Atomic = true
+		reg("atom_"+base, n, n, ResPointee).Atomic = true
+	}
+	reg("atomic_cmpxchg", 3, 3, ResPointee).Atomic = true
+	reg("atom_cmpxchg", 3, 3, ResPointee).Atomic = true
+
+	// Misc.
+	reg("printf", 1, 16, ResInt)
+	reg("prefetch", 2, 2, ResVoid)
+	reg("wait_group_events", 2, 2, ResVoid)
+	reg("async_work_group_copy", 4, 4, ResSizeT)
+	reg("async_work_group_strided_copy", 5, 5, ResSizeT)
+	reg("nan", 1, 1, ResGentype)
+	reg("fract", 2, 2, ResGentype)
+	reg("frexp", 2, 2, ResGentype)
+	reg("modf", 2, 2, ResGentype)
+	reg("sincos", 2, 2, ResGentype)
+	reg("remquo", 3, 3, ResGentype)
+}
+
+// LookupBuiltin resolves a built-in function by name. It handles the fixed
+// registry plus the pattern families convert_T[_sat][_rte...], as_T,
+// vloadN, and vstoreN. It returns nil if the name is not a built-in.
+func LookupBuiltin(name string) *Builtin {
+	if b, ok := builtins[name]; ok {
+		return b
+	}
+	if t, ok := ConversionTarget(name); ok {
+		_ = t
+		return &Builtin{Name: name, MinArgs: 1, MaxArgs: 1, Result: ResGentype}
+	}
+	if strings.HasPrefix(name, "vload") {
+		if _, err := strconv.Atoi(name[len("vload"):]); err == nil {
+			return &Builtin{Name: name, MinArgs: 2, MaxArgs: 2, Result: ResGentype}
+		}
+	}
+	if strings.HasPrefix(name, "vstore") {
+		if _, err := strconv.Atoi(name[len("vstore"):]); err == nil {
+			return &Builtin{Name: name, MinArgs: 3, MaxArgs: 3, Result: ResVoid}
+		}
+	}
+	return nil
+}
+
+// ConversionTarget parses convert_T[_sat][_rt*] and as_T builtin names,
+// returning the destination type. The boolean reports whether name is a
+// conversion builtin.
+func ConversionTarget(name string) (Type, bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(name, "convert_"):
+		rest = name[len("convert_"):]
+	case strings.HasPrefix(name, "as_"):
+		rest = name[len("as_"):]
+	default:
+		return nil, false
+	}
+	// Strip rounding/saturation suffixes: _sat, _rte, _rtz, _rtp, _rtn.
+	for _, suf := range []string{"_rte", "_rtz", "_rtp", "_rtn"} {
+		rest = strings.TrimSuffix(rest, suf)
+	}
+	rest = strings.TrimSuffix(rest, "_sat")
+	t := LookupBuiltinType(rest)
+	if t == nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// VectorWidthOfName returns N for vloadN/vstoreN names.
+func VectorWidthOfName(name string) (int, bool) {
+	for _, prefix := range []string{"vload", "vstore"} {
+		if strings.HasPrefix(name, prefix) {
+			n, err := strconv.Atoi(name[len(prefix):])
+			if err == nil && vectorLens[n] {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// BuiltinResultType applies a builtin's result rule to resolved argument
+// types. It returns an error when the rule cannot be applied (e.g. dot of a
+// scalar).
+func BuiltinResultType(b *Builtin, args []Type) (Type, error) {
+	switch b.Result {
+	case ResVoid:
+		return TypeVoid, nil
+	case ResSizeT:
+		return TypeULong, nil
+	case ResUInt:
+		return TypeUInt, nil
+	case ResInt:
+		return TypeInt, nil
+	case ResGentype:
+		if t, ok := ConversionTarget(b.Name); ok {
+			// convert_T on a vector input keeps the input width when T is
+			// scalar (convert_int4 style names carry their own width).
+			return t, nil
+		}
+		if n, ok := VectorWidthOfName(b.Name); ok && strings.HasPrefix(b.Name, "vload") {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("%s needs a pointer argument", b.Name)
+			}
+			pt, ok := args[1].(*PointerType)
+			if !ok {
+				return nil, fmt.Errorf("%s: second argument must be a pointer", b.Name)
+			}
+			st, ok := pt.Elem.(*ScalarType)
+			if !ok {
+				return nil, fmt.Errorf("%s: pointer to scalar required", b.Name)
+			}
+			return &VectorType{Elem: st.Kind, Len: n}, nil
+		}
+		var result Type
+		for _, a := range args {
+			if !IsArithmetic(a) {
+				continue
+			}
+			if result == nil {
+				result = a
+			} else {
+				result = Promote(result, a)
+			}
+		}
+		if result == nil {
+			return nil, fmt.Errorf("%s: no arithmetic argument", b.Name)
+		}
+		return result, nil
+	case ResScalarBase:
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%s: missing argument", b.Name)
+		}
+		switch t := args[0].(type) {
+		case *VectorType:
+			return &ScalarType{t.Elem}, nil
+		case *ScalarType:
+			return t, nil
+		}
+		return nil, fmt.Errorf("%s: arithmetic argument required", b.Name)
+	case ResIntLike:
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%s: missing argument", b.Name)
+		}
+		switch t := args[0].(type) {
+		case *VectorType:
+			if t.Elem.IsFloat() {
+				return &VectorType{Elem: Int, Len: t.Len}, nil
+			}
+			return t, nil
+		case *ScalarType:
+			if t.Kind.IsFloat() {
+				return TypeInt, nil
+			}
+			return t, nil
+		}
+		return nil, fmt.Errorf("%s: arithmetic argument required", b.Name)
+	case ResPointee:
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%s: missing argument", b.Name)
+		}
+		pt, ok := args[0].(*PointerType)
+		if !ok {
+			return nil, fmt.Errorf("%s: pointer argument required", b.Name)
+		}
+		return pt.Elem, nil
+	case ResFloat4:
+		return &VectorType{Elem: Float, Len: 4}, nil
+	}
+	return nil, fmt.Errorf("%s: unhandled result rule", b.Name)
+}

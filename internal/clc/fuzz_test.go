@@ -1,0 +1,105 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the frontend. Under plain `go test` they run their seed
+// corpora; under `go test -fuzz=FuzzParse` they explore. The invariants:
+// the frontend never panics, and whatever Parse accepts, Check either
+// accepts or rejects gracefully and the printer round-trips.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		saxpySrc,
+		"__kernel void A(__global float4* a) { a[0] = (float4)(1.0f); }",
+		"void F(void) { for (;;) { break; } }",
+		"void F(int a) { switch (a) { case 1: break; default: ; } }",
+		"typedef float t; t G(t x) { return x; }",
+		"#define X 1\nint y = X;",
+		"__kernel void A(__local float* s) { s[0] = 0.0f; }",
+		"int x = 'a' + 0x1F + 1e3;",
+		"{{{", "((((", "/*", "\"", "'", "#if", "a[",
+		"void F(void) { int x = 1 ? 2 : 3; }",
+		"struct S { int a; }; void F(void) { struct S s; s.a = 1; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		expanded, err := Preprocess(src)
+		if err != nil {
+			return
+		}
+		file, err := Parse(expanded)
+		if err != nil {
+			return
+		}
+		if err := Check(file); err != nil {
+			return
+		}
+		// Accepted input must print and re-parse.
+		printed := PrintFile(file)
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer output does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if err := Check(re); err != nil {
+			t.Fatalf("printer output does not re-check: %v\nprinted:\n%s", err, printed)
+		}
+	})
+}
+
+func FuzzLexer(f *testing.F) {
+	for _, s := range []string{"a+b", "0x", "1e", "'\\n'", "\"s\"", "<<=", "/*c*/", "\\", "..."} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		toks, err := NewLexer(src).Tokenize()
+		if err != nil {
+			return
+		}
+		// Tokens must cover only real positions and carry text for the
+		// value-bearing kinds.
+		for _, tok := range toks {
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				t.Fatalf("bad position %v for %v in %q", tok.Pos, tok, src)
+			}
+			switch tok.Kind {
+			case IDENT, KEYWORD, INTLIT, FLOATLIT, CHARLIT, STRLIT:
+				if tok.Text == "" {
+					t.Fatalf("empty text for %v in %q", tok.Kind, src)
+				}
+			}
+		}
+	})
+}
+
+func FuzzPreprocess(f *testing.F) {
+	for _, s := range []string{
+		"#define A 1\nA", "#define F(x) x+x\nF(2)", "#if defined(A)\nz\n#endif",
+		"#include <clc/clc.h>", "#define A A\nA", "#define F(a,b) a##b\nF(1,2)",
+		"#if 1/0\n#endif", "#else", "#define", "\\\n\\\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		out, err := Preprocess(src)
+		if err != nil {
+			return
+		}
+		if strings.Contains(out, "\x00") && !strings.Contains(src, "\x00") {
+			t.Fatal("preprocessor invented NUL bytes")
+		}
+	})
+}

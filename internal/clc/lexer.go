@@ -1,0 +1,326 @@
+package clc
+
+import "fmt"
+
+// Lexer converts OpenCL C source text into a token stream.
+//
+// The lexer is preprocessor-agnostic: it is normally run on the output of
+// Preprocess, but it can also surface '#' tokens so the preprocessor itself
+// can reuse it for directive parsing.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+
+	// KeepComments causes COMMENT tokens to be emitted rather than skipped.
+	KeepComments bool
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError is a lexical error with a source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("%s: lex error: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
+}
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isHex(c byte) bool    { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// Next returns the next token, or an error for malformed input.
+// At end of input it returns an EOF token with a nil error, indefinitely.
+func (l *Lexer) Next() (Token, error) {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+			continue
+		case c == '\\' && (l.peek2() == '\n' || l.peek2() == '\r'):
+			// Line continuation.
+			l.advance()
+			for l.off < len(l.src) && (l.peek() == '\n' || l.peek() == '\r') {
+				l.advance()
+			}
+			continue
+		case c == '/' && l.peek2() == '/':
+			tok, err := l.lexLineComment()
+			if err != nil {
+				return tok, err
+			}
+			if l.KeepComments {
+				return tok, nil
+			}
+			continue
+		case c == '/' && l.peek2() == '*':
+			tok, err := l.lexBlockComment()
+			if err != nil {
+				return tok, err
+			}
+			if l.KeepComments {
+				return tok, nil
+			}
+			continue
+		}
+		break
+	}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: l.pos()}, nil
+	}
+
+	start := l.pos()
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.lexIdent(start), nil
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.lexNumber(start)
+	case c == '\'':
+		return l.lexChar(start)
+	case c == '"':
+		return l.lexString(start)
+	}
+	return l.lexOperator(start)
+}
+
+// Tokenize lexes the whole input, excluding the trailing EOF token.
+func (l *Lexer) Tokenize() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return toks, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *Lexer) lexLineComment() (Token, error) {
+	start := l.pos()
+	begin := l.off
+	for l.off < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+	return Token{Kind: COMMENT, Text: l.src[begin:l.off], Pos: start}, nil
+}
+
+func (l *Lexer) lexBlockComment() (Token, error) {
+	start := l.pos()
+	begin := l.off
+	l.advance() // '/'
+	l.advance() // '*'
+	for l.off < len(l.src) {
+		if l.peek() == '*' && l.peek2() == '/' {
+			l.advance()
+			l.advance()
+			return Token{Kind: COMMENT, Text: l.src[begin:l.off], Pos: start}, nil
+		}
+		l.advance()
+	}
+	return Token{}, &LexError{Pos: start, Msg: "unterminated block comment"}
+}
+
+func (l *Lexer) lexIdent(start Pos) Token {
+	begin := l.off
+	for l.off < len(l.src) && isAlnum(l.peek()) {
+		l.advance()
+	}
+	text := l.src[begin:l.off]
+	kind := IDENT
+	if keywords[text] {
+		kind = KEYWORD
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start Pos) (Token, error) {
+	begin := l.off
+	kind := INTLIT
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHex(l.peek()) {
+			return Token{}, &LexError{Pos: start, Msg: "malformed hex literal"}
+		}
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			kind = FLOATLIT
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			next := l.peek2()
+			expOK := isDigit(next)
+			if (next == '+' || next == '-') && l.off+2 < len(l.src) && isDigit(l.src[l.off+2]) {
+				expOK = true
+			}
+			if expOK {
+				kind = FLOATLIT
+				l.advance() // e
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: u U l L f F (f/F forces float).
+	for l.off < len(l.src) {
+		switch l.peek() {
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+		case 'f', 'F':
+			kind = FLOATLIT
+			l.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	return Token{Kind: kind, Text: l.src[begin:l.off], Pos: start}, nil
+}
+
+func (l *Lexer) lexChar(start Pos) (Token, error) {
+	begin := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) && l.peek() != '\'' {
+		if l.peek() == '\\' {
+			l.advance()
+			if l.off >= len(l.src) {
+				break
+			}
+		}
+		if l.peek() == '\n' {
+			return Token{}, &LexError{Pos: start, Msg: "newline in char literal"}
+		}
+		l.advance()
+	}
+	if l.off >= len(l.src) {
+		return Token{}, &LexError{Pos: start, Msg: "unterminated char literal"}
+	}
+	l.advance() // closing quote
+	return Token{Kind: CHARLIT, Text: l.src[begin:l.off], Pos: start}, nil
+}
+
+func (l *Lexer) lexString(start Pos) (Token, error) {
+	begin := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) && l.peek() != '"' {
+		if l.peek() == '\\' {
+			l.advance()
+			if l.off >= len(l.src) {
+				break
+			}
+		}
+		if l.peek() == '\n' {
+			return Token{}, &LexError{Pos: start, Msg: "newline in string literal"}
+		}
+		l.advance()
+	}
+	if l.off >= len(l.src) {
+		return Token{}, &LexError{Pos: start, Msg: "unterminated string literal"}
+	}
+	l.advance() // closing quote
+	return Token{Kind: STRLIT, Text: l.src[begin:l.off], Pos: start}, nil
+}
+
+// operator tables, longest match first.
+var threeCharOps = map[string]TokenKind{
+	"<<=": SHLASSIGN, ">>=": SHRASSIGN,
+}
+
+var twoCharOps = map[string]TokenKind{
+	"+=": ADDASSIGN, "-=": SUBASSIGN, "*=": MULASSIGN, "/=": DIVASSIGN,
+	"%=": REMASSIGN, "&=": ANDASSIGN, "|=": ORASSIGN, "^=": XORASSIGN,
+	"<<": SHL, ">>": SHR, "&&": LAND, "||": LOR,
+	"==": EQ, "!=": NEQ, "<=": LEQ, ">=": GEQ,
+	"++": INC, "--": DEC, "->": ARROW,
+}
+
+var oneCharOps = map[byte]TokenKind{
+	'(': LPAREN, ')': RPAREN, '{': LBRACE, '}': RBRACE,
+	'[': LBRACKET, ']': RBRACKET, ',': COMMA, ';': SEMI,
+	':': COLON, '?': QUESTION, '=': ASSIGN,
+	'+': ADD, '-': SUB, '*': MUL, '/': DIV, '%': REM,
+	'&': AND, '|': OR, '^': XOR, '!': NOT, '~': BNOT,
+	'<': LT, '>': GT, '.': DOT, '#': HASH,
+}
+
+func (l *Lexer) lexOperator(start Pos) (Token, error) {
+	if l.off+3 <= len(l.src) {
+		if k, ok := threeCharOps[l.src[l.off:l.off+3]]; ok {
+			text := l.src[l.off : l.off+3]
+			l.advance()
+			l.advance()
+			l.advance()
+			return Token{Kind: k, Text: text, Pos: start}, nil
+		}
+	}
+	if l.off+2 <= len(l.src) {
+		if k, ok := twoCharOps[l.src[l.off:l.off+2]]; ok {
+			text := l.src[l.off : l.off+2]
+			l.advance()
+			l.advance()
+			return Token{Kind: k, Text: text, Pos: start}, nil
+		}
+	}
+	c := l.peek()
+	if k, ok := oneCharOps[c]; ok {
+		l.advance()
+		return Token{Kind: k, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}

@@ -1,0 +1,164 @@
+package clc
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewLexer(src).Tokenize()
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexerBasicTokens(t *testing.T) {
+	toks := lexAll(t, "int x = 42;")
+	want := []TokenKind{IDENT, IDENT, ASSIGN, INTLIT, SEMI}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerKeywordsVsIdents(t *testing.T) {
+	toks := lexAll(t, "__kernel void foo(if_ident) return")
+	if toks[0].Kind != KEYWORD || toks[0].Text != "__kernel" {
+		t.Errorf("__kernel not lexed as keyword: %v", toks[0])
+	}
+	if toks[1].Kind != IDENT || toks[1].Text != "void" {
+		t.Errorf("void should be IDENT (type name), got %v", toks[1])
+	}
+	if toks[4].Kind != IDENT || toks[4].Text != "if_ident" {
+		t.Errorf("if_ident should be IDENT, got %v", toks[4])
+	}
+	last := toks[len(toks)-1]
+	if last.Kind != KEYWORD || last.Text != "return" {
+		t.Errorf("return should be keyword, got %v", last)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"42", INTLIT},
+		{"0x1F", INTLIT},
+		{"7u", INTLIT},
+		{"3L", INTLIT},
+		{"3.5f", FLOATLIT},
+		{"1e-9", FLOATLIT},
+		{".5", FLOATLIT},
+		{"2.", FLOATLIT},
+		{"1E+10", FLOATLIT},
+		{"6f", FLOATLIT},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if len(toks) != 1 {
+			t.Errorf("%q: got %d tokens %v, want 1", c.src, len(toks), toks)
+			continue
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: got %s, want %s", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("%q: text %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestLexerMemberVsFloat(t *testing.T) {
+	// "f.s0" must lex as IDENT DOT IDENT, not a float literal.
+	toks := lexAll(t, "f.s0 += h.s0;")
+	want := []TokenKind{IDENT, DOT, IDENT, ADDASSIGN, IDENT, DOT, IDENT, SEMI}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks := lexAll(t, "a <<= b >> c <= d != e && f")
+	want := []TokenKind{IDENT, SHLASSIGN, IDENT, SHR, IDENT, LEQ, IDENT, NEQ, IDENT, LAND, IDENT}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, "a /* block\ncomment */ b // line\nc")
+	if len(toks) != 3 {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	lex := NewLexer("a /* x */ b")
+	lex.KeepComments = true
+	toks, err := lex.Tokenize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Kind != COMMENT {
+		t.Fatalf("KeepComments: %v", toks)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexerStringsAndChars(t *testing.T) {
+	toks := lexAll(t, `printf("hi \"there\"", 'x', '\n')`)
+	kinds := []TokenKind{IDENT, LPAREN, STRLIT, COMMA, CHARLIT, COMMA, CHARLIT, RPAREN}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %v", toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"/* unterminated", `"unterminated`, "'unterminated", "$"} {
+		if _, err := NewLexer(src).Tokenize(); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexerLineContinuation(t *testing.T) {
+	toks := lexAll(t, "a\\\nb")
+	if len(toks) != 2 {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLexerEOFStable(t *testing.T) {
+	l := NewLexer("x")
+	if tok, _ := l.Next(); tok.Kind != IDENT {
+		t.Fatal("want IDENT")
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := l.Next()
+		if err != nil || tok.Kind != EOF {
+			t.Fatalf("EOF call %d: %v %v", i, tok, err)
+		}
+	}
+}

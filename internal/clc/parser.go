@@ -1,0 +1,1358 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser builds an AST from a token stream. It is a hand-written recursive
+// descent parser with operator-precedence expression parsing.
+//
+// Following the usual C "lexer hack", the parser tracks type names (built-in
+// types plus typedefs seen so far) so that declarations can be told apart
+// from expressions.
+type Parser struct {
+	toks []Token
+	pos  int
+
+	typedefs map[string]Type
+	structs  map[string]*StructType
+
+	// commaOK enables parsing the comma operator; it is set only inside
+	// parenthesized expressions, where a comma cannot be an argument or
+	// declarator separator.
+	commaOK bool
+}
+
+// ParseError is a syntax error with position information.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+// Parse preprocesses nothing: it lexes and parses src directly. Callers that
+// need macro handling should run Preprocess first.
+func Parse(src string) (*File, error) {
+	toks, err := NewLexer(src).Tokenize()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{
+		toks:     toks,
+		typedefs: map[string]Type{},
+		structs:  map[string]*StructType{},
+	}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	last := Pos{Line: 1, Col: 1}
+	if len(p.toks) > 0 {
+		last = p.toks[len(p.toks)-1].Pos
+	}
+	return Token{Kind: EOF, Pos: last}
+}
+
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return Token{Kind: EOF}
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == KEYWORD && t.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s", k, t)}
+	}
+	p.pos++
+	return t, nil
+}
+
+// isTypeStart reports whether the token at offset n begins a type.
+func (p *Parser) isTypeStart(n int) bool {
+	t := p.peekAt(n)
+	switch t.Kind {
+	case KEYWORD:
+		switch t.Text {
+		case "const", "volatile", "unsigned", "signed", "struct",
+			"__global", "global", "__local", "local",
+			"__constant", "constant", "__private", "private":
+			return true
+		}
+		return false
+	case IDENT:
+		if LookupBuiltinType(t.Text) != nil {
+			return true
+		}
+		_, ok := p.typedefs[t.Text]
+		return ok
+	}
+	return false
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for !p.at(EOF) {
+		if p.accept(SEMI) {
+			continue
+		}
+		d, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			f.Decls = append(f.Decls, d...)
+		}
+	}
+	return f, nil
+}
+
+// declSpec collects declaration specifiers.
+type declSpec struct {
+	pos      Pos
+	isKernel bool
+	isInline bool
+	isConst  bool
+	space    AddrSpace
+	spaceSet bool
+	access   string
+	base     Type
+}
+
+// parseDeclSpecifiers consumes qualifiers and the base type.
+func (p *Parser) parseDeclSpecifiers() (*declSpec, error) {
+	ds := &declSpec{pos: p.cur().Pos}
+	for {
+		t := p.cur()
+		if t.Kind == KEYWORD {
+			switch t.Text {
+			case "__kernel", "kernel":
+				ds.isKernel = true
+				p.pos++
+				continue
+			case "inline", "static", "extern":
+				ds.isInline = ds.isInline || t.Text == "inline"
+				p.pos++
+				continue
+			case "const":
+				ds.isConst = true
+				p.pos++
+				continue
+			case "volatile", "restrict":
+				p.pos++
+				continue
+			case "__global", "global":
+				ds.space, ds.spaceSet = Global, true
+				p.pos++
+				continue
+			case "__local", "local":
+				ds.space, ds.spaceSet = Local, true
+				p.pos++
+				continue
+			case "__constant", "constant":
+				ds.space, ds.spaceSet = Constant, true
+				p.pos++
+				continue
+			case "__private", "private":
+				ds.space, ds.spaceSet = Private, true
+				p.pos++
+				continue
+			case "__read_only", "read_only":
+				ds.access = "read_only"
+				p.pos++
+				continue
+			case "__write_only", "write_only":
+				ds.access = "write_only"
+				p.pos++
+				continue
+			case "__read_write", "read_write":
+				ds.access = "read_write"
+				p.pos++
+				continue
+			case "__attribute__":
+				p.pos++
+				if err := p.skipBalancedParens(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		break
+	}
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	ds.base = base
+	// Trailing qualifiers after the type name: "float const * x".
+	for p.atKeyword("const") || p.atKeyword("volatile") || p.atKeyword("restrict") {
+		if p.atKeyword("const") {
+			ds.isConst = true
+		}
+		p.pos++
+	}
+	return ds, nil
+}
+
+// parseBaseType parses a scalar/vector/typedef/struct type name, handling
+// multi-word forms like "unsigned int" and "unsigned long".
+func (p *Parser) parseBaseType() (Type, error) {
+	t := p.cur()
+	if t.Kind == KEYWORD && (t.Text == "unsigned" || t.Text == "signed") {
+		p.pos++
+		unsigned := t.Text == "unsigned"
+		// optional base word
+		name := "int"
+		if nt := p.cur(); nt.Kind == IDENT {
+			switch nt.Text {
+			case "char", "short", "int", "long":
+				name = nt.Text
+				p.pos++
+				// "unsigned long long" → long
+				if name == "long" && p.cur().Kind == IDENT && p.cur().Text == "long" {
+					p.pos++
+				}
+			}
+		}
+		if unsigned {
+			name = "u" + name
+		}
+		return scalarByName[name], nil
+	}
+	if t.Kind == KEYWORD && t.Text == "struct" {
+		return p.parseStructType()
+	}
+	if t.Kind != IDENT {
+		return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("expected type, found %s", t)}
+	}
+	if bt := LookupBuiltinType(t.Text); bt != nil {
+		p.pos++
+		// "long long", "long int", "long double" style sequences.
+		if s, ok := bt.(*ScalarType); ok && (s.Kind == Long || s.Kind == Int || s.Kind == Short) {
+			for p.cur().Kind == IDENT {
+				switch p.cur().Text {
+				case "long", "int":
+					p.pos++
+					continue
+				}
+				break
+			}
+		}
+		return bt, nil
+	}
+	if td, ok := p.typedefs[t.Text]; ok {
+		p.pos++
+		return td, nil
+	}
+	return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("unknown type name %q", t.Text)}
+}
+
+func (p *Parser) parseStructType() (Type, error) {
+	if _, err := p.expect(KEYWORD); err != nil { // 'struct'
+		return nil, err
+	}
+	name := ""
+	if p.at(IDENT) {
+		name = p.next().Text
+	}
+	if !p.at(LBRACE) {
+		if st, ok := p.structs[name]; ok {
+			return st, nil
+		}
+		// Forward reference to an undefined struct.
+		st := &StructType{Name: name}
+		p.structs[name] = st
+		return st, nil
+	}
+	p.pos++ // {
+	st := p.structs[name]
+	if st == nil {
+		st = &StructType{Name: name}
+		if name != "" {
+			p.structs[name] = st
+		}
+	}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		ds, err := p.parseDeclSpecifiers()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			fieldType, fieldName, err := p.parseDeclarator(ds.base, ds)
+			if err != nil {
+				return nil, err
+			}
+			st.Fields = append(st.Fields, StructField{Name: fieldName, Type: fieldType})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseDeclarator parses pointer stars, a name, and array suffixes.
+func (p *Parser) parseDeclarator(base Type, ds *declSpec) (Type, string, error) {
+	t := base
+	for p.accept(MUL) {
+		space := Private
+		if ds != nil && ds.spaceSet {
+			space = ds.space
+		}
+		t = &PointerType{Elem: t, Space: space}
+		// const/restrict after the star.
+		for p.atKeyword("const") || p.atKeyword("volatile") || p.atKeyword("restrict") {
+			p.pos++
+		}
+	}
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, "", err
+	}
+	// Array suffixes. C declarator syntax reads outside-in: t[2][3] is an
+	// array of 2 arrays of 3 elements, so collect the dimensions and fold
+	// them right to left.
+	var dims []int
+	for p.accept(LBRACKET) {
+		if p.accept(RBRACKET) {
+			// Unsized array: treat as pointer.
+			t = &PointerType{Elem: t, Space: spaceOf(ds)}
+			continue
+		}
+		sizeExpr, err := p.parseExpr()
+		if err != nil {
+			return nil, "", err
+		}
+		n, ok := ConstIntValue(sizeExpr)
+		if !ok {
+			return nil, "", &ParseError{Pos: sizeExpr.NodePos(), Msg: "array size must be a constant expression"}
+		}
+		if n <= 0 || n > 1<<20 {
+			return nil, "", &ParseError{Pos: sizeExpr.NodePos(), Msg: fmt.Sprintf("invalid array size %d", n)}
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, "", err
+		}
+		dims = append(dims, int(n))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = &ArrayType{Elem: t, Len: dims[i]}
+	}
+	return t, nameTok.Text, nil
+}
+
+func spaceOf(ds *declSpec) AddrSpace {
+	if ds != nil && ds.spaceSet {
+		return ds.space
+	}
+	return Private
+}
+
+// ConstIntValue evaluates a constant integer expression tree built from
+// literals and + - * / % << >> & | ^ and unary minus. It returns the value
+// and whether the expression was constant.
+func ConstIntValue(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Value, true
+	case *CharLit:
+		return x.Value, true
+	case *UnaryExpr:
+		v, ok := ConstIntValue(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case SUB:
+			return -v, true
+		case ADD:
+			return v, true
+		case BNOT:
+			return ^v, true
+		case NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		a, ok := ConstIntValue(x.X)
+		if !ok {
+			return 0, false
+		}
+		b, ok := ConstIntValue(x.Y)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case ADD:
+			return a + b, true
+		case SUB:
+			return a - b, true
+		case MUL:
+			return a * b, true
+		case DIV:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case SHL:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case SHR:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case AND:
+			return a & b, true
+		case OR:
+			return a | b, true
+		case XOR:
+			return a ^ b, true
+		}
+		return 0, false
+	case *CastExpr:
+		return ConstIntValue(x.X)
+	}
+	return 0, false
+}
+
+func (p *Parser) skipBalancedParens() error {
+	if _, err := p.expect(LPAREN); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t.Kind {
+		case LPAREN:
+			depth++
+		case RPAREN:
+			depth--
+		case EOF:
+			return &ParseError{Pos: t.Pos, Msg: "unterminated __attribute__"}
+		}
+	}
+	return nil
+}
+
+// parseTopDecl parses one top-level declaration, which may expand to
+// several Decls (comma-separated variable declarators).
+func (p *Parser) parseTopDecl() ([]Decl, error) {
+	// typedef
+	if p.atKeyword("typedef") {
+		pos := p.next().Pos
+		ds, err := p.parseDeclSpecifiers()
+		if err != nil {
+			return nil, err
+		}
+		t, name, err := p.parseDeclarator(ds.base, ds)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		p.typedefs[name] = t
+		return []Decl{&TypedefDecl{Pos: pos, Name: name, Type: t}}, nil
+	}
+	// Bare struct declaration: struct Foo { ... };
+	if p.atKeyword("struct") && p.peekAt(1).Kind == IDENT && p.peekAt(2).Kind == LBRACE {
+		pos := p.cur().Pos
+		st, err := p.parseStructType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return []Decl{&StructDecl{Pos: pos, Type: st.(*StructType)}}, nil
+	}
+
+	ds, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	t, name, err := p.parseDeclarator(ds.base, ds)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(LPAREN) {
+		return p.parseFuncRest(ds, t, name)
+	}
+	// Variable declaration(s).
+	var decls []Decl
+	for {
+		vd := &VarDecl{Pos: ds.pos, Name: name, Type: t, Space: spaceOf(ds), IsConst: ds.isConst}
+		if p.accept(ASSIGN) {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		decls = append(decls, vd)
+		if !p.accept(COMMA) {
+			break
+		}
+		t, name, err = p.parseDeclarator(ds.base, ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *Parser) parseFuncRest(ds *declSpec, ret Type, name string) ([]Decl, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Pos: ds.pos, Name: name, Ret: ret, IsKernel: ds.isKernel, IsInline: ds.isInline}
+	if !p.at(RPAREN) {
+		// "void" parameter list.
+		if p.cur().Kind == IDENT && p.cur().Text == "void" && p.peekAt(1).Kind == RPAREN {
+			p.pos++
+		} else {
+			for {
+				pd, err := p.parseParam()
+				if err != nil {
+					return nil, err
+				}
+				fd.Params = append(fd.Params, pd)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	// Attributes after the parameter list (reqd_work_group_size etc).
+	for p.atKeyword("__attribute__") {
+		p.pos++
+		if err := p.skipBalancedParens(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(SEMI) {
+		return []Decl{fd}, nil // prototype
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return []Decl{fd}, nil
+}
+
+func (p *Parser) parseParam() (*ParamDecl, error) {
+	ds, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	t := ds.base
+	for p.accept(MUL) {
+		t = &PointerType{Elem: t, Space: spaceOf(ds)}
+		for p.atKeyword("const") || p.atKeyword("volatile") || p.atKeyword("restrict") {
+			p.pos++
+		}
+	}
+	pd := &ParamDecl{Pos: ds.pos, Type: t, IsConst: ds.isConst, Access: ds.access}
+	if p.at(IDENT) {
+		pd.Name = p.next().Text
+	}
+	for p.accept(LBRACKET) {
+		// Array parameter decays to pointer.
+		if !p.at(RBRACKET) {
+			if _, err := p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		pd.Type = &PointerType{Elem: pd.Type, Space: spaceOf(ds)}
+	}
+	return pd, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == LBRACE:
+		return p.parseBlock()
+	case t.Kind == SEMI:
+		p.pos++
+		return &EmptyStmt{Pos: t.Pos}, nil
+	case t.Kind == KEYWORD:
+		switch t.Text {
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "do":
+			return p.parseDoWhile()
+		case "return":
+			p.pos++
+			rs := &ReturnStmt{Pos: t.Pos}
+			if !p.at(SEMI) {
+				x, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				rs.X = x
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return rs, nil
+		case "break":
+			p.pos++
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &BreakStmt{Pos: t.Pos}, nil
+		case "continue":
+			p.pos++
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &ContinueStmt{Pos: t.Pos}, nil
+		case "switch":
+			return p.parseSwitch()
+		case "goto":
+			return nil, &ParseError{Pos: t.Pos, Msg: "goto is not supported"}
+		}
+	}
+	if p.isTypeStart(0) && p.startsDecl() {
+		return p.parseDeclStmt()
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, X: x}, nil
+}
+
+// startsDecl disambiguates "T * x;" (decl) from "a * b;" (expr) at
+// statement level: a type-start token followed by stars/identifier patterns
+// is a declaration. Since isTypeStart already matched a type name or
+// qualifier keyword, the only ambiguity is a typedef name used as an
+// expression, which the subset resolves in favor of the declaration, as C
+// compilers do.
+func (p *Parser) startsDecl() bool {
+	// A type name directly followed by '(' is a vector-literal-style call
+	// (e.g. a macro residue); treat as expression. Otherwise: declaration.
+	n := 0
+	for {
+		t := p.peekAt(n)
+		if t.Kind == KEYWORD {
+			switch t.Text {
+			case "const", "volatile", "restrict", "unsigned", "signed", "struct",
+				"__global", "global", "__local", "local",
+				"__constant", "constant", "__private", "private":
+				n++
+				continue
+			}
+		}
+		break
+	}
+	t := p.peekAt(n)
+	if t.Kind == KEYWORD {
+		return true // struct/unsigned etc already consumed above means decl
+	}
+	if t.Kind != IDENT {
+		return n > 0
+	}
+	// t is a type name; next token decides.
+	nt := p.peekAt(n + 1)
+	switch nt.Kind {
+	case IDENT, MUL:
+		return true
+	case KEYWORD:
+		return nt.Text == "const" || nt.Text == "volatile" || nt.Text == "restrict"
+	}
+	return n > 0
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	ds, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeclStmt{Pos: pos}
+	for {
+		t, name, err := p.parseDeclarator(ds.base, ds)
+		if err != nil {
+			return nil, err
+		}
+		vd := &VarDecl{Pos: pos, Name: name, Type: t, Space: spaceOf(ds), IsConst: ds.isConst}
+		if p.accept(ASSIGN) {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		st.Decls = append(st.Decls, vd)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseInitializer() (Expr, error) {
+	if p.at(LBRACE) {
+		pos := p.next().Pos
+		il := &InitList{Pos: pos}
+		for !p.at(RBRACE) && !p.at(EOF) {
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			il.Elems = append(il.Elems, e)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RBRACE); err != nil {
+			return nil, err
+		}
+		return il, nil
+	}
+	return p.parseAssignExpr()
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // 'if'
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.acceptKeyword("else") {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.next().Pos // 'for'
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	if !p.at(SEMI) {
+		if p.isTypeStart(0) && p.startsDecl() {
+			init, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{Pos: x.NodePos(), X: x}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.pos++
+	}
+	if !p.at(SEMI) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if !p.at(RPAREN) {
+		saved := p.commaOK
+		p.commaOK = true
+		post, err := p.parseExpr()
+		p.commaOK = saved
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseDoWhile() (Stmt, error) {
+	pos := p.next().Pos
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("while") {
+		return nil, &ParseError{Pos: p.cur().Pos, Msg: "expected 'while' after do body"}
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Pos: pos, Body: body, Cond: cond}, nil
+}
+
+func (p *Parser) parseSwitch() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Pos: pos, Tag: tag}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		var c *CaseClause
+		if p.acceptKeyword("case") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(COLON); err != nil {
+				return nil, err
+			}
+			c = &CaseClause{Pos: v.NodePos(), Value: v}
+		} else if p.acceptKeyword("default") {
+			if _, err := p.expect(COLON); err != nil {
+				return nil, err
+			}
+			c = &CaseClause{Pos: p.cur().Pos}
+		} else {
+			return nil, &ParseError{Pos: p.cur().Pos, Msg: "expected case or default in switch"}
+		}
+		for !p.at(RBRACE) && !p.atKeyword("case") && !p.atKeyword("default") && !p.at(EOF) {
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = append(c.Body, st)
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- Expressions ---
+
+// parseExpr parses a comma-free expression (assignment level). OpenCL
+// kernels in the corpus almost never use the comma operator outside of for
+// posts; we support comma only in for-post position via parseExprList.
+func (p *Parser) parseExpr() (Expr, error) {
+	x, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Comma operator: evaluate left, yield right. Represent as a binary
+	// COMMA expression so for-posts like "i++, j++" parse.
+	for p.at(COMMA) && p.inCommaContext() {
+		pos := p.next().Pos
+		y, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: pos, Op: COMMA, X: x, Y: y}
+	}
+	return x, nil
+}
+
+// inCommaContext reports whether a comma at the current position should be
+// parsed as the comma operator. We only do so when the comma cannot be an
+// argument or declarator separator: the parser call sites that pass comma
+// lists (call args, decls, init lists) use parseAssignExpr directly.
+func (p *Parser) inCommaContext() bool { return p.commaOK }
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	x, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case ASSIGN, ADDASSIGN, SUBASSIGN, MULASSIGN, DIVASSIGN, REMASSIGN,
+		ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN:
+		op := p.next()
+		y, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Pos: op.Pos, Op: op.Kind, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseCondExpr() (Expr, error) {
+	cond, err := p.parseBinaryExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(QUESTION) {
+		return cond, nil
+	}
+	pos := p.next().Pos
+	a, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	b, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos: pos, Cond: cond, A: a, B: b}, nil
+}
+
+// binaryPrec returns the precedence of a binary operator, or 0.
+func binaryPrec(k TokenKind) int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case OR:
+		return 3
+	case XOR:
+		return 4
+	case AND:
+		return 5
+	case EQ, NEQ:
+		return 6
+	case LT, GT, LEQ, GEQ:
+		return 7
+	case SHL, SHR:
+		return 8
+	case ADD, SUB:
+		return 9
+	case MUL, DIV, REM:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) (Expr, error) {
+	x, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binaryPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return x, nil
+		}
+		op := p.next()
+		y, err := p.parseBinaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case ADD, SUB, NOT, BNOT, MUL, AND, INC, DEC:
+		p.pos++
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	case KEYWORD:
+		if t.Text == "sizeof" {
+			p.pos++
+			if p.at(LPAREN) && p.isTypeStart(1) {
+				p.pos++ // (
+				ty, err := p.parseTypeName()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(RPAREN); err != nil {
+					return nil, err
+				}
+				return &SizeofExpr{Pos: t.Pos, Type: ty}, nil
+			}
+			x, err := p.parseUnaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{Pos: t.Pos, X: x}, nil
+		}
+	case LPAREN:
+		// Cast or parenthesized expression.
+		if p.isTypeStart(1) {
+			return p.parseCastExpr()
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// parseTypeName parses an abstract type (for casts and sizeof).
+func (p *Parser) parseTypeName() (Type, error) {
+	ds, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	t := ds.base
+	for p.accept(MUL) {
+		t = &PointerType{Elem: t, Space: spaceOf(ds)}
+		for p.atKeyword("const") || p.atKeyword("volatile") || p.atKeyword("restrict") {
+			p.pos++
+		}
+	}
+	return t, nil
+}
+
+func (p *Parser) parseCastExpr() (Expr, error) {
+	lp, err := p.expect(LPAREN)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	// Vector literal: (float4)(a, b, c, d).
+	if _, isVec := ty.(*VectorType); isVec && p.at(LPAREN) {
+		pos := p.next().Pos
+		pack := &ArgPack{Pos: pos}
+		for !p.at(RPAREN) && !p.at(EOF) {
+			a, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			pack.Args = append(pack.Args, a)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		x := p.parseVectorLitSuffix(&CastExpr{Pos: lp.Pos, To: ty, X: pack})
+		return x, nil
+	}
+	x, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CastExpr{Pos: lp.Pos, To: ty, X: x}, nil
+}
+
+// parseVectorLitSuffix allows postfix operators on vector literals,
+// e.g. ((float4)(0.0f)).x — handled by continuing postfix parsing.
+func (p *Parser) parseVectorLitSuffix(x Expr) Expr {
+	e, err := p.parsePostfixOps(x)
+	if err != nil {
+		return x
+	}
+	return e
+}
+
+func (p *Parser) parsePostfixExpr() (Expr, error) {
+	x, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePostfixOps(x)
+}
+
+func (p *Parser) parsePostfixOps(x Expr) (Expr, error) {
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case LBRACKET:
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: t.Pos, X: x, Index: idx}
+		case DOT, ARROW:
+			p.pos++
+			m, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{Pos: t.Pos, X: x, Member: m.Text, Arrow: t.Kind == ARROW}
+		case INC, DEC:
+			p.pos++
+			x = &PostfixExpr{Pos: t.Pos, Op: t.Kind, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case IDENT:
+		p.pos++
+		if p.at(LPAREN) {
+			p.pos++
+			call := &CallExpr{Pos: t.Pos, Fun: t.Text}
+			for !p.at(RPAREN) && !p.at(EOF) {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case INTLIT:
+		p.pos++
+		v, err := parseIntText(t.Text)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: err.Error()}
+		}
+		return &IntLit{Pos: t.Pos, Text: t.Text, Value: v}, nil
+	case FLOATLIT:
+		p.pos++
+		v, err := parseFloatText(t.Text)
+		if err != nil {
+			return nil, &ParseError{Pos: t.Pos, Msg: err.Error()}
+		}
+		return &FloatLit{Pos: t.Pos, Text: t.Text, Value: v}, nil
+	case CHARLIT:
+		p.pos++
+		return &CharLit{Pos: t.Pos, Text: t.Text, Value: charValue(t.Text)}, nil
+	case STRLIT:
+		p.pos++
+		return &StringLit{Pos: t.Pos, Text: t.Text}, nil
+	case LPAREN:
+		p.pos++
+		saved := p.commaOK
+		p.commaOK = true
+		x, err := p.parseExpr()
+		p.commaOK = saved
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s in expression", t)}
+}
+
+func parseIntText(s string) (int64, error) {
+	s = strings.TrimRight(s, "uUlL")
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		return int64(v), err
+	}
+	if len(s) > 1 && s[0] == '0' {
+		// Octal.
+		v, err := strconv.ParseUint(s[1:], 8, 64)
+		if err == nil {
+			return int64(v), nil
+		}
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	return int64(v), err
+}
+
+func parseFloatText(s string) (float64, error) {
+	s = strings.TrimRight(s, "fFlL")
+	return strconv.ParseFloat(s, 64)
+}
+
+func charValue(text string) int64 {
+	// text includes the quotes.
+	inner := text
+	if len(inner) >= 2 {
+		inner = inner[1 : len(inner)-1]
+	}
+	if len(inner) == 0 {
+		return 0
+	}
+	if inner[0] == '\\' && len(inner) > 1 {
+		switch inner[1] {
+		case 'n':
+			return '\n'
+		case 't':
+			return '\t'
+		case 'r':
+			return '\r'
+		case '0':
+			return 0
+		case '\\':
+			return '\\'
+		case '\'':
+			return '\''
+		default:
+			return int64(inner[1])
+		}
+	}
+	return int64(inner[0])
+}

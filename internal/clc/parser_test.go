@@ -1,0 +1,493 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustParse parses src or fails the test.
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+// mustCheck parses and type-checks src.
+func mustCheck(t *testing.T, src string) *File {
+	t.Helper()
+	f := mustParse(t, src)
+	if err := Check(f); err != nil {
+		t.Fatalf("Check failed: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+const saxpySrc = `
+__kernel void A(__global float* a, __global float* b, const int c) {
+  unsigned int d = get_global_id(0);
+  if (d < c) {
+    b[d] += 3.5f * a[d];
+  }
+}
+`
+
+func TestParseSaxpy(t *testing.T) {
+	f := mustCheck(t, saxpySrc)
+	ks := f.Kernels()
+	if len(ks) != 1 {
+		t.Fatalf("got %d kernels, want 1", len(ks))
+	}
+	k := ks[0]
+	if k.Name != "A" {
+		t.Errorf("kernel name %q", k.Name)
+	}
+	if len(k.Params) != 3 {
+		t.Fatalf("got %d params", len(k.Params))
+	}
+	p0, ok := k.Params[0].Type.(*PointerType)
+	if !ok || p0.Space != Global {
+		t.Errorf("param 0 type = %v", k.Params[0].Type)
+	}
+	if !SameType(p0.Elem, TypeFloat) {
+		t.Errorf("param 0 elem = %v", p0.Elem)
+	}
+	if k.Params[2].IsConst != true {
+		t.Errorf("param 2 not const")
+	}
+}
+
+func TestParsePaperFigure6Kernels(t *testing.T) {
+	// The three kernels from Figure 6 of the paper, as printed.
+	srcs := []string{
+		`__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  int e = get_global_id(0);
+  float f = 0.0;
+  for (int g = 0; g < d; g++) {
+    c[g] = 0.0f;
+  }
+  barrier(1);
+  a[get_global_id(0)] = 2 * b[get_global_id(0)];
+}`,
+		`__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  int e = get_global_id(0);
+  if (e >= d) {
+    return;
+  }
+  c[e] = a[e] + b[e] + 2 * a[e] + b[e] + 4;
+}`,
+		`__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  unsigned int e = get_global_id(0);
+  float16 f = (float16)(0.0);
+  for (unsigned int g = 0; g < d; g++) {
+    float16 h = a[g];
+    f.s0 += h.s0;
+    f.s1 += h.s1;
+    f.s2 += h.s2;
+    f.s3 += h.s3;
+    f.s4 += h.s4;
+    f.s5 += h.s5;
+    f.s6 += h.s6;
+    f.s7 += h.s7;
+    f.s8 += h.s8;
+    f.s9 += h.s9;
+    f.sA += h.sA;
+    f.sB += h.sB;
+    f.sC += h.sC;
+    f.sD += h.sD;
+    f.sE += h.sE;
+    f.sF += h.sF;
+  }
+  b[e] = f.s0 + f.s1 + f.s2 + f.s3 + f.s4 + f.s5 + f.s6 + f.s7 + f.s8 + f.s9 + f.sA + f.sB + f.sC + f.sD + f.sE + f.sF;
+}`,
+	}
+	for i, src := range srcs {
+		f := mustParse(t, src)
+		// Kernel (c) assigns float16 h = a[g] where a is float*; like the
+		// paper's sampled kernel it reinterprets — our checker permits
+		// arithmetic conversions, so Check must pass for all three.
+		if err := Check(f); err != nil {
+			t.Errorf("figure 6 kernel %d failed check: %v", i, err)
+		}
+	}
+}
+
+func TestParseListing2(t *testing.T) {
+	src := `__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  int e = get_global_id(0);
+  if (e < 4 && e < d) {
+    c[e] = a[e] + b[e];
+    a[e] = b[e] + 1;
+  }
+}`
+	mustCheck(t, src)
+}
+
+func TestParseDeclVsExpr(t *testing.T) {
+	src := `
+typedef float myfloat;
+void F(int a) {
+  myfloat b = 2.0f;
+  int c = a * 3;
+  c = c * a;
+}
+`
+	f := mustCheck(t, src)
+	fn := f.Function("F")
+	if fn == nil {
+		t.Fatal("function F not found")
+	}
+	if got := len(fn.Body.Stmts); got != 3 {
+		t.Fatalf("got %d statements, want 3", got)
+	}
+	if _, ok := fn.Body.Stmts[0].(*DeclStmt); !ok {
+		t.Errorf("stmt 0 is %T, want *DeclStmt", fn.Body.Stmts[0])
+	}
+	if _, ok := fn.Body.Stmts[2].(*ExprStmt); !ok {
+		t.Errorf("stmt 2 is %T, want *ExprStmt", fn.Body.Stmts[2])
+	}
+}
+
+func TestParseVectorLiteral(t *testing.T) {
+	src := `void F(void) {
+  float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+  float4 w = (float4)(0.0f);
+  float x = v.x + w.s3 + v.hi.y;
+  float2 lo = v.lo;
+}`
+	f := mustCheck(t, src)
+	fn := f.Function("F")
+	ds := fn.Body.Stmts[0].(*DeclStmt)
+	cast, ok := ds.Decls[0].Init.(*CastExpr)
+	if !ok {
+		t.Fatalf("init is %T", ds.Decls[0].Init)
+	}
+	if _, ok := cast.X.(*ArgPack); !ok {
+		t.Fatalf("cast operand is %T, want *ArgPack", cast.X)
+	}
+	vt, ok := cast.To.(*VectorType)
+	if !ok || vt.Elem != Float || vt.Len != 4 {
+		t.Errorf("cast type = %v", cast.To)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `int F(int a) {
+  int s = 0;
+  for (int i = 0; i < a; i++) {
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  while (s > 100) s -= 7;
+  do { s++; } while (s < 10);
+  switch (s) {
+  case 0: return 1;
+  case 1:
+  case 2: s = 3; break;
+  default: break;
+  }
+  return s;
+}`
+	mustCheck(t, src)
+}
+
+func TestParseTernaryAndComma(t *testing.T) {
+	src := `int F(int a, int b) {
+  int c = a > b ? a : b;
+  for (int i = 0, j = 9; i < j; i++, j--) c += i;
+  return c;
+}`
+	mustCheck(t, src)
+}
+
+func TestParsePointerOps(t *testing.T) {
+	src := `void F(__global int* p, int n) {
+  __global int* q = p + n;
+  *q = 4;
+  q[-1] = *p + 1;
+  int d = (int)(q - p);
+}`
+	mustCheck(t, src)
+}
+
+func TestParseLocalArrays(t *testing.T) {
+	src := `__kernel void A(__global float* a) {
+  __local float tile[16][16];
+  float priv[8];
+  int lid = get_local_id(0);
+  priv[0] = a[lid];
+  tile[lid][0] = priv[0];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  a[lid] = tile[0][lid];
+}`
+	f := mustCheck(t, saxpySrc)
+	_ = f
+	mustCheck(t, src)
+}
+
+func TestParseStruct(t *testing.T) {
+	src := `
+struct Pair { int a; float b; };
+typedef struct Pair pair_t;
+void F(void) {
+  struct Pair p;
+  p.a = 1;
+  p.b = 2.0f;
+}
+`
+	f := mustCheck(t, src)
+	var sd *StructDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*StructDecl); ok {
+			sd = x
+		}
+	}
+	if sd == nil || len(sd.Type.Fields) != 2 {
+		t.Fatalf("struct decl: %+v", sd)
+	}
+}
+
+func TestParseMultiDeclarators(t *testing.T) {
+	src := `void F(void) {
+  int a = 1, b = 2, c;
+  float *p, q;
+  c = a + b;
+  q = 0.0f;
+  p = &q;
+}`
+	f := mustCheck(t, src)
+	ds := f.Function("F").Body.Stmts[0].(*DeclStmt)
+	if len(ds.Decls) != 3 {
+		t.Fatalf("got %d decls", len(ds.Decls))
+	}
+	ds2 := f.Function("F").Body.Stmts[1].(*DeclStmt)
+	if _, ok := ds2.Decls[0].Type.(*PointerType); !ok {
+		t.Errorf("p should be pointer, got %v", ds2.Decls[0].Type)
+	}
+	if !SameType(ds2.Decls[1].Type, TypeFloat) {
+		t.Errorf("q should be float, got %v", ds2.Decls[1].Type)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	src := `__kernel __attribute__((reqd_work_group_size(64, 1, 1))) void A(__global int* a) {
+  a[get_global_id(0)] = 0;
+}`
+	mustCheck(t, src)
+}
+
+func TestParseUnsignedForms(t *testing.T) {
+	src := `void F(void) {
+  unsigned int a = 1;
+  unsigned b = 2;
+  unsigned long c = 3;
+  unsigned char d = 4;
+  long long e = 5;
+}`
+	f := mustCheck(t, src)
+	stmts := f.Function("F").Body.Stmts
+	wantTypes := []Type{TypeUInt, TypeUInt, TypeULong, TypeUChar, TypeLong}
+	for i, want := range wantTypes {
+		got := stmts[i].(*DeclStmt).Decls[0].Type
+		if !SameType(got, want) {
+			t.Errorf("decl %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"void F( {",
+		"void F(void) { int 5; }",
+		"void F(void) { x = ; }",
+		"void F(void) { if a { } }",
+		"qqq zzz;",
+		"void F(void) { goto done; }",
+		"void F(void) { return 1 }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"void F(void) { x = 1; }", "undeclared identifier"},
+		{"void F(void) { int a = G(1); }", "undeclared function"},
+		{"void F(int a) { a.x = 1; }", "member access"},
+		{"void F(int a) { 3 = a; }", "lvalue"},
+		{"__kernel int A(int a) { return a; }", "must return void"},
+		{"__kernel void A(int* a) { }", "__global, __local, or __constant"},
+		{"void F(float4 v) { float x = v.s9; }", "out of range"},
+		{"void F(void) { int a = get_global_id(); }", "takes 1 argument"},
+		{"void F(int a) { int b = a[0]; }", "cannot index"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed: %v", c.src, err)
+			continue
+		}
+		err = Check(f)
+		if err == nil {
+			t.Errorf("Check(%q): expected error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Check(%q) error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestCheckTypesAnnotated(t *testing.T) {
+	f := mustCheck(t, saxpySrc)
+	k := f.Kernels()[0]
+	var found bool
+	Walk(k, func(n Node) bool {
+		if ix, ok := n.(*IndexExpr); ok {
+			if ix.ExprType() == nil {
+				t.Errorf("IndexExpr has nil type")
+			} else if !SameType(ix.ExprType(), TypeFloat) {
+				t.Errorf("IndexExpr type = %v, want float", ix.ExprType())
+			}
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("no IndexExpr found in saxpy")
+	}
+}
+
+func TestConstIntValue(t *testing.T) {
+	src := `void F(void) { int a[4*4+2]; }`
+	f := mustCheck(t, src)
+	d := f.Function("F").Body.Stmts[0].(*DeclStmt).Decls[0]
+	at, ok := d.Type.(*ArrayType)
+	if !ok || at.Len != 18 {
+		t.Fatalf("array type = %v", d.Type)
+	}
+}
+
+func TestVectorComponents(t *testing.T) {
+	cases := []struct {
+		member string
+		n      int
+		want   []int
+		err    bool
+	}{
+		{"x", 4, []int{0}, false},
+		{"w", 4, []int{3}, false},
+		{"xy", 4, []int{0, 1}, false},
+		{"wzyx", 4, []int{3, 2, 1, 0}, false},
+		{"s0", 16, []int{0}, false},
+		{"sF", 16, []int{15}, false},
+		{"sa", 16, []int{10}, false},
+		{"lo", 4, []int{0, 1}, false},
+		{"hi", 4, []int{2, 3}, false},
+		{"even", 4, []int{0, 2}, false},
+		{"odd", 4, []int{1, 3}, false},
+		{"lo", 3, []int{0, 1}, false},
+		{"z", 2, nil, true},
+		{"s4", 4, nil, true},
+		{"q", 4, nil, true},
+	}
+	for _, c := range cases {
+		got, err := VectorComponents(c.member, c.n)
+		if c.err {
+			if err == nil {
+				t.Errorf("VectorComponents(%q, %d): expected error", c.member, c.n)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("VectorComponents(%q, %d): %v", c.member, c.n, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("VectorComponents(%q, %d) = %v, want %v", c.member, c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("VectorComponents(%q, %d) = %v, want %v", c.member, c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestLookupBuiltinType(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"float", "float"},
+		{"uint4", "uint4"},
+		{"float16", "float16"},
+		{"size_t", "ulong"},
+		{"double2", "double2"},
+	}
+	for _, c := range cases {
+		got := LookupBuiltinType(c.name)
+		if got == nil || got.String() != c.want {
+			t.Errorf("LookupBuiltinType(%q) = %v, want %s", c.name, got, c.want)
+		}
+	}
+	for _, bad := range []string{"float5", "void2", "bool4", "floats", "4float", ""} {
+		if got := LookupBuiltinType(bad); got != nil {
+			t.Errorf("LookupBuiltinType(%q) = %v, want nil", bad, got)
+		}
+	}
+}
+
+func TestBuiltinLookup(t *testing.T) {
+	for _, name := range []string{"get_global_id", "barrier", "sqrt", "mad",
+		"dot", "atomic_add", "convert_int4", "as_float", "vload4", "vstore8"} {
+		if LookupBuiltin(name) == nil {
+			t.Errorf("LookupBuiltin(%q) = nil", name)
+		}
+	}
+	for _, name := range []string{"not_a_builtin", "vloadX", "convert_banana"} {
+		if LookupBuiltin(name) != nil {
+			t.Errorf("LookupBuiltin(%q) != nil", name)
+		}
+	}
+}
+
+func TestPromote(t *testing.T) {
+	f4 := &VectorType{Elem: Float, Len: 4}
+	if got := Promote(TypeInt, TypeFloat); !SameType(got, TypeFloat) {
+		t.Errorf("int+float = %v", got)
+	}
+	if got := Promote(f4, TypeFloat); !SameType(got, f4) {
+		t.Errorf("float4+float = %v", got)
+	}
+	if got := Promote(TypeUInt, TypeInt); !SameType(got, TypeUInt) {
+		t.Errorf("uint+int = %v", got)
+	}
+}
+
+func TestParseMultiDimArrayOrder(t *testing.T) {
+	src := `void F(void) { float t[2][3]; }`
+	f := mustCheck(t, src)
+	d := f.Function("F").Body.Stmts[0].(*DeclStmt).Decls[0]
+	outer, ok := d.Type.(*ArrayType)
+	if !ok || outer.Len != 2 {
+		t.Fatalf("outer = %v", d.Type)
+	}
+	inner, ok := outer.Elem.(*ArrayType)
+	if !ok || inner.Len != 3 {
+		t.Fatalf("inner = %v", outer.Elem)
+	}
+	if !SameType(inner.Elem, TypeFloat) {
+		t.Errorf("element = %v", inner.Elem)
+	}
+}

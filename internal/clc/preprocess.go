@@ -1,0 +1,690 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Preprocessor implements the subset of the C preprocessor needed by the
+// corpus pipeline (§4.1 step 1): comment removal, object- and function-like
+// macro definition and expansion, conditional compilation, and #include
+// resolution against an in-memory header table (used for the shim header).
+type Preprocessor struct {
+	// Defines are predefined object-like macros (name -> replacement).
+	Defines map[string]string
+	// Headers maps include paths (as written, e.g. "clc/clc.h") to their
+	// contents. Includes that do not resolve are silently dropped, which
+	// mirrors isolating device code from its host project.
+	Headers map[string]string
+}
+
+type macro struct {
+	params   []string
+	body     string
+	funcLike bool
+}
+
+// PreprocessError is a preprocessing failure.
+type PreprocessError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *PreprocessError) Error() string {
+	return fmt.Sprintf("line %d: preprocess error: %s", e.Line, e.Msg)
+}
+
+// Preprocess runs the preprocessor over src and returns the expanded,
+// comment-free source text.
+func (pp *Preprocessor) Preprocess(src string) (string, error) {
+	macros := map[string]*macro{}
+	for k, v := range pp.Defines {
+		macros[k] = &macro{body: v}
+	}
+	return pp.run(src, macros, 0)
+}
+
+// Preprocess with the zero-value Preprocessor strips comments and handles
+// directives with no predefined macros or headers.
+func Preprocess(src string) (string, error) {
+	pp := &Preprocessor{}
+	return pp.Preprocess(src)
+}
+
+const maxIncludeDepth = 16
+
+func (pp *Preprocessor) run(src string, macros map[string]*macro, depth int) (string, error) {
+	if depth > maxIncludeDepth {
+		return "", &PreprocessError{Msg: "include depth exceeded"}
+	}
+	src = StripComments(src)
+	lines := splitLogicalLines(src)
+	var out strings.Builder
+
+	// Conditional-compilation state stack. active means the current branch
+	// is emitted; taken means some branch of the current #if chain was
+	// already taken.
+	type condState struct{ active, taken, parentActive bool }
+	stack := []condState{{active: true, taken: true, parentActive: true}}
+	top := func() *condState { return &stack[len(stack)-1] }
+
+	for lineNo, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			if top().active {
+				out.WriteString(pp.expandMacros(line, macros, 0))
+				out.WriteString("\n")
+			}
+			continue
+		}
+		directive, rest := splitDirective(trimmed)
+		switch directive {
+		case "define":
+			if !top().active {
+				continue
+			}
+			if err := defineMacro(rest, macros); err != nil {
+				return "", &PreprocessError{Line: lineNo + 1, Msg: err.Error()}
+			}
+		case "undef":
+			if top().active {
+				delete(macros, strings.TrimSpace(rest))
+			}
+		case "include":
+			if !top().active {
+				continue
+			}
+			path := parseIncludePath(rest)
+			if body, ok := pp.Headers[path]; ok {
+				expanded, err := pp.run(body, macros, depth+1)
+				if err != nil {
+					return "", err
+				}
+				out.WriteString(expanded)
+				out.WriteString("\n")
+			}
+			// Unresolvable includes are dropped (device-code isolation).
+		case "ifdef":
+			name := strings.TrimSpace(rest)
+			_, defined := macros[name]
+			cond := defined && top().active
+			stack = append(stack, condState{active: cond, taken: cond, parentActive: top().active})
+		case "ifndef":
+			name := strings.TrimSpace(rest)
+			_, defined := macros[name]
+			cond := !defined && top().active
+			stack = append(stack, condState{active: cond, taken: cond, parentActive: top().active})
+		case "if":
+			v := evalPPExpr(pp.expandMacros(replaceDefined(rest, macros), macros, 0), macros)
+			cond := v != 0 && top().active
+			stack = append(stack, condState{active: cond, taken: cond, parentActive: top().active})
+		case "elif":
+			if len(stack) < 2 {
+				return "", &PreprocessError{Line: lineNo + 1, Msg: "#elif without #if"}
+			}
+			s := top()
+			if s.taken {
+				s.active = false
+			} else {
+				v := evalPPExpr(pp.expandMacros(replaceDefined(rest, macros), macros, 0), macros)
+				s.active = v != 0 && s.parentActive
+				s.taken = s.active
+			}
+		case "else":
+			if len(stack) < 2 {
+				return "", &PreprocessError{Line: lineNo + 1, Msg: "#else without #if"}
+			}
+			s := top()
+			s.active = !s.taken && s.parentActive
+			s.taken = s.taken || s.active
+		case "endif":
+			if len(stack) < 2 {
+				return "", &PreprocessError{Line: lineNo + 1, Msg: "#endif without #if"}
+			}
+			stack = stack[:len(stack)-1]
+		case "pragma", "error", "warning", "line":
+			// Dropped. #error inside an inactive branch is common; inside an
+			// active branch the file would not have compiled anyway, and the
+			// rejection filter's compile step will catch the fallout.
+		default:
+			// Unknown directive: drop the line.
+		}
+	}
+	if len(stack) != 1 {
+		return "", &PreprocessError{Msg: "unterminated #if"}
+	}
+	return out.String(), nil
+}
+
+// StripComments removes // and /* */ comments, preserving newlines inside
+// block comments so diagnostics keep meaningful line numbers.
+func StripComments(src string) string {
+	var out strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i < len(src) {
+				if src[i] == '*' && i+1 < len(src) && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				if src[i] == '\n' {
+					out.WriteByte('\n')
+				}
+				i++
+			}
+			out.WriteByte(' ')
+		case c == '"':
+			out.WriteByte(c)
+			i++
+			for i < len(src) && src[i] != '"' && src[i] != '\n' {
+				if src[i] == '\\' && i+1 < len(src) {
+					out.WriteByte(src[i])
+					i++
+				}
+				out.WriteByte(src[i])
+				i++
+			}
+			if i < len(src) {
+				out.WriteByte(src[i])
+				i++
+			}
+		case c == '\'':
+			out.WriteByte(c)
+			i++
+			for i < len(src) && src[i] != '\'' && src[i] != '\n' {
+				if src[i] == '\\' && i+1 < len(src) {
+					out.WriteByte(src[i])
+					i++
+				}
+				out.WriteByte(src[i])
+				i++
+			}
+			if i < len(src) {
+				out.WriteByte(src[i])
+				i++
+			}
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}
+
+// splitLogicalLines splits src into lines, joining backslash continuations.
+func splitLogicalLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	var lines []string
+	for i := 0; i < len(raw); i++ {
+		line := raw[i]
+		for strings.HasSuffix(strings.TrimRight(line, " \t\r"), "\\") && i+1 < len(raw) {
+			line = strings.TrimRight(line, " \t\r")
+			line = line[:len(line)-1] + " " + raw[i+1]
+			i++
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+func splitDirective(line string) (string, string) {
+	line = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	for i := 0; i < len(line); i++ {
+		if !isLetter(line[i]) {
+			return line[:i], line[i:]
+		}
+	}
+	return line, ""
+}
+
+func parseIncludePath(rest string) string {
+	rest = strings.TrimSpace(rest)
+	if len(rest) >= 2 {
+		if rest[0] == '"' {
+			if j := strings.IndexByte(rest[1:], '"'); j >= 0 {
+				return rest[1 : 1+j]
+			}
+		}
+		if rest[0] == '<' {
+			if j := strings.IndexByte(rest, '>'); j > 0 {
+				return rest[1:j]
+			}
+		}
+	}
+	return rest
+}
+
+func defineMacro(rest string, macros map[string]*macro) error {
+	rest = strings.TrimLeft(rest, " \t")
+	i := 0
+	for i < len(rest) && isAlnum(rest[i]) {
+		i++
+	}
+	if i == 0 {
+		return fmt.Errorf("malformed #define")
+	}
+	name := rest[:i]
+	m := &macro{}
+	if i < len(rest) && rest[i] == '(' {
+		m.funcLike = true
+		j := strings.IndexByte(rest[i:], ')')
+		if j < 0 {
+			return fmt.Errorf("unterminated macro parameter list for %q", name)
+		}
+		paramStr := rest[i+1 : i+j]
+		for _, prm := range strings.Split(paramStr, ",") {
+			prm = strings.TrimSpace(prm)
+			if prm != "" {
+				m.params = append(m.params, prm)
+			}
+		}
+		m.body = strings.TrimSpace(rest[i+j+1:])
+	} else {
+		m.body = strings.TrimSpace(rest[i:])
+	}
+	macros[name] = m
+	return nil
+}
+
+const maxExpandDepth = 32
+
+// maxExpandedLine caps one logical line's growth during macro expansion,
+// defusing exponential self-referential macro chains.
+const maxExpandedLine = 1 << 16
+
+// expandMacros rewrites macro invocations in line.
+func (pp *Preprocessor) expandMacros(line string, macros map[string]*macro, depth int) string {
+	return pp.expand(line, macros, depth, map[string]bool{})
+}
+
+// expand implements expansion with a hide set: per C semantics, a macro
+// name is not re-expanded inside its own expansion.
+func (pp *Preprocessor) expand(line string, macros map[string]*macro, depth int, hidden map[string]bool) string {
+	if depth > maxExpandDepth || len(line) > maxExpandedLine {
+		return line
+	}
+	var out strings.Builder
+	i := 0
+	for i < len(line) {
+		if out.Len() > maxExpandedLine {
+			out.WriteString(line[i:])
+			return out.String()
+		}
+		c := line[i]
+		if c == '"' || c == '\'' {
+			// Skip string/char literals.
+			quote := c
+			out.WriteByte(c)
+			i++
+			for i < len(line) && line[i] != quote {
+				if line[i] == '\\' && i+1 < len(line) {
+					out.WriteByte(line[i])
+					i++
+				}
+				out.WriteByte(line[i])
+				i++
+			}
+			if i < len(line) {
+				out.WriteByte(line[i])
+				i++
+			}
+			continue
+		}
+		if !isLetter(c) {
+			out.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && isAlnum(line[j]) {
+			j++
+		}
+		word := line[i:j]
+		m, ok := macros[word]
+		if !ok || hidden[word] {
+			out.WriteString(word)
+			i = j
+			continue
+		}
+		if !m.funcLike {
+			hidden[word] = true
+			out.WriteString(pp.expand(m.body, macros, depth+1, hidden))
+			delete(hidden, word)
+			i = j
+			continue
+		}
+		// Function-like: needs '(' to trigger.
+		k := j
+		for k < len(line) && (line[k] == ' ' || line[k] == '\t') {
+			k++
+		}
+		if k >= len(line) || line[k] != '(' {
+			out.WriteString(word)
+			i = j
+			continue
+		}
+		args, end, ok := scanMacroArgs(line, k)
+		if !ok {
+			out.WriteString(word)
+			i = j
+			continue
+		}
+		body := substituteParams(m.body, m.params, args)
+		hidden[word] = true
+		out.WriteString(pp.expand(body, macros, depth+1, hidden))
+		delete(hidden, word)
+		i = end
+	}
+	return out.String()
+}
+
+// scanMacroArgs parses a parenthesized, comma-separated argument list
+// starting at the '(' at position k. It returns the arguments, the index
+// just past the closing ')', and success.
+func scanMacroArgs(line string, k int) ([]string, int, bool) {
+	if line[k] != '(' {
+		return nil, 0, false
+	}
+	var args []string
+	depth := 0
+	start := k + 1
+	i := k
+	for ; i < len(line); i++ {
+		switch line[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(line[start:i]))
+				return args, i + 1, true
+			}
+		case ',':
+			if depth == 1 {
+				args = append(args, strings.TrimSpace(line[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// substituteParams replaces macro parameter names with argument text at
+// identifier boundaries.
+func substituteParams(body string, params, args []string) string {
+	if len(params) == 0 {
+		return body
+	}
+	argOf := map[string]string{}
+	for i, prm := range params {
+		if i < len(args) {
+			argOf[prm] = args[i]
+		} else {
+			argOf[prm] = ""
+		}
+	}
+	var out strings.Builder
+	i := 0
+	for i < len(body) {
+		if !isLetter(body[i]) {
+			out.WriteByte(body[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(body) && isAlnum(body[j]) {
+			j++
+		}
+		word := body[i:j]
+		if a, ok := argOf[word]; ok {
+			out.WriteString(a)
+		} else {
+			out.WriteString(word)
+		}
+		i = j
+	}
+	return out.String()
+}
+
+// evalPPExpr evaluates a preprocessor #if expression after macro expansion.
+// defined(X) / defined X are handled; unknown identifiers evaluate to 0.
+func evalPPExpr(expr string, macros map[string]*macro) int64 {
+	// Replace defined(NAME) and defined NAME before lexing.
+	expr = replaceDefined(expr, macros)
+	toks, err := NewLexer(expr).Tokenize()
+	if err != nil || len(toks) == 0 {
+		return 0
+	}
+	p := &ppExprParser{toks: toks, macros: macros}
+	v := p.parseTernary()
+	return v
+}
+
+func replaceDefined(expr string, macros map[string]*macro) string {
+	var out strings.Builder
+	i := 0
+	for i < len(expr) {
+		if isLetter(expr[i]) {
+			j := i
+			for j < len(expr) && isAlnum(expr[j]) {
+				j++
+			}
+			word := expr[i:j]
+			if word == "defined" {
+				k := j
+				for k < len(expr) && (expr[k] == ' ' || expr[k] == '\t') {
+					k++
+				}
+				var name string
+				if k < len(expr) && expr[k] == '(' {
+					e := strings.IndexByte(expr[k:], ')')
+					if e > 0 {
+						name = strings.TrimSpace(expr[k+1 : k+e])
+						k += e + 1
+					}
+				} else {
+					s := k
+					for k < len(expr) && isAlnum(expr[k]) {
+						k++
+					}
+					name = expr[s:k]
+				}
+				if _, ok := macros[name]; ok {
+					out.WriteString("1")
+				} else {
+					out.WriteString("0")
+				}
+				i = k
+				continue
+			}
+			out.WriteString(word)
+			i = j
+			continue
+		}
+		out.WriteByte(expr[i])
+		i++
+	}
+	return out.String()
+}
+
+// ppExprParser is a tiny precedence-climbing parser over preprocessor
+// constant expressions.
+type ppExprParser struct {
+	toks   []Token
+	pos    int
+	macros map[string]*macro
+}
+
+func (p *ppExprParser) cur() Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return Token{Kind: EOF}
+}
+
+func (p *ppExprParser) parseTernary() int64 {
+	c := p.parseBinary(1)
+	if p.cur().Kind == QUESTION {
+		p.pos++
+		a := p.parseTernary()
+		if p.cur().Kind == COLON {
+			p.pos++
+		}
+		b := p.parseTernary()
+		if c != 0 {
+			return a
+		}
+		return b
+	}
+	return c
+}
+
+func (p *ppExprParser) parseBinary(minPrec int) int64 {
+	x := p.parseUnary()
+	for {
+		k := p.cur().Kind
+		prec := binaryPrec(k)
+		if prec == 0 || prec < minPrec {
+			return x
+		}
+		p.pos++
+		y := p.parseBinary(prec + 1)
+		x = applyIntOp(k, x, y)
+	}
+}
+
+func (p *ppExprParser) parseUnary() int64 {
+	t := p.cur()
+	switch t.Kind {
+	case SUB:
+		p.pos++
+		return -p.parseUnary()
+	case ADD:
+		p.pos++
+		return p.parseUnary()
+	case NOT:
+		p.pos++
+		if p.parseUnary() == 0 {
+			return 1
+		}
+		return 0
+	case BNOT:
+		p.pos++
+		return ^p.parseUnary()
+	case LPAREN:
+		p.pos++
+		v := p.parseTernary()
+		if p.cur().Kind == RPAREN {
+			p.pos++
+		}
+		return v
+	case INTLIT:
+		p.pos++
+		v, err := parseIntText(t.Text)
+		if err != nil {
+			return 0
+		}
+		return v
+	case CHARLIT:
+		p.pos++
+		return charValue(t.Text)
+	case IDENT, KEYWORD:
+		p.pos++
+		// Remaining identifiers are undefined macros: 0. Swallow a call-like
+		// suffix so FOO(x) evaluates to 0 rather than desynchronizing.
+		if p.cur().Kind == LPAREN {
+			depth := 0
+			for p.pos < len(p.toks) {
+				switch p.cur().Kind {
+				case LPAREN:
+					depth++
+				case RPAREN:
+					depth--
+				}
+				p.pos++
+				if depth == 0 {
+					break
+				}
+			}
+		}
+		return 0
+	}
+	p.pos++
+	return 0
+}
+
+func applyIntOp(k TokenKind, a, b int64) int64 {
+	switch k {
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case MUL:
+		return a * b
+	case DIV:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case REM:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case SHL:
+		if b < 0 || b > 63 {
+			return 0
+		}
+		return a << uint(b)
+	case SHR:
+		if b < 0 || b > 63 {
+			return 0
+		}
+		return a >> uint(b)
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case LAND:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	case LOR:
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	case EQ:
+		return boolInt(a == b)
+	case NEQ:
+		return boolInt(a != b)
+	case LT:
+		return boolInt(a < b)
+	case GT:
+		return boolInt(a > b)
+	case LEQ:
+		return boolInt(a <= b)
+	case GEQ:
+		return boolInt(a >= b)
+	}
+	return 0
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,253 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPreprocessObjectMacro(t *testing.T) {
+	src := "#define DTYPE float\nDTYPE x;\n"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "float x;") {
+		t.Errorf("output %q", out)
+	}
+	if strings.Contains(out, "DTYPE") {
+		t.Errorf("macro not expanded: %q", out)
+	}
+}
+
+func TestPreprocessFunctionMacro(t *testing.T) {
+	// The example from Figure 5a of the paper.
+	src := `#define ALPHA(a) 3.5f * a
+float y = ALPHA(x);
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3.5f * x") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessNestedMacros(t *testing.T) {
+	src := `#define A 1
+#define B (A + 1)
+#define C(x) (B * x)
+int v = C(3);
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "((1 + 1) * 3)") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessConditionals(t *testing.T) {
+	src := `#define FEATURE 1
+#if FEATURE
+int yes;
+#else
+int no;
+#endif
+#ifdef MISSING
+int missing;
+#endif
+#ifndef MISSING
+int notmissing;
+#endif
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"int yes;", "int notmissing;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	for _, bad := range []string{"int no;", "int missing;"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("unexpected %q in %q", bad, out)
+		}
+	}
+}
+
+func TestPreprocessElif(t *testing.T) {
+	src := `#define V 2
+#if V == 1
+int one;
+#elif V == 2
+int two;
+#else
+int other;
+#endif
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int two;") || strings.Contains(out, "int one;") || strings.Contains(out, "int other;") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessDefined(t *testing.T) {
+	src := `#define X 1
+#if defined(X) && !defined(Y)
+int ok;
+#endif
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int ok;") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessInclude(t *testing.T) {
+	pp := &Preprocessor{Headers: map[string]string{
+		"clc/clc.h": "typedef float FLOAT_T;\n",
+	}}
+	src := "#include <clc/clc.h>\n#include \"unknown.h\"\nFLOAT_T x;\n"
+	out, err := pp.Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "typedef float FLOAT_T;") {
+		t.Errorf("include not expanded: %q", out)
+	}
+	if strings.Contains(out, "unknown") {
+		t.Errorf("unresolved include not dropped: %q", out)
+	}
+}
+
+func TestPreprocessUndef(t *testing.T) {
+	src := "#define A 1\n#undef A\n#ifdef A\nint a;\n#endif\n"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "int a;") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessCommentRemoval(t *testing.T) {
+	src := "int a; // trailing\n/* block */ int b;\nint /* inline */ c;\n"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "//") || strings.Contains(out, "/*") {
+		t.Errorf("comments left: %q", out)
+	}
+	for _, want := range []string{"int a;", "int b;", "int", "c;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestStripCommentsPreservesStrings(t *testing.T) {
+	src := `char* s = "not // a comment";`
+	out := StripComments(src)
+	if !strings.Contains(out, "not // a comment") {
+		t.Errorf("string literal damaged: %q", out)
+	}
+}
+
+func TestPreprocessLineContinuation(t *testing.T) {
+	src := "#define LONG_MACRO(a) \\\n  (a + 1)\nint v = LONG_MACRO(2);\n"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(2 + 1)") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessPragmaDropped(t *testing.T) {
+	src := "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint a;\n"
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "pragma") {
+		t.Errorf("pragma kept: %q", out)
+	}
+}
+
+func TestPreprocessUnterminatedIf(t *testing.T) {
+	if _, err := Preprocess("#if 1\nint a;\n"); err == nil {
+		t.Error("expected unterminated #if error")
+	}
+	if _, err := Preprocess("#endif\n"); err == nil {
+		t.Error("expected dangling #endif error")
+	}
+}
+
+func TestPreprocessPredefines(t *testing.T) {
+	pp := &Preprocessor{Defines: map[string]string{"WG_SIZE": "128"}}
+	out, err := pp.Preprocess("int n = WG_SIZE;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int n = 128;") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessMacroArgsWithCommasInParens(t *testing.T) {
+	src := `#define APPLY(f, x) f(x)
+#define PAIR(a, b) (a + b)
+int v = APPLY(G, PAIR(1, 2));
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "G((1 + 2))") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestPreprocessThenParse(t *testing.T) {
+	// Figure 5a of the paper, end to end through preprocess + parse + check.
+	src := `#define DTYPE float
+#define ALPHA(a) 3.5f * a
+inline DTYPE ax(DTYPE x) { return ALPHA(x); }
+
+__kernel void saxpy(/* SAXPY kernel */
+    __global DTYPE* input1,
+    __global DTYPE* input2,
+    const int nelem)
+{
+  unsigned int idx = get_global_id(0);
+  // = ax + y
+  if (idx < nelem) {
+    input2[idx] += ax(input1[idx]); }}
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(out)
+	if err != nil {
+		t.Fatalf("parse after preprocess: %v\n%s", err, out)
+	}
+	if err := Check(f); err != nil {
+		t.Fatalf("check after preprocess: %v", err)
+	}
+	if len(f.Kernels()) != 1 || f.Kernels()[0].Name != "saxpy" {
+		t.Errorf("kernels: %+v", f.Kernels())
+	}
+}

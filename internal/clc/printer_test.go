@@ -1,0 +1,186 @@
+package clc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	// no extra imports
+)
+
+// reprint parses, prints, re-parses, and re-prints; the two prints must be
+// byte-identical (printer fixpoint), and both parses semantically valid.
+func reprint(t *testing.T, src string) string {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if err := Check(f); err != nil {
+		t.Fatalf("check: %v\n%s", err, src)
+	}
+	once := PrintFile(f)
+	f2, err := Parse(once)
+	if err != nil {
+		t.Fatalf("re-parse: %v\nprinted:\n%s", err, once)
+	}
+	if err := Check(f2); err != nil {
+		t.Fatalf("re-check: %v\nprinted:\n%s", err, once)
+	}
+	twice := PrintFile(f2)
+	if once != twice {
+		t.Fatalf("printer not a fixpoint:\nonce:\n%s\ntwice:\n%s", once, twice)
+	}
+	return once
+}
+
+func TestPrinterFixpointOnConstructs(t *testing.T) {
+	cases := []string{
+		saxpySrc,
+		`__kernel void A(__global float4* a) {
+  float4 v = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+  a[get_global_id(0)] = v.wzyx * 2.0f;
+}`,
+		`int F(int a) {
+  int s = 0;
+  for (int i = 0; i < a; i++) {
+    if (i % 3 == 0) {
+      continue;
+    } else {
+      s += i;
+    }
+  }
+  while (s > 100) {
+    s -= 7;
+  }
+  do {
+    s++;
+  } while (s < 10);
+  switch (s) {
+  case 1:
+    return 1;
+  default:
+    break;
+  }
+  return s;
+}`,
+		`__constant int lut[4] = {1, 2, 3, 4};
+__kernel void A(__global int* out) {
+  out[get_global_id(0)] = lut[get_global_id(0) % 4];
+}`,
+		`void F(__global int* p) {
+  *p = 1;
+  *(p + 2) = 3;
+  int x = -p[0] + ~p[1] + !p[2];
+  x = x > 0 ? x : -x;
+}`,
+		`float G(float x, float y) {
+  return x > y ? x - y : y - x;
+}
+__kernel void A(__global float* a, const float t) {
+  int i = get_global_id(0);
+  a[i] = G(a[i], t) + sizeof(float);
+}`,
+	}
+	for i, src := range cases {
+		out := reprint(t, src)
+		if len(out) == 0 {
+			t.Errorf("case %d: empty output", i)
+		}
+	}
+}
+
+func TestPrinterOperatorPrecedence(t *testing.T) {
+	// Behavior preservation under printing: precedence must survive.
+	src := `void F(__global int* out, int a, int b, int c) {
+  out[0] = a + b * c;
+  out[1] = (a + b) * c;
+  out[2] = a << 2 + b;
+  out[3] = (a << 2) + b;
+  out[4] = a & b | c;
+  out[5] = a & (b | c);
+  out[6] = -(a + b);
+  out[7] = a - (b - c);
+}`
+	printed := reprint(t, src)
+	// (a + b) * c must keep its parens; a + b * c must not gain any.
+	if !strings.Contains(printed, "(a + b) * c") {
+		t.Errorf("lost required parens:\n%s", printed)
+	}
+	if !strings.Contains(printed, "= a + b * c") {
+		t.Errorf("gained spurious parens:\n%s", printed)
+	}
+	if !strings.Contains(printed, "a & (b | c)") {
+		t.Errorf("bitwise grouping lost:\n%s", printed)
+	}
+	if !strings.Contains(printed, "a - (b - c)") {
+		t.Errorf("subtraction associativity lost:\n%s", printed)
+	}
+}
+
+func TestPrinterElseIfChain(t *testing.T) {
+	src := `void F(int a, __global int* o) {
+  if (a > 2) {
+    o[0] = 1;
+  } else if (a > 1) {
+    o[0] = 2;
+  } else {
+    o[0] = 3;
+  }
+}`
+	printed := reprint(t, src)
+	if !strings.Contains(printed, "} else if (a > 1) {") {
+		t.Errorf("else-if not rendered inline:\n%s", printed)
+	}
+}
+
+// TestPrinterFixpointOnGeneratedFiles fuzzes the printer against the
+// github generator's whole output space.
+func TestPrinterFixpointOnGeneratedFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		raw := genFileForPrinterTest(rng)
+		expanded, err := Preprocess(raw)
+		if err != nil {
+			continue
+		}
+		f, err := Parse(expanded)
+		if err != nil || Check(f) != nil {
+			continue
+		}
+		once := PrintFile(f)
+		f2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, once)
+		}
+		if err := Check(f2); err != nil {
+			t.Fatalf("re-check failed: %v\n%s", err, once)
+		}
+		if twice := PrintFile(f2); twice != once {
+			t.Fatalf("not a fixpoint:\n%s\nvs\n%s", once, twice)
+		}
+	}
+}
+
+// genFileForPrinterTest produces a small random but valid-ish kernel file
+// without importing internal/github (cycle-free).
+func genFileForPrinterTest(rng *rand.Rand) string {
+	ops := []string{"+", "-", "*"}
+	fns := []string{"sqrt", "fabs", "exp"}
+	var b strings.Builder
+	b.WriteString("__kernel void K(__global float* in, __global float* out, const int n) {\n")
+	b.WriteString("  int i = get_global_id(0);\n")
+	b.WriteString("  if (i < n) {\n")
+	expr := "in[i]"
+	for d := 0; d < rng.Intn(4); d++ {
+		switch rng.Intn(3) {
+		case 0:
+			expr = "(" + expr + " " + ops[rng.Intn(len(ops))] + " 2.0f)"
+		case 1:
+			expr = fns[rng.Intn(len(fns))] + "(" + expr + ")"
+		default:
+			expr = expr + " " + ops[rng.Intn(len(ops))] + " in[(i + 1) % n]"
+		}
+	}
+	b.WriteString("    out[i] = " + expr + ";\n  }\n}\n")
+	return b.String()
+}

@@ -1,0 +1,777 @@
+package clc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// SemaError is a semantic (type or name resolution) error.
+type SemaError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SemaError) Error() string { return fmt.Sprintf("%s: error: %s", e.Pos, e.Msg) }
+
+// predeclared names every translation unit sees. OpenCL defines the fence
+// flags as enums and the numeric limits as macros in its headers; this
+// frontend predeclares both so un-preprocessed kernels (e.g. model samples)
+// resolve them.
+var predeclaredConsts = map[string]Type{
+	"CLK_LOCAL_MEM_FENCE":  TypeUInt,
+	"CLK_GLOBAL_MEM_FENCE": TypeUInt,
+	"CLK_IMAGE_MEM_FENCE":  TypeUInt,
+	"FLT_MAX":              TypeFloat,
+	"FLT_MIN":              TypeFloat,
+	"FLT_EPSILON":          TypeFloat,
+	"DBL_MAX":              TypeDouble,
+	"DBL_MIN":              TypeDouble,
+	"DBL_EPSILON":          TypeDouble,
+	"INT_MAX":              TypeInt,
+	"INT_MIN":              TypeInt,
+	"UINT_MAX":             TypeUInt,
+	"LONG_MAX":             TypeLong,
+	"LONG_MIN":             TypeLong,
+	"ULONG_MAX":            TypeULong,
+	"CHAR_MAX":             TypeChar,
+	"CHAR_MIN":             TypeChar,
+	"SHRT_MAX":             TypeShort,
+	"SHRT_MIN":             TypeShort,
+	"MAXFLOAT":             TypeFloat,
+	"HUGE_VALF":            TypeFloat,
+	"HUGE_VAL":             TypeDouble,
+	"INFINITY":             TypeFloat,
+	"NAN":                  TypeFloat,
+	"M_PI":                 TypeDouble,
+	"M_PI_2":               TypeDouble,
+	"M_PI_4":               TypeDouble,
+	"M_E":                  TypeDouble,
+	"M_LN2":                TypeDouble,
+	"M_LN10":               TypeDouble,
+	"M_SQRT2":              TypeDouble,
+	"M_PI_F":               TypeFloat,
+	"M_E_F":                TypeFloat,
+	"true":                 TypeBool,
+	"false":                TypeBool,
+	"NULL":                 &PointerType{Elem: TypeVoid, Space: Private},
+}
+
+// PredeclaredValue returns the numeric value of a predeclared constant for
+// the interpreter (boolean constants map to 0/1).
+func PredeclaredValue(name string) (float64, bool) {
+	switch name {
+	case "CLK_LOCAL_MEM_FENCE":
+		return 1, true
+	case "CLK_GLOBAL_MEM_FENCE":
+		return 2, true
+	case "CLK_IMAGE_MEM_FENCE":
+		return 4, true
+	case "FLT_MAX", "MAXFLOAT", "HUGE_VALF":
+		return 3.402823466e38, true
+	case "FLT_MIN":
+		return 1.175494351e-38, true
+	case "FLT_EPSILON":
+		return 1.192092896e-7, true
+	case "DBL_MAX", "HUGE_VAL":
+		return 1.7976931348623158e308, true
+	case "DBL_MIN":
+		return 2.2250738585072014e-308, true
+	case "DBL_EPSILON":
+		return 2.220446049250313e-16, true
+	case "INT_MAX":
+		return 2147483647, true
+	case "INT_MIN":
+		return -2147483648, true
+	case "UINT_MAX":
+		return 4294967295, true
+	case "LONG_MAX":
+		return 9.223372036854776e18, true
+	case "LONG_MIN":
+		return -9.223372036854776e18, true
+	case "ULONG_MAX":
+		return 1.8446744073709552e19, true
+	case "CHAR_MAX":
+		return 127, true
+	case "CHAR_MIN":
+		return -128, true
+	case "SHRT_MAX":
+		return 32767, true
+	case "SHRT_MIN":
+		return -32768, true
+	case "M_PI":
+		return 3.141592653589793, true
+	case "M_PI_2":
+		return 1.5707963267948966, true
+	case "M_PI_4":
+		return 0.7853981633974483, true
+	case "M_E":
+		return 2.718281828459045, true
+	case "M_LN2":
+		return 0.6931471805599453, true
+	case "M_LN10":
+		return 2.302585092994046, true
+	case "M_SQRT2":
+		return 1.4142135623730951, true
+	case "M_PI_F":
+		return 3.1415927, true
+	case "M_E_F":
+		return 2.7182817, true
+	case "true":
+		return 1, true
+	case "false", "NULL":
+		return 0, true
+	case "INFINITY":
+		return 3.402823466e38, true // saturate rather than propagate Inf
+	case "NAN":
+		return 0, true
+	}
+	return 0, false
+}
+
+// scope is a lexical scope for name resolution.
+type scope struct {
+	parent *scope
+	vars   map[string]Type
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[string]Type{}}
+}
+
+func (s *scope) lookup(name string) (Type, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.vars[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) declare(name string, t Type) { s.vars[name] = t }
+
+// checker performs semantic analysis of one file.
+type checker struct {
+	file  *File
+	funcs map[string]*FuncDecl
+	errs  []error
+
+	// current function
+	fn *FuncDecl
+}
+
+const maxSemaErrors = 25
+
+// Check performs name resolution and type checking on a parsed file,
+// annotating expressions with their types. It returns a joined error
+// listing every problem found (capped), or nil if the file is valid.
+func Check(f *File) error {
+	c := &checker{file: f, funcs: map[string]*FuncDecl{}}
+	fileScope := newScope(nil)
+	for name, t := range predeclaredConsts {
+		fileScope.declare(name, t)
+	}
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *FuncDecl:
+			c.funcs[x.Name] = x
+		case *VarDecl:
+			fileScope.declare(x.Name, x.Type)
+			if x.Init != nil {
+				c.checkExpr(x.Init, fileScope)
+			}
+		}
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		c.fn = fd
+		if fd.IsKernel {
+			c.checkKernelSignature(fd)
+		}
+		fnScope := newScope(fileScope)
+		for _, p := range fd.Params {
+			if p.Name == "" {
+				c.errorf(p.Pos, "unnamed parameter in function %q definition", fd.Name)
+				continue
+			}
+			fnScope.declare(p.Name, p.Type)
+		}
+		c.checkBlock(fd.Body, fnScope)
+		if len(c.errs) >= maxSemaErrors {
+			break
+		}
+	}
+	if len(c.errs) > 0 {
+		return errors.Join(c.errs...)
+	}
+	return nil
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	if len(c.errs) < maxSemaErrors {
+		c.errs = append(c.errs, &SemaError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *checker) checkKernelSignature(fd *FuncDecl) {
+	if _, ok := fd.Ret.(*ScalarType); !ok || fd.Ret.(*ScalarType).Kind != Void {
+		c.errorf(fd.Pos, "kernel %q must return void", fd.Name)
+	}
+	for _, p := range fd.Params {
+		switch t := p.Type.(type) {
+		case *PointerType:
+			if t.Space == Private {
+				c.errorf(p.Pos, "kernel parameter %q: pointer must be __global, __local, or __constant", p.Name)
+			}
+		case *ScalarType, *VectorType:
+			// values are fine
+		case *StructType:
+			// accepted by the frontend; the host driver rejects irregular
+			// inputs (§6.2), not the compiler.
+		default:
+			c.errorf(p.Pos, "kernel parameter %q has unsupported type %s", p.Name, p.Type)
+		}
+	}
+}
+
+func (c *checker) checkBlock(b *BlockStmt, sc *scope) {
+	inner := newScope(sc)
+	for _, s := range b.Stmts {
+		c.checkStmt(s, inner)
+	}
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) {
+	switch x := s.(type) {
+	case *BlockStmt:
+		c.checkBlock(x, sc)
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init != nil {
+				c.checkInitializer(d.Init, d.Type, sc)
+			}
+			sc.declare(d.Name, d.Type)
+		}
+	case *ExprStmt:
+		c.checkExpr(x.X, sc)
+	case *EmptyStmt:
+	case *IfStmt:
+		c.checkCond(x.Cond, sc)
+		c.checkStmt(x.Then, newScope(sc))
+		if x.Else != nil {
+			c.checkStmt(x.Else, newScope(sc))
+		}
+	case *ForStmt:
+		loop := newScope(sc)
+		if x.Init != nil {
+			c.checkStmt(x.Init, loop)
+		}
+		if x.Cond != nil {
+			c.checkCond(x.Cond, loop)
+		}
+		if x.Post != nil {
+			c.checkExpr(x.Post, loop)
+		}
+		c.checkStmt(x.Body, newScope(loop))
+	case *WhileStmt:
+		c.checkCond(x.Cond, sc)
+		c.checkStmt(x.Body, newScope(sc))
+	case *DoWhileStmt:
+		c.checkStmt(x.Body, newScope(sc))
+		c.checkCond(x.Cond, sc)
+	case *ReturnStmt:
+		if x.X != nil {
+			t := c.checkExpr(x.X, sc)
+			if c.fn != nil && isVoid(c.fn.Ret) && t != nil && !isVoid(t) {
+				c.errorf(x.Pos, "returning a value from void function %q", c.fn.Name)
+			}
+		} else if c.fn != nil && !isVoid(c.fn.Ret) {
+			c.errorf(x.Pos, "missing return value in function %q", c.fn.Name)
+		}
+	case *BreakStmt, *ContinueStmt:
+	case *SwitchStmt:
+		t := c.checkExpr(x.Tag, sc)
+		if t != nil && !IsScalarInteger(t) {
+			c.errorf(x.Pos, "switch expression must have integer type, got %s", t)
+		}
+		for _, cc := range x.Cases {
+			if cc.Value != nil {
+				c.checkExpr(cc.Value, sc)
+			}
+			caseScope := newScope(sc)
+			for _, st := range cc.Body {
+				c.checkStmt(st, caseScope)
+			}
+		}
+	}
+}
+
+func (c *checker) checkCond(e Expr, sc *scope) {
+	t := c.checkExpr(e, sc)
+	if t == nil {
+		return
+	}
+	switch t.(type) {
+	case *ScalarType, *VectorType, *PointerType:
+	default:
+		c.errorf(e.NodePos(), "condition has non-scalar type %s", t)
+	}
+}
+
+func (c *checker) checkInitializer(e Expr, declared Type, sc *scope) {
+	if il, ok := e.(*InitList); ok {
+		setType(il, declared)
+		for _, el := range il.Elems {
+			c.checkInitializer(el, ElemType(declared), sc)
+		}
+		return
+	}
+	c.checkExpr(e, sc)
+}
+
+func isVoid(t Type) bool {
+	s, ok := t.(*ScalarType)
+	return ok && s.Kind == Void
+}
+
+// typeSetter is implemented by all expression nodes via exprBase.
+type typeSetter interface{ SetType(Type) }
+
+func setType(e Expr, t Type) {
+	if ts, ok := e.(typeSetter); ok {
+		ts.SetType(t)
+	}
+}
+
+// checkExpr resolves and types an expression, returning its type or nil
+// after reporting an error.
+func (c *checker) checkExpr(e Expr, sc *scope) Type {
+	t := c.exprType(e, sc)
+	if t != nil {
+		setType(e, t)
+	}
+	return t
+}
+
+func (c *checker) exprType(e Expr, sc *scope) Type {
+	switch x := e.(type) {
+	case *Ident:
+		if t, ok := sc.lookup(x.Name); ok {
+			return t
+		}
+		c.errorf(x.Pos, "use of undeclared identifier %q", x.Name)
+		return nil
+	case *IntLit:
+		if x.Value > 1<<31-1 || strings.ContainsAny(x.Text, "lL") {
+			if strings.ContainsAny(x.Text, "uU") {
+				return TypeULong
+			}
+			return TypeLong
+		}
+		if strings.ContainsAny(x.Text, "uU") {
+			return TypeUInt
+		}
+		return TypeInt
+	case *FloatLit:
+		if strings.ContainsAny(x.Text, "fF") {
+			return TypeFloat
+		}
+		return TypeDouble
+	case *CharLit:
+		return TypeChar
+	case *StringLit:
+		return &PointerType{Elem: TypeChar, Space: Constant}
+	case *BinaryExpr:
+		return c.binaryType(x, sc)
+	case *AssignExpr:
+		lt := c.checkExpr(x.X, sc)
+		c.checkExpr(x.Y, sc)
+		if !isLvalue(x.X) {
+			c.errorf(x.Pos, "assignment target is not an lvalue")
+		}
+		return lt
+	case *UnaryExpr:
+		return c.unaryType(x, sc)
+	case *PostfixExpr:
+		t := c.checkExpr(x.X, sc)
+		if !isLvalue(x.X) {
+			c.errorf(x.Pos, "operand of %s is not an lvalue", x.Op)
+		}
+		return t
+	case *CondExpr:
+		c.checkCond(x.Cond, sc)
+		a := c.checkExpr(x.A, sc)
+		b := c.checkExpr(x.B, sc)
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		if IsArithmetic(a) && IsArithmetic(b) {
+			return Promote(a, b)
+		}
+		return a
+	case *CallExpr:
+		return c.callType(x, sc)
+	case *IndexExpr:
+		base := c.checkExpr(x.X, sc)
+		it := c.checkExpr(x.Index, sc)
+		if it != nil && !IsScalarInteger(it) {
+			if _, isVec := it.(*VectorType); !isVec {
+				c.errorf(x.Index.NodePos(), "array index must have integer type, got %s", it)
+			}
+		}
+		switch t := base.(type) {
+		case *PointerType:
+			return t.Elem
+		case *ArrayType:
+			return t.Elem
+		case *VectorType:
+			return &ScalarType{t.Elem}
+		case nil:
+			return nil
+		default:
+			c.errorf(x.Pos, "cannot index value of type %s", base)
+			return nil
+		}
+	case *MemberExpr:
+		return c.memberType(x, sc)
+	case *CastExpr:
+		if pack, ok := x.X.(*ArgPack); ok {
+			vt, isVec := x.To.(*VectorType)
+			if !isVec {
+				c.errorf(x.Pos, "argument pack requires a vector destination type")
+				return x.To
+			}
+			n := 0
+			for _, a := range pack.Args {
+				at := c.checkExpr(a, sc)
+				if av, ok := at.(*VectorType); ok {
+					n += av.Len
+				} else {
+					n++
+				}
+			}
+			if n != 1 && n != vt.Len {
+				c.errorf(x.Pos, "vector literal of %s has %d components, want 1 or %d", vt, n, vt.Len)
+			}
+			setType(pack, vt)
+			return vt
+		}
+		c.checkExpr(x.X, sc)
+		return x.To
+	case *ArgPack:
+		for _, a := range x.Args {
+			c.checkExpr(a, sc)
+		}
+		return nil
+	case *InitList:
+		for _, el := range x.Elems {
+			c.checkExpr(el, sc)
+		}
+		return x.ExprType()
+	case *SizeofExpr:
+		if x.X != nil {
+			c.checkExpr(x.X, sc)
+		}
+		return TypeULong
+	}
+	return nil
+}
+
+func (c *checker) binaryType(x *BinaryExpr, sc *scope) Type {
+	a := c.checkExpr(x.X, sc)
+	b := c.checkExpr(x.Y, sc)
+	if a == nil || b == nil {
+		if a != nil {
+			return a
+		}
+		return b
+	}
+	switch x.Op {
+	case LAND, LOR, EQ, NEQ, LT, GT, LEQ, GEQ:
+		// Pointer comparisons require pointer (or null-integer) operands on
+		// both sides; mixing a pointer with an arithmetic value is the C
+		// type error "comparison between pointer and integer".
+		_, ap := a.(*PointerType)
+		_, bp := b.(*PointerType)
+		if ap != bp && x.Op != LAND && x.Op != LOR {
+			if !(x.Op == EQ || x.Op == NEQ) || !isNullConstant(x.X) && !isNullConstant(x.Y) {
+				c.errorf(x.Pos, "comparison between pointer and integer (%s %s %s)", a, x.Op, b)
+			}
+		}
+		// Relational ops on vectors yield integer vectors in OpenCL.
+		if av, ok := a.(*VectorType); ok {
+			return &VectorType{Elem: Int, Len: av.Len}
+		}
+		if bv, ok := b.(*VectorType); ok {
+			return &VectorType{Elem: Int, Len: bv.Len}
+		}
+		return TypeInt
+	case COMMA:
+		return b
+	case ADD, SUB:
+		// Pointer arithmetic.
+		if pt, ok := a.(*PointerType); ok {
+			if _, ok := b.(*PointerType); ok && x.Op == SUB {
+				return TypeLong
+			}
+			return pt
+		}
+		if pt, ok := b.(*PointerType); ok && x.Op == ADD {
+			return pt
+		}
+	case REM, AND, OR, XOR, SHL, SHR:
+		if sa, ok := a.(*ScalarType); ok && sa.Kind.IsFloat() {
+			c.errorf(x.Pos, "invalid operand type %s for integer operator %s", a, x.Op)
+		}
+	}
+	if !IsArithmetic(a) || !IsArithmetic(b) {
+		c.errorf(x.Pos, "invalid operands to %s: %s and %s", x.Op, a, b)
+		if IsArithmetic(a) {
+			return a
+		}
+		return b
+	}
+	return Promote(a, b)
+}
+
+func (c *checker) unaryType(x *UnaryExpr, sc *scope) Type {
+	t := c.checkExpr(x.X, sc)
+	if t == nil {
+		return nil
+	}
+	switch x.Op {
+	case MUL: // dereference
+		pt, ok := t.(*PointerType)
+		if !ok {
+			c.errorf(x.Pos, "cannot dereference non-pointer type %s", t)
+			return nil
+		}
+		return pt.Elem
+	case AND: // address-of
+		if !isLvalue(x.X) {
+			c.errorf(x.Pos, "cannot take address of rvalue")
+		}
+		return &PointerType{Elem: t, Space: addrSpaceOfExpr(x.X, t)}
+	case NOT:
+		return TypeInt
+	case INC, DEC:
+		if !isLvalue(x.X) {
+			c.errorf(x.Pos, "operand of %s is not an lvalue", x.Op)
+		}
+		return t
+	case SUB, ADD, BNOT:
+		if !IsArithmetic(t) {
+			c.errorf(x.Pos, "invalid operand type %s for unary %s", t, x.Op)
+		}
+		return t
+	}
+	return t
+}
+
+// addrSpaceOfExpr infers the address space for &expr results.
+func addrSpaceOfExpr(e Expr, t Type) AddrSpace {
+	if ix, ok := e.(*IndexExpr); ok {
+		if pt, ok := ix.X.ExprType().(*PointerType); ok {
+			return pt.Space
+		}
+	}
+	return Private
+}
+
+func (c *checker) callType(x *CallExpr, sc *scope) Type {
+	var argTypes []Type
+	for _, a := range x.Args {
+		argTypes = append(argTypes, c.checkExpr(a, sc))
+	}
+	if fd, ok := c.funcs[x.Fun]; ok {
+		if len(x.Args) != len(fd.Params) {
+			c.errorf(x.Pos, "call of %q with %d arguments, want %d", x.Fun, len(x.Args), len(fd.Params))
+		}
+		return fd.Ret
+	}
+	if b := LookupBuiltin(x.Fun); b != nil {
+		if len(x.Args) < b.MinArgs || len(x.Args) > b.MaxArgs {
+			if b.MinArgs == b.MaxArgs {
+				c.errorf(x.Pos, "builtin %q takes %d argument(s), got %d", x.Fun, b.MinArgs, len(x.Args))
+			} else {
+				c.errorf(x.Pos, "builtin %q takes %d-%d arguments, got %d", x.Fun, b.MinArgs, b.MaxArgs, len(x.Args))
+			}
+			return nil
+		}
+		for _, at := range argTypes {
+			if at == nil {
+				return nil
+			}
+		}
+		rt, err := BuiltinResultType(b, argTypes)
+		if err != nil {
+			c.errorf(x.Pos, "%s", err)
+			return nil
+		}
+		return rt
+	}
+	c.errorf(x.Pos, "call to undeclared function %q", x.Fun)
+	return nil
+}
+
+func (c *checker) memberType(x *MemberExpr, sc *scope) Type {
+	base := c.checkExpr(x.X, sc)
+	if base == nil {
+		return nil
+	}
+	if x.Arrow {
+		pt, ok := base.(*PointerType)
+		if !ok {
+			c.errorf(x.Pos, "-> on non-pointer type %s", base)
+			return nil
+		}
+		base = pt.Elem
+	}
+	switch t := base.(type) {
+	case *VectorType:
+		idxs, err := VectorComponents(x.Member, t.Len)
+		if err != nil {
+			c.errorf(x.Pos, "%s on %s", err, t)
+			return nil
+		}
+		if len(idxs) == 1 {
+			return &ScalarType{t.Elem}
+		}
+		return &VectorType{Elem: t.Elem, Len: len(idxs)}
+	case *StructType:
+		f, ok := t.Field(x.Member)
+		if !ok {
+			c.errorf(x.Pos, "no field %q in %s", x.Member, t)
+			return nil
+		}
+		return f.Type
+	}
+	c.errorf(x.Pos, "member access on non-aggregate type %s", base)
+	return nil
+}
+
+// isNullConstant reports whether e is a null pointer constant (0 or NULL).
+func isNullConstant(e Expr) bool {
+	if id, ok := e.(*Ident); ok {
+		return id.Name == "NULL"
+	}
+	v, ok := ConstIntValue(e)
+	return ok && v == 0
+}
+
+// isLvalue reports whether e denotes a modifiable location.
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr:
+		return true
+	case *MemberExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == MUL
+	case *CastExpr:
+		return false
+	}
+	return false
+}
+
+// VectorComponents resolves an OpenCL vector swizzle (x, y, z, w, s0..sF,
+// lo, hi, even, odd, or multi-component forms like xy or s02) into element
+// indices of a vector of length n.
+func VectorComponents(member string, n int) ([]int, error) {
+	lower := strings.ToLower(member)
+	switch lower {
+	case "lo":
+		return seqIndices(0, half(n)), nil
+	case "hi":
+		return seqIndices(half(n), n), nil
+	case "even":
+		return strideIndices(0, n), nil
+	case "odd":
+		return strideIndices(1, n), nil
+	}
+	if len(lower) >= 2 && lower[0] == 's' && isSwizzleHex(lower[1:]) {
+		var idxs []int
+		for _, ch := range lower[1:] {
+			idxs = append(idxs, hexVal(byte(ch)))
+		}
+		for _, i := range idxs {
+			if i >= n {
+				return nil, fmt.Errorf("component s%x out of range", i)
+			}
+		}
+		return idxs, nil
+	}
+	var idxs []int
+	for i := 0; i < len(lower); i++ {
+		var idx int
+		switch lower[i] {
+		case 'x':
+			idx = 0
+		case 'y':
+			idx = 1
+		case 'z':
+			idx = 2
+		case 'w':
+			idx = 3
+		default:
+			return nil, fmt.Errorf("invalid vector component %q", member)
+		}
+		if idx >= n {
+			return nil, fmt.Errorf("component %q out of range", string(lower[i]))
+		}
+		idxs = append(idxs, idx)
+	}
+	if len(idxs) == 0 || len(idxs) > 16 {
+		return nil, fmt.Errorf("invalid vector swizzle %q", member)
+	}
+	return idxs, nil
+}
+
+func half(n int) int {
+	if n == 3 {
+		return 2
+	}
+	return n / 2
+}
+
+func seqIndices(from, to int) []int {
+	var idxs []int
+	for i := from; i < to; i++ {
+		idxs = append(idxs, i)
+	}
+	return idxs
+}
+
+func strideIndices(start, n int) []int {
+	var idxs []int
+	for i := start; i < n; i += 2 {
+		idxs = append(idxs, i)
+	}
+	return idxs
+}
+
+func isSwizzleHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func hexVal(c byte) int {
+	if c >= '0' && c <= '9' {
+		return int(c - '0')
+	}
+	return int(c-'a') + 10
+}

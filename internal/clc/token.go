@@ -1,0 +1,158 @@
+// Package clc implements a compiler frontend for the subset of OpenCL C
+// used by CLgen: a preprocessor, lexer, parser, type checker, and
+// style-normalizing printer.
+//
+// The frontend is the substrate for the paper's rejection filter (§4.1),
+// which in the original work compiled candidate files to NVIDIA PTX. Here
+// compilation means: preprocess, lex, parse, and semantically check the
+// translation unit, then lower it to the internal/ir instruction stream
+// whose static length is thresholded.
+package clc
+
+import "fmt"
+
+// TokenKind classifies a lexical token.
+type TokenKind int
+
+// Token kinds. Punctuation kinds are named after their symbol.
+const (
+	EOF TokenKind = iota
+	COMMENT
+	IDENT    // identifiers and type names
+	KEYWORD  // language keywords (see keywords map)
+	INTLIT   // 42, 0x1F, 7u, 3L
+	FLOATLIT // 3.5f, 1e-9, .5
+	CHARLIT  // 'a'
+	STRLIT   // "abc"
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+
+	ASSIGN    // =
+	ADDASSIGN // +=
+	SUBASSIGN // -=
+	MULASSIGN // *=
+	DIVASSIGN // /=
+	REMASSIGN // %=
+	ANDASSIGN // &=
+	ORASSIGN  // |=
+	XORASSIGN // ^=
+	SHLASSIGN // <<=
+	SHRASSIGN // >>=
+
+	ADD // +
+	SUB // -
+	MUL // *
+	DIV // /
+	REM // %
+
+	AND  // &
+	OR   // |
+	XOR  // ^
+	SHL  // <<
+	SHR  // >>
+	NOT  // !
+	BNOT // ~
+
+	LAND // &&
+	LOR  // ||
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	GT  // >
+	LEQ // <=
+	GEQ // >=
+
+	INC // ++
+	DEC // --
+
+	DOT   // .
+	ARROW // ->
+
+	HASH // # (only surfaced when lexing preprocessor lines)
+)
+
+var tokenNames = map[TokenKind]string{
+	EOF: "EOF", COMMENT: "comment", IDENT: "identifier", KEYWORD: "keyword",
+	INTLIT: "integer literal", FLOATLIT: "float literal", CHARLIT: "char literal",
+	STRLIT: "string literal",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", SEMI: ";", COLON: ":", QUESTION: "?",
+	ASSIGN: "=", ADDASSIGN: "+=", SUBASSIGN: "-=", MULASSIGN: "*=", DIVASSIGN: "/=",
+	REMASSIGN: "%=", ANDASSIGN: "&=", ORASSIGN: "|=", XORASSIGN: "^=",
+	SHLASSIGN: "<<=", SHRASSIGN: ">>=",
+	ADD: "+", SUB: "-", MUL: "*", DIV: "/", REM: "%",
+	AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>", NOT: "!", BNOT: "~",
+	LAND: "&&", LOR: "||",
+	EQ: "==", NEQ: "!=", LT: "<", GT: ">", LEQ: "<=", GEQ: ">=",
+	INC: "++", DEC: "--", DOT: ".", ARROW: "->", HASH: "#",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, KEYWORD, INTLIT, FLOATLIT, CHARLIT, STRLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// keywords is the set of OpenCL C keywords recognized by the lexer.
+// Type names (int, float4, ...) are classified as IDENT and resolved by the
+// parser's type table, which keeps the lexer independent of typedefs.
+var keywords = map[string]bool{
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "goto": true, "sizeof": true,
+	"struct": true, "union": true, "enum": true, "typedef": true,
+	"const": true, "volatile": true, "restrict": true, "static": true,
+	"inline": true, "extern": true, "unsigned": true, "signed": true,
+
+	// OpenCL qualifiers. Both single- and double-underscore spellings.
+	"__kernel": true, "kernel": true,
+	"__global": true, "global": true,
+	"__local": true, "local": true,
+	"__constant": true, "constant": true,
+	"__private": true, "private": true,
+	"__read_only": true, "read_only": true,
+	"__write_only": true, "write_only": true,
+	"__read_write": true, "read_write": true,
+	"__attribute__": true,
+}
+
+// IsKeyword reports whether s is an OpenCL C keyword.
+func IsKeyword(s string) bool { return keywords[s] }

@@ -1,0 +1,375 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScalarKind enumerates the OpenCL C scalar types supported by the subset.
+type ScalarKind int
+
+// Scalar kinds, ordered roughly by conversion rank.
+const (
+	Void ScalarKind = iota
+	Bool
+	Char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	Half
+	Float
+	Double
+)
+
+var scalarNames = map[ScalarKind]string{
+	Void: "void", Bool: "bool", Char: "char", UChar: "uchar",
+	Short: "short", UShort: "ushort", Int: "int", UInt: "uint",
+	Long: "long", ULong: "ulong", Half: "half", Float: "float", Double: "double",
+}
+
+// String returns the OpenCL spelling of the scalar kind.
+func (k ScalarKind) String() string { return scalarNames[k] }
+
+// IsInteger reports whether the kind is an integer type (including bool).
+func (k ScalarKind) IsInteger() bool {
+	switch k {
+	case Bool, Char, UChar, Short, UShort, Int, UInt, Long, ULong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the kind is a floating-point type.
+func (k ScalarKind) IsFloat() bool { return k == Half || k == Float || k == Double }
+
+// IsUnsigned reports whether the kind is an unsigned integer type.
+func (k ScalarKind) IsUnsigned() bool {
+	switch k {
+	case Bool, UChar, UShort, UInt, ULong:
+		return true
+	}
+	return false
+}
+
+// Bits returns the storage width of the scalar kind in bits.
+func (k ScalarKind) Bits() int {
+	switch k {
+	case Void:
+		return 0
+	case Bool, Char, UChar:
+		return 8
+	case Short, UShort, Half:
+		return 16
+	case Int, UInt, Float:
+		return 32
+	case Long, ULong, Double:
+		return 64
+	}
+	return 0
+}
+
+// AddrSpace is an OpenCL address space qualifier.
+type AddrSpace int
+
+// Address spaces. Private is the default for unqualified declarations.
+const (
+	Private AddrSpace = iota
+	Global
+	Local
+	Constant
+)
+
+var addrSpaceNames = map[AddrSpace]string{
+	Private: "__private", Global: "__global", Local: "__local", Constant: "__constant",
+}
+
+// String returns the canonical double-underscore spelling.
+func (a AddrSpace) String() string { return addrSpaceNames[a] }
+
+// Type is the interface implemented by all OpenCL C types in the subset.
+type Type interface {
+	// String returns the OpenCL spelling of the type.
+	String() string
+	// Size returns the storage size in bytes.
+	Size() int
+	typ()
+}
+
+// ScalarType is a built-in scalar type.
+type ScalarType struct{ Kind ScalarKind }
+
+func (t *ScalarType) typ()           {}
+func (t *ScalarType) String() string { return t.Kind.String() }
+
+// Size returns the scalar's storage size in bytes.
+func (t *ScalarType) Size() int { return t.Kind.Bits() / 8 }
+
+// VectorType is an OpenCL vector type such as float4 or int16.
+type VectorType struct {
+	Elem ScalarKind
+	Len  int // 2, 3, 4, 8, or 16
+}
+
+func (t *VectorType) typ()           {}
+func (t *VectorType) String() string { return fmt.Sprintf("%s%d", t.Elem, t.Len) }
+
+// Size returns the vector storage size in bytes (vec3 is padded to vec4).
+func (t *VectorType) Size() int {
+	n := t.Len
+	if n == 3 {
+		n = 4
+	}
+	return n * (t.Elem.Bits() / 8)
+}
+
+// PointerType is a pointer with an address space.
+type PointerType struct {
+	Elem  Type
+	Space AddrSpace
+}
+
+func (t *PointerType) typ() {}
+func (t *PointerType) String() string {
+	return fmt.Sprintf("%s %s*", t.Space, t.Elem)
+}
+
+// Size returns the pointer size in bytes (64-bit device model).
+func (t *PointerType) Size() int { return 8 }
+
+// ArrayType is a fixed-length array, used for local and private arrays.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+func (t *ArrayType) typ()           {}
+func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem, t.Len) }
+
+// Size returns the total array storage size in bytes.
+func (t *ArrayType) Size() int { return t.Elem.Size() * t.Len }
+
+// StructType is a user-defined aggregate. The subset supports declaration
+// and member access but kernels taking struct arguments are rejected by the
+// driver, mirroring the paper's §6.2 limitation.
+type StructType struct {
+	Name   string
+	Fields []StructField
+}
+
+// StructField is a single member of a StructType.
+type StructField struct {
+	Name string
+	Type Type
+}
+
+func (t *StructType) typ() {}
+func (t *StructType) String() string {
+	if t.Name != "" {
+		return "struct " + t.Name
+	}
+	var b strings.Builder
+	b.WriteString("struct {")
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s %s", f.Type, f.Name)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Size returns the unpadded aggregate size in bytes.
+func (t *StructType) Size() int {
+	n := 0
+	for _, f := range t.Fields {
+		n += f.Type.Size()
+	}
+	return n
+}
+
+// Field returns the named field and true, or a zero field and false.
+func (t *StructType) Field(name string) (StructField, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return StructField{}, false
+}
+
+// Prebuilt singleton scalar types.
+var (
+	TypeVoid   = &ScalarType{Void}
+	TypeBool   = &ScalarType{Bool}
+	TypeChar   = &ScalarType{Char}
+	TypeUChar  = &ScalarType{UChar}
+	TypeShort  = &ScalarType{Short}
+	TypeUShort = &ScalarType{UShort}
+	TypeInt    = &ScalarType{Int}
+	TypeUInt   = &ScalarType{UInt}
+	TypeLong   = &ScalarType{Long}
+	TypeULong  = &ScalarType{ULong}
+	TypeHalf   = &ScalarType{Half}
+	TypeFloat  = &ScalarType{Float}
+	TypeDouble = &ScalarType{Double}
+)
+
+// scalarByName maps OpenCL scalar type spellings to types. size_t and
+// friends map onto the 64-bit device model.
+var scalarByName = map[string]*ScalarType{
+	"void": TypeVoid, "bool": TypeBool,
+	"char": TypeChar, "uchar": TypeUChar, "unsigned char": TypeUChar,
+	"short": TypeShort, "ushort": TypeUShort, "unsigned short": TypeUShort,
+	"int": TypeInt, "uint": TypeUInt, "unsigned int": TypeUInt, "unsigned": TypeUInt,
+	"long": TypeLong, "ulong": TypeULong, "unsigned long": TypeULong,
+	"half": TypeHalf, "float": TypeFloat, "double": TypeDouble,
+	"size_t": TypeULong, "ptrdiff_t": TypeLong, "intptr_t": TypeLong,
+	"uintptr_t": TypeULong, "ssize_t": TypeLong,
+}
+
+// vectorLens are the legal OpenCL vector widths.
+var vectorLens = map[int]bool{2: true, 3: true, 4: true, 8: true, 16: true}
+
+// LookupBuiltinType resolves a built-in type name such as "float", "uint4",
+// or "size_t". It returns nil if the name is not a built-in type.
+func LookupBuiltinType(name string) Type {
+	if t, ok := scalarByName[name]; ok {
+		return t
+	}
+	// Vector types: scalar name followed by a width.
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) || i == 0 {
+		return nil
+	}
+	base, ok := scalarByName[name[:i]]
+	if !ok || base.Kind == Void || base.Kind == Bool {
+		return nil
+	}
+	n := 0
+	for _, c := range name[i:] {
+		n = n*10 + int(c-'0')
+	}
+	if !vectorLens[n] {
+		return nil
+	}
+	return &VectorType{Elem: base.Kind, Len: n}
+}
+
+// SameType reports structural type equality.
+func SameType(a, b Type) bool {
+	switch x := a.(type) {
+	case *ScalarType:
+		y, ok := b.(*ScalarType)
+		return ok && x.Kind == y.Kind
+	case *VectorType:
+		y, ok := b.(*VectorType)
+		return ok && x.Elem == y.Elem && x.Len == y.Len
+	case *PointerType:
+		y, ok := b.(*PointerType)
+		return ok && x.Space == y.Space && SameType(x.Elem, y.Elem)
+	case *ArrayType:
+		y, ok := b.(*ArrayType)
+		return ok && x.Len == y.Len && SameType(x.Elem, y.Elem)
+	case *StructType:
+		y, ok := b.(*StructType)
+		return ok && x == y
+	}
+	return false
+}
+
+// IsArithmetic reports whether t is a scalar or vector numeric type.
+func IsArithmetic(t Type) bool {
+	switch x := t.(type) {
+	case *ScalarType:
+		return x.Kind != Void
+	case *VectorType:
+		return true
+	}
+	return false
+}
+
+// IsScalarInteger reports whether t is a scalar integer type.
+func IsScalarInteger(t Type) bool {
+	s, ok := t.(*ScalarType)
+	return ok && s.Kind.IsInteger()
+}
+
+// ElemType returns the element type for vectors, pointers, and arrays, and
+// t itself for scalars.
+func ElemType(t Type) Type {
+	switch x := t.(type) {
+	case *VectorType:
+		return &ScalarType{x.Elem}
+	case *PointerType:
+		return x.Elem
+	case *ArrayType:
+		return x.Elem
+	}
+	return t
+}
+
+// Promote returns the common arithmetic type of a and b following OpenCL's
+// usual arithmetic conversions (vector types dominate scalars of the same
+// element family; otherwise the higher-ranked scalar wins).
+func Promote(a, b Type) Type {
+	if av, ok := a.(*VectorType); ok {
+		if bv, ok := b.(*VectorType); ok {
+			if av.Len >= bv.Len {
+				return av
+			}
+			return bv
+		}
+		return av
+	}
+	if bv, ok := b.(*VectorType); ok {
+		return bv
+	}
+	as, aok := a.(*ScalarType)
+	bs, bok := b.(*ScalarType)
+	if !aok || !bok {
+		return a
+	}
+	if rank(as.Kind) >= rank(bs.Kind) {
+		return as
+	}
+	return bs
+}
+
+// rank orders scalar kinds for arithmetic promotion.
+func rank(k ScalarKind) int {
+	switch k {
+	case Bool:
+		return 0
+	case Char:
+		return 1
+	case UChar:
+		return 2
+	case Short:
+		return 3
+	case UShort:
+		return 4
+	case Int:
+		return 5
+	case UInt:
+		return 6
+	case Long:
+		return 7
+	case ULong:
+		return 8
+	case Half:
+		return 9
+	case Float:
+		return 10
+	case Double:
+		return 11
+	}
+	return -1
+}

@@ -1,0 +1,73 @@
+package clsmith
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clgen/internal/corpus"
+	"clgen/internal/features"
+)
+
+func TestGeneratedKernelsCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		src := Generate(rng)
+		res := corpus.FilterSample(src)
+		if !res.OK {
+			t.Fatalf("kernel %d rejected (%s):\n%s", i, res.Reason, src)
+		}
+	}
+}
+
+func TestSingleULongResultTell(t *testing.T) {
+	// §6.1: the control group's kernels have an obvious tell — their only
+	// input is a single ulong pointer.
+	src := Generate(rand.New(rand.NewSource(2)))
+	if !strings.Contains(src, "__kernel void entry(__global ulong* result)") {
+		t.Errorf("missing CLSmith signature:\n%s", src)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := GenerateN(7, 5)
+	b := GenerateN(7, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestVariety(t *testing.T) {
+	ks := GenerateN(3, 40)
+	uniq := map[string]bool{}
+	for _, k := range ks {
+		uniq[k] = true
+	}
+	if len(uniq) < 38 {
+		t.Errorf("only %d/40 unique kernels", len(uniq))
+	}
+}
+
+func TestFeatureProfileUnlikeBenchmarks(t *testing.T) {
+	// CLSmith kernels are compute-over-locals with a single store: almost
+	// no global memory traffic and no local memory (Figure 9's premise).
+	ks := GenerateN(11, 20)
+	for _, k := range ks {
+		fs, err := features.ExtractSource(k)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, k)
+		}
+		s := fs[0]
+		if s.LocalMem != 0 {
+			t.Errorf("unexpected local memory use: %+v", s)
+		}
+		if s.Mem > 3 {
+			t.Errorf("too much global traffic for a CLSmith kernel: %+v", s)
+		}
+		if s.Comp < 5 {
+			t.Errorf("not compute heavy: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package core is CLgen itself: the end-to-end benchmark synthesizer of
+// Figure 4 (left half). It wires the substrates together — mine a corpus
+// (internal/github), filter and rewrite it (internal/corpus), fit a
+// character-level language model (internal/model over internal/nn), and
+// synthesize kernels by iterative sampling with rejection filtering
+// (§4.3). The right half of Figure 4 — payload generation, execution, and
+// dynamic checking — lives in internal/driver.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clgen/internal/corpus"
+	"clgen/internal/github"
+	"clgen/internal/model"
+	"clgen/internal/nn"
+)
+
+// Backend selects the language-model implementation.
+type Backend string
+
+// Available backends.
+const (
+	// BackendNGram is the fast converged-model stand-in (see DESIGN.md).
+	BackendNGram Backend = "ngram"
+	// BackendLSTM is the paper's architecture, trained from scratch.
+	BackendLSTM Backend = "lstm"
+)
+
+// Config assembles a CLgen instance.
+type Config struct {
+	// Miner scales the synthetic GitHub mine feeding the corpus.
+	Miner github.MinerConfig
+	// Backend selects the language model; default BackendNGram.
+	Backend Backend
+	// NGramOrder configures the n-gram backend; 0 means the tuned default.
+	NGramOrder int
+	// LSTMHidden/LSTMLayers/LSTMTrain configure the LSTM backend (the
+	// paper uses 2048×3 over 50 epochs; defaults here are laptop-scale).
+	LSTMHidden int
+	LSTMLayers int
+	LSTMTrain  nn.TrainConfig
+}
+
+func (c *Config) defaults() {
+	if c.Backend == "" {
+		c.Backend = BackendNGram
+	}
+	if c.LSTMHidden <= 0 {
+		c.LSTMHidden = 128
+	}
+	if c.LSTMLayers <= 0 {
+		c.LSTMLayers = 2
+	}
+}
+
+// CLgen is a ready-to-sample synthesizer.
+type CLgen struct {
+	Corpus *corpus.Corpus
+	Model  *model.Model
+}
+
+// Build runs mining, corpus assembly, and model training.
+func Build(cfg Config) (*CLgen, error) {
+	cfg.defaults()
+	files := github.Mine(cfg.Miner)
+	c, err := corpus.Build(files)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return FromCorpus(c, cfg)
+}
+
+// FromCorpus trains a model over an already-built corpus.
+func FromCorpus(c *corpus.Corpus, cfg Config) (*CLgen, error) {
+	cfg.defaults()
+	var m *model.Model
+	var err error
+	switch cfg.Backend {
+	case BackendNGram:
+		m, err = model.TrainNGram(c.Text, cfg.NGramOrder)
+	case BackendLSTM:
+		m, _, err = model.TrainLSTM(c.Text, cfg.LSTMHidden, cfg.LSTMLayers, cfg.LSTMTrain)
+	default:
+		err = fmt.Errorf("unknown backend %q", cfg.Backend)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &CLgen{Corpus: c, Model: m}, nil
+}
+
+// SynthesisStats reports one synthesis run.
+type SynthesisStats struct {
+	Requested int
+	Accepted  int
+	Attempts  int
+	Reasons   map[corpus.RejectReason]int
+}
+
+// AcceptRate returns accepted/attempts.
+func (s SynthesisStats) AcceptRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Attempts)
+}
+
+// Synthesize samples kernels until n pass the rejection filter (or the
+// attempt budget runs out), returning the accepted kernels. Duplicates are
+// discarded: CLgen's value is covering the space, not repeating it.
+func (g *CLgen) Synthesize(n int, opts model.SampleOpts, seed int64) ([]string, SynthesisStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	stats := SynthesisStats{Requested: n, Reasons: map[corpus.RejectReason]int{}}
+	seen := map[string]bool{}
+	var out []string
+	maxAttempts := n * 40
+	if maxAttempts < 400 {
+		maxAttempts = 400
+	}
+	for len(out) < n && stats.Attempts < maxAttempts {
+		stats.Attempts++
+		k := g.Model.SampleKernel(rng, opts)
+		res := corpus.FilterSample(k)
+		if !res.OK {
+			stats.Reasons[res.Reason]++
+			continue
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+		stats.Accepted++
+	}
+	if len(out) < n {
+		return out, stats, fmt.Errorf("core: synthesized only %d/%d kernels in %d attempts", len(out), n, stats.Attempts)
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"clgen/internal/clc"
+	"clgen/internal/corpus"
+	"clgen/internal/model"
+)
+
+// This file implements the recursive program synthesis the paper sketches
+// as future work (§6.2): "we will address this limitation through
+// recursive program synthesis, whereby a call to a user-defined function
+// or unrecognized type will trigger candidate functions and type
+// definitions to be synthesized."
+//
+// When a sampled kernel calls a function that is neither a built-in nor
+// defined in the sample, SampleWithHelpers synthesizes candidate helper
+// definitions — seeded with an inline-function prototype under the missing
+// name — and prepends them until the translation unit compiles or the
+// budget runs out.
+
+// maxHelpersPerKernel bounds recursive descent.
+const maxHelpersPerKernel = 3
+
+// SampleWithHelpers draws one kernel and recursively synthesizes helper
+// functions for unresolved calls. It returns the (possibly multi-function)
+// translation unit and whether it passed the rejection filter.
+func (g *CLgen) SampleWithHelpers(rng *rand.Rand, opts model.SampleOpts) (string, bool) {
+	kernel := g.Model.SampleKernel(rng, opts)
+	unit := kernel
+	for attempt := 0; attempt <= maxHelpersPerKernel; attempt++ {
+		res := corpus.FilterSample(unit)
+		if res.OK {
+			return unit, true
+		}
+		missing := missingFunctions(unit)
+		if len(missing) == 0 {
+			return unit, false // failure is not a missing helper
+		}
+		helper, ok := g.sampleHelper(rng, missing[0], opts.Temperature)
+		if !ok {
+			return unit, false
+		}
+		unit = helper + "\n\n" + unit
+	}
+	return unit, false
+}
+
+// SynthesizeRecursive is Synthesize with helper synthesis enabled.
+func (g *CLgen) SynthesizeRecursive(n int, opts model.SampleOpts, seed int64) ([]string, SynthesisStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	stats := SynthesisStats{Requested: n, Reasons: map[corpus.RejectReason]int{}}
+	seen := map[string]bool{}
+	var out []string
+	maxAttempts := n * 40
+	if maxAttempts < 400 {
+		maxAttempts = 400
+	}
+	for len(out) < n && stats.Attempts < maxAttempts {
+		stats.Attempts++
+		unit, ok := g.SampleWithHelpers(rng, opts)
+		if !ok {
+			stats.Reasons[corpus.FilterSample(unit).Reason]++
+			continue
+		}
+		if seen[unit] {
+			continue
+		}
+		seen[unit] = true
+		out = append(out, unit)
+		stats.Accepted++
+	}
+	if len(out) < n {
+		return out, stats, fmt.Errorf("core: synthesized only %d/%d kernels in %d attempts", len(out), n, stats.Attempts)
+	}
+	return out, stats, nil
+}
+
+// missingFunctions parses the unit best-effort and lists called names that
+// are neither defined in the unit nor OpenCL built-ins, in call order.
+func missingFunctions(src string) []string {
+	f, err := clc.Parse(src)
+	if err != nil {
+		return nil // syntactically broken: helpers will not save it
+	}
+	defined := map[string]bool{}
+	for _, fd := range f.Functions() {
+		defined[fd.Name] = true
+	}
+	var missing []string
+	seen := map[string]bool{}
+	clc.Walk(f, func(n clc.Node) bool {
+		call, ok := n.(*clc.CallExpr)
+		if !ok {
+			return true
+		}
+		name := call.Fun
+		if defined[name] || seen[name] || clc.LookupBuiltin(name) != nil {
+			return true
+		}
+		// Conversions and vector load/stores resolve via patterns.
+		if strings.HasPrefix(name, "convert_") || strings.HasPrefix(name, "as_") {
+			return true
+		}
+		seen[name] = true
+		missing = append(missing, name)
+		return true
+	})
+	return missing
+}
+
+// sampleHelper synthesizes a candidate definition for the named function:
+// a scalar helper seeded the way corpus helpers appear. The sampled body is
+// renamed to the required identifier.
+func (g *CLgen) sampleHelper(rng *rand.Rand, name string, temperature float64) (string, bool) {
+	const placeholder = "A"
+	seed := "inline float " + placeholder + "(float a) {"
+	for tries := 0; tries < 6; tries++ {
+		body := g.Model.SampleKernel(rng, model.SampleOpts{
+			Seed:        seed,
+			Temperature: temperature,
+			MaxLen:      512,
+		})
+		// The sample begins with the seed; swap the placeholder name.
+		helper := "inline float " + name + strings.TrimPrefix(body, "inline float "+placeholder)
+		hf, err := clc.Parse(helper)
+		if err != nil || clc.Check(hf) != nil {
+			continue
+		}
+		if len(hf.Functions()) != 1 || hf.Functions()[0].Name != name {
+			continue
+		}
+		return helper, true
+	}
+	return "", false
+}

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"clgen/internal/github"
+)
+
+func TestFilterAcceptsGoodKernel(t *testing.T) {
+	res := Filter(`__kernel void A(__global float* a, const int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    a[i] = a[i] * 2.0f;
+  }
+}`, false)
+	if !res.OK {
+		t.Fatalf("rejected: %s", res.Reason)
+	}
+	if res.Instrs < MinInstructions {
+		t.Errorf("instr count %d", res.Instrs)
+	}
+}
+
+func TestFilterRejectsClasses(t *testing.T) {
+	cases := []struct {
+		src    string
+		reason RejectReason
+	}{
+		{"int main() { cl_context ctx = clCreateContext(); return 0; }", RejectParse}, // host C
+		{"int main() { return 0; }", RejectNoKernel},
+		{"__kernel void A(__global float* a) { a[0] = undeclared; }", RejectCheck},
+		{"float F(float x) { return x * 2.0f; }", RejectNoKernel},
+		{"__kernel void A(__global float* a) { }", RejectTooFewInstrs},
+		{"#if 1\n__kernel void A(__global float* a) { a[0] = 1.0f; }\n", RejectPreprocess},
+	}
+	for _, c := range cases {
+		res := Filter(c.src, false)
+		if res.OK {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		if res.Reason != c.reason {
+			t.Errorf("Filter(%q) reason = %q, want %q", c.src, res.Reason, c.reason)
+		}
+	}
+}
+
+func TestShimFixesInferredTypes(t *testing.T) {
+	src := `__kernel void A(__global FLOAT_T* a, const INDEX_TYPE n) {
+  INDEX_TYPE i = get_global_id(0);
+  if (i < n) {
+    a[i] = a[i] + 1.0f;
+  }
+}`
+	if res := Filter(src, false); res.OK {
+		t.Error("FLOAT_T resolved without shim")
+	}
+	if res := Filter(src, true); !res.OK {
+		t.Errorf("shim did not fix inferred types: %s", res.Reason)
+	}
+}
+
+func TestShimConstants(t *testing.T) {
+	src := `__kernel void A(__global float* a) {
+  __local float tile[WG_SIZE];
+  int lid = get_local_id(0);
+  tile[lid] = a[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  a[get_global_id(0)] = tile[WG_SIZE - 1 - lid];
+}`
+	if res := Filter(src, true); !res.OK {
+		t.Errorf("WG_SIZE not supplied by shim: %s", res.Reason)
+	}
+}
+
+func TestBuildCorpusEndToEnd(t *testing.T) {
+	files := github.Mine(github.MinerConfig{Seed: 42, Repos: 40, FilesPerRepo: 8})
+	c, err := Build(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats
+	if s.AcceptedFiles == 0 || s.Kernels == 0 {
+		t.Fatalf("empty corpus: %+v", s)
+	}
+	// The shim must reduce the discard rate (paper: 40% -> 32%).
+	if s.DiscardRateShim >= s.DiscardRateNoShim {
+		t.Errorf("shim did not reduce discards: %.2f -> %.2f", s.DiscardRateNoShim, s.DiscardRateShim)
+	}
+	if s.DiscardRateNoShim < 0.25 || s.DiscardRateNoShim > 0.55 {
+		t.Errorf("no-shim discard rate %.2f outside the paper's band", s.DiscardRateNoShim)
+	}
+	if s.DiscardRateShim < 0.15 || s.DiscardRateShim > 0.45 {
+		t.Errorf("shim discard rate %.2f outside the paper's band", s.DiscardRateShim)
+	}
+	// Identifier rewriting must shrink the vocabulary dramatically
+	// (paper: 84%).
+	if s.VocabReduction() < 0.3 {
+		t.Errorf("vocabulary reduction only %.0f%% (%d -> %d)",
+			s.VocabReduction()*100, s.VocabBefore, s.VocabAfter)
+	}
+	// Rewritten corpus has canonical identifiers.
+	if strings.Contains(c.Text, "num_elements") {
+		t.Error("identifiers not rewritten in corpus text")
+	}
+	if !strings.Contains(c.Text, "__kernel void A(") {
+		t.Error("canonical kernel names missing")
+	}
+	// All corpus entries individually re-pass the filter.
+	for i, k := range c.Kernels {
+		if res := FilterSample(k); !res.OK {
+			t.Errorf("corpus entry %d fails the filter: %s\n%s", i, res.Reason, k)
+			if i > 3 {
+				break
+			}
+		}
+	}
+}
+
+func TestBuildRejectsEmptyMine(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	junk := []github.ContentFile{{Repo: "r", Path: "a.cl", Text: "not opencl"}}
+	if _, err := Build(junk); err == nil {
+		t.Error("all-junk input accepted")
+	}
+}
+
+func TestReasonsSummary(t *testing.T) {
+	s := Stats{Reasons: map[RejectReason]int{RejectParse: 5, RejectCheck: 2}}
+	out := s.ReasonsSummary()
+	if !strings.Contains(out, "parse error") || !strings.Contains(out, "semantic error") {
+		t.Errorf("summary: %q", out)
+	}
+	if strings.Index(out, "parse") > strings.Index(out, "semantic") {
+		t.Error("summary not sorted by count")
+	}
+}

@@ -1,0 +1,121 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"clgen/internal/interp"
+)
+
+// CheckVerdict classifies a kernel's §5.2 dynamic-checker outcome.
+type CheckVerdict string
+
+// Verdicts. Only UsefulWork kernels enter the training set.
+const (
+	UsefulWork       CheckVerdict = "useful work"
+	NoOutput         CheckVerdict = "no output"
+	InputInsensitive CheckVerdict = "input insensitive"
+	NonDeterministic CheckVerdict = "non-deterministic"
+	RunFailure       CheckVerdict = "run failure"
+)
+
+// Epsilon is the floating-point comparison tolerance of the checker.
+const Epsilon = 1e-4
+
+// CheckResult is the outcome of the dynamic checker plus the profile of
+// the first execution (reused by measurement so kernels run once).
+type CheckResult struct {
+	Verdict CheckVerdict
+	Err     error // cause for RunFailure
+	Profile *interp.Profile
+	Payload *Payload // the A1 payload, post-execution
+}
+
+// OK reports whether the kernel performs useful work.
+func (r CheckResult) OK() bool { return r.Verdict == UsefulWork }
+
+// Check implements the §5.2 low-overhead runtime behaviour check:
+//
+//  1. Create 4 equal-size payloads A1, B1, A2, B2 with A1=A2, B1=B2, A1≠B1.
+//  2. Execute the kernel on each.
+//  3. Assert: outputs changed (else no output for these inputs); outputs
+//     differ between A and B (else input-insensitive); outputs agree
+//     between repetitions (else non-deterministic).
+//
+// Execution failures (out-of-bounds access, non-termination caught by the
+// step-limit timeout, barrier divergence) yield RunFailure — the analogue
+// of a crashed or timed-out run on hardware.
+func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
+	rngA := rand.New(rand.NewSource(seed))
+	rngB := rand.New(rand.NewSource(seed + 1))
+	a1, err := GeneratePayload(k, globalSize, rngA)
+	if err != nil {
+		return CheckResult{Verdict: RunFailure, Err: err}
+	}
+	b1, err := GeneratePayload(k, globalSize, rngB)
+	if err != nil {
+		return CheckResult{Verdict: RunFailure, Err: err}
+	}
+	a2, b2 := a1.Clone(), b1.Clone()
+	a1Pre, b1Pre := a1.Clone(), b1.Clone()
+
+	if len(a1.Outputs()) == 0 {
+		return CheckResult{Verdict: NoOutput}
+	}
+
+	profA1, err := k.Run(a1, cfg)
+	if err != nil {
+		return CheckResult{Verdict: RunFailure, Err: err}
+	}
+	if _, err := k.Run(b1, cfg); err != nil {
+		return CheckResult{Verdict: RunFailure, Err: err}
+	}
+	if _, err := k.Run(a2, cfg); err != nil {
+		return CheckResult{Verdict: RunFailure, Err: err}
+	}
+	if _, err := k.Run(b2, cfg); err != nil {
+		return CheckResult{Verdict: RunFailure, Err: err}
+	}
+
+	// A1out != A1in and B1out != B1in, else no output for these inputs.
+	if outputsEqual(a1, a1Pre) && outputsEqual(b1, b1Pre) {
+		return CheckResult{Verdict: NoOutput, Profile: profA1}
+	}
+	// A1out != B1out, else input-insensitive.
+	if outputsEqual(a1, b1) {
+		return CheckResult{Verdict: InputInsensitive, Profile: profA1}
+	}
+	// A1out == A2out and B1out == B2out, else non-deterministic.
+	if !outputsEqual(a1, a2) || !outputsEqual(b1, b2) {
+		return CheckResult{Verdict: NonDeterministic, Profile: profA1}
+	}
+	return CheckResult{Verdict: UsefulWork, Profile: profA1, Payload: a1}
+}
+
+func outputsEqual(a, b *Payload) bool {
+	ao, bo := a.Outputs(), b.Outputs()
+	if len(ao) != len(bo) {
+		return false
+	}
+	for i := range ao {
+		if !ao[i].Equal(bo[i], Epsilon) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrRejectedByChecker wraps a non-useful verdict as an error.
+var ErrRejectedByChecker = errors.New("driver: kernel rejected by dynamic checker")
+
+// CheckError converts a failed CheckResult into an error, nil when OK.
+func (r CheckResult) CheckError() error {
+	if r.OK() {
+		return nil
+	}
+	if r.Err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrRejectedByChecker, r.Verdict, r.Err)
+	}
+	return fmt.Errorf("%w: %s", ErrRejectedByChecker, r.Verdict)
+}

@@ -1,0 +1,131 @@
+package driver
+
+import (
+	"fmt"
+
+	"clgen/internal/features"
+	"clgen/internal/interp"
+	"clgen/internal/platform"
+)
+
+// Measurement is one (kernel, dataset, system) performance observation:
+// the model features and both device runtimes, from which the oracle
+// mapping follows.
+type Measurement struct {
+	Kernel     string
+	GlobalSize int
+	Vector     features.Vector
+	Profile    *interp.Profile
+	CPUTime    float64
+	GPUTime    float64
+	Oracle     platform.DeviceType
+}
+
+// Speedup returns how much faster the better device is than the worse.
+func (m *Measurement) Speedup() float64 {
+	if m.CPUTime <= m.GPUTime {
+		return m.GPUTime / m.CPUTime
+	}
+	return m.CPUTime / m.GPUTime
+}
+
+// TimeOn returns the runtime on the given device type.
+func (m *Measurement) TimeOn(t platform.DeviceType) float64 {
+	if t == platform.CPU {
+		return m.CPUTime
+	}
+	return m.GPUTime
+}
+
+// MeasureConfig controls measurement.
+type MeasureConfig struct {
+	// Repeats averages runtimes over this many payload seeds (§7.2: "each
+	// experiment is repeated five times and the average execution time is
+	// recorded"). Default 1: the simulator is deterministic for a fixed
+	// payload, so repeats only smooth data-dependent control flow.
+	Repeats int
+	// ExecCap bounds the executed global size: kernels launched with a
+	// larger nominal size run at the cap and have their profile and
+	// transfer volume extrapolated linearly (exact for data-parallel
+	// kernels whose per-item work does not depend on the payload size).
+	// 0 disables capping.
+	ExecCap int
+	Run     RunConfig
+}
+
+// Measure runs the dynamic checker and, if the kernel does useful work,
+// produces a Measurement on the given system.
+func Measure(k *Kernel, globalSize int, sys *platform.System, seed int64, cfg MeasureConfig) (*Measurement, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	execSize := globalSize
+	if cfg.ExecCap > 0 && execSize > cfg.ExecCap {
+		execSize = cfg.ExecCap
+	}
+	var agg *interp.Profile
+	var transfer int64
+	var wg int
+	for r := 0; r < cfg.Repeats; r++ {
+		res := Check(k, execSize, seed+int64(r)*1000, cfg.Run)
+		if !res.OK() {
+			return nil, res.CheckError()
+		}
+		if agg == nil {
+			agg = res.Profile
+			transfer = res.Payload.TransferBytes
+			wg = res.Payload.LocalSize
+		} else {
+			agg.Add(res.Profile)
+		}
+	}
+	// Average the accumulated profiles.
+	if cfg.Repeats > 1 {
+		agg.Scale(1 / float64(cfg.Repeats))
+	}
+	if execSize != globalSize {
+		factor := float64(globalSize) / float64(execSize)
+		agg.Scale(factor)
+		transfer = int64(float64(transfer) * factor)
+	}
+	return MeasureProfile(k, agg, transfer, globalSize, wg, sys)
+}
+
+// MeasureProfile computes a Measurement from an existing execution profile
+// (used by the suites, whose datasets come from the benchmark definitions
+// rather than the payload generator).
+func MeasureProfile(k *Kernel, prof *interp.Profile, transferBytes int64, globalSize, wgSize int, sys *platform.System) (*Measurement, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("driver: nil profile for %q", k.Name)
+	}
+	coal := 0.0
+	if k.Static.Mem > 0 {
+		coal = float64(k.Static.Coalesced) / float64(k.Static.Mem)
+	}
+	w := platform.Workload{
+		Profile:       prof,
+		CoalescedFrac: coal,
+		TransferBytes: transferBytes,
+		WorkItems:     int64(globalSize),
+	}
+	_, cpuT, gpuT := sys.BestDevice(w)
+	oracle := platform.CPU
+	if gpuT < cpuT {
+		oracle = platform.GPU
+	}
+	return &Measurement{
+		Kernel:     k.Name,
+		GlobalSize: globalSize,
+		Vector: features.Vector{
+			Static: k.Static,
+			Dynamic: features.Dynamic{
+				Transfer: transferBytes,
+				WgSize:   int64(wgSize),
+			},
+		},
+		Profile: prof,
+		CPUTime: cpuT,
+		GPUTime: gpuT,
+		Oracle:  oracle,
+	}, nil
+}

@@ -1,0 +1,129 @@
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clgen/internal/clc"
+	"clgen/internal/interp"
+	"clgen/internal/platform"
+)
+
+// This file implements the multi-kernel schedules the paper lists as
+// future work (§6.2): "Currently we only run single-kernel benchmarks. We
+// will extend the host driver to explore multi-kernel schedules and
+// interleaving of kernel executions."
+//
+// A Sequence executes several kernels back to back over one shared payload
+// universe: buffers transfer to the device once, every kernel in the
+// schedule runs against them (outputs of one stage visible to the next),
+// and results transfer back once — the standard multi-kernel pattern of
+// real OpenCL applications (reduce-then-scan, pipeline stages, iterative
+// solvers).
+
+// Stage is one step of a multi-kernel schedule.
+type Stage struct {
+	Kernel *Kernel
+	// GlobalSize overrides the schedule's size for this stage (0 = shared).
+	GlobalSize int
+}
+
+// Sequence is an ordered multi-kernel schedule.
+type Sequence struct {
+	Stages []Stage
+}
+
+// NewSequence builds a schedule from kernels sharing one signature class.
+func NewSequence(kernels ...*Kernel) *Sequence {
+	s := &Sequence{}
+	for _, k := range kernels {
+		s.Stages = append(s.Stages, Stage{Kernel: k})
+	}
+	return s
+}
+
+// SequenceResult aggregates a schedule execution.
+type SequenceResult struct {
+	Profiles []*interp.Profile // per stage
+	Total    *interp.Profile
+	// TransferBytes counts the single round trip of the shared buffers.
+	TransferBytes int64
+	CPUTime       float64 // modeled, summed over stages + one transfer
+	GPUTime       float64
+	Oracle        platform.DeviceType
+}
+
+// Run executes the schedule at the given size on a shared payload. Each
+// stage receives a payload generated for its own argument list, but global
+// buffers are carried over positionally from the previous stage wherever
+// the element kinds agree, so data flows through the schedule.
+func (s *Sequence) Run(globalSize int, sys *platform.System, seed int64, cfg RunConfig) (*SequenceResult, error) {
+	if len(s.Stages) == 0 {
+		return nil, fmt.Errorf("driver: empty schedule")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &SequenceResult{Total: &interp.Profile{}}
+
+	var carried []*interp.Buffer
+	var cpuKernel, gpuKernel float64
+	for i, st := range s.Stages {
+		size := globalSize
+		if st.GlobalSize > 0 {
+			size = st.GlobalSize
+		}
+		p, err := GeneratePayload(st.Kernel, size, rng)
+		if err != nil {
+			return nil, fmt.Errorf("driver: stage %d: %w", i, err)
+		}
+		// Thread carried buffers into matching pointer arguments.
+		ci := 0
+		for ai := range p.Args {
+			if !p.Args[ai].IsPointer() || p.Args[ai].Ptr.Buf.Space == clc.Constant {
+				continue
+			}
+			if ci < len(carried) && carried[ci] != nil &&
+				carried[ci].Kind == p.Args[ai].Ptr.Buf.Kind &&
+				carried[ci].Len() == p.Args[ai].Ptr.Buf.Len() &&
+				p.Args[ai].Ptr.Buf.Space != clc.Local {
+				p.Args[ai] = interp.PtrValue(&interp.Pointer{
+					Buf: carried[ci], Off: p.Args[ai].Ptr.Off, Elem: p.Args[ai].Ptr.Elem,
+				})
+			}
+			ci++
+		}
+		prof, err := st.Kernel.Run(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("driver: stage %d (%s): %w", i, st.Kernel.Name, err)
+		}
+		res.Profiles = append(res.Profiles, prof)
+		res.Total.Add(prof)
+		if i == 0 {
+			res.TransferBytes = p.TransferBytes
+		}
+		// Carry all global buffers forward.
+		carried = carried[:0]
+		for _, a := range p.Args {
+			if a.IsPointer() {
+				carried = append(carried, a.Ptr.Buf)
+			} else {
+				carried = append(carried, nil)
+			}
+		}
+		coal := 0.0
+		if st.Kernel.Static.Mem > 0 {
+			coal = float64(st.Kernel.Static.Coalesced) / float64(st.Kernel.Static.Mem)
+		}
+		w := platform.Workload{Profile: prof, CoalescedFrac: coal, WorkItems: int64(size)}
+		cpuKernel += sys.CPU.KernelTime(w) + sys.CPU.LaunchOverheadS
+		gpuKernel += sys.GPU.KernelTime(w) + sys.GPU.LaunchOverheadS
+	}
+	// One transfer round trip amortized across the whole schedule — the
+	// benefit multi-kernel scheduling exists to capture.
+	res.CPUTime = cpuKernel + sys.CPU.TransferTime(res.TransferBytes)
+	res.GPUTime = gpuKernel + sys.GPU.TransferTime(res.TransferBytes)
+	res.Oracle = platform.CPU
+	if res.GPUTime < res.CPUTime {
+		res.Oracle = platform.GPU
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clgen/internal/grewe"
+	"clgen/internal/platform"
+)
+
+// Figure7System is one panel of Figure 7: per NPB-program×class speedups
+// of the Grewe et al. model over the best static single-device mapping,
+// without and with CLgen synthetic benchmarks in the training set.
+type Figure7System struct {
+	System   string
+	Baseline platform.DeviceType // the best static device (paper: CPU on AMD, GPU on NVIDIA)
+	Bars     []Figure7Bar
+	// Geomean speedups over the static baseline.
+	MeanGrewe float64
+	MeanCLgen float64
+	// ImprovedFraction is the share of benchmarks whose prediction
+	// improved with synthetic training data.
+	ImprovedFraction float64
+}
+
+// Figure7Bar is one benchmark×dataset bar pair.
+type Figure7Bar struct {
+	Name      string
+	Grewe     float64 // speedup without synthetic benchmarks
+	WithCLgen float64
+}
+
+// Figure7Result holds both systems plus the headline improvement factor.
+type Figure7Result struct {
+	Panels []Figure7System
+	// Improvement is geomean(with)/geomean(without) across both systems —
+	// the paper's headline 1.27×.
+	Improvement float64
+}
+
+// Figure7 reproduces Figure 7: the Grewe et al. model evaluated on the NAS
+// Parallel Benchmarks by leave-one-benchmark-out cross-validation, with
+// the remaining six suites' observations always available for training (as
+// in [14], which augments training with additional GPGPU kernels), ±
+// synthetic CLgen benchmarks.
+func Figure7(w *World) (*Figure7Result, error) {
+	res := &Figure7Result{}
+	var prodWith, prodWithout float64 = 1, 1
+	for _, sys := range Systems {
+		npb := w.SuiteObs(sys.Name, "NPB")
+		if len(npb) == 0 {
+			return nil, fmt.Errorf("figure7: no NPB observations")
+		}
+		// Auxiliary training kernels from the other suites (the paper's
+		// §7.1 uses 142 programs from all seven suites).
+		var aux []*grewe.Observation
+		for _, s := range []string{"Rodinia", "NVIDIA", "AMD", "Parboil", "PolyBench", "SHOC"} {
+			aux = append(aux, w.SuiteObs(sys.Name, s)...)
+		}
+		baseline := grewe.BestStaticDevice(npb)
+
+		without, err := grewe.CrossValidate(npb, aux, grewe.Combined)
+		if err != nil {
+			return nil, fmt.Errorf("figure7 %s: %w", sys.Name, err)
+		}
+		withSynth, err := grewe.CrossValidate(npb, append(append([]*grewe.Observation{}, aux...),
+			w.SynthObs[sys.Name]...), grewe.Combined)
+		if err != nil {
+			return nil, fmt.Errorf("figure7 %s: %w", sys.Name, err)
+		}
+
+		panel := Figure7System{System: sys.Name, Baseline: baseline}
+		improved := 0
+		for i := range without {
+			g := without[i].Obs.M.TimeOn(baseline) / without[i].PredictedTime()
+			c := withSynth[i].Obs.M.TimeOn(baseline) / withSynth[i].PredictedTime()
+			panel.Bars = append(panel.Bars, Figure7Bar{
+				Name: without[i].Obs.M.Kernel, Grewe: g, WithCLgen: c,
+			})
+			if c > g {
+				improved++
+			}
+		}
+		panel.MeanGrewe = grewe.SpeedupOver(without, baseline)
+		panel.MeanCLgen = grewe.SpeedupOver(withSynth, baseline)
+		panel.ImprovedFraction = float64(improved) / float64(len(without))
+		res.Panels = append(res.Panels, panel)
+		prodWithout *= panel.MeanGrewe
+		prodWith *= panel.MeanCLgen
+	}
+	// Geometric mean of the two systems' improvement factors.
+	res.Improvement = math.Sqrt(prodWith / prodWithout)
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	for _, p := range r.Panels {
+		fmt.Fprintf(&b, "%s system (speedup over %s-only):\n", p.System, p.Baseline)
+		for _, bar := range p.Bars {
+			fmt.Fprintf(&b, "  %-22s grewe %6.2fx   +clgen %6.2fx\n", bar.Name, bar.Grewe, bar.WithCLgen)
+		}
+		fmt.Fprintf(&b, "  %-22s grewe %6.2fx   +clgen %6.2fx  (improved on %.1f%% of benchmarks)\n",
+			"GEOMEAN", p.MeanGrewe, p.MeanCLgen, p.ImprovedFraction*100)
+	}
+	fmt.Fprintf(&b, "overall improvement from synthetic benchmarks: %.2fx (paper: 1.27x)\n", r.Improvement)
+	return b.String()
+}

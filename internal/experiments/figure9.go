@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"clgen/internal/clsmith"
+	"clgen/internal/corpus"
+	"clgen/internal/features"
+	"clgen/internal/model"
+	"clgen/internal/suites"
+)
+
+// Figure9Series is one line of Figure 9: for a kernel source, the number
+// of kernels (out of the first K) whose static code features exactly match
+// some benchmark's, with the standard deviation over resamplings.
+type Figure9Series struct {
+	Source  string
+	Ks      []int
+	Matches []float64
+	Stddev  []float64
+	// PoolSize is the number of kernels available (GitHub is finite).
+	PoolSize int
+	// MatchFraction is matches/pool at the full pool.
+	MatchFraction float64
+	// PerBenchmark is the mean number of matching kernels per benchmark.
+	PerBenchmark float64
+}
+
+// Figure9Result is the complete figure.
+type Figure9Result struct {
+	Series     []Figure9Series
+	Benchmarks int
+}
+
+// figure9Resamples is the number of random samplings (the paper uses 10).
+const figure9Resamples = 10
+
+// Figure9 reproduces Figure 9: GitHub kernels, CLSmith kernels, and CLgen
+// kernels are compared by how often their static feature vectors (Table 2a
+// plus the branch feature) coincide with those of the 71 benchmarks.
+// maxKernels bounds the per-source pool (the paper uses 10,000).
+func Figure9(w *World, maxKernels int) (*Figure9Result, error) {
+	if maxKernels <= 0 {
+		maxKernels = 2000
+	}
+	benchKeys := map[string]int{}
+	for _, b := range suites.All() {
+		k, err := b.Load()
+		if err != nil {
+			return nil, fmt.Errorf("figure9: %w", err)
+		}
+		benchKeys[k.Static.Key()]++
+	}
+
+	// Assemble pools of static feature keys.
+	githubKeys := keysOf(w.CLgen.Corpus.Kernels, maxKernels)
+
+	clsmithSrcs := clsmith.GenerateN(w.Cfg.Seed+500, maxKernels)
+	clsmithKeys := keysOf(clsmithSrcs, maxKernels)
+
+	clgenKeys := w.clgenKeys(maxKernels)
+
+	res := &Figure9Result{Benchmarks: len(suites.All())}
+	rng := rand.New(rand.NewSource(w.Cfg.Seed + 900))
+	for _, src := range []struct {
+		name string
+		keys []string
+	}{
+		{"GitHub", githubKeys},
+		{"CLSmith", clsmithKeys},
+		{"CLgen", clgenKeys},
+	} {
+		res.Series = append(res.Series, matchCurve(src.name, src.keys, benchKeys, maxKernels, rng))
+	}
+	return res, nil
+}
+
+// clgenKeys samples accepted kernels beyond the world's synthesis batch
+// until the requested pool size (or the attempt budget) is reached.
+func (w *World) clgenKeys(maxKernels int) []string {
+	var keys []string
+	for _, src := range w.Synth {
+		if k := keyOf(src); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	rng := rand.New(rand.NewSource(w.Cfg.Seed + 700))
+	attempts := 0
+	for len(keys) < maxKernels && attempts < maxKernels*8 {
+		attempts++
+		src := w.CLgen.Model.SampleKernel(rng, model.SampleOpts{Seed: model.FreeSeed})
+		if !corpus.FilterSample(src).OK {
+			continue
+		}
+		if k := keyOf(src); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func keyOf(src string) string {
+	fs, err := features.ExtractSource(src)
+	if err != nil || len(fs) == 0 {
+		return ""
+	}
+	return fs[0].Key()
+}
+
+func keysOf(srcs []string, cap int) []string {
+	var keys []string
+	for _, s := range srcs {
+		if len(keys) >= cap {
+			break
+		}
+		if k := keyOf(s); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// matchCurve counts benchmark-feature matches in random prefixes of the
+// pool at ten checkpoints, averaged over resamplings.
+func matchCurve(name string, pool []string, benchKeys map[string]int, maxKernels int, rng *rand.Rand) Figure9Series {
+	s := Figure9Series{Source: name, PoolSize: len(pool)}
+	if len(pool) == 0 {
+		return s
+	}
+	steps := 10
+	for i := 1; i <= steps; i++ {
+		k := maxKernels * i / steps
+		if k > len(pool) {
+			k = len(pool) // finite pools plateau (GitHub)
+		}
+		var vals []float64
+		for r := 0; r < figure9Resamples; r++ {
+			perm := rng.Perm(len(pool))
+			matches := 0
+			for _, idx := range perm[:k] {
+				if benchKeys[pool[idx]] > 0 {
+					matches++
+				}
+			}
+			vals = append(vals, float64(matches))
+		}
+		mean, std := meanStd(vals)
+		s.Ks = append(s.Ks, maxKernels*i/steps)
+		s.Matches = append(s.Matches, mean)
+		s.Stddev = append(s.Stddev, std)
+	}
+	total := 0
+	matchedBench := map[string]bool{}
+	for _, k := range pool {
+		if benchKeys[k] > 0 {
+			total++
+			matchedBench[k] = true
+		}
+	}
+	s.MatchFraction = float64(total) / float64(len(pool))
+	var benchTotal int
+	for range benchKeys {
+		benchTotal++
+	}
+	if benchTotal > 0 {
+		s.PerBenchmark = float64(total) / float64(benchTotal)
+	}
+	return s
+}
+
+func meanStd(vals []float64) (float64, float64) {
+	var m float64
+	for _, v := range vals {
+		m += v
+	}
+	m /= float64(len(vals))
+	var s2 float64
+	for _, v := range vals {
+		d := v - m
+		s2 += d * d
+	}
+	return m, math.Sqrt(s2 / float64(len(vals)))
+}
+
+// Render prints the three series.
+func (r *Figure9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark feature-space matches vs #kernels (%d benchmarks):\n", r.Benchmarks)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-8s (pool %d, match rate %5.2f%%, %.1f per benchmark)\n",
+			s.Source, s.PoolSize, s.MatchFraction*100, s.PerBenchmark)
+		for i := range s.Ks {
+			fmt.Fprintf(&b, "   k=%6d  matches %8.1f ± %.1f\n", s.Ks[i], s.Matches[i], s.Stddev[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"clgen/internal/grewe"
+	"clgen/internal/ml"
+	"clgen/internal/platform"
+)
+
+// Figure2Row is one bar of Figure 2: the mean number of benchmarks used
+// per paper, by benchmark origin, from the paper's survey of 25 GPGPU
+// papers (CGO/HiPC/PACT/PPoPP 2013–2016). The survey data is fixed input,
+// reproduced here so the harness regenerates the figure.
+type Figure2Row struct {
+	Origin string
+	Mean   float64
+}
+
+// Figure2 returns the survey series. The seven most frequently used suites
+// (those this repository implements) account for 92% of results.
+func Figure2() []Figure2Row {
+	return []Figure2Row{
+		{"Rodinia", 6.5}, {"NVIDIA SDK", 3.4}, {"AMD SDK", 2.6},
+		{"Parboil", 2.4}, {"NAS", 1.2}, {"Polybench", 0.6}, {"SHOC", 0.5},
+		{"Ad-hoc", 0.3}, {"ISPASS", 0.2}, {"Ploybench", 0.2},
+		{"Lonestar", 0.2}, {"SPEC-Viewperf", 0.1}, {"MARS", 0.1}, {"GPGPUsim", 0.1},
+	}
+}
+
+// RenderFigure2 prints the series as an ASCII bar chart.
+func RenderFigure2(rows []Figure2Row) string {
+	var b strings.Builder
+	b.WriteString("Mean #benchmarks used per GPGPU paper, by origin:\n")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(math.Round(r.Mean*6)))
+		fmt.Fprintf(&b, "%-14s %4.1f %s\n", r.Origin, r.Mean, bar)
+	}
+	return b.String()
+}
+
+// Figure3Point is one benchmark projected into the first two principal
+// components of the Grewe feature space, with its prediction outcome.
+type Figure3Point struct {
+	Bench      string
+	PC1, PC2   float64
+	Correct    bool
+	Additional bool // a hand-selected neighboring observation (panel b)
+}
+
+// Figure3Result holds both panels of Figure 3.
+type Figure3Result struct {
+	Before []Figure3Point // (a): Parboil only
+	After  []Figure3Point // (b): with neighboring observations added
+	// Explained variance of the two components.
+	Explained []float64
+	// FixedOutliers counts benchmarks wrong in (a) and right in (b).
+	FixedOutliers int
+}
+
+// Figure3 reproduces the Figure 3 experiment on the NVIDIA system:
+// leave-one-benchmark-out predictions over Parboil alone leave sparse
+// outliers mispredicted; adding hand-selected neighboring observations
+// (the nearest other-suite points in feature space) corrects them.
+func Figure3(w *World) (*Figure3Result, error) {
+	sys := platform.SystemNVIDIA.Name
+	parboil := w.SuiteObs(sys, "Parboil")
+	if len(parboil) == 0 {
+		return nil, fmt.Errorf("figure3: no Parboil observations")
+	}
+	// PCA over the combined feature space of the Parboil observations.
+	var X [][]float64
+	for _, o := range parboil {
+		X = append(X, o.M.Vector.Combined())
+	}
+	pca, err := ml.PCA(X, 2)
+	if err != nil {
+		return nil, fmt.Errorf("figure3: %w", err)
+	}
+
+	predict := func(extra []*grewe.Observation) (map[*grewe.Observation]bool, error) {
+		preds, err := grewe.CrossValidate(parboil, extra, grewe.Combined)
+		if err != nil {
+			return nil, err
+		}
+		out := map[*grewe.Observation]bool{}
+		for _, p := range preds {
+			out[p.Obs] = p.Correct()
+		}
+		return out, nil
+	}
+
+	before, err := predict(nil)
+	if err != nil {
+		return nil, fmt.Errorf("figure3: %w", err)
+	}
+
+	// Hand-select neighbors: for each mispredicted Parboil observation,
+	// take the nearest other-suite observations in the projected space.
+	var pool []*grewe.Observation
+	for _, s := range []string{"NPB", "Rodinia", "NVIDIA", "AMD", "PolyBench", "SHOC"} {
+		pool = append(pool, w.SuiteObs(sys, s)...)
+	}
+	var extra []*grewe.Observation
+	seen := map[*grewe.Observation]bool{}
+	for _, o := range parboil {
+		if before[o] {
+			continue
+		}
+		target := pca.Transform(o.M.Vector.Combined())
+		type cand struct {
+			o *grewe.Observation
+			d float64
+		}
+		var cs []cand
+		for _, p := range pool {
+			z := pca.Transform(p.M.Vector.Combined())
+			d := math.Hypot(z[0]-target[0], z[1]-target[1])
+			cs = append(cs, cand{p, d})
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i].d < cs[j].d })
+		for i := 0; i < 6 && i < len(cs); i++ {
+			if !seen[cs[i].o] {
+				seen[cs[i].o] = true
+				extra = append(extra, cs[i].o)
+			}
+		}
+	}
+
+	after, err := predict(extra)
+	if err != nil {
+		return nil, fmt.Errorf("figure3: %w", err)
+	}
+
+	r := &Figure3Result{Explained: pca.Explained}
+	for _, o := range parboil {
+		z := pca.Transform(o.M.Vector.Combined())
+		r.Before = append(r.Before, Figure3Point{
+			Bench: o.M.Kernel, PC1: z[0], PC2: z[1], Correct: before[o],
+		})
+		r.After = append(r.After, Figure3Point{
+			Bench: o.M.Kernel, PC1: z[0], PC2: z[1], Correct: after[o],
+		})
+		if !before[o] && after[o] {
+			r.FixedOutliers++
+		}
+	}
+	for _, e := range extra {
+		z := pca.Transform(e.M.Vector.Combined())
+		r.After = append(r.After, Figure3Point{
+			Bench: e.M.Kernel, PC1: z[0], PC2: z[1], Correct: true, Additional: true,
+		})
+	}
+	return r, nil
+}
+
+// Render prints both panels.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	panel := func(title string, pts []Figure3Point) {
+		fmt.Fprintf(&b, "%s\n", title)
+		for _, p := range pts {
+			mark := "correct  "
+			if !p.Correct {
+				mark = "INCORRECT"
+			}
+			if p.Additional {
+				mark = "additional"
+			}
+			fmt.Fprintf(&b, "  %-28s PC1=%+7.3f PC2=%+7.3f  %s\n", p.Bench, p.PC1, p.PC2, mark)
+		}
+	}
+	panel("(a) Parboil alone:", r.Before)
+	panel("(b) with neighboring observations:", r.After)
+	fmt.Fprintf(&b, "outliers corrected by added neighbors: %d\n", r.FixedOutliers)
+	return b.String()
+}

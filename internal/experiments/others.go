@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clgen/internal/clsmith"
+	"clgen/internal/corpus"
+	"clgen/internal/features"
+	"clgen/internal/platform"
+	"clgen/internal/rewriter"
+	"clgen/internal/suites"
+	"clgen/internal/turing"
+)
+
+// --- §6.1 Turing test ---
+
+// TuringResult summarizes the §6.1 experiment.
+type TuringResult struct {
+	Control turing.GroupResult // 5 judges on CLSmith vs human
+	CLgen   turing.GroupResult // 10 judges on CLgen vs human
+}
+
+// TuringTest reproduces §6.1: 15 volunteer judges, 10 kernels each, split
+// 10 (CLgen) / 5 (control, CLSmith), double-blind over equal pools of
+// rewritten machine and human code.
+func TuringTest(w *World) (*TuringResult, error) {
+	human := w.CLgen.Corpus.Kernels
+	if len(human) < 20 {
+		return nil, fmt.Errorf("turing: only %d human kernels", len(human))
+	}
+	var clsmithPool []string
+	for _, src := range clsmith.GenerateN(w.Cfg.Seed+300, 40) {
+		norm, err := rewriter.Normalize(src, nil)
+		if err != nil {
+			return nil, fmt.Errorf("turing: %w", err)
+		}
+		clsmithPool = append(clsmithPool, norm)
+	}
+	clgenPool := w.Synth
+	if len(clgenPool) == 0 {
+		return nil, fmt.Errorf("turing: no synthetic kernels")
+	}
+	panel, err := turing.NewPanel(w.CLgen.Corpus.Text, human[:len(human)/4])
+	if err != nil {
+		return nil, err
+	}
+	return &TuringResult{
+		Control: panel.RunGroup(clsmithPool, human, 5, 10, w.Cfg.Seed+41),
+		CLgen:   panel.RunGroup(clgenPool, human, 10, 10, w.Cfg.Seed+42),
+	}, nil
+}
+
+// Render prints the group scores.
+func (r *TuringResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "control group (CLSmith): mean %.0f%% (stdev %.0f%%), false positives %d, false negatives %d  [paper: 96%%, σ9%%, no FPs]\n",
+		r.Control.Mean*100, r.Control.Stdev*100, r.Control.FalsePositives, r.Control.FalseNegatives)
+	fmt.Fprintf(&b, "CLgen group:             mean %.0f%% (stdev %.0f%%)  [paper: 52%%, σ17%% — chance level]\n",
+		r.CLgen.Mean*100, r.CLgen.Stdev*100)
+	return b.String()
+}
+
+// --- §4.1 corpus statistics ---
+
+// CorpusStats returns the pipeline statistics (§4.1's reported numbers:
+// discard rate 40%→32% with the shim, vocabulary −84%, kernel counts).
+func CorpusStats(w *World) corpus.Stats {
+	return w.CLgen.Corpus.Stats
+}
+
+// RenderCorpusStats prints the §4.1 quantities.
+func RenderCorpusStats(s corpus.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "content files mined:        %d (%d lines)\n", s.Files, s.Lines)
+	fmt.Fprintf(&b, "discard rate without shim:  %.0f%%  [paper: 40%%]\n", s.DiscardRateNoShim*100)
+	fmt.Fprintf(&b, "discard rate with shim:     %.0f%%  [paper: 32%%]\n", s.DiscardRateShim*100)
+	fmt.Fprintf(&b, "accepted files:             %d (%d lines)\n", s.AcceptedFiles, s.AcceptedLines)
+	fmt.Fprintf(&b, "corpus kernels:             %d (%d lines after rewriting)\n", s.Kernels, s.CorpusLines)
+	fmt.Fprintf(&b, "identifier vocabulary:      %d -> %d (-%.0f%%)  [paper: -84%%]\n",
+		s.VocabBefore, s.VocabAfter, s.VocabReduction()*100)
+	fmt.Fprintf(&b, "rejection reasons:\n%s", s.ReasonsSummary())
+	return b.String()
+}
+
+// --- Listing 2: feature-space collisions ---
+
+// Collision is a synthetic kernel indistinguishable from a benchmark in
+// the original static feature space but separated by the branch feature.
+type Collision struct {
+	Benchmark string
+	KernelIdx int
+	// SameMapping reports whether the optimal mapping also coincided; a
+	// false value is the dangerous case the paper highlights.
+	SameMapping bool
+}
+
+// CollisionResult summarizes the Listing 2 analysis.
+type CollisionResult struct {
+	// CollisionsNoBranch counts synthetic kernels matching some benchmark
+	// on (comp, mem, localmem, coalesced) only.
+	CollisionsNoBranch int
+	// RemainingWithBranch counts those still colliding once the branch
+	// feature is added.
+	RemainingWithBranch int
+	// ConflictingMappings counts collisions whose optimal device differed
+	// from the benchmark's — the misleading training points.
+	ConflictingMappings int
+	Examples            []Collision
+}
+
+// Collisions searches the synthetic kernels for Listing 2 situations on
+// the AMD system: identical original static features as a benchmark, with
+// or without agreement once branches are counted.
+func Collisions(w *World) (*CollisionResult, error) {
+	type benchInfo struct {
+		id     string
+		st     features.Static
+		oracle platform.DeviceType
+	}
+	var infos []benchInfo
+	for _, o := range w.AllObs(platform.SystemAMD.Name) {
+		infos = append(infos, benchInfo{o.Bench, o.M.Vector.Static, o.M.Oracle})
+	}
+	noBranchKey := func(s features.Static) string {
+		return fmt.Sprintf("%d/%d/%d/%d", s.Comp, s.Mem, s.LocalMem, s.Coalesced)
+	}
+	byKey := map[string][]benchInfo{}
+	for _, bi := range infos {
+		byKey[noBranchKey(bi.st)] = append(byKey[noBranchKey(bi.st)], bi)
+	}
+	res := &CollisionResult{}
+	for _, so := range w.SynthObs[platform.SystemAMD.Name] {
+		st := so.M.Vector.Static
+		for _, bi := range byKey[noBranchKey(st)] {
+			res.CollisionsNoBranch++
+			if st.Branches == bi.st.Branches {
+				res.RemainingWithBranch++
+			}
+			same := so.M.Oracle == bi.oracle
+			if !same {
+				res.ConflictingMappings++
+			}
+			if len(res.Examples) < 8 {
+				res.Examples = append(res.Examples, Collision{
+					Benchmark: bi.id, SameMapping: same,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the collision analysis.
+func (r *CollisionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "synthetic kernels colliding with benchmarks in the original static features: %d\n", r.CollisionsNoBranch)
+	fmt.Fprintf(&b, "  of which had a different optimal mapping (Listing 2's hazard): %d\n", r.ConflictingMappings)
+	fmt.Fprintf(&b, "  still colliding after adding the branch feature: %d\n", r.RemainingWithBranch)
+	for _, e := range r.Examples {
+		agree := "same mapping"
+		if !e.SameMapping {
+			agree = "DIFFERENT mapping"
+		}
+		fmt.Fprintf(&b, "  collision with %-24s (%s)\n", e.Benchmark, agree)
+	}
+	return b.String()
+}
+
+// --- Tables 2, 3, 4 (descriptive) ---
+
+// RenderTable2 prints the feature definitions.
+func RenderTable2() string {
+	var b strings.Builder
+	b.WriteString("(a) raw code features:\n")
+	b.WriteString("  comp      static   #. compute operations\n")
+	b.WriteString("  mem       static   #. accesses to global memory\n")
+	b.WriteString("  localmem  static   #. accesses to local memory\n")
+	b.WriteString("  coalesced static   #. coalesced memory accesses\n")
+	b.WriteString("  transfer  dynamic  size of data transfers\n")
+	b.WriteString("  wgsize    dynamic  #. work-items per kernel\n")
+	b.WriteString("  branches  static   #. branching operations (§8.2 extension)\n")
+	b.WriteString("(b) combined features:\n")
+	for _, n := range features.CombinedNames {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderTable3 prints the benchmark inventory.
+func RenderTable3() string {
+	var b strings.Builder
+	total, kernels := 0, 0
+	fmt.Fprintf(&b, "%-12s %12s %10s\n", "suite", "#benchmarks", "#datasets")
+	for _, s := range suites.Suites {
+		bs := suites.BySuite(s)
+		ds := 0
+		for _, bench := range bs {
+			ds += len(bench.Datasets)
+		}
+		fmt.Fprintf(&b, "%-12s %12d %10d\n", s, len(bs), ds)
+		total += len(bs)
+		kernels += ds
+	}
+	fmt.Fprintf(&b, "%-12s %12d %10d\n", "Total", total, kernels)
+	return b.String()
+}
+
+// RenderTable4 prints the platform specifications.
+func RenderTable4() string {
+	var b strings.Builder
+	for _, d := range []*platform.Device{platform.IntelI7, platform.AMDTahiti, platform.NVIDIAGTX970} {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	fmt.Fprintf(&b, "systems: %s = {%s, %s}; %s = {%s, %s}\n",
+		platform.SystemAMD.Name, platform.SystemAMD.CPU.Name, platform.SystemAMD.GPU.Name,
+		platform.SystemNVIDIA.Name, platform.SystemNVIDIA.CPU.Name, platform.SystemNVIDIA.GPU.Name)
+	return b.String()
+}

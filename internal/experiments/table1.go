@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clgen/internal/grewe"
+	"clgen/internal/platform"
+	"clgen/internal/suites"
+)
+
+// Table1Result is the cross-suite performance grid: Grid[i][j] is the
+// fraction of optimal performance achieved when training the Grewe et al.
+// model on suite i and testing on suite j (i == j left as NaN-like 0),
+// evaluated on the AMD system as in the paper.
+type Table1Result struct {
+	Suites []string
+	Grid   [][]float64
+	// BestTrainSuite is the training suite with the highest mean transfer
+	// performance (the paper finds NVIDIA SDK at 49%).
+	BestTrainSuite string
+	BestMean       float64
+	// WorstCell identifies the weakest transfer pair.
+	WorstTrain, WorstTest string
+	WorstValue            float64
+}
+
+// Table1 reproduces Table 1: cross-suite generalization of the original
+// Grewe et al. model on the AMD platform.
+func Table1(w *World) (*Table1Result, error) {
+	sys := platform.SystemAMD.Name
+	r := &Table1Result{Suites: suites.Suites}
+	r.WorstValue = 2
+	means := map[string]float64{}
+	for _, trainSuite := range suites.Suites {
+		var row []float64
+		var sum float64
+		var cells int
+		for _, testSuite := range suites.Suites {
+			if trainSuite == testSuite {
+				row = append(row, 0)
+				continue
+			}
+			preds, err := grewe.TrainTest(
+				w.SuiteObs(sys, trainSuite),
+				w.SuiteObs(sys, testSuite),
+				grewe.Combined,
+			)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s->%s: %w", trainSuite, testSuite, err)
+			}
+			perf := grewe.PerfVsOracle(preds)
+			row = append(row, perf)
+			sum += perf
+			cells++
+			if perf < r.WorstValue {
+				r.WorstValue = perf
+				r.WorstTrain, r.WorstTest = trainSuite, testSuite
+			}
+		}
+		r.Grid = append(r.Grid, row)
+		means[trainSuite] = sum / float64(cells)
+		if means[trainSuite] > r.BestMean {
+			r.BestMean = means[trainSuite]
+			r.BestTrainSuite = trainSuite
+		}
+	}
+	return r, nil
+}
+
+// Render formats the grid in the paper's layout (columns: training suite;
+// rows: testing suite).
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, s := range r.Suites {
+		fmt.Fprintf(&b, "%10s", s)
+	}
+	b.WriteString("\n")
+	for j, test := range r.Suites {
+		fmt.Fprintf(&b, "%-10s", test)
+		for i := range r.Suites {
+			if i == j {
+				fmt.Fprintf(&b, "%10s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%9.1f%%", r.Grid[i][j]*100)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nbest training suite: %s (mean %.1f%% of optimal)\n",
+		r.BestTrainSuite, r.BestMean*100)
+	fmt.Fprintf(&b, "worst transfer: %s -> %s (%.1f%%)\n",
+		r.WorstTrain, r.WorstTest, r.WorstValue*100)
+	return b.String()
+}

@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a pure function of a World — the shared
+// state of one experimental campaign: the mined corpus, the trained CLgen
+// model, the synthesized kernels, and the measured observations of every
+// benchmark suite on both Table 4 systems.
+package experiments
+
+import (
+	"fmt"
+
+	"clgen/internal/core"
+	"clgen/internal/driver"
+	"clgen/internal/github"
+	"clgen/internal/grewe"
+	"clgen/internal/model"
+	"clgen/internal/platform"
+	"clgen/internal/suites"
+)
+
+// Config scales an experimental campaign. The zero value gives the full
+// configuration used by cmd/clexp; tests use TestConfig.
+type Config struct {
+	Seed int64
+	// MinerRepos scales the synthetic GitHub mine (default 150).
+	MinerRepos int
+	// SynthKernels is the number of CLgen benchmarks to synthesize
+	// (default 300; the paper used 1000).
+	SynthKernels int
+	// PayloadSizes are the host-driver global sizes swept per synthetic
+	// kernel (the paper sweeps payloads from 128B to 130MB).
+	PayloadSizes []int
+	// ExecCap bounds executed NDRange sizes; larger nominal sizes are
+	// extrapolated (see interp.Profile.Scale). 0 keeps the suites default.
+	ExecCap int
+	// Quiet suppresses progress logging.
+	Quiet bool
+	// Log receives progress lines when not quiet.
+	Log func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinerRepos <= 0 {
+		c.MinerRepos = 150
+	}
+	if c.SynthKernels <= 0 {
+		c.SynthKernels = 400
+	}
+	if len(c.PayloadSizes) == 0 {
+		c.PayloadSizes = []int{2048, 16384, 131072, 1 << 20}
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	if c.Quiet {
+		c.Log = func(string, ...any) {}
+	}
+}
+
+// TestConfig is a fast configuration for unit tests.
+func TestConfig() Config {
+	return Config{
+		Seed:         7,
+		MinerRepos:   60,
+		SynthKernels: 60,
+		PayloadSizes: []int{4096, 262144},
+		ExecCap:      2048,
+		Quiet:        true,
+	}
+}
+
+// Systems are the two experimental platforms.
+var Systems = []*platform.System{platform.SystemAMD, platform.SystemNVIDIA}
+
+// World is the shared state of one campaign.
+type World struct {
+	Cfg   Config
+	CLgen *core.CLgen
+	Synth []string // accepted synthetic kernels
+	Stats core.SynthesisStats
+	// Obs maps system name -> suite name -> observations.
+	Obs map[string]map[string][]*grewe.Observation
+	// SynthObs maps system name -> synthetic observations.
+	SynthObs map[string][]*grewe.Observation
+}
+
+// BuildWorld mines, trains, synthesizes, and measures everything.
+func BuildWorld(cfg Config) (*World, error) {
+	cfg.defaults()
+	w := &World{
+		Cfg:      cfg,
+		Obs:      map[string]map[string][]*grewe.Observation{},
+		SynthObs: map[string][]*grewe.Observation{},
+	}
+
+	if cfg.ExecCap > 0 {
+		suites.ExecCap = cfg.ExecCap
+	}
+	cfg.Log("building corpus and training model (repos=%d)...", cfg.MinerRepos)
+	g, err := core.Build(core.Config{
+		Miner: github.MinerConfig{Seed: cfg.Seed, Repos: cfg.MinerRepos, FilesPerRepo: 8},
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.CLgen = g
+
+	cfg.Log("synthesizing %d kernels...", cfg.SynthKernels)
+	synth, stats, err := g.Synthesize(cfg.SynthKernels,
+		model.SampleOpts{Seed: model.FreeSeed, Temperature: 1.0}, cfg.Seed+100)
+	if err != nil {
+		// Partial synthesis is usable; record what we got.
+		cfg.Log("synthesis shortfall: %v", err)
+	}
+	w.Synth = synth
+	w.Stats = stats
+
+	cfg.Log("measuring benchmark suites...")
+	if err := w.measureSuites(); err != nil {
+		return nil, err
+	}
+	cfg.Log("measuring synthetic kernels...")
+	w.measureSynthetic()
+	return w, nil
+}
+
+func (w *World) measureSuites() error {
+	for _, sys := range Systems {
+		w.Obs[sys.Name] = map[string][]*grewe.Observation{}
+	}
+	for _, b := range suites.All() {
+		k, err := b.Load()
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		for _, ds := range b.Datasets {
+			// Execute once (on the AMD system), then re-model the same
+			// profile for the NVIDIA system: the device models share the
+			// execution profile, not the hardware.
+			mAMD, err := b.Measure(k, ds, platform.SystemAMD, w.Cfg.Seed+11)
+			if err != nil {
+				return fmt.Errorf("experiments: %w", err)
+			}
+			mNV, err := driver.MeasureProfile(k, mAMD.Profile, mAMD.Vector.Transfer,
+				mAMD.GlobalSize, int(mAMD.Vector.WgSize), platform.SystemNVIDIA)
+			if err != nil {
+				return fmt.Errorf("experiments: %w", err)
+			}
+			mNV.Kernel = mAMD.Kernel
+			w.Obs[platform.SystemAMD.Name][b.Suite] = append(w.Obs[platform.SystemAMD.Name][b.Suite],
+				&grewe.Observation{Bench: b.ID(), M: mAMD})
+			w.Obs[platform.SystemNVIDIA.Name][b.Suite] = append(w.Obs[platform.SystemNVIDIA.Name][b.Suite],
+				&grewe.Observation{Bench: b.ID(), M: mNV})
+		}
+	}
+	return nil
+}
+
+// measureSynthetic drives every accepted synthetic kernel through the host
+// driver and dynamic checker at each payload size. Kernels the checker
+// rejects contribute nothing — exactly the paper's pipeline.
+func (w *World) measureSynthetic() {
+	usable := 0
+	for i, src := range w.Synth {
+		k, err := driver.Load(src)
+		if err != nil {
+			continue
+		}
+		kernelUsable := false
+		for _, size := range w.Cfg.PayloadSizes {
+			mAMD, err := driver.Measure(k, size, platform.SystemAMD, w.Cfg.Seed+int64(i)*31,
+				driver.MeasureConfig{
+					ExecCap: suites.ExecCap,
+					// Synthesized kernels can be quadratic (loop bounds tied
+					// to the payload size); bound the timeout budget so they
+					// fail fast like a wall-clock timeout would.
+					Run: driver.RunConfig{MaxSteps: 16 << 20},
+				})
+			if err != nil {
+				continue
+			}
+			mAMD.Kernel = fmt.Sprintf("clgen-%04d@%d", i, size)
+			mNV, err := driver.MeasureProfile(k, mAMD.Profile, mAMD.Vector.Transfer,
+				mAMD.GlobalSize, int(mAMD.Vector.WgSize), platform.SystemNVIDIA)
+			if err != nil {
+				continue
+			}
+			mNV.Kernel = mAMD.Kernel
+			w.SynthObs[platform.SystemAMD.Name] = append(w.SynthObs[platform.SystemAMD.Name],
+				&grewe.Observation{Bench: "synthetic", M: mAMD})
+			w.SynthObs[platform.SystemNVIDIA.Name] = append(w.SynthObs[platform.SystemNVIDIA.Name],
+				&grewe.Observation{Bench: "synthetic", M: mNV})
+			kernelUsable = true
+		}
+		if kernelUsable {
+			usable++
+		}
+	}
+	w.Cfg.Log("synthetic kernels passing the dynamic checker: %d/%d", usable, len(w.Synth))
+}
+
+// SuiteObs returns all observations of one suite on a system.
+func (w *World) SuiteObs(system, suite string) []*grewe.Observation {
+	return w.Obs[system][suite]
+}
+
+// AllObs returns every suite observation on a system, suites in canonical
+// order.
+func (w *World) AllObs(system string) []*grewe.Observation {
+	var out []*grewe.Observation
+	for _, s := range suites.Suites {
+		out = append(out, w.Obs[system][s]...)
+	}
+	return out
+}

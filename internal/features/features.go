@@ -1,0 +1,311 @@
+// Package features extracts the Grewe et al. predictive-model features
+// (Table 2 of the paper) from OpenCL kernels: four static code features
+// (comp, mem, localmem, coalesced), two dynamic features supplied by the
+// host driver (transfer, wgsize), the four combined features F1–F4, and the
+// additional static branch counter that §8.2 introduces to repair the
+// feature space.
+package features
+
+import (
+	"fmt"
+
+	"clgen/internal/clc"
+	"clgen/internal/ir"
+)
+
+// Static holds the static code features of one kernel.
+type Static struct {
+	Kernel    string
+	Comp      int // #. compute operations
+	Mem       int // #. accesses to global memory
+	LocalMem  int // #. accesses to local memory
+	Coalesced int // #. coalesced global memory accesses
+	Branches  int // #. branching operations (§8.2 extension)
+	Atomics   int // #. atomic operations (used by ablations)
+	Instrs    int // total static instructions (rejection-filter quantity)
+}
+
+// Dynamic holds the runtime-derived features of one execution.
+type Dynamic struct {
+	Transfer int64 // bytes transferred between host and device
+	WgSize   int64 // #. work-items per kernel launch
+}
+
+// Vector is a complete feature vector: raw features plus the Grewe et al.
+// combinations F1–F4.
+type Vector struct {
+	Static
+	Dynamic
+}
+
+// F1 is the communication-computation ratio: transfer/(comp+mem).
+func (v Vector) F1() float64 {
+	d := float64(v.Comp + v.Mem)
+	if d == 0 {
+		return 0
+	}
+	return float64(v.Transfer) / d
+}
+
+// F2 is the fraction of coalesced memory accesses: coalesced/mem.
+func (v Vector) F2() float64 {
+	if v.Mem == 0 {
+		return 0
+	}
+	return float64(v.Coalesced) / float64(v.Mem)
+}
+
+// F3 is (localmem/mem) × wgsize.
+func (v Vector) F3() float64 {
+	if v.Mem == 0 {
+		return 0
+	}
+	return float64(v.LocalMem) / float64(v.Mem) * float64(v.WgSize)
+}
+
+// F4 is the computation-memory ratio: comp/mem.
+func (v Vector) F4() float64 {
+	if v.Mem == 0 {
+		return 0
+	}
+	return float64(v.Comp) / float64(v.Mem)
+}
+
+// Combined returns the model input used by the original Grewe et al.
+// model: the four combined features only.
+func (v Vector) Combined() []float64 {
+	return []float64{v.F1(), v.F2(), v.F3(), v.F4()}
+}
+
+// Raw returns the raw feature values (static + dynamic), the §8.2
+// extension. The branch counter is appended last so ablations can slice it
+// off.
+func (v Vector) Raw() []float64 {
+	return []float64{
+		float64(v.Comp), float64(v.Mem), float64(v.LocalMem), float64(v.Coalesced),
+		float64(v.Transfer), float64(v.WgSize), float64(v.Branches),
+	}
+}
+
+// Extended returns the §8.2 extended model input: combined features, raw
+// features, and the branch counter.
+func (v Vector) Extended() []float64 {
+	return append(v.Combined(), v.Raw()...)
+}
+
+// StaticKey is the static-feature identity used for the Figure 9 match
+// counting: two kernels "match" when all static code features (including
+// the branch feature) are equal.
+func (v Static) Key() string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d", v.Comp, v.Mem, v.LocalMem, v.Coalesced, v.Branches)
+}
+
+// CombinedNames are display names for the combined features (Table 2b).
+var CombinedNames = []string{"F1 transfer/(comp+mem)", "F2 coalesced/mem", "F3 (localmem/mem)*wgsize", "F4 comp/mem"}
+
+// RawNames are display names for the raw features plus branch counter.
+var RawNames = []string{"comp", "mem", "localmem", "coalesced", "transfer", "wgsize", "branches"}
+
+// ExtractFile computes static features for every kernel in a checked file.
+func ExtractFile(f *clc.File) ([]Static, error) {
+	prog := ir.Lower(f)
+	var out []Static
+	for _, k := range f.Kernels() {
+		if k.Body == nil {
+			continue
+		}
+		s, err := ExtractKernel(f, k, prog)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("features: no kernels in file")
+	}
+	return out, nil
+}
+
+// ExtractSource parses, checks, and extracts static features from source.
+func ExtractSource(src string) ([]Static, error) {
+	f, err := clc.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	if err := clc.Check(f); err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	return ExtractFile(f)
+}
+
+// ExtractKernel computes the static features of one kernel. The kernel's
+// callees contribute their counts once per call site, mirroring how the
+// paper's feature extractor measured inlined code.
+func ExtractKernel(f *clc.File, k *clc.FuncDecl, prog *ir.Program) (Static, error) {
+	if prog == nil {
+		prog = ir.Lower(f)
+	}
+	s := Static{Kernel: k.Name}
+	seen := map[string]bool{}
+	var accumulate func(name string)
+	accumulate = func(name string) {
+		if seen[name] {
+			return // recursion guard; count once
+		}
+		seen[name] = true
+		lf := prog.Func(name)
+		if lf == nil {
+			return
+		}
+		s.Comp += lf.Count(ir.OpALU) + lf.Count(ir.OpFPU)
+		s.Mem += lf.CountMem(clc.Global)
+		s.LocalMem += lf.CountMem(clc.Local)
+		s.Branches += lf.Count(ir.OpBranch)
+		s.Atomics += lf.Count(ir.OpAtomic)
+		s.Instrs += len(lf.Instrs)
+		// Recurse into user callees.
+		fd := f.Function(name)
+		if fd == nil || fd.Body == nil {
+			return
+		}
+		clc.Walk(fd.Body, func(n clc.Node) bool {
+			if call, ok := n.(*clc.CallExpr); ok {
+				if f.Function(call.Fun) != nil {
+					accumulate(call.Fun)
+				}
+			}
+			return true
+		})
+	}
+	accumulate(k.Name)
+	s.Coalesced = countCoalesced(f, k)
+	if s.Coalesced > s.Mem {
+		s.Coalesced = s.Mem
+	}
+	return s, nil
+}
+
+// countCoalesced counts global memory accesses whose index is affine in
+// get_global_id(0) with unit stride — consecutive work-items touch
+// consecutive elements, which coalesce on GPU memory systems.
+func countCoalesced(f *clc.File, k *clc.FuncDecl) int {
+	ca := &coalesceAnalysis{
+		f:      f,
+		gidVar: map[string]bool{},
+		params: map[string]bool{},
+	}
+	for _, p := range k.Params {
+		ca.params[p.Name] = true
+	}
+	// First pass: find variables assigned get_global_id(0)-affine values
+	// with unit coefficient, e.g. "int i = get_global_id(0);" or
+	// "int i = get_global_id(0) + base;".
+	clc.Walk(k.Body, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.DeclStmt:
+			for _, d := range x.Decls {
+				if d.Init != nil && ca.isUnitGid(d.Init) {
+					ca.gidVar[d.Name] = true
+				}
+			}
+		case *clc.AssignExpr:
+			if id, ok := x.X.(*clc.Ident); ok && x.Op == clc.ASSIGN && ca.isUnitGid(x.Y) {
+				ca.gidVar[id.Name] = true
+			}
+		}
+		return true
+	})
+	// Second pass: count global-pointer index expressions that are
+	// unit-affine in the gid. A compound assignment target (a[i] += x) is
+	// both a load and a store, so it weighs twice — matching how the IR
+	// counts raw accesses.
+	weight2 := map[*clc.IndexExpr]bool{}
+	clc.Walk(k.Body, func(n clc.Node) bool {
+		if as, ok := n.(*clc.AssignExpr); ok && as.Op != clc.ASSIGN {
+			if ix, ok := as.X.(*clc.IndexExpr); ok {
+				weight2[ix] = true
+			}
+		}
+		return true
+	})
+	count := 0
+	clc.Walk(k.Body, func(n clc.Node) bool {
+		ix, ok := n.(*clc.IndexExpr)
+		if !ok {
+			return true
+		}
+		pt, isPtr := ix.X.ExprType().(*clc.PointerType)
+		if !isPtr || (pt.Space != clc.Global && pt.Space != clc.Constant) {
+			return true
+		}
+		if ca.isUnitGid(ix.Index) {
+			count++
+			if weight2[ix] {
+				count++
+			}
+		}
+		return true
+	})
+	return count
+}
+
+type coalesceAnalysis struct {
+	f      *clc.File
+	gidVar map[string]bool
+	params map[string]bool
+}
+
+// isUnitGid reports whether e evaluates to get_global_id(0) plus a value
+// that is constant across work-items (literals, kernel scalar parameters).
+func (ca *coalesceAnalysis) isUnitGid(e clc.Expr) bool {
+	switch x := e.(type) {
+	case *clc.CallExpr:
+		if x.Fun != "get_global_id" || len(x.Args) != 1 {
+			return false
+		}
+		d, ok := clc.ConstIntValue(x.Args[0])
+		return ok && d == 0
+	case *clc.Ident:
+		return ca.gidVar[x.Name]
+	case *clc.BinaryExpr:
+		switch x.Op {
+		case clc.ADD:
+			return (ca.isUnitGid(x.X) && ca.isUniform(x.Y)) ||
+				(ca.isUniform(x.X) && ca.isUnitGid(x.Y))
+		case clc.SUB:
+			return ca.isUnitGid(x.X) && ca.isUniform(x.Y)
+		}
+		return false
+	case *clc.CastExpr:
+		return ca.isUnitGid(x.X)
+	}
+	return false
+}
+
+// isUniform reports whether e has the same value for every work-item.
+func (ca *coalesceAnalysis) isUniform(e clc.Expr) bool {
+	switch x := e.(type) {
+	case *clc.IntLit, *clc.FloatLit, *clc.CharLit:
+		return true
+	case *clc.Ident:
+		// Scalar kernel parameters are uniform; gid-derived variables are
+		// not. Anything else is unknown — be conservative.
+		if ca.gidVar[x.Name] {
+			return false
+		}
+		return ca.params[x.Name]
+	case *clc.BinaryExpr:
+		return ca.isUniform(x.X) && ca.isUniform(x.Y)
+	case *clc.CastExpr:
+		return ca.isUniform(x.X)
+	case *clc.CallExpr:
+		switch x.Fun {
+		case "get_global_size", "get_local_size", "get_num_groups", "get_work_dim":
+			return true
+		}
+		return false
+	case *clc.SizeofExpr:
+		return true
+	}
+	return false
+}

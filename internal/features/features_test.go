@@ -1,0 +1,173 @@
+package features
+
+import (
+	"testing"
+)
+
+func extract1(t *testing.T, src string) Static {
+	t.Helper()
+	fs, err := ExtractSource(src)
+	if err != nil {
+		t.Fatalf("ExtractSource: %v", err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("got %d kernels", len(fs))
+	}
+	return fs[0]
+}
+
+func TestSaxpyFeatures(t *testing.T) {
+	s := extract1(t, `__kernel void A(__global float* a, __global float* b, const int c) {
+  int d = get_global_id(0);
+  if (d < c) {
+    b[d] += 3.5f * a[d];
+  }
+}`)
+	if s.Mem != 3 {
+		t.Errorf("mem = %d, want 3", s.Mem)
+	}
+	if s.Coalesced != 3 {
+		t.Errorf("coalesced = %d, want 3 (d = gid)", s.Coalesced)
+	}
+	if s.LocalMem != 0 {
+		t.Errorf("localmem = %d, want 0", s.LocalMem)
+	}
+	if s.Branches != 1 {
+		t.Errorf("branches = %d, want 1", s.Branches)
+	}
+	if s.Comp == 0 {
+		t.Errorf("comp = 0")
+	}
+}
+
+func TestUncoalescedStrided(t *testing.T) {
+	s := extract1(t, `__kernel void A(__global float* a, const int n) {
+  int i = get_global_id(0);
+  a[i * 2] = a[i * 2 + 1];
+}`)
+	if s.Coalesced != 0 {
+		t.Errorf("strided accesses counted as coalesced: %d", s.Coalesced)
+	}
+	if s.Mem != 2 {
+		t.Errorf("mem = %d", s.Mem)
+	}
+}
+
+func TestCoalescedWithOffset(t *testing.T) {
+	s := extract1(t, `__kernel void A(__global float* a, const int base) {
+  int i = get_global_id(0);
+  a[i + base] = a[i] + a[get_global_id(0) + 4];
+}`)
+	if s.Coalesced != 3 {
+		t.Errorf("coalesced = %d, want 3", s.Coalesced)
+	}
+}
+
+func TestGidTimesConstantNotCoalesced(t *testing.T) {
+	s := extract1(t, `__kernel void A(__global float* a) {
+  a[get_global_id(0) * 4] = 0.0f;
+}`)
+	if s.Coalesced != 0 {
+		t.Errorf("coalesced = %d, want 0", s.Coalesced)
+	}
+}
+
+func TestLocalMemCounted(t *testing.T) {
+	s := extract1(t, `__kernel void A(__global float* a, __local float* s) {
+  int lid = get_local_id(0);
+  s[lid] = a[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  a[get_global_id(0)] = s[lid] + s[(lid + 1) % 64];
+}`)
+	if s.LocalMem != 3 {
+		t.Errorf("localmem = %d, want 3", s.LocalMem)
+	}
+	if s.Mem != 2 {
+		t.Errorf("mem = %d, want 2", s.Mem)
+	}
+}
+
+func TestBranchFeatureSeparatesListing2(t *testing.T) {
+	// Listing 2 of the paper: a kernel that collides with AMD's FWT in the
+	// original feature space but differs once branches are counted.
+	withBranch := extract1(t, `__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  int e = get_global_id(0);
+  if (e < 4 && e < d) {
+    c[e] = a[e] + b[e];
+    a[e] = b[e] + 1;
+  }
+}`)
+	straightLine := extract1(t, `__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+  int e = get_global_id(0);
+  c[e] = a[e] + b[e];
+  a[e] = b[e] + 1;
+}`)
+	if withBranch.Branches <= straightLine.Branches {
+		t.Errorf("branch feature does not separate: %d vs %d", withBranch.Branches, straightLine.Branches)
+	}
+	if withBranch.Key() == straightLine.Key() {
+		t.Error("keys collide despite branch feature")
+	}
+}
+
+func TestHelperFunctionsCounted(t *testing.T) {
+	withHelper := extract1(t, `float G(float x) { return x * x + 1.0f; }
+__kernel void A(__global float* a) {
+  a[get_global_id(0)] = G(a[get_global_id(0)]);
+}`)
+	if withHelper.Comp < 2 {
+		t.Errorf("helper ops not accumulated: comp = %d", withHelper.Comp)
+	}
+}
+
+func TestCombinedFeatures(t *testing.T) {
+	v := Vector{
+		Static:  Static{Comp: 10, Mem: 5, LocalMem: 2, Coalesced: 4},
+		Dynamic: Dynamic{Transfer: 3000, WgSize: 128},
+	}
+	if got := v.F1(); got != 200 {
+		t.Errorf("F1 = %g", got)
+	}
+	if got := v.F2(); got != 0.8 {
+		t.Errorf("F2 = %g", got)
+	}
+	if got := v.F3(); got != 51.2 {
+		t.Errorf("F3 = %g", got)
+	}
+	if got := v.F4(); got != 2 {
+		t.Errorf("F4 = %g", got)
+	}
+	if len(v.Combined()) != 4 || len(v.Raw()) != 7 || len(v.Extended()) != 11 {
+		t.Errorf("feature widths: %d %d %d", len(v.Combined()), len(v.Raw()), len(v.Extended()))
+	}
+}
+
+func TestZeroMemSafe(t *testing.T) {
+	v := Vector{Static: Static{Comp: 3}}
+	for i, f := range []float64{v.F1(), v.F2(), v.F3(), v.F4()} {
+		if f != 0 {
+			t.Errorf("F%d = %g with zero mem", i+1, f)
+		}
+	}
+}
+
+func TestExtractRejectsBroken(t *testing.T) {
+	if _, err := ExtractSource("not a kernel"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ExtractSource("void F(void) { }"); err == nil {
+		t.Error("expected no-kernel error")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := Static{Comp: 1, Mem: 2, LocalMem: 0, Coalesced: 2, Branches: 1}
+	b := Static{Comp: 1, Mem: 2, LocalMem: 0, Coalesced: 2, Branches: 0}
+	c := Static{Comp: 1, Mem: 2, LocalMem: 0, Coalesced: 2, Branches: 1}
+	if a.Key() == b.Key() {
+		t.Error("keys should differ on branches")
+	}
+	if a.Key() != c.Key() {
+		t.Error("equal features should share a key")
+	}
+}

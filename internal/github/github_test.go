@@ -1,0 +1,149 @@
+package github
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clgen/internal/clc"
+)
+
+func TestMineDeterministic(t *testing.T) {
+	a := Mine(MinerConfig{Seed: 42, Repos: 10})
+	b := Mine(MinerConfig{Seed: 42, Repos: 10})
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	c := Mine(MinerConfig{Seed: 43, Repos: 10})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Text != c[i].Text {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical mines")
+	}
+}
+
+func TestMineScale(t *testing.T) {
+	files := Mine(MinerConfig{Seed: 1, Repos: 30, FilesPerRepo: 8})
+	if len(files) < 100 {
+		t.Fatalf("only %d files mined", len(files))
+	}
+	var lines int
+	repos := map[string]bool{}
+	for _, f := range files {
+		lines += f.Lines()
+		repos[f.Repo] = true
+		if f.Path == "" || f.Text == "" {
+			t.Fatalf("degenerate file %+v", f)
+		}
+	}
+	if lines < 1000 {
+		t.Errorf("mine too small: %d lines", lines)
+	}
+	if len(repos) < 10 {
+		t.Errorf("only %d distinct repos", len(repos))
+	}
+}
+
+func TestKernelFilesMostlyCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ok := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		src := KernelFile(rng, false)
+		expanded, err := clc.Preprocess(src)
+		if err != nil {
+			continue
+		}
+		f, err := clc.Parse(expanded)
+		if err != nil {
+			t.Errorf("clean kernel file does not parse: %v\n%s", err, src)
+			continue
+		}
+		if err := clc.Check(f); err != nil {
+			t.Errorf("clean kernel file does not check: %v\n%s", err, src)
+			continue
+		}
+		if len(f.Kernels()) == 0 {
+			t.Errorf("no kernels in generated file:\n%s", src)
+			continue
+		}
+		ok++
+	}
+	if ok < trials*95/100 {
+		t.Errorf("only %d/%d clean files compile", ok, trials)
+	}
+}
+
+func TestShimFilesNeedShim(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	needing := 0
+	for i := 0; i < 50; i++ {
+		src := KernelFile(rng, true)
+		expanded, err := clc.Preprocess(src)
+		if err != nil {
+			continue
+		}
+		if _, err := clc.Parse(expanded); err != nil {
+			needing++
+		}
+	}
+	if needing < 25 {
+		t.Errorf("only %d/50 shim files actually fail without the shim", needing)
+	}
+}
+
+func TestFileClassMix(t *testing.T) {
+	files := Mine(MinerConfig{Seed: 3, Repos: 100, FilesPerRepo: 10})
+	host, device := 0, 0
+	for _, f := range files {
+		if strings.HasSuffix(f.Path, ".c") {
+			host++
+		} else {
+			device++
+		}
+	}
+	if host == 0 || device == 0 {
+		t.Fatalf("class mix degenerate: host=%d device=%d", host, device)
+	}
+	ratio := float64(host) / float64(host+device)
+	if ratio < 0.05 || ratio > 0.4 {
+		t.Errorf("host-file ratio %f outside expected band", ratio)
+	}
+}
+
+func TestVarietyOfKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seen := map[string]bool{}
+	barriers, atomics, loops := 0, 0, 0
+	for i := 0; i < 100; i++ {
+		src := KernelFile(rng, false)
+		seen[src] = true
+		if strings.Contains(src, "barrier(") {
+			barriers++
+		}
+		if strings.Contains(src, "atomic_add") {
+			atomics++
+		}
+		if strings.Contains(src, "for (") {
+			loops++
+		}
+	}
+	if len(seen) < 95 {
+		t.Errorf("only %d/100 unique files", len(seen))
+	}
+	if barriers == 0 || atomics == 0 || loops == 0 {
+		t.Errorf("missing construct variety: barriers=%d atomics=%d loops=%d", barriers, atomics, loops)
+	}
+}

@@ -1,0 +1,182 @@
+package grewe
+
+import (
+	"math"
+	"testing"
+
+	"clgen/internal/driver"
+	"clgen/internal/features"
+	"clgen/internal/interp"
+	"clgen/internal/platform"
+)
+
+// obs fabricates an observation with the given features and device times.
+func obs(bench string, comp, mem, localmem, coalesced, branches int,
+	transfer, wgsize int64, cpu, gpu float64) *Observation {
+	oracle := platform.CPU
+	if gpu < cpu {
+		oracle = platform.GPU
+	}
+	return &Observation{
+		Bench: bench,
+		M: &driver.Measurement{
+			Kernel: bench,
+			Vector: features.Vector{
+				Static: features.Static{
+					Comp: comp, Mem: mem, LocalMem: localmem,
+					Coalesced: coalesced, Branches: branches,
+				},
+				Dynamic: features.Dynamic{Transfer: transfer, WgSize: wgsize},
+			},
+			Profile: &interp.Profile{},
+			CPUTime: cpu, GPUTime: gpu,
+			Oracle: oracle,
+		},
+	}
+}
+
+// separableSet builds a training set where high comp/mem ratio maps to GPU.
+func separableSet() []*Observation {
+	var out []*Observation
+	for i := 0; i < 10; i++ {
+		// Compute-bound: GPU wins.
+		out = append(out, obs("gpuish", 200+i, 4, 0, 4, 0, 1<<20, 64, 10, 1))
+		// Transfer-bound: CPU wins.
+		out = append(out, obs("cpuish", 2+i, 6, 0, 6, 0, 1<<24, 64, 1, 10))
+	}
+	return out
+}
+
+func TestTrainPredict(t *testing.T) {
+	m, err := Train(separableSet(), Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuV := features.Vector{
+		Static:  features.Static{Comp: 300, Mem: 4, Coalesced: 4},
+		Dynamic: features.Dynamic{Transfer: 1 << 20, WgSize: 64},
+	}
+	if got := m.Predict(gpuV); got != platform.GPU {
+		t.Errorf("compute-bound kernel mapped to %s", got)
+	}
+	cpuV := features.Vector{
+		Static:  features.Static{Comp: 3, Mem: 6, Coalesced: 6},
+		Dynamic: features.Dynamic{Transfer: 1 << 24, WgSize: 64},
+	}
+	if got := m.Predict(cpuV); got != platform.CPU {
+		t.Errorf("transfer-bound kernel mapped to %s", got)
+	}
+}
+
+func TestFeatureSetWidths(t *testing.T) {
+	v := features.Vector{
+		Static:  features.Static{Comp: 1, Mem: 2, LocalMem: 3, Coalesced: 1, Branches: 4},
+		Dynamic: features.Dynamic{Transfer: 100, WgSize: 64},
+	}
+	if got := len(Combined.vector(v)); got != 4 {
+		t.Errorf("combined width %d", got)
+	}
+	if got := len(Extended.vector(v)); got != 11 {
+		t.Errorf("extended width %d", got)
+	}
+}
+
+func TestExtendedSeparatesBranchCollision(t *testing.T) {
+	// Two groups identical in every combined feature, differing only in
+	// branches (Listing 2). The combined model cannot reach better than
+	// majority on them; the extended model separates perfectly.
+	var train []*Observation
+	for i := 0; i < 8; i++ {
+		train = append(train, obs("straight", 10, 5, 0, 5, 0, 1000, 64, 5, 1)) // GPU
+		train = append(train, obs("branchy", 10, 5, 0, 5, 9, 1000, 64, 1, 5))  // CPU
+	}
+	comb, err := Train(train, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Train(train, Extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchy := train[1].M.Vector
+	straight := train[0].M.Vector
+	if comb.Predict(branchy) != comb.Predict(straight) {
+		t.Error("combined features unexpectedly separated the collision")
+	}
+	if ext.Predict(branchy) == ext.Predict(straight) {
+		t.Error("extended features failed to separate the collision")
+	}
+	if ext.Predict(branchy) != platform.CPU || ext.Predict(straight) != platform.GPU {
+		t.Error("extended predictions wrong")
+	}
+}
+
+func TestCrossValidateHoldsOutBenchmarks(t *testing.T) {
+	set := separableSet()
+	preds, err := CrossValidate(set, nil, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(set) {
+		t.Fatalf("got %d predictions for %d observations", len(preds), len(set))
+	}
+	// With only two benchmarks, holding one out removes its entire class:
+	// the model trained on "cpuish" alone must predict CPU everywhere, so
+	// accuracy collapses — exactly the sparse-training-data pathology of §2.
+	if acc := Accuracy(preds); acc > 0.1 {
+		t.Errorf("two-benchmark LOOCV should collapse, got accuracy %.2f", acc)
+	}
+	// Adding synthetic observations that cover both classes fixes it.
+	var synth []*Observation
+	for i := 0; i < 6; i++ {
+		synth = append(synth, obs("synthetic", 150+i*20, 4, 0, 4, 0, 1<<20, 64, 10, 1))
+		synth = append(synth, obs("synthetic", 3+i, 6, 0, 6, 0, 1<<24, 64, 1, 10))
+	}
+	preds2, err := CrossValidate(set, synth, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(preds2); acc < 0.9 {
+		t.Errorf("synthetic coverage should fix LOOCV, got accuracy %.2f", acc)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	set := separableSet()
+	m, err := Train(set, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := TrainTest(set, set, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	if acc := Accuracy(preds); acc != 1 {
+		t.Errorf("train accuracy %.2f", acc)
+	}
+	if p := PerfVsOracle(preds); math.Abs(p-1) > 1e-9 {
+		t.Errorf("perfect predictions give PerfVsOracle %.3f", p)
+	}
+	// Speedup over static CPU: half the points run 10x faster on GPU.
+	s := SpeedupOver(preds, platform.CPU)
+	if s < 2 || s > 4 {
+		t.Errorf("speedup over CPU-only = %.2f, want ~sqrt(10)", s)
+	}
+	if b := BestStaticDevice(set); b != platform.CPU && b != platform.GPU {
+		t.Errorf("best static device %v", b)
+	}
+	bars := PerBenchmarkSpeedups(preds, platform.CPU)
+	if len(bars) != len(preds) {
+		t.Errorf("bars %d", len(bars))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Train(nil, Combined); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if Accuracy(nil) != 0 || PerfVsOracle(nil) != 0 || SpeedupOver(nil, platform.CPU) != 0 {
+		t.Error("empty metrics not zero")
+	}
+}

@@ -1,0 +1,921 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"clgen/internal/clc"
+)
+
+// callBuiltin dispatches an OpenCL built-in function call.
+func (c *wiCtx) callBuiltin(x *clc.CallExpr) (Value, error) {
+	name := x.Fun
+	// Work-item queries take a literal-int dimension argument.
+	switch name {
+	case "get_global_id", "get_local_id", "get_group_id",
+		"get_global_size", "get_local_size", "get_num_groups", "get_global_offset":
+		dim := 0
+		if len(x.Args) > 0 {
+			v, err := c.evalExpr(x.Args[0])
+			if err != nil {
+				return Value{}, err
+			}
+			dim = int(v.Int())
+		}
+		if dim < 0 || dim > 2 {
+			return IntValue(clc.ULong, 0), nil
+		}
+		switch name {
+		case "get_global_id":
+			return IntValue(clc.ULong, c.gid[dim]), nil
+		case "get_local_id":
+			return IntValue(clc.ULong, c.lid[dim]), nil
+		case "get_group_id":
+			return IntValue(clc.ULong, c.grp[dim]), nil
+		case "get_global_size":
+			return IntValue(clc.ULong, c.gsize[dim]), nil
+		case "get_local_size":
+			return IntValue(clc.ULong, c.lsize[dim]), nil
+		case "get_num_groups":
+			return IntValue(clc.ULong, c.ngrp[dim]), nil
+		default: // get_global_offset
+			return IntValue(clc.ULong, 0), nil
+		}
+	case "get_work_dim":
+		dims := int64(1)
+		if c.gsize[1] > 1 {
+			dims = 2
+		}
+		if c.gsize[2] > 1 {
+			dims = 3
+		}
+		return IntValue(clc.UInt, dims), nil
+	case "barrier", "work_group_barrier", "mem_fence", "read_mem_fence", "write_mem_fence":
+		// Evaluate the flags argument for side effects.
+		for _, a := range x.Args {
+			if _, err := c.evalExpr(a); err != nil {
+				return Value{}, err
+			}
+		}
+		c.prof.Barriers++
+		if name == "barrier" || name == "work_group_barrier" {
+			if c.yield != nil {
+				if err := c.yield(); err != nil {
+					return Value{}, err
+				}
+			}
+		}
+		return Value{}, nil
+	case "printf":
+		for _, a := range x.Args {
+			if _, err := c.evalExpr(a); err != nil {
+				return Value{}, err
+			}
+		}
+		return IntValue(clc.Int, 0), nil
+	case "prefetch", "wait_group_events":
+		for _, a := range x.Args {
+			if _, err := c.evalExpr(a); err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{}, nil
+	}
+
+	// Atomics.
+	if b := clc.LookupBuiltin(name); b != nil && b.Atomic {
+		return c.callAtomic(name, x.Args)
+	}
+
+	// Evaluate arguments once for everything below.
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.evalExpr(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+
+	// Conversions: convert_T / as_T.
+	if t, ok := clc.ConversionTarget(name); ok {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("interp: %s takes 1 argument", name)
+		}
+		if strings.HasPrefix(name, "as_") {
+			return bitReinterpret(args[0], t)
+		}
+		return Convert(args[0], t)
+	}
+
+	// vloadN / vstoreN.
+	if n, ok := clc.VectorWidthOfName(name); ok {
+		if strings.HasPrefix(name, "vload") {
+			return c.vload(n, args)
+		}
+		return Value{}, c.vstore(n, args)
+	}
+
+	// async copies: perform synchronously.
+	if name == "async_work_group_copy" || name == "async_work_group_strided_copy" {
+		return c.asyncCopy(name, args)
+	}
+
+	if fn, ok := mathBuiltins[name]; ok {
+		v, err := fn(c, args)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: %s: %w", name, err)
+		}
+		c.countArith(v.Kind, max(v.Width, 1))
+		return v, nil
+	}
+	return Value{}, fmt.Errorf("interp: unimplemented builtin %q", name)
+}
+
+func (c *wiCtx) callAtomic(name string, argExprs []clc.Expr) (Value, error) {
+	if len(argExprs) == 0 {
+		return Value{}, fmt.Errorf("interp: %s needs a pointer argument", name)
+	}
+	pv, err := c.evalExpr(argExprs[0])
+	if err != nil {
+		return Value{}, err
+	}
+	if !pv.IsPointer() {
+		return Value{}, fmt.Errorf("interp: %s on non-pointer", name)
+	}
+	p := pv.Ptr
+	old, _, err := p.Buf.loadScalar(p.Off)
+	if err != nil {
+		return Value{}, err
+	}
+	c.prof.Atomics++
+	var operand int64
+	if len(argExprs) > 1 {
+		v, err := c.evalExpr(argExprs[1])
+		if err != nil {
+			return Value{}, err
+		}
+		operand = v.Int()
+	}
+	base := strings.TrimPrefix(strings.TrimPrefix(name, "atomic_"), "atom_")
+	nv := old
+	switch base {
+	case "add":
+		nv = old + operand
+	case "sub":
+		nv = old - operand
+	case "inc":
+		nv = old + 1
+	case "dec":
+		nv = old - 1
+	case "xchg":
+		nv = operand
+	case "min":
+		if operand < old {
+			nv = operand
+		}
+	case "max":
+		if operand > old {
+			nv = operand
+		}
+	case "and":
+		nv = old & operand
+	case "or":
+		nv = old | operand
+	case "xor":
+		nv = old ^ operand
+	case "cmpxchg":
+		var val int64
+		if len(argExprs) > 2 {
+			v, err := c.evalExpr(argExprs[2])
+			if err != nil {
+				return Value{}, err
+			}
+			val = v.Int()
+		}
+		if old == operand {
+			nv = val
+		}
+	default:
+		return Value{}, fmt.Errorf("interp: unknown atomic %q", name)
+	}
+	if err := p.Buf.storeScalar(p.Off, nv, float64(nv)); err != nil {
+		return Value{}, err
+	}
+	kind := clc.Int
+	if st, ok := p.Elem.(*clc.ScalarType); ok {
+		kind = st.Kind
+	}
+	return IntValue(kind, old), nil
+}
+
+func (c *wiCtx) vload(n int, args []Value) (Value, error) {
+	if len(args) != 2 || !args[1].IsPointer() {
+		return Value{}, fmt.Errorf("interp: vload%d(offset, pointer)", n)
+	}
+	p := args[1].Ptr
+	off := args[0].Int() * int64(n)
+	kind := elemKind(p.Elem)
+	out := Value{Kind: kind, Width: n}
+	for l := 0; l < n; l++ {
+		i, f, err := p.Buf.loadScalar(p.Off + off + int64(l))
+		if err != nil {
+			return Value{}, err
+		}
+		s := Value{Kind: p.Buf.Kind, Width: 1}
+		s.I[0], s.F[0] = i, f
+		cs := ConvertScalar(s, kind)
+		out.I[l], out.F[l] = cs.I[0], cs.F[0]
+	}
+	c.countMem(p.Buf.Space, n, false)
+	return out, nil
+}
+
+func (c *wiCtx) vstore(n int, args []Value) error {
+	if len(args) != 3 || !args[2].IsPointer() {
+		return fmt.Errorf("interp: vstore%d(value, offset, pointer)", n)
+	}
+	p := args[2].Ptr
+	off := args[1].Int() * int64(n)
+	v := args[0]
+	for l := 0; l < n; l++ {
+		var lane Value
+		if v.Width > 1 {
+			lane = v.Lane(l % v.Width)
+		} else {
+			lane = v
+		}
+		cb := ConvertScalar(lane, p.Buf.Kind)
+		if err := p.Buf.storeScalar(p.Off+off+int64(l), cb.I[0], cb.F[0]); err != nil {
+			return err
+		}
+	}
+	c.countMem(p.Buf.Space, n, true)
+	return nil
+}
+
+func (c *wiCtx) asyncCopy(name string, args []Value) (Value, error) {
+	if len(args) < 3 || !args[0].IsPointer() || !args[1].IsPointer() {
+		return Value{}, fmt.Errorf("interp: %s(dst, src, n, ...)", name)
+	}
+	dst, src := args[0].Ptr, args[1].Ptr
+	n := args[2].Int() * scalarSlots(dst.Elem)
+	stride := int64(1)
+	if name == "async_work_group_strided_copy" && len(args) > 3 {
+		stride = args[3].Int()
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		iv, fv, err := src.Buf.loadScalar(src.Off + i*stride)
+		if err != nil {
+			return Value{}, err
+		}
+		if err := dst.Buf.storeScalar(dst.Off+i, iv, fv); err != nil {
+			return Value{}, err
+		}
+	}
+	c.countMem(src.Buf.Space, int(n), false)
+	c.countMem(dst.Buf.Space, int(n), true)
+	return IntValue(clc.ULong, 0), nil
+}
+
+// bitReinterpret implements as_T for scalar float/int pairs bit-exactly and
+// falls back to numeric conversion elsewhere.
+func bitReinterpret(v Value, t clc.Type) (Value, error) {
+	st, isScalar := t.(*clc.ScalarType)
+	if isScalar && v.Width <= 1 {
+		switch {
+		case st.Kind == clc.Float && !v.Kind.IsFloat():
+			return FloatValue(clc.Float, float64(math.Float32frombits(uint32(v.I[0])))), nil
+		case st.Kind.IsInteger() && (v.Kind == clc.Float || v.Kind == clc.Half):
+			return IntValue(st.Kind, int64(math.Float32bits(float32(v.F[0])))), nil
+		case st.Kind == clc.Double && !v.Kind.IsFloat():
+			return FloatValue(clc.Double, math.Float64frombits(uint64(v.I[0]))), nil
+		case st.Kind.IsInteger() && v.Kind == clc.Double:
+			return IntValue(st.Kind, int64(math.Float64bits(v.F[0]))), nil
+		}
+	}
+	return Convert(v, t)
+}
+
+// mathFn implements one math-family builtin over evaluated arguments.
+type mathFn func(c *wiCtx, args []Value) (Value, error)
+
+// laneUnary lifts a float function lane-wise.
+func laneUnary(f func(float64) float64) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("want 1 argument")
+		}
+		return mapLanes1(args[0], f), nil
+	}
+}
+
+func laneBinary(f func(a, b float64) float64) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		return mapLanes2(args[0], args[1], f), nil
+	}
+}
+
+func laneTernary(f func(a, b, x float64) float64) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		return mapLanes3(args[0], args[1], args[2], f), nil
+	}
+}
+
+func mapLanes1(v Value, f func(float64) float64) Value {
+	w := max(v.Width, 1)
+	kind := floatKindFor(v.Kind)
+	out := Value{Kind: kind, Width: w}
+	for l := 0; l < w; l++ {
+		r := f(v.Lane(l).Float())
+		if kind == clc.Float {
+			r = float64(float32(r))
+		}
+		out.F[l] = r
+		out.I[l] = int64(clampToInt64(r))
+	}
+	return out
+}
+
+func mapLanes2(a, b Value, f func(x, y float64) float64) Value {
+	kind, w := promote(a, b)
+	kind = floatKindFor(kind)
+	av, bv := widen(a, kind, w), widen(b, kind, w)
+	out := Value{Kind: kind, Width: w}
+	for l := 0; l < w; l++ {
+		r := f(av.F[l], bv.F[l])
+		if kind == clc.Float {
+			r = float64(float32(r))
+		}
+		out.F[l] = r
+		out.I[l] = int64(clampToInt64(r))
+	}
+	return out
+}
+
+func mapLanes3(a, b, x Value, f func(p, q, r float64) float64) Value {
+	kind, w := promote(a, b)
+	k2, w2 := promote(x, Value{Kind: kind, Width: w})
+	kind, w = k2, w2
+	kind = floatKindFor(kind)
+	av, bv, xv := widen(a, kind, w), widen(b, kind, w), widen(x, kind, w)
+	out := Value{Kind: kind, Width: w}
+	for l := 0; l < w; l++ {
+		r := f(av.F[l], bv.F[l], xv.F[l])
+		if kind == clc.Float {
+			r = float64(float32(r))
+		}
+		out.F[l] = r
+		out.I[l] = int64(clampToInt64(r))
+	}
+	return out
+}
+
+// floatKindFor maps integer kinds to float for math functions that always
+// produce floating-point results.
+func floatKindFor(k clc.ScalarKind) clc.ScalarKind {
+	if k.IsFloat() {
+		return k
+	}
+	return clc.Float
+}
+
+// intPreserving applies an integer function lane-wise, keeping the input
+// kind (used by min/max/clamp/abs families on integer inputs).
+func intLaneBinary(f func(a, b int64) int64) func(a, b Value) Value {
+	return func(a, b Value) Value {
+		kind, w := promote(a, b)
+		av, bv := widen(a, kind, w), widen(b, kind, w)
+		out := Value{Kind: kind, Width: w}
+		for l := 0; l < w; l++ {
+			out.I[l] = truncInt(kind, f(av.I[l], bv.I[l]))
+			out.F[l] = float64(out.I[l])
+		}
+		return out
+	}
+}
+
+var mathBuiltins map[string]mathFn
+
+func init() {
+	mathBuiltins = map[string]mathFn{
+		"sqrt":    laneUnary(math.Sqrt),
+		"rsqrt":   laneUnary(func(x float64) float64 { return 1 / math.Sqrt(x) }),
+		"cbrt":    laneUnary(math.Cbrt),
+		"sin":     laneUnary(math.Sin),
+		"cos":     laneUnary(math.Cos),
+		"tan":     laneUnary(math.Tan),
+		"asin":    laneUnary(math.Asin),
+		"acos":    laneUnary(math.Acos),
+		"atan":    laneUnary(math.Atan),
+		"sinh":    laneUnary(math.Sinh),
+		"cosh":    laneUnary(math.Cosh),
+		"tanh":    laneUnary(math.Tanh),
+		"asinh":   laneUnary(math.Asinh),
+		"acosh":   laneUnary(math.Acosh),
+		"atanh":   laneUnary(math.Atanh),
+		"exp":     laneUnary(math.Exp),
+		"exp2":    laneUnary(math.Exp2),
+		"exp10":   laneUnary(func(x float64) float64 { return math.Pow(10, x) }),
+		"expm1":   laneUnary(math.Expm1),
+		"log":     laneUnary(math.Log),
+		"log2":    laneUnary(math.Log2),
+		"log10":   laneUnary(math.Log10),
+		"log1p":   laneUnary(math.Log1p),
+		"fabs":    laneUnary(math.Abs),
+		"floor":   laneUnary(math.Floor),
+		"ceil":    laneUnary(math.Ceil),
+		"round":   laneUnary(math.Round),
+		"trunc":   laneUnary(math.Trunc),
+		"rint":    laneUnary(math.RoundToEven),
+		"erf":     laneUnary(math.Erf),
+		"erfc":    laneUnary(math.Erfc),
+		"tgamma":  laneUnary(math.Gamma),
+		"lgamma":  laneUnary(func(x float64) float64 { l, _ := math.Lgamma(x); return l }),
+		"sign":    laneUnary(func(x float64) float64 { return signOf(x) }),
+		"degrees": laneUnary(func(x float64) float64 { return x * 180 / math.Pi }),
+		"radians": laneUnary(func(x float64) float64 { return x * math.Pi / 180 }),
+		"sinpi":   laneUnary(func(x float64) float64 { return math.Sin(math.Pi * x) }),
+		"cospi":   laneUnary(func(x float64) float64 { return math.Cos(math.Pi * x) }),
+		"tanpi":   laneUnary(func(x float64) float64 { return math.Tan(math.Pi * x) }),
+
+		"atan2":     laneBinary(math.Atan2),
+		"pow":       laneBinary(math.Pow),
+		"powr":      laneBinary(math.Pow),
+		"fmod":      laneBinary(math.Mod),
+		"remainder": laneBinary(math.Remainder),
+		"fdim":      laneBinary(math.Dim),
+		"copysign":  laneBinary(math.Copysign),
+		"hypot":     laneBinary(math.Hypot),
+		"nextafter": laneBinary(math.Nextafter),
+		"maxmag": laneBinary(func(a, b float64) float64 {
+			if math.Abs(a) >= math.Abs(b) {
+				return a
+			}
+			return b
+		}),
+		"minmag": laneBinary(func(a, b float64) float64 {
+			if math.Abs(a) <= math.Abs(b) {
+				return a
+			}
+			return b
+		}),
+		"step": laneBinary(func(edge, x float64) float64 {
+			if x < edge {
+				return 0
+			}
+			return 1
+		}),
+		"ldexp": laneBinary(func(x, e float64) float64 { return math.Ldexp(x, int(e)) }),
+		"pown":  laneBinary(math.Pow),
+		"rootn": laneBinary(func(x, n float64) float64 { return math.Pow(x, 1/n) }),
+
+		"mad": laneTernary(func(a, b, cc float64) float64 { return a*b + cc }),
+		"fma": laneTernary(math.FMA),
+		"mix": laneTernary(func(a, b, t float64) float64 { return a + (b-a)*t }),
+		"smoothstep": laneTernary(func(e0, e1, x float64) float64 {
+			t := (x - e0) / (e1 - e0)
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			return t * t * (3 - 2*t)
+		}),
+		"nan": laneUnary(func(x float64) float64 { return math.NaN() }),
+	}
+
+	// Integer-aware min/max/clamp/abs.
+	mathBuiltins["min"] = genMinMax(false)
+	mathBuiltins["max"] = genMinMax(true)
+	mathBuiltins["fmin"] = laneBinary(math.Min)
+	mathBuiltins["fmax"] = laneBinary(math.Max)
+	mathBuiltins["clamp"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		lo, err := mathBuiltins["max"](c, []Value{args[0], args[1]})
+		if err != nil {
+			return Value{}, err
+		}
+		return mathBuiltins["min"](c, []Value{lo, args[2]})
+	}
+	mathBuiltins["abs"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("want 1 argument")
+		}
+		v := args[0]
+		if v.Kind.IsFloat() {
+			return mapLanes1(v, math.Abs), nil
+		}
+		w := max(v.Width, 1)
+		out := Value{Kind: v.Kind, Width: w}
+		for l := 0; l < w; l++ {
+			a := v.I[l]
+			if a < 0 {
+				a = -a
+			}
+			out.I[l] = a
+			out.F[l] = float64(a)
+		}
+		return out, nil
+	}
+	mathBuiltins["abs_diff"] = wrapIntBinary(func(a, b int64) int64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	})
+	mathBuiltins["add_sat"] = wrapIntBinary(func(a, b int64) int64 { return a + b })
+	mathBuiltins["sub_sat"] = wrapIntBinary(func(a, b int64) int64 { return a - b })
+	mathBuiltins["hadd"] = wrapIntBinary(func(a, b int64) int64 { return (a + b) >> 1 })
+	mathBuiltins["rhadd"] = wrapIntBinary(func(a, b int64) int64 { return (a + b + 1) >> 1 })
+	mathBuiltins["mul24"] = wrapIntBinary(func(a, b int64) int64 { return (a & 0xFFFFFF) * (b & 0xFFFFFF) })
+	mathBuiltins["mul_hi"] = wrapIntBinary(func(a, b int64) int64 {
+		hi, _ := bits.Mul64(uint64(a), uint64(b))
+		return int64(hi)
+	})
+	mathBuiltins["rotate"] = wrapIntBinary(func(a, b int64) int64 {
+		return int64(bits.RotateLeft32(uint32(a), int(b)))
+	})
+	mathBuiltins["upsample"] = wrapIntBinary(func(a, b int64) int64 { return a<<16 | (b & 0xFFFF) })
+	mathBuiltins["mad24"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		m, err := mathBuiltins["mul24"](c, args[:2])
+		if err != nil {
+			return Value{}, err
+		}
+		return binaryOp(clc.ADD, m, args[2])
+	}
+	mathBuiltins["mad_hi"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		m, err := mathBuiltins["mul_hi"](c, args[:2])
+		if err != nil {
+			return Value{}, err
+		}
+		return binaryOp(clc.ADD, m, args[2])
+	}
+	mathBuiltins["mad_sat"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		m, err := binaryOp(clc.MUL, args[0], args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return binaryOp(clc.ADD, m, args[2])
+	}
+	mathBuiltins["popcount"] = wrapIntUnary(func(a int64) int64 { return int64(bits.OnesCount64(uint64(a))) })
+	mathBuiltins["clz"] = wrapIntUnary(func(a int64) int64 { return int64(bits.LeadingZeros32(uint32(a))) })
+	mathBuiltins["ctz"] = wrapIntUnary(func(a int64) int64 { return int64(bits.TrailingZeros32(uint32(a))) })
+
+	// Geometric.
+	mathBuiltins["dot"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		a, b := args[0], args[1]
+		w := max(a.Width, 1)
+		var s float64
+		for l := 0; l < w; l++ {
+			s += a.Lane(l).Float() * b.Lane(l%max(b.Width, 1)).Float()
+		}
+		return FloatValue(floatKindFor(a.Kind), s), nil
+	}
+	mathBuiltins["length"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("want 1 argument")
+		}
+		v := args[0]
+		var s float64
+		for l := 0; l < max(v.Width, 1); l++ {
+			f := v.Lane(l).Float()
+			s += f * f
+		}
+		return FloatValue(floatKindFor(v.Kind), math.Sqrt(s)), nil
+	}
+	mathBuiltins["fast_length"] = mathBuiltins["length"]
+	mathBuiltins["distance"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		d, err := binaryOp(clc.SUB, args[0], args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return mathBuiltins["length"](c, []Value{d})
+	}
+	mathBuiltins["fast_distance"] = mathBuiltins["distance"]
+	mathBuiltins["normalize"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("want 1 argument")
+		}
+		l, err := mathBuiltins["length"](c, args)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Float() == 0 {
+			return args[0], nil
+		}
+		return binaryOp(clc.DIV, args[0], l)
+	}
+	mathBuiltins["fast_normalize"] = mathBuiltins["normalize"]
+	mathBuiltins["cross"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		a, b := args[0], args[1]
+		kind := floatKindFor(a.Kind)
+		w := max(a.Width, 3)
+		out := Value{Kind: kind, Width: w}
+		ax, ay, az := a.Lane(0).Float(), a.Lane(1%a.Width).Float(), a.Lane(2%a.Width).Float()
+		bx, by, bz := b.Lane(0).Float(), b.Lane(1%max(b.Width, 1)).Float(), b.Lane(2%max(b.Width, 1)).Float()
+		out.F[0] = ay*bz - az*by
+		out.F[1] = az*bx - ax*bz
+		out.F[2] = ax*by - ay*bx
+		return out, nil
+	}
+
+	// Relational.
+	mathBuiltins["isnan"] = boolLaneUnary(math.IsNaN)
+	mathBuiltins["isinf"] = boolLaneUnary(func(x float64) bool { return math.IsInf(x, 0) })
+	mathBuiltins["isfinite"] = boolLaneUnary(func(x float64) bool { return !math.IsInf(x, 0) && !math.IsNaN(x) })
+	mathBuiltins["isnormal"] = boolLaneUnary(func(x float64) bool { return x != 0 && !math.IsInf(x, 0) && !math.IsNaN(x) })
+	mathBuiltins["signbit"] = boolLaneUnary(func(x float64) bool { return math.Signbit(x) })
+	cmp2 := func(f func(a, b float64) bool) mathFn {
+		return func(c *wiCtx, args []Value) (Value, error) {
+			if len(args) != 2 {
+				return Value{}, fmt.Errorf("want 2 arguments")
+			}
+			kind, w := promote(args[0], args[1])
+			av, bv := widen(args[0], kind, w), widen(args[1], kind, w)
+			out := Value{Kind: clc.Int, Width: w}
+			for l := 0; l < w; l++ {
+				out.I[l] = boolToInt(f(av.Lane(l).Float(), bv.Lane(l).Float()))
+				out.F[l] = float64(out.I[l])
+			}
+			return out, nil
+		}
+	}
+	mathBuiltins["isequal"] = cmp2(func(a, b float64) bool { return a == b })
+	mathBuiltins["isnotequal"] = cmp2(func(a, b float64) bool { return a != b })
+	mathBuiltins["isgreater"] = cmp2(func(a, b float64) bool { return a > b })
+	mathBuiltins["isgreaterequal"] = cmp2(func(a, b float64) bool { return a >= b })
+	mathBuiltins["isless"] = cmp2(func(a, b float64) bool { return a < b })
+	mathBuiltins["islessequal"] = cmp2(func(a, b float64) bool { return a <= b })
+	mathBuiltins["islessgreater"] = cmp2(func(a, b float64) bool { return a != b })
+	mathBuiltins["isordered"] = cmp2(func(a, b float64) bool { return !math.IsNaN(a) && !math.IsNaN(b) })
+	mathBuiltins["isunordered"] = cmp2(func(a, b float64) bool { return math.IsNaN(a) || math.IsNaN(b) })
+	mathBuiltins["any"] = func(c *wiCtx, args []Value) (Value, error) {
+		v := args[0]
+		for l := 0; l < max(v.Width, 1); l++ {
+			if v.Lane(l).Bool() {
+				return IntValue(clc.Int, 1), nil
+			}
+		}
+		return IntValue(clc.Int, 0), nil
+	}
+	mathBuiltins["all"] = func(c *wiCtx, args []Value) (Value, error) {
+		v := args[0]
+		for l := 0; l < max(v.Width, 1); l++ {
+			if !v.Lane(l).Bool() {
+				return IntValue(clc.Int, 0), nil
+			}
+		}
+		return IntValue(clc.Int, 1), nil
+	}
+	mathBuiltins["select"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		a, b, sel := args[0], args[1], args[2]
+		kind, w := promote(a, b)
+		av, bv := widen(a, kind, w), widen(b, kind, w)
+		sv := widen(sel, sel.Kind, w)
+		out := Value{Kind: kind, Width: w}
+		for l := 0; l < w; l++ {
+			src := av
+			if sv.Lane(l).Bool() {
+				src = bv
+			}
+			out.I[l], out.F[l] = src.I[l], src.F[l]
+		}
+		return out, nil
+	}
+	mathBuiltins["bitselect"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		a, b, m := args[0], args[1], args[2]
+		kind, w := promote(a, b)
+		av, bv, mv := widen(a, kind, w), widen(b, kind, w), widen(m, kind, w)
+		out := Value{Kind: kind, Width: w}
+		for l := 0; l < w; l++ {
+			out.I[l] = (av.I[l] &^ mv.I[l]) | (bv.I[l] & mv.I[l])
+			out.F[l] = float64(out.I[l])
+		}
+		return out, nil
+	}
+	mathBuiltins["shuffle"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		src, mask := args[0], args[1]
+		w := max(mask.Width, 1)
+		out := Value{Kind: src.Kind, Width: w}
+		for l := 0; l < w; l++ {
+			idx := int(mask.I[l]) % max(src.Width, 1)
+			if idx < 0 {
+				idx = 0
+			}
+			out.I[l], out.F[l] = src.I[idx], src.F[idx]
+		}
+		return out, nil
+	}
+	mathBuiltins["shuffle2"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return Value{}, fmt.Errorf("want 3 arguments")
+		}
+		a, b, mask := args[0], args[1], args[2]
+		wa := max(a.Width, 1)
+		w := max(mask.Width, 1)
+		out := Value{Kind: a.Kind, Width: w}
+		for l := 0; l < w; l++ {
+			idx := int(mask.I[l]) % (wa * 2)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx < wa {
+				out.I[l], out.F[l] = a.I[idx], a.F[idx]
+			} else {
+				out.I[l], out.F[l] = b.I[idx-wa], b.F[idx-wa]
+			}
+		}
+		return out, nil
+	}
+
+	// Pointer-out-parameter functions.
+	mathBuiltins["fract"] = ptrOutBinary(func(x float64) (float64, float64) {
+		fl := math.Floor(x)
+		return x - fl, fl
+	})
+	mathBuiltins["modf"] = ptrOutBinary(func(x float64) (float64, float64) {
+		ip, fp := math.Modf(x)
+		return fp, ip
+	})
+	mathBuiltins["sincos"] = ptrOutBinary(func(x float64) (float64, float64) {
+		s, cc := math.Sincos(x)
+		return s, cc
+	})
+	mathBuiltins["frexp"] = ptrOutBinary(func(x float64) (float64, float64) {
+		fr, e := math.Frexp(x)
+		return fr, float64(e)
+	})
+	mathBuiltins["remquo"] = func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 3 || !args[2].IsPointer() {
+			return Value{}, fmt.Errorf("remquo(x, y, ptr)")
+		}
+		r := math.Remainder(args[0].Float(), args[1].Float())
+		q := math.Round((args[0].Float() - r) / args[1].Float())
+		p := args[2].Ptr
+		if err := p.Buf.storeScalar(p.Off, int64(q), q); err != nil {
+			return Value{}, err
+		}
+		return FloatValue(clc.Float, r), nil
+	}
+
+	// native_* / half_* aliases.
+	for _, base := range []string{"sqrt", "rsqrt", "sin", "cos", "tan", "exp",
+		"exp2", "log", "log2", "log10"} {
+		if fn, ok := mathBuiltins[base]; ok {
+			mathBuiltins["native_"+base] = fn
+			mathBuiltins["half_"+base] = fn
+		}
+	}
+	mathBuiltins["native_recip"] = laneUnary(func(x float64) float64 { return 1 / x })
+	mathBuiltins["half_recip"] = mathBuiltins["native_recip"]
+	mathBuiltins["native_divide"] = laneBinary(func(a, b float64) float64 { return a / b })
+	mathBuiltins["half_divide"] = mathBuiltins["native_divide"]
+	mathBuiltins["native_powr"] = laneBinary(math.Pow)
+	mathBuiltins["half_powr"] = mathBuiltins["native_powr"]
+}
+
+func signOf(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+func genMinMax(isMax bool) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		a, b := args[0], args[1]
+		kind, w := promote(a, b)
+		av, bv := widen(a, kind, w), widen(b, kind, w)
+		out := Value{Kind: kind, Width: w}
+		for l := 0; l < w; l++ {
+			var takeB bool
+			if kind.IsFloat() {
+				takeB = bv.F[l] > av.F[l] == isMax && bv.F[l] != av.F[l]
+			} else if kind.IsUnsigned() {
+				takeB = (uint64(bv.I[l]) > uint64(av.I[l])) == isMax && bv.I[l] != av.I[l]
+			} else {
+				takeB = (bv.I[l] > av.I[l]) == isMax && bv.I[l] != av.I[l]
+			}
+			src := av
+			if takeB {
+				src = bv
+			}
+			out.I[l], out.F[l] = src.I[l], src.F[l]
+		}
+		return out, nil
+	}
+}
+
+func wrapIntBinary(f func(a, b int64) int64) mathFn {
+	g := intLaneBinary(f)
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("want 2 arguments")
+		}
+		return g(args[0], args[1]), nil
+	}
+}
+
+func wrapIntUnary(f func(a int64) int64) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("want 1 argument")
+		}
+		v := args[0]
+		w := max(v.Width, 1)
+		out := Value{Kind: v.Kind, Width: w}
+		for l := 0; l < w; l++ {
+			out.I[l] = truncInt(v.Kind, f(v.I[l]))
+			out.F[l] = float64(out.I[l])
+		}
+		return out, nil
+	}
+}
+
+func boolLaneUnary(f func(float64) bool) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("want 1 argument")
+		}
+		v := args[0]
+		w := max(v.Width, 1)
+		out := Value{Kind: clc.Int, Width: w}
+		for l := 0; l < w; l++ {
+			out.I[l] = boolToInt(f(v.Lane(l).Float()))
+			out.F[l] = float64(out.I[l])
+		}
+		return out, nil
+	}
+}
+
+func ptrOutBinary(f func(x float64) (ret, out float64)) mathFn {
+	return func(c *wiCtx, args []Value) (Value, error) {
+		if len(args) != 2 || !args[1].IsPointer() {
+			return Value{}, fmt.Errorf("want (value, pointer)")
+		}
+		v := args[0]
+		p := args[1].Ptr
+		w := max(v.Width, 1)
+		kind := floatKindFor(v.Kind)
+		out := Value{Kind: kind, Width: w}
+		for l := 0; l < w; l++ {
+			r, o := f(v.Lane(l).Float())
+			out.F[l] = r
+			out.I[l] = int64(clampToInt64(r))
+			co := ConvertScalar(FloatValue(kind, o), p.Buf.Kind)
+			if err := p.Buf.storeScalar(p.Off+int64(l), co.I[0], co.F[0]); err != nil {
+				return Value{}, err
+			}
+		}
+		c.countMem(p.Buf.Space, w, true)
+		return out, nil
+	}
+}

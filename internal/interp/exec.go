@@ -1,0 +1,1052 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"clgen/internal/clc"
+)
+
+// errCancelled unwinds work-item goroutines after another item failed.
+var errCancelled = errors.New("interp: cancelled")
+
+// ctrl is the statement-level control-flow signal.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// slot is the storage of one variable.
+type slot struct {
+	val Value
+	buf *Buffer        // non-nil for array variables
+	arr *clc.ArrayType // declared array type when buf != nil
+}
+
+// wiCtx is the execution context of a single work-item.
+type wiCtx struct {
+	env    *Env
+	gid    [3]int64 // global id
+	lid    [3]int64 // local id
+	grp    [3]int64 // group id
+	gsize  [3]int64
+	lsize  [3]int64
+	ngrp   [3]int64
+	prof   *Profile
+	budget *int64
+	yield  func() error // barrier handoff; nil on the fast path
+	cancel *bool
+
+	// groupLocals holds per-work-group storage for __local arrays declared
+	// in kernel bodies; all work-items of a group share the same map.
+	groupLocals map[*clc.VarDecl]*slot
+
+	scopes []map[string]*slot
+	retVal Value
+	depth  int
+}
+
+const maxCallDepth = 64
+
+func (c *wiCtx) pushScope() { c.scopes = append(c.scopes, map[string]*slot{}) }
+func (c *wiCtx) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *wiCtx) lookup(name string) (*slot, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func (c *wiCtx) declare(name string, s *slot) {
+	c.scopes[len(c.scopes)-1][name] = s
+}
+
+func (c *wiCtx) step() error {
+	*c.budget--
+	if *c.budget < 0 {
+		return ErrStepLimit
+	}
+	if c.cancel != nil && *c.cancel {
+		return errCancelled
+	}
+	return nil
+}
+
+// countMem records a memory access against the profile.
+func (c *wiCtx) countMem(space clc.AddrSpace, width int, store bool) {
+	if width < 1 {
+		width = 1
+	}
+	n := int64(width)
+	switch space {
+	case clc.Global, clc.Constant:
+		if store {
+			c.prof.GlobalStores += n
+		} else {
+			c.prof.GlobalLoads += n
+		}
+	case clc.Local:
+		if store {
+			c.prof.LocalStores += n
+		} else {
+			c.prof.LocalLoads += n
+		}
+	default:
+		c.prof.PrivateOps += n
+	}
+}
+
+func (c *wiCtx) countArith(kind clc.ScalarKind, width int) {
+	if width < 1 {
+		width = 1
+	}
+	if kind.IsFloat() {
+		c.prof.FloatOps += int64(width)
+	} else {
+		c.prof.IntOps += int64(width)
+	}
+}
+
+// runFunction executes fd with the given argument values.
+func (c *wiCtx) runFunction(fd *clc.FuncDecl, args []Value) (Value, error) {
+	if c.depth >= maxCallDepth {
+		return Value{}, fmt.Errorf("interp: call depth limit in %q", fd.Name)
+	}
+	c.depth++
+	saved := c.scopes
+	c.scopes = nil
+	c.pushScope()
+	defer func() {
+		c.scopes = saved
+		c.depth--
+	}()
+	if len(args) != len(fd.Params) {
+		return Value{}, fmt.Errorf("interp: %q called with %d args, want %d", fd.Name, len(args), len(fd.Params))
+	}
+	for i, p := range fd.Params {
+		v := args[i]
+		if !v.IsPointer() {
+			conv, err := Convert(v, p.Type)
+			if err != nil {
+				return Value{}, fmt.Errorf("interp: argument %d of %q: %w", i, fd.Name, err)
+			}
+			v = conv
+		}
+		c.declare(p.Name, &slot{val: v})
+	}
+	c.retVal = Value{}
+	ct, err := c.execBlock(fd.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if ct == ctrlReturn {
+		return c.retVal, nil
+	}
+	return Value{}, nil
+}
+
+func (c *wiCtx) execBlock(b *clc.BlockStmt) (ctrl, error) {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		ct, err := c.execStmt(s)
+		if err != nil || ct != ctrlNone {
+			return ct, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (c *wiCtx) execStmt(s clc.Stmt) (ctrl, error) {
+	if err := c.step(); err != nil {
+		return ctrlNone, err
+	}
+	switch x := s.(type) {
+	case *clc.BlockStmt:
+		return c.execBlock(x)
+	case *clc.EmptyStmt:
+		return ctrlNone, nil
+	case *clc.DeclStmt:
+		for _, d := range x.Decls {
+			if err := c.execDecl(d); err != nil {
+				return ctrlNone, err
+			}
+		}
+		return ctrlNone, nil
+	case *clc.ExprStmt:
+		_, err := c.evalExpr(x.X)
+		return ctrlNone, err
+	case *clc.IfStmt:
+		cond, err := c.evalExpr(x.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		c.prof.Branches++
+		if cond.Bool() {
+			return c.execStmt(x.Then)
+		}
+		if x.Else != nil {
+			return c.execStmt(x.Else)
+		}
+		return ctrlNone, nil
+	case *clc.ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if x.Init != nil {
+			if _, err := c.execStmt(x.Init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if err := c.step(); err != nil {
+				return ctrlNone, err
+			}
+			if x.Cond != nil {
+				cond, err := c.evalExpr(x.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				c.prof.Branches++
+				if !cond.Bool() {
+					return ctrlNone, nil
+				}
+			}
+			ct, err := c.execStmt(x.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ct == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ct == ctrlReturn {
+				return ct, nil
+			}
+			if x.Post != nil {
+				if _, err := c.evalExpr(x.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+	case *clc.WhileStmt:
+		for {
+			if err := c.step(); err != nil {
+				return ctrlNone, err
+			}
+			cond, err := c.evalExpr(x.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			c.prof.Branches++
+			if !cond.Bool() {
+				return ctrlNone, nil
+			}
+			ct, err := c.execStmt(x.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ct == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ct == ctrlReturn {
+				return ct, nil
+			}
+		}
+	case *clc.DoWhileStmt:
+		for {
+			if err := c.step(); err != nil {
+				return ctrlNone, err
+			}
+			ct, err := c.execStmt(x.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ct == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if ct == ctrlReturn {
+				return ct, nil
+			}
+			cond, err := c.evalExpr(x.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			c.prof.Branches++
+			if !cond.Bool() {
+				return ctrlNone, nil
+			}
+		}
+	case *clc.ReturnStmt:
+		if x.X != nil {
+			v, err := c.evalExpr(x.X)
+			if err != nil {
+				return ctrlNone, err
+			}
+			c.retVal = v
+		}
+		return ctrlReturn, nil
+	case *clc.BreakStmt:
+		return ctrlBreak, nil
+	case *clc.ContinueStmt:
+		return ctrlContinue, nil
+	case *clc.SwitchStmt:
+		return c.execSwitch(x)
+	}
+	return ctrlNone, fmt.Errorf("interp: unsupported statement %T", s)
+}
+
+func (c *wiCtx) execSwitch(x *clc.SwitchStmt) (ctrl, error) {
+	tag, err := c.evalExpr(x.Tag)
+	if err != nil {
+		return ctrlNone, err
+	}
+	c.prof.Branches++
+	matched := -1
+	defaultIdx := -1
+	for i, cc := range x.Cases {
+		if cc.Value == nil {
+			defaultIdx = i
+			continue
+		}
+		v, err := c.evalExpr(cc.Value)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if v.Int() == tag.Int() {
+			matched = i
+			break
+		}
+	}
+	if matched < 0 {
+		matched = defaultIdx
+	}
+	if matched < 0 {
+		return ctrlNone, nil
+	}
+	c.pushScope()
+	defer c.popScope()
+	for i := matched; i < len(x.Cases); i++ { // fallthrough semantics
+		for _, st := range x.Cases[i].Body {
+			ct, err := c.execStmt(st)
+			if err != nil {
+				return ctrlNone, err
+			}
+			switch ct {
+			case ctrlBreak:
+				return ctrlNone, nil
+			case ctrlReturn, ctrlContinue:
+				return ct, nil
+			}
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (c *wiCtx) execDecl(d *clc.VarDecl) error {
+	if at, ok := d.Type.(*clc.ArrayType); ok {
+		space := d.Space
+		if space == clc.Local && c.groupLocals != nil {
+			// __local arrays in kernel bodies are one allocation per
+			// work-group, shared by all of its work-items.
+			s, ok := c.groupLocals[d]
+			if !ok {
+				s = &slot{buf: NewBuffer(elemKind(at), int(scalarSlots(at)), space), arr: at}
+				c.groupLocals[d] = s
+			}
+			c.declare(d.Name, s)
+			return nil
+		}
+		buf := NewBuffer(elemKind(at), int(scalarSlots(at)), space)
+		if il, ok := d.Init.(*clc.InitList); ok {
+			if err := c.fillArray(buf, il, 0); err != nil {
+				return err
+			}
+		}
+		c.declare(d.Name, &slot{buf: buf, arr: at})
+		return nil
+	}
+	v := ZeroValue(d.Type)
+	if d.Init != nil {
+		iv, err := c.evalExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		if iv.IsPointer() {
+			v = iv
+		} else {
+			conv, err := Convert(iv, d.Type)
+			if err != nil {
+				return fmt.Errorf("interp: initializing %q: %w", d.Name, err)
+			}
+			v = conv
+		}
+	}
+	c.declare(d.Name, &slot{val: v})
+	return nil
+}
+
+func (c *wiCtx) fillArray(buf *Buffer, il *clc.InitList, off int64) error {
+	pos := off
+	for _, e := range il.Elems {
+		if nested, ok := e.(*clc.InitList); ok {
+			if err := c.fillArray(buf, nested, pos); err != nil {
+				return err
+			}
+			pos += int64(countInitScalars(nested))
+			continue
+		}
+		v, err := c.evalExpr(e)
+		if err != nil {
+			return err
+		}
+		s := ConvertScalar(v, buf.Kind)
+		if err := buf.storeScalar(pos, s.I[0], s.F[0]); err != nil {
+			return err
+		}
+		pos++
+	}
+	return nil
+}
+
+// location is an assignable target.
+type location struct {
+	slot  *slot
+	ptr   *Pointer
+	typ   clc.Type
+	lanes []int // swizzle lanes when assigning through a vector member
+}
+
+func (c *wiCtx) readLoc(loc *location) (Value, error) {
+	var base Value
+	switch {
+	case loc.slot != nil:
+		base = loc.slot.val
+	case loc.ptr != nil:
+		v, err := LoadFrom(loc.ptr, loc.typ)
+		if err != nil {
+			return Value{}, err
+		}
+		c.countMem(loc.ptr.Buf.Space, widthOfType(loc.typ), false)
+		base = v
+	default:
+		return Value{}, fmt.Errorf("interp: reading invalid location")
+	}
+	if loc.lanes == nil {
+		return base, nil
+	}
+	return extractLanes(base, loc.lanes), nil
+}
+
+func (c *wiCtx) writeLoc(loc *location, v Value) error {
+	if loc.lanes != nil {
+		// Read-modify-write through the swizzle.
+		var base Value
+		switch {
+		case loc.slot != nil:
+			base = loc.slot.val
+		case loc.ptr != nil:
+			b, err := LoadFrom(loc.ptr, loc.typ)
+			if err != nil {
+				return err
+			}
+			base = b
+		}
+		merged := insertLanes(base, loc.lanes, v)
+		if loc.slot != nil {
+			loc.slot.val = merged
+			return nil
+		}
+		c.countMem(loc.ptr.Buf.Space, len(loc.lanes), true)
+		return StoreTo(loc.ptr, merged, loc.typ)
+	}
+	switch {
+	case loc.slot != nil:
+		if v.IsPointer() {
+			loc.slot.val = v
+			return nil
+		}
+		conv, err := Convert(v, loc.typ)
+		if err != nil {
+			return err
+		}
+		loc.slot.val = conv
+		return nil
+	case loc.ptr != nil:
+		c.countMem(loc.ptr.Buf.Space, widthOfType(loc.typ), true)
+		return StoreTo(loc.ptr, v, loc.typ)
+	}
+	return fmt.Errorf("interp: writing invalid location")
+}
+
+func widthOfType(t clc.Type) int {
+	if vt, ok := t.(*clc.VectorType); ok {
+		return vt.Len
+	}
+	return 1
+}
+
+func extractLanes(v Value, lanes []int) Value {
+	if len(lanes) == 1 {
+		return v.Lane(lanes[0])
+	}
+	out := Value{Kind: v.Kind, Width: len(lanes)}
+	for i, l := range lanes {
+		out.I[i] = v.I[l]
+		out.F[i] = v.F[l]
+	}
+	return out
+}
+
+func insertLanes(base Value, lanes []int, v Value) Value {
+	out := base
+	for i, l := range lanes {
+		var s Value
+		if v.Width <= 1 {
+			s = ConvertScalar(v, base.Kind)
+		} else {
+			s = ConvertScalar(v.Lane(i), base.Kind)
+		}
+		out.I[l] = s.I[0]
+		out.F[l] = s.F[0]
+	}
+	return out
+}
+
+// evalLValue resolves an assignable expression to a location.
+func (c *wiCtx) evalLValue(e clc.Expr) (*location, error) {
+	switch x := e.(type) {
+	case *clc.Ident:
+		if s, ok := c.lookup(x.Name); ok {
+			if s.buf != nil {
+				return nil, fmt.Errorf("interp: cannot assign to array %q", x.Name)
+			}
+			t := x.ExprType()
+			if t == nil {
+				t = valueType(s.val)
+			}
+			return &location{slot: s, typ: t}, nil
+		}
+		return nil, fmt.Errorf("interp: assignment to unknown identifier %q", x.Name)
+	case *clc.IndexExpr:
+		base, err := c.evalExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := c.evalExpr(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		if base.IsPointer() {
+			p, elemT := indexPointer(base.Ptr, idx.Int())
+			if at, ok := elemT.(*clc.ArrayType); ok {
+				return nil, fmt.Errorf("interp: cannot assign to array value %s", at)
+			}
+			return &location{ptr: p, typ: elemT}, nil
+		}
+		// Vector lane assignment v[i] — uncommon but legal in some dialects.
+		if base.Width > 1 {
+			loc, err := c.evalLValue(x.X)
+			if err != nil {
+				return nil, err
+			}
+			lane := int(idx.Int())
+			if lane < 0 || lane >= base.Width {
+				return nil, fmt.Errorf("interp: vector lane %d out of range", lane)
+			}
+			loc.lanes = []int{lane}
+			return loc, nil
+		}
+		return nil, fmt.Errorf("interp: cannot index non-pointer value")
+	case *clc.MemberExpr:
+		baseT := x.X.ExprType()
+		if vt, ok := baseT.(*clc.VectorType); ok {
+			lanes, err := clc.VectorComponents(x.Member, vt.Len)
+			if err != nil {
+				return nil, err
+			}
+			loc, err := c.evalLValue(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if loc.lanes != nil {
+				return nil, fmt.Errorf("interp: nested swizzle assignment unsupported")
+			}
+			loc.lanes = lanes
+			return loc, nil
+		}
+		return nil, fmt.Errorf("interp: unsupported member assignment on %v", baseT)
+	case *clc.UnaryExpr:
+		if x.Op == clc.MUL {
+			v, err := c.evalExpr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsPointer() {
+				return nil, fmt.Errorf("interp: dereferencing non-pointer")
+			}
+			return &location{ptr: v.Ptr, typ: v.Ptr.Elem}, nil
+		}
+	}
+	return nil, fmt.Errorf("interp: expression %T is not assignable", e)
+}
+
+// valueType reconstructs a clc.Type from a runtime value (fallback when the
+// checker left no annotation).
+func valueType(v Value) clc.Type {
+	if v.Width > 1 {
+		return &clc.VectorType{Elem: v.Kind, Len: v.Width}
+	}
+	return &clc.ScalarType{Kind: v.Kind}
+}
+
+// indexPointer advances p by idx elements of its pointee type. When the
+// pointee is an (inner) array, the result is a pointer to that array's
+// element type — C array decay.
+func indexPointer(p *Pointer, idx int64) (*Pointer, clc.Type) {
+	elemT := p.Elem
+	np := &Pointer{Buf: p.Buf, Off: p.Off + idx*scalarSlots(elemT), Elem: elemT}
+	if at, ok := elemT.(*clc.ArrayType); ok {
+		return &Pointer{Buf: p.Buf, Off: np.Off, Elem: at.Elem}, at
+	}
+	return np, elemT
+}
+
+func (c *wiCtx) evalExpr(e clc.Expr) (Value, error) {
+	if err := c.step(); err != nil {
+		return Value{}, err
+	}
+	switch x := e.(type) {
+	case *clc.IntLit:
+		t := x.ExprType()
+		kind := clc.Int
+		if st, ok := t.(*clc.ScalarType); ok {
+			kind = st.Kind
+		}
+		return IntValue(kind, x.Value), nil
+	case *clc.FloatLit:
+		kind := clc.Double
+		if st, ok := x.ExprType().(*clc.ScalarType); ok {
+			kind = st.Kind
+		}
+		return FloatValue(kind, x.Value), nil
+	case *clc.CharLit:
+		return IntValue(clc.Char, x.Value), nil
+	case *clc.StringLit:
+		return Value{}, nil
+	case *clc.Ident:
+		return c.evalIdent(x)
+	case *clc.BinaryExpr:
+		return c.evalBinary(x)
+	case *clc.AssignExpr:
+		return c.evalAssign(x)
+	case *clc.UnaryExpr:
+		return c.evalUnary(x)
+	case *clc.PostfixExpr:
+		loc, err := c.evalLValue(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		old, err := c.readLoc(loc)
+		if err != nil {
+			return Value{}, err
+		}
+		delta := IntValue(clc.Int, 1)
+		op := clc.ADD
+		if x.Op == clc.DEC {
+			op = clc.SUB
+		}
+		nv, err := binaryOp(op, old, delta)
+		if err != nil {
+			return Value{}, err
+		}
+		c.countArith(old.Kind, old.Width)
+		if err := c.writeLoc(loc, nv); err != nil {
+			return Value{}, err
+		}
+		return old, nil
+	case *clc.CondExpr:
+		cond, err := c.evalExpr(x.Cond)
+		if err != nil {
+			return Value{}, err
+		}
+		c.prof.Branches++
+		if cond.Bool() {
+			return c.evalExpr(x.A)
+		}
+		return c.evalExpr(x.B)
+	case *clc.CallExpr:
+		return c.evalCall(x)
+	case *clc.IndexExpr:
+		return c.evalIndex(x)
+	case *clc.MemberExpr:
+		return c.evalMember(x)
+	case *clc.CastExpr:
+		return c.evalCast(x)
+	case *clc.SizeofExpr:
+		if x.Type != nil {
+			return IntValue(clc.ULong, int64(x.Type.Size())), nil
+		}
+		t := x.X.ExprType()
+		if t == nil {
+			return IntValue(clc.ULong, 4), nil
+		}
+		return IntValue(clc.ULong, int64(t.Size())), nil
+	case *clc.InitList:
+		// Brace initializer in expression position: treat as vector build.
+		var lanes []Value
+		for _, el := range x.Elems {
+			v, err := c.evalExpr(el)
+			if err != nil {
+				return Value{}, err
+			}
+			lanes = append(lanes, v)
+		}
+		if len(lanes) == 1 {
+			return lanes[0], nil
+		}
+		kind := clc.Float
+		if len(lanes) > 0 {
+			kind = lanes[0].Kind
+		}
+		return VecValue(kind, lanes), nil
+	case *clc.ArgPack:
+		if len(x.Args) == 1 {
+			return c.evalExpr(x.Args[0])
+		}
+		return Value{}, fmt.Errorf("interp: stray argument pack")
+	}
+	return Value{}, fmt.Errorf("interp: unsupported expression %T", e)
+}
+
+func (c *wiCtx) evalIdent(x *clc.Ident) (Value, error) {
+	if s, ok := c.lookup(x.Name); ok {
+		if s.buf != nil {
+			// Array decays to pointer to first element.
+			return PtrValue(&Pointer{Buf: s.buf, Off: 0, Elem: s.arr.Elem}), nil
+		}
+		return s.val, nil
+	}
+	if buf, ok := c.env.consts[x.Name]; ok {
+		// File-scope array.
+		for _, d := range c.env.File.Decls {
+			if vd, ok := d.(*clc.VarDecl); ok && vd.Name == x.Name {
+				if at, ok := vd.Type.(*clc.ArrayType); ok {
+					return PtrValue(&Pointer{Buf: buf, Off: 0, Elem: at.Elem}), nil
+				}
+			}
+		}
+		return PtrValue(&Pointer{Buf: buf, Off: 0, Elem: clc.TypeInt}), nil
+	}
+	if v, ok := c.env.globals[x.Name]; ok {
+		return v, nil
+	}
+	if f, ok := clc.PredeclaredValue(x.Name); ok {
+		t := x.ExprType()
+		if st, ok := t.(*clc.ScalarType); ok {
+			if st.Kind.IsFloat() {
+				return FloatValue(st.Kind, f), nil
+			}
+			return IntValue(st.Kind, int64(f)), nil
+		}
+		return FloatValue(clc.Double, f), nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown identifier %q", x.Name)
+}
+
+func (c *wiCtx) evalBinary(x *clc.BinaryExpr) (Value, error) {
+	// Short-circuit evaluation.
+	if x.Op == clc.LAND || x.Op == clc.LOR {
+		a, err := c.evalExpr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == clc.LAND && !a.Bool() {
+			return IntValue(clc.Int, 0), nil
+		}
+		if x.Op == clc.LOR && a.Bool() {
+			return IntValue(clc.Int, 1), nil
+		}
+		b, err := c.evalExpr(x.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntValue(clc.Int, boolToInt(b.Bool())), nil
+	}
+	a, err := c.evalExpr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := c.evalExpr(x.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	out, err := binaryOp(x.Op, a, b)
+	if err != nil {
+		return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+	}
+	if !out.IsPointer() && x.Op != clc.COMMA {
+		c.countArith(out.Kind, out.Width)
+	}
+	return out, nil
+}
+
+func (c *wiCtx) evalAssign(x *clc.AssignExpr) (Value, error) {
+	rhs, err := c.evalExpr(x.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	loc, err := c.evalLValue(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	if x.Op != clc.ASSIGN {
+		old, err := c.readLoc(loc)
+		if err != nil {
+			return Value{}, err
+		}
+		op, ok := compoundOps[x.Op]
+		if !ok {
+			return Value{}, fmt.Errorf("interp: unsupported compound assignment %s", x.Op)
+		}
+		nv, err := binaryOp(op, old, rhs)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+		}
+		c.countArith(old.Kind, max(old.Width, 1))
+		rhs = nv
+	}
+	if err := c.writeLoc(loc, rhs); err != nil {
+		return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+	}
+	return rhs, nil
+}
+
+var compoundOps = map[clc.TokenKind]clc.TokenKind{
+	clc.ADDASSIGN: clc.ADD, clc.SUBASSIGN: clc.SUB, clc.MULASSIGN: clc.MUL,
+	clc.DIVASSIGN: clc.DIV, clc.REMASSIGN: clc.REM, clc.ANDASSIGN: clc.AND,
+	clc.ORASSIGN: clc.OR, clc.XORASSIGN: clc.XOR, clc.SHLASSIGN: clc.SHL,
+	clc.SHRASSIGN: clc.SHR,
+}
+
+func (c *wiCtx) evalUnary(x *clc.UnaryExpr) (Value, error) {
+	switch x.Op {
+	case clc.MUL:
+		v, err := c.evalExpr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if !v.IsPointer() {
+			return Value{}, fmt.Errorf("interp: dereferencing non-pointer")
+		}
+		out, err := LoadFrom(v.Ptr, v.Ptr.Elem)
+		if err != nil {
+			return Value{}, err
+		}
+		c.countMem(v.Ptr.Buf.Space, widthOfType(v.Ptr.Elem), false)
+		return out, nil
+	case clc.AND:
+		return c.evalAddrOf(x.X)
+	case clc.INC, clc.DEC:
+		loc, err := c.evalLValue(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		old, err := c.readLoc(loc)
+		if err != nil {
+			return Value{}, err
+		}
+		op := clc.ADD
+		if x.Op == clc.DEC {
+			op = clc.SUB
+		}
+		nv, err := binaryOp(op, old, IntValue(clc.Int, 1))
+		if err != nil {
+			return Value{}, err
+		}
+		c.countArith(old.Kind, old.Width)
+		if err := c.writeLoc(loc, nv); err != nil {
+			return Value{}, err
+		}
+		return nv, nil
+	}
+	v, err := c.evalExpr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	out, err := unaryOp(x.Op, v)
+	if err != nil {
+		return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+	}
+	c.countArith(out.Kind, out.Width)
+	return out, nil
+}
+
+func (c *wiCtx) evalAddrOf(e clc.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *clc.IndexExpr:
+		base, err := c.evalExpr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		idx, err := c.evalExpr(x.Index)
+		if err != nil {
+			return Value{}, err
+		}
+		if !base.IsPointer() {
+			return Value{}, fmt.Errorf("interp: & of non-memory index")
+		}
+		p, _ := indexPointer(base.Ptr, idx.Int())
+		return PtrValue(p), nil
+	case *clc.Ident:
+		if s, ok := c.lookup(x.Name); ok {
+			if s.buf != nil {
+				return PtrValue(&Pointer{Buf: s.buf, Off: 0, Elem: s.arr.Elem}), nil
+			}
+			// Box the scalar variable in a one-slot private buffer so the
+			// pointer has something to reference; writes through the pointer
+			// are reflected back at function exit only — the subset's
+			// kernels use &x almost exclusively for output arguments of
+			// builtins like fract/sincos, which we implement directly. To
+			// keep aliasing honest we migrate the variable into the buffer.
+			kind := s.val.Kind
+			w := max(s.val.Width, 1)
+			buf := NewBuffer(kind, w, clc.Private)
+			for l := 0; l < w; l++ {
+				sc := ConvertScalar(s.val.Lane(l), kind)
+				_ = buf.storeScalar(int64(l), sc.I[0], sc.F[0])
+			}
+			var elem clc.Type = &clc.ScalarType{Kind: kind}
+			if w > 1 {
+				elem = &clc.VectorType{Elem: kind, Len: w}
+			}
+			s.buf = buf
+			s.arr = &clc.ArrayType{Elem: elem, Len: 1}
+			return PtrValue(&Pointer{Buf: buf, Off: 0, Elem: elem}), nil
+		}
+		return Value{}, fmt.Errorf("interp: & of unknown identifier %q", x.Name)
+	case *clc.UnaryExpr:
+		if x.Op == clc.MUL {
+			return c.evalExpr(x.X)
+		}
+	}
+	return Value{}, fmt.Errorf("interp: unsupported address-of target %T", e)
+}
+
+func (c *wiCtx) evalIndex(x *clc.IndexExpr) (Value, error) {
+	base, err := c.evalExpr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	idx, err := c.evalExpr(x.Index)
+	if err != nil {
+		return Value{}, err
+	}
+	if base.IsPointer() {
+		p, elemT := indexPointer(base.Ptr, idx.Int())
+		if _, isArr := elemT.(*clc.ArrayType); isArr {
+			// Inner dimension: result is a decayed pointer.
+			return PtrValue(p), nil
+		}
+		v, err := LoadFrom(p, p.Elem)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+		}
+		c.countMem(p.Buf.Space, widthOfType(p.Elem), false)
+		return v, nil
+	}
+	if base.Width > 1 {
+		lane := int(idx.Int())
+		if lane < 0 || lane >= base.Width {
+			return Value{}, fmt.Errorf("interp: vector lane %d out of range", lane)
+		}
+		return base.Lane(lane), nil
+	}
+	return Value{}, fmt.Errorf("interp: %s: cannot index non-pointer", x.Pos)
+}
+
+func (c *wiCtx) evalMember(x *clc.MemberExpr) (Value, error) {
+	base, err := c.evalExpr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	if base.IsPointer() && x.Arrow {
+		v, err := LoadFrom(base.Ptr, base.Ptr.Elem)
+		if err != nil {
+			return Value{}, err
+		}
+		c.countMem(base.Ptr.Buf.Space, widthOfType(base.Ptr.Elem), false)
+		base = v
+	}
+	if base.Width >= 1 && !base.IsPointer() {
+		w := base.Width
+		if w < 1 {
+			w = 1
+		}
+		lanes, err := clc.VectorComponents(x.Member, w)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+		}
+		return extractLanes(base, lanes), nil
+	}
+	return Value{}, fmt.Errorf("interp: %s: unsupported member access", x.Pos)
+}
+
+func (c *wiCtx) evalCast(x *clc.CastExpr) (Value, error) {
+	if pack, ok := x.X.(*clc.ArgPack); ok {
+		vt, isVec := x.To.(*clc.VectorType)
+		if !isVec {
+			return Value{}, fmt.Errorf("interp: argument pack cast to non-vector %s", x.To)
+		}
+		var lanes []Value
+		for _, a := range pack.Args {
+			v, err := c.evalExpr(a)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Width > 1 {
+				for l := 0; l < v.Width; l++ {
+					lanes = append(lanes, v.Lane(l))
+				}
+			} else {
+				lanes = append(lanes, v)
+			}
+		}
+		if len(lanes) == 1 {
+			return Splat(lanes[0], vt.Elem, vt.Len), nil
+		}
+		if len(lanes) != vt.Len {
+			return Value{}, fmt.Errorf("interp: vector literal arity %d for %s", len(lanes), vt)
+		}
+		return VecValue(vt.Elem, lanes), nil
+	}
+	v, err := c.evalExpr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	out, err := Convert(v, x.To)
+	if err != nil {
+		return Value{}, fmt.Errorf("interp: %s: %w", x.Pos, err)
+	}
+	return out, nil
+}
+
+func (c *wiCtx) evalCall(x *clc.CallExpr) (Value, error) {
+	if fd, ok := c.env.funcs[x.Fun]; ok {
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := c.evalExpr(a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return c.runFunction(fd, args)
+	}
+	return c.callBuiltin(x)
+}

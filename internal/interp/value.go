@@ -1,0 +1,429 @@
+// Package interp executes OpenCL C kernels on a simulated compute device.
+// It implements the NDRange execution model — work-items, work-groups,
+// barriers, global/local/private address spaces, and vector types — and
+// collects a dynamic execution profile that the platform performance models
+// consume. Together with internal/platform it substitutes for the paper's
+// physical CPU/GPU OpenCL runtimes.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"clgen/internal/clc"
+)
+
+// MaxLanes is the widest OpenCL vector supported (float16 etc).
+const MaxLanes = 16
+
+// Value is a runtime value: a scalar, a vector of up to 16 lanes, or a
+// pointer. Integer kinds keep exact 64-bit payloads in I; float kinds use
+// F. Both arrays are fixed-size so Values are allocation-free.
+type Value struct {
+	Kind  clc.ScalarKind
+	Width int // 1 for scalars, 2/3/4/8/16 for vectors, 0 for pointers
+	Ptr   *Pointer
+	I     [MaxLanes]int64
+	F     [MaxLanes]float64
+}
+
+// Pointer references a span of a Buffer. Off is measured in scalar slots of
+// the buffer, so pointer casts that reinterpret granularity stay coherent.
+type Pointer struct {
+	Buf  *Buffer
+	Off  int64    // scalar-slot offset
+	Elem clc.Type // pointee type as seen through this pointer
+}
+
+// Buffer is a linear memory object in some address space, stored as flat
+// scalar slots.
+type Buffer struct {
+	Kind  clc.ScalarKind
+	Space clc.AddrSpace
+	F     []float64 // payload for float kinds
+	I     []int64   // payload for integer kinds
+}
+
+// NewBuffer allocates a zeroed buffer of n scalar slots of the given kind.
+func NewBuffer(kind clc.ScalarKind, n int, space clc.AddrSpace) *Buffer {
+	b := &Buffer{Kind: kind, Space: space}
+	if kind.IsFloat() {
+		b.F = make([]float64, n)
+	} else {
+		b.I = make([]int64, n)
+	}
+	return b
+}
+
+// Len returns the number of scalar slots.
+func (b *Buffer) Len() int {
+	if b.Kind.IsFloat() {
+		return len(b.F)
+	}
+	return len(b.I)
+}
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	nb := &Buffer{Kind: b.Kind, Space: b.Space}
+	if b.F != nil {
+		nb.F = append([]float64(nil), b.F...)
+	}
+	if b.I != nil {
+		nb.I = append([]int64(nil), b.I...)
+	}
+	return nb
+}
+
+// Equal reports whether two buffers hold the same contents, comparing
+// floats with the given absolute/relative epsilon (§5.2: "equality checks
+// for floating point values are performed with an appropriate epsilon").
+func (b *Buffer) Equal(o *Buffer, eps float64) bool {
+	if b.Kind != o.Kind || b.Len() != o.Len() {
+		return false
+	}
+	if b.Kind.IsFloat() {
+		for i := range b.F {
+			if !floatEq(b.F[i], o.F[i], eps) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range b.I {
+		if b.I[i] != o.I[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatEq(a, b, eps float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= eps*m
+}
+
+// loadScalar reads one scalar slot as a float64/int64 pair in kind k.
+func (b *Buffer) loadScalar(off int64) (int64, float64, error) {
+	if off < 0 || off >= int64(b.Len()) {
+		return 0, 0, fmt.Errorf("out-of-bounds read at slot %d of %d", off, b.Len())
+	}
+	if b.Kind.IsFloat() {
+		f := b.F[off]
+		return int64(f), f, nil
+	}
+	i := b.I[off]
+	return i, float64(i), nil
+}
+
+func (b *Buffer) storeScalar(off int64, i int64, f float64) error {
+	if off < 0 || off >= int64(b.Len()) {
+		return fmt.Errorf("out-of-bounds write at slot %d of %d", off, b.Len())
+	}
+	if b.Kind.IsFloat() {
+		b.F[off] = f
+	} else {
+		b.I[off] = i
+	}
+	return nil
+}
+
+// --- Value constructors ---
+
+// IntValue returns a scalar integer value of the given kind.
+func IntValue(kind clc.ScalarKind, v int64) Value {
+	val := Value{Kind: kind, Width: 1}
+	val.I[0] = truncInt(kind, v)
+	val.F[0] = float64(val.I[0])
+	return val
+}
+
+// FloatValue returns a scalar float value of the given kind.
+func FloatValue(kind clc.ScalarKind, v float64) Value {
+	val := Value{Kind: kind, Width: 1}
+	if kind == clc.Float || kind == clc.Half {
+		v = float64(float32(v))
+	}
+	val.F[0] = v
+	val.I[0] = int64(clampToInt64(v))
+	return val
+}
+
+// PtrValue returns a pointer value.
+func PtrValue(p *Pointer) Value { return Value{Ptr: p} }
+
+// VecValue builds a vector value of the given element kind from lanes.
+func VecValue(kind clc.ScalarKind, lanes []Value) Value {
+	v := Value{Kind: kind, Width: len(lanes)}
+	for i, l := range lanes {
+		s := ConvertScalar(l, kind)
+		v.I[i] = s.I[0]
+		v.F[i] = s.F[0]
+	}
+	return v
+}
+
+// Splat replicates a scalar across w lanes.
+func Splat(s Value, kind clc.ScalarKind, w int) Value {
+	c := ConvertScalar(s, kind)
+	v := Value{Kind: kind, Width: w}
+	for i := 0; i < w; i++ {
+		v.I[i] = c.I[0]
+		v.F[i] = c.F[0]
+	}
+	return v
+}
+
+// IsPointer reports whether v is a pointer value.
+func (v Value) IsPointer() bool { return v.Ptr != nil }
+
+// Lane returns lane i as a scalar value.
+func (v Value) Lane(i int) Value {
+	s := Value{Kind: v.Kind, Width: 1}
+	s.I[0] = v.I[i]
+	s.F[0] = v.F[i]
+	return s
+}
+
+// Bool reports the C truthiness of a scalar value.
+func (v Value) Bool() bool {
+	if v.Ptr != nil {
+		return true
+	}
+	if v.Kind.IsFloat() {
+		return v.F[0] != 0
+	}
+	return v.I[0] != 0
+}
+
+// Int returns the integer interpretation of lane 0.
+func (v Value) Int() int64 {
+	if v.Kind.IsFloat() {
+		return int64(clampToInt64(v.F[0]))
+	}
+	return v.I[0]
+}
+
+// Float returns the floating-point interpretation of lane 0.
+func (v Value) Float() float64 {
+	if v.Kind.IsFloat() {
+		return v.F[0]
+	}
+	return float64(v.I[0])
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	if v.Ptr != nil {
+		return fmt.Sprintf("ptr(%s+%d)", v.Ptr.Elem, v.Ptr.Off)
+	}
+	if v.Width <= 1 {
+		if v.Kind.IsFloat() {
+			return fmt.Sprintf("%g", v.F[0])
+		}
+		return fmt.Sprintf("%d", v.I[0])
+	}
+	s := fmt.Sprintf("%s%d(", v.Kind, v.Width)
+	for i := 0; i < v.Width; i++ {
+		if i > 0 {
+			s += ", "
+		}
+		if v.Kind.IsFloat() {
+			s += fmt.Sprintf("%g", v.F[i])
+		} else {
+			s += fmt.Sprintf("%d", v.I[i])
+		}
+	}
+	return s + ")"
+}
+
+// truncInt wraps v to the width and signedness of kind, mirroring C's
+// modular integer conversions.
+func truncInt(kind clc.ScalarKind, v int64) int64 {
+	switch kind {
+	case clc.Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case clc.Char:
+		return int64(int8(v))
+	case clc.UChar:
+		return int64(uint8(v))
+	case clc.Short:
+		return int64(int16(v))
+	case clc.UShort:
+		return int64(uint16(v))
+	case clc.Int:
+		return int64(int32(v))
+	case clc.UInt:
+		return int64(uint32(v))
+	case clc.Long:
+		return v
+	case clc.ULong:
+		return v // kept as the raw 64-bit pattern
+	}
+	return v
+}
+
+func clampToInt64(f float64) float64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f < math.MinInt64 {
+		return math.MinInt64
+	}
+	return f
+}
+
+// ConvertScalar converts lane 0 of v to the given scalar kind.
+func ConvertScalar(v Value, kind clc.ScalarKind) Value {
+	if v.Ptr != nil {
+		// Pointer-to-integer conversion: use the offset as the address.
+		return IntValue(kind, v.Ptr.Off)
+	}
+	if kind.IsFloat() {
+		return FloatValue(kind, v.Float())
+	}
+	if v.Kind.IsFloat() {
+		return IntValue(kind, int64(clampToInt64(v.F[0])))
+	}
+	return IntValue(kind, v.I[0])
+}
+
+// Convert converts v to an arbitrary scalar or vector type, applying
+// OpenCL's widening (splat) rule for scalar-to-vector conversions and
+// lane-wise conversion for vector-to-vector of equal width.
+func Convert(v Value, t clc.Type) (Value, error) {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		if v.Width > 1 {
+			// Vector narrowed to scalar: take lane 0 (used by casts only).
+			return ConvertScalar(v.Lane(0), tt.Kind), nil
+		}
+		return ConvertScalar(v, tt.Kind), nil
+	case *clc.VectorType:
+		if v.Width <= 1 {
+			return Splat(v, tt.Elem, tt.Len), nil
+		}
+		if v.Width != tt.Len {
+			return Value{}, fmt.Errorf("cannot convert %d-wide vector to %s", v.Width, t)
+		}
+		out := Value{Kind: tt.Elem, Width: tt.Len}
+		for i := 0; i < tt.Len; i++ {
+			s := ConvertScalar(v.Lane(i), tt.Elem)
+			out.I[i] = s.I[0]
+			out.F[i] = s.F[0]
+		}
+		return out, nil
+	case *clc.PointerType:
+		if v.Ptr != nil {
+			// Pointer cast: reinterpret the pointee type.
+			return PtrValue(&Pointer{Buf: v.Ptr.Buf, Off: v.Ptr.Off, Elem: tt.Elem}), nil
+		}
+		if !v.Bool() {
+			return Value{}, nil // NULL
+		}
+		return Value{}, fmt.Errorf("cannot convert %s to pointer", v)
+	}
+	return Value{}, fmt.Errorf("unsupported conversion to %s", t)
+}
+
+// ZeroValue returns the zero value of a type.
+func ZeroValue(t clc.Type) Value {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		if tt.Kind.IsFloat() {
+			return FloatValue(tt.Kind, 0)
+		}
+		return IntValue(tt.Kind, 0)
+	case *clc.VectorType:
+		return Value{Kind: tt.Elem, Width: tt.Len}
+	case *clc.PointerType:
+		return Value{}
+	}
+	return Value{}
+}
+
+// scalarSlots returns how many scalar slots a type occupies in a buffer.
+func scalarSlots(t clc.Type) int64 {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		return 1
+	case *clc.VectorType:
+		return int64(tt.Len)
+	case *clc.ArrayType:
+		return int64(tt.Len) * scalarSlots(tt.Elem)
+	case *clc.PointerType:
+		return 1
+	case *clc.StructType:
+		var n int64
+		for _, f := range tt.Fields {
+			n += scalarSlots(f.Type)
+		}
+		return n
+	}
+	return 1
+}
+
+// LoadFrom reads a value of type t from p.
+func LoadFrom(p *Pointer, t clc.Type) (Value, error) {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		i, f, err := p.Buf.loadScalar(p.Off)
+		if err != nil {
+			return Value{}, err
+		}
+		if tt.Kind.IsFloat() {
+			return FloatValue(tt.Kind, f), nil
+		}
+		return IntValue(tt.Kind, i), nil
+	case *clc.VectorType:
+		v := Value{Kind: tt.Elem, Width: tt.Len}
+		for l := 0; l < tt.Len; l++ {
+			i, f, err := p.Buf.loadScalar(p.Off + int64(l))
+			if err != nil {
+				return Value{}, err
+			}
+			s := Value{Kind: p.Buf.Kind, Width: 1}
+			s.I[0], s.F[0] = i, f
+			c := ConvertScalar(s, tt.Elem)
+			v.I[l], v.F[l] = c.I[0], c.F[0]
+		}
+		return v, nil
+	}
+	return Value{}, fmt.Errorf("cannot load %s from memory", t)
+}
+
+// StoreTo writes v (of type t) through p.
+func StoreTo(p *Pointer, v Value, t clc.Type) error {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		c := ConvertScalar(v, tt.Kind)
+		cb := ConvertScalar(c, p.Buf.Kind)
+		return p.Buf.storeScalar(p.Off, cb.I[0], cb.F[0])
+	case *clc.VectorType:
+		cv, err := Convert(v, tt)
+		if err != nil {
+			return err
+		}
+		for l := 0; l < tt.Len; l++ {
+			cb := ConvertScalar(cv.Lane(l), p.Buf.Kind)
+			if err := p.Buf.storeScalar(p.Off+int64(l), cb.I[0], cb.F[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("cannot store %s to memory", t)
+}

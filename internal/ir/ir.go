@@ -1,0 +1,486 @@
+// Package ir lowers checked OpenCL C ASTs to a linear pseudo-instruction
+// stream, standing in for the NVIDIA PTX bytecode of the paper's rejection
+// filter (§4.1). The filter's observable contract is preserved: a file
+// either compiles or it does not, and each function has a static
+// instruction count that can be thresholded.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"clgen/internal/clc"
+)
+
+// OpKind classifies a pseudo-instruction.
+type OpKind int
+
+// Instruction kinds.
+const (
+	OpMov     OpKind = iota
+	OpALU            // integer arithmetic / logic
+	OpFPU            // floating-point arithmetic
+	OpLoad           // memory read
+	OpStore          // memory write
+	OpBranch         // conditional or unconditional control transfer
+	OpCall           // function call (user or non-math builtin)
+	OpBarrier        // work-group barrier / fence
+	OpAtomic         // atomic memory operation
+	OpCvt            // conversion / cast
+	OpRet            // return
+)
+
+var opNames = map[OpKind]string{
+	OpMov: "mov", OpALU: "alu", OpFPU: "fpu", OpLoad: "ld", OpStore: "st",
+	OpBranch: "bra", OpCall: "call", OpBarrier: "bar", OpAtomic: "atom",
+	OpCvt: "cvt", OpRet: "ret",
+}
+
+// String returns the PTX-flavored mnemonic for the op kind.
+func (k OpKind) String() string { return opNames[k] }
+
+// Instr is one pseudo-instruction.
+type Instr struct {
+	Op    OpKind
+	Space clc.AddrSpace // meaningful for OpLoad/OpStore/OpAtomic
+	Width int           // vector width (1 for scalar)
+	Note  string        // mnemonic detail, e.g. "add.f32" or callee name
+}
+
+// String renders the instruction in a PTX-like syntax.
+func (i Instr) String() string {
+	var b strings.Builder
+	b.WriteString(i.Op.String())
+	if i.Op == OpLoad || i.Op == OpStore || i.Op == OpAtomic {
+		switch i.Space {
+		case clc.Global:
+			b.WriteString(".global")
+		case clc.Local:
+			b.WriteString(".shared")
+		case clc.Constant:
+			b.WriteString(".const")
+		default:
+			b.WriteString(".local")
+		}
+	}
+	if i.Width > 1 {
+		fmt.Fprintf(&b, ".v%d", i.Width)
+	}
+	if i.Note != "" {
+		b.WriteString(" ")
+		b.WriteString(i.Note)
+	}
+	return b.String()
+}
+
+// Func is the lowered form of one function.
+type Func struct {
+	Name     string
+	IsKernel bool
+	Instrs   []Instr
+}
+
+// Count returns the number of instructions of kind k.
+func (f *Func) Count(k OpKind) int {
+	n := 0
+	for _, in := range f.Instrs {
+		if in.Op == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountMem returns the number of Load+Store instructions in the given
+// address space.
+func (f *Func) CountMem(space clc.AddrSpace) int {
+	n := 0
+	for _, in := range f.Instrs {
+		if (in.Op == OpLoad || in.Op == OpStore || in.Op == OpAtomic) && in.Space == space {
+			n++
+		}
+	}
+	return n
+}
+
+// Program is a lowered translation unit.
+type Program struct {
+	Funcs []*Func
+}
+
+// Func returns the lowered function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// StaticInstructionCount returns the total instruction count across all
+// functions — the quantity the rejection filter thresholds.
+func (p *Program) StaticInstructionCount() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Instrs)
+	}
+	return n
+}
+
+// Disassemble renders the program in a PTX-like listing, for diagnostics.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, f := range p.Funcs {
+		if f.IsKernel {
+			fmt.Fprintf(&b, ".entry %s:\n", f.Name)
+		} else {
+			fmt.Fprintf(&b, ".func %s:\n", f.Name)
+		}
+		for _, in := range f.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	return b.String()
+}
+
+// Lower compiles a checked file to pseudo-instructions. The file must have
+// passed clc.Check; Lower does not re-validate.
+func Lower(f *clc.File) *Program {
+	p := &Program{}
+	for _, fd := range f.Functions() {
+		if fd.Body == nil {
+			continue
+		}
+		lf := &Func{Name: fd.Name, IsKernel: fd.IsKernel}
+		g := &lowerer{fn: lf, spaces: map[string]clc.AddrSpace{}}
+		g.stmt(fd.Body)
+		if len(lf.Instrs) == 0 || lf.Instrs[len(lf.Instrs)-1].Op != OpRet {
+			g.emit(Instr{Op: OpRet})
+		}
+		p.Funcs = append(p.Funcs, lf)
+	}
+	return p
+}
+
+type lowerer struct {
+	fn *Func
+	// spaces records the declared address space of block-scope variables,
+	// so that accesses into __local arrays lower to shared-memory ops.
+	spaces map[string]clc.AddrSpace
+}
+
+func (g *lowerer) emit(in Instr) { g.fn.Instrs = append(g.fn.Instrs, in) }
+
+func widthOf(t clc.Type) int {
+	if v, ok := t.(*clc.VectorType); ok {
+		return v.Len
+	}
+	return 1
+}
+
+func isFloatType(t clc.Type) bool {
+	switch x := t.(type) {
+	case *clc.ScalarType:
+		return x.Kind.IsFloat()
+	case *clc.VectorType:
+		return x.Elem.IsFloat()
+	}
+	return false
+}
+
+func (g *lowerer) stmt(s clc.Stmt) {
+	switch x := s.(type) {
+	case *clc.BlockStmt:
+		for _, st := range x.Stmts {
+			g.stmt(st)
+		}
+	case *clc.DeclStmt:
+		for _, d := range x.Decls {
+			g.spaces[d.Name] = d.Space
+			if d.Init != nil {
+				g.expr(d.Init, false)
+				g.emit(Instr{Op: OpMov, Width: widthOf(d.Type), Note: "init " + d.Name})
+			}
+		}
+	case *clc.ExprStmt:
+		g.expr(x.X, false)
+	case *clc.EmptyStmt:
+	case *clc.IfStmt:
+		g.expr(x.Cond, false)
+		g.emit(Instr{Op: OpBranch, Note: "if"})
+		g.stmt(x.Then)
+		if x.Else != nil {
+			g.emit(Instr{Op: OpBranch, Note: "else"})
+			g.stmt(x.Else)
+		}
+	case *clc.ForStmt:
+		if x.Init != nil {
+			g.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			g.expr(x.Cond, false)
+		}
+		g.emit(Instr{Op: OpBranch, Note: "for"})
+		g.stmt(x.Body)
+		if x.Post != nil {
+			g.expr(x.Post, false)
+		}
+		g.emit(Instr{Op: OpBranch, Note: "for.back"})
+	case *clc.WhileStmt:
+		g.expr(x.Cond, false)
+		g.emit(Instr{Op: OpBranch, Note: "while"})
+		g.stmt(x.Body)
+		g.emit(Instr{Op: OpBranch, Note: "while.back"})
+	case *clc.DoWhileStmt:
+		g.stmt(x.Body)
+		g.expr(x.Cond, false)
+		g.emit(Instr{Op: OpBranch, Note: "do.back"})
+	case *clc.ReturnStmt:
+		if x.X != nil {
+			g.expr(x.X, false)
+		}
+		g.emit(Instr{Op: OpRet})
+	case *clc.BreakStmt:
+		g.emit(Instr{Op: OpBranch, Note: "break"})
+	case *clc.ContinueStmt:
+		g.emit(Instr{Op: OpBranch, Note: "continue"})
+	case *clc.SwitchStmt:
+		g.expr(x.Tag, false)
+		for _, c := range x.Cases {
+			g.emit(Instr{Op: OpBranch, Note: "case"})
+			for _, st := range c.Body {
+				g.stmt(st)
+			}
+		}
+	}
+}
+
+// expr lowers an expression. addrOnly marks assignment targets, where the
+// index computation is emitted but the final load is replaced by the
+// caller's store.
+func (g *lowerer) expr(e clc.Expr, addrOnly bool) {
+	switch x := e.(type) {
+	case *clc.Ident, *clc.IntLit, *clc.FloatLit, *clc.CharLit, *clc.StringLit:
+		// Register or immediate operand: no instruction.
+	case *clc.BinaryExpr:
+		g.expr(x.X, false)
+		g.expr(x.Y, false)
+		g.emitArith(x.ExprType(), x.Op.String())
+	case *clc.AssignExpr:
+		g.expr(x.Y, false)
+		if x.Op != clc.ASSIGN {
+			// Compound assignment reads the destination, computes, writes.
+			g.expr(x.X, false)
+			g.emitArith(x.ExprType(), strings.TrimSuffix(x.Op.String(), "="))
+			g.store(x.X)
+			return
+		}
+		g.store(x.X)
+	case *clc.UnaryExpr:
+		switch x.Op {
+		case clc.MUL: // dereference
+			g.expr(x.X, false)
+			g.emit(Instr{Op: OpLoad, Space: pointerSpace(x.X.ExprType()), Width: widthOf(x.ExprType())})
+		case clc.AND:
+			g.exprAddr(x.X)
+		case clc.INC, clc.DEC:
+			g.expr(x.X, false)
+			g.emitArith(x.ExprType(), x.Op.String())
+			g.store(x.X)
+		default:
+			g.expr(x.X, false)
+			g.emitArith(x.ExprType(), x.Op.String())
+		}
+	case *clc.PostfixExpr:
+		g.expr(x.X, false)
+		g.emitArith(x.ExprType(), x.Op.String())
+		g.store(x.X)
+	case *clc.CondExpr:
+		g.expr(x.Cond, false)
+		g.emit(Instr{Op: OpBranch, Note: "sel"})
+		g.expr(x.A, false)
+		g.expr(x.B, false)
+	case *clc.CallExpr:
+		for _, a := range x.Args {
+			g.expr(a, false)
+		}
+		g.emitCall(x)
+	case *clc.IndexExpr:
+		g.expr(x.X, false)
+		g.expr(x.Index, false)
+		if !addrOnly {
+			g.emit(Instr{Op: OpLoad, Space: g.spaceOfBase(x.X), Width: widthOf(x.ExprType())})
+		}
+	case *clc.MemberExpr:
+		g.expr(x.X, false)
+		if !addrOnly {
+			g.emit(Instr{Op: OpMov, Width: widthOf(x.ExprType()), Note: "extract"})
+		}
+	case *clc.CastExpr:
+		if pack, ok := x.X.(*clc.ArgPack); ok {
+			for _, a := range pack.Args {
+				g.expr(a, false)
+			}
+			g.emit(Instr{Op: OpMov, Width: widthOf(x.To), Note: "vecpack"})
+			return
+		}
+		g.expr(x.X, false)
+		g.emit(Instr{Op: OpCvt, Width: widthOf(x.To)})
+	case *clc.ArgPack:
+		for _, a := range x.Args {
+			g.expr(a, false)
+		}
+	case *clc.InitList:
+		for _, el := range x.Elems {
+			g.expr(el, false)
+		}
+	case *clc.SizeofExpr:
+		// Compile-time constant.
+	}
+}
+
+// exprAddr lowers address computations for &expr.
+func (g *lowerer) exprAddr(e clc.Expr) {
+	switch x := e.(type) {
+	case *clc.IndexExpr:
+		g.expr(x.X, false)
+		g.expr(x.Index, false)
+		g.emit(Instr{Op: OpALU, Note: "lea"})
+	case *clc.Ident:
+	default:
+		g.expr(e, false)
+	}
+}
+
+// store emits the write half of an assignment to target.
+func (g *lowerer) store(target clc.Expr) {
+	switch x := target.(type) {
+	case *clc.IndexExpr:
+		g.expr(x.X, false)
+		g.expr(x.Index, false)
+		g.emit(Instr{Op: OpStore, Space: g.spaceOfBase(x.X), Width: widthOf(x.ExprType())})
+	case *clc.UnaryExpr:
+		if x.Op == clc.MUL {
+			g.expr(x.X, false)
+			g.emit(Instr{Op: OpStore, Space: pointerSpace(x.X.ExprType()), Width: widthOf(x.ExprType())})
+			return
+		}
+		g.emit(Instr{Op: OpMov, Note: "store"})
+	case *clc.MemberExpr:
+		// Vector component or struct field write: if the base is a memory
+		// access the store hits memory, otherwise it is a register insert.
+		if ix, ok := x.X.(*clc.IndexExpr); ok {
+			g.expr(ix.X, false)
+			g.expr(ix.Index, false)
+			g.emit(Instr{Op: OpStore, Space: g.spaceOfBase(ix.X), Width: 1})
+			return
+		}
+		g.emit(Instr{Op: OpMov, Note: "insert"})
+	case *clc.Ident:
+		g.emit(Instr{Op: OpMov, Note: "store " + x.Name})
+	default:
+		g.emit(Instr{Op: OpMov, Note: "store"})
+	}
+}
+
+func (g *lowerer) emitArith(t clc.Type, note string) {
+	op := OpALU
+	if isFloatType(t) {
+		op = OpFPU
+	}
+	g.emit(Instr{Op: op, Width: widthOf(t), Note: note})
+}
+
+// mathBuiltins lower to FPU instructions rather than calls, matching how
+// PTX inlines transcendental approximations.
+func isMathBuiltin(name string) bool {
+	switch name {
+	case "sqrt", "rsqrt", "cbrt", "sin", "cos", "tan", "asin", "acos", "atan",
+		"sinh", "cosh", "tanh", "exp", "exp2", "exp10", "log", "log2", "log10",
+		"fabs", "floor", "ceil", "round", "trunc", "rint", "pow", "powr",
+		"fmod", "fmin", "fmax", "atan2", "hypot", "mad", "fma", "mix", "clamp",
+		"smoothstep", "step", "sign", "degrees", "radians", "dot", "cross",
+		"length", "normalize", "distance", "min", "max", "abs":
+		return true
+	}
+	return strings.HasPrefix(name, "native_") || strings.HasPrefix(name, "half_")
+}
+
+func (g *lowerer) emitCall(x *clc.CallExpr) {
+	b := clc.LookupBuiltin(x.Fun)
+	if b == nil {
+		// User function.
+		g.emit(Instr{Op: OpCall, Note: x.Fun})
+		return
+	}
+	switch {
+	case b.Sync:
+		g.emit(Instr{Op: OpBarrier, Note: x.Fun})
+	case b.Atomic:
+		space := clc.Global
+		if len(x.Args) > 0 {
+			space = pointerSpace(x.Args[0].ExprType())
+		}
+		g.emit(Instr{Op: OpAtomic, Space: space, Note: x.Fun})
+	case strings.HasPrefix(x.Fun, "get_"):
+		g.emit(Instr{Op: OpMov, Note: x.Fun})
+	case strings.HasPrefix(x.Fun, "vload"):
+		g.emit(Instr{Op: OpLoad, Space: vecMemSpace(x), Width: widthOf(x.ExprType())})
+	case strings.HasPrefix(x.Fun, "vstore"):
+		g.emit(Instr{Op: OpStore, Space: vecMemSpace(x), Width: vstoreWidth(x)})
+	case strings.HasPrefix(x.Fun, "convert_"), strings.HasPrefix(x.Fun, "as_"):
+		g.emit(Instr{Op: OpCvt, Width: widthOf(x.ExprType())})
+	case isMathBuiltin(x.Fun):
+		width := widthOf(x.ExprType())
+		g.emit(Instr{Op: OpFPU, Width: width, Note: x.Fun})
+	default:
+		g.emit(Instr{Op: OpCall, Note: x.Fun})
+	}
+}
+
+func vecMemSpace(x *clc.CallExpr) clc.AddrSpace {
+	// vloadN(off, p) / vstoreN(v, off, p): pointer is the last argument.
+	if len(x.Args) > 0 {
+		return pointerSpace(x.Args[len(x.Args)-1].ExprType())
+	}
+	return clc.Global
+}
+
+func vstoreWidth(x *clc.CallExpr) int {
+	if n, ok := clc.VectorWidthOfName(x.Fun); ok {
+		return n
+	}
+	return 1
+}
+
+func pointerSpace(t clc.Type) clc.AddrSpace {
+	if pt, ok := t.(*clc.PointerType); ok {
+		return pt.Space
+	}
+	return clc.Private
+}
+
+// spaceOfBase resolves the address space of the memory accessed by an
+// index expression base: pointers carry their space in the type; arrays
+// take the space of their declaration, found by walking to the root Ident.
+func (g *lowerer) spaceOfBase(e clc.Expr) clc.AddrSpace {
+	if pt, ok := e.ExprType().(*clc.PointerType); ok {
+		return pt.Space
+	}
+	for {
+		switch x := e.(type) {
+		case *clc.Ident:
+			if sp, ok := g.spaces[x.Name]; ok {
+				return sp
+			}
+			return clc.Private
+		case *clc.IndexExpr:
+			e = x.X
+		case *clc.MemberExpr:
+			e = x.X
+		default:
+			return clc.Private
+		}
+	}
+}

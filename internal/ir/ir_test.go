@@ -1,0 +1,183 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"clgen/internal/clc"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := clc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := clc.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Lower(f)
+}
+
+const saxpy = `__kernel void A(__global float* a, __global float* b, const int c) {
+  unsigned int d = get_global_id(0);
+  if (d < c) {
+    b[d] += 3.5f * a[d];
+  }
+}`
+
+func TestLowerSaxpy(t *testing.T) {
+	p := lower(t, saxpy)
+	f := p.Func("A")
+	if f == nil || !f.IsKernel {
+		t.Fatalf("kernel A missing: %+v", p)
+	}
+	if got := f.Count(OpLoad); got != 2 {
+		t.Errorf("loads = %d, want 2 (a[d] and b[d])\n%s", got, p.Disassemble())
+	}
+	if got := f.Count(OpStore); got != 1 {
+		t.Errorf("stores = %d, want 1\n%s", got, p.Disassemble())
+	}
+	if got := f.Count(OpBranch); got != 1 {
+		t.Errorf("branches = %d, want 1\n%s", got, p.Disassemble())
+	}
+	if got := f.CountMem(clc.Global); got != 3 {
+		t.Errorf("global mem ops = %d, want 3", got)
+	}
+	if f.Count(OpFPU) == 0 {
+		t.Error("no FPU op for 3.5f * a[d]")
+	}
+	if p.StaticInstructionCount() < 3 {
+		t.Errorf("static instruction count %d below rejection threshold", p.StaticInstructionCount())
+	}
+}
+
+func TestLowerLocalMemory(t *testing.T) {
+	src := `__kernel void A(__global float* a) {
+  __local float tile[64];
+  int lid = get_local_id(0);
+  tile[lid] = a[lid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  a[lid] = tile[63 - lid];
+}`
+	p := lower(t, src)
+	f := p.Func("A")
+	if got := f.CountMem(clc.Local); got != 2 {
+		t.Errorf("local mem ops = %d, want 2\n%s", got, p.Disassemble())
+	}
+	if got := f.Count(OpBarrier); got != 1 {
+		t.Errorf("barriers = %d, want 1", got)
+	}
+}
+
+func TestLowerLoop(t *testing.T) {
+	src := `void F(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    s += i;
+  }
+}`
+	p := lower(t, src)
+	f := p.Func("F")
+	if got := f.Count(OpBranch); got != 2 {
+		t.Errorf("branches = %d, want 2 (loop entry + backedge)\n%s", got, p.Disassemble())
+	}
+}
+
+func TestLowerAtomics(t *testing.T) {
+	src := `__kernel void A(__global int* a) {
+  atomic_add(&a[0], 1);
+}`
+	p := lower(t, src)
+	f := p.Func("A")
+	if got := f.Count(OpAtomic); got != 1 {
+		t.Errorf("atomics = %d, want 1\n%s", got, p.Disassemble())
+	}
+}
+
+func TestLowerMathBuiltin(t *testing.T) {
+	src := `__kernel void A(__global float* a) {
+  int i = get_global_id(0);
+  a[i] = sqrt(a[i]) + mad(a[i], 2.0f, 1.0f);
+}`
+	p := lower(t, src)
+	f := p.Func("A")
+	if got := f.Count(OpFPU); got < 3 {
+		t.Errorf("FPU ops = %d, want >= 3\n%s", got, p.Disassemble())
+	}
+	if got := f.Count(OpCall); got != 0 {
+		t.Errorf("math builtins should not lower to calls, got %d", got)
+	}
+}
+
+func TestLowerUserCall(t *testing.T) {
+	src := `float G(float x) { return x * 2.0f; }
+__kernel void A(__global float* a) {
+  a[0] = G(a[0]);
+}`
+	p := lower(t, src)
+	if p.Func("A").Count(OpCall) != 1 {
+		t.Errorf("user call not lowered:\n%s", p.Disassemble())
+	}
+	if p.Func("G") == nil {
+		t.Error("helper function not lowered")
+	}
+}
+
+func TestLowerVectorWidth(t *testing.T) {
+	src := `__kernel void A(__global float4* a) {
+  int i = get_global_id(0);
+  a[i] = a[i] * 2.0f;
+}`
+	p := lower(t, src)
+	f := p.Func("A")
+	var sawWideLoad bool
+	for _, in := range f.Instrs {
+		if in.Op == OpLoad && in.Width == 4 {
+			sawWideLoad = true
+		}
+	}
+	if !sawWideLoad {
+		t.Errorf("no v4 load:\n%s", p.Disassemble())
+	}
+}
+
+func TestLowerEmptyFunctionBelowThreshold(t *testing.T) {
+	// The rejection filter discards kernels with < 3 static instructions.
+	p := lower(t, `__kernel void A(__global int* a) { }`)
+	if got := p.StaticInstructionCount(); got >= 3 {
+		t.Errorf("empty kernel count = %d, want < 3", got)
+	}
+}
+
+func TestDisassembleFormat(t *testing.T) {
+	p := lower(t, saxpy)
+	dis := p.Disassemble()
+	for _, want := range []string{".entry A:", "ld.global", "st.global", "bra"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestLowerVloadVstore(t *testing.T) {
+	src := `__kernel void A(__global float* a, __global float* b) {
+  size_t i = get_global_id(0);
+  float4 v = vload4(i, a);
+  vstore4(v * 2.0f, i, b);
+}`
+	p := lower(t, src)
+	f := p.Func("A")
+	loads, stores := 0, 0
+	for _, in := range f.Instrs {
+		if in.Op == OpLoad && in.Width == 4 && in.Space == clc.Global {
+			loads++
+		}
+		if in.Op == OpStore && in.Width == 4 && in.Space == clc.Global {
+			stores++
+		}
+	}
+	if loads != 1 || stores != 1 {
+		t.Errorf("vload/vstore lowering: loads=%d stores=%d\n%s", loads, stores, p.Disassemble())
+	}
+}

@@ -1,0 +1,218 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeLearnsAxisSplit(t *testing.T) {
+	var X [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		label := 0
+		if x[0] > 5 {
+			label = 1
+		}
+		X = append(X, x)
+		y = append(y, label)
+	}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tree.Accuracy(X, y); acc < 0.99 {
+		t.Errorf("train accuracy %g", acc)
+	}
+	if tree.Predict([]float64{9, 1}) != 1 || tree.Predict([]float64{1, 9}) != 0 {
+		t.Error("misclassifies obvious points")
+	}
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	// XOR needs depth >= 2: no single split separates it.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		X = append(X, []float64{a + 0.01*float64(i%3), b})
+		y = append(y, int(a)^int(b))
+	}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tree.Accuracy(X, y); acc < 0.99 {
+		t.Errorf("XOR accuracy %g", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("depth %d too shallow for XOR", tree.Depth())
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		X = append(X, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		y = append(y, rng.Intn(2)) // pure noise: tree wants to overfit
+	}
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 3 {
+		t.Errorf("depth %d exceeds limit", tree.Depth())
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := TrainTree(nil, nil, TreeConfig{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}}, []int{0, 1}, TreeConfig{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}, {1, 2}}, []int{0, 1}, TreeConfig{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, rng.Intn(3))
+	}
+	t1, _ := TrainTree(X, y, TreeConfig{})
+	t2, _ := TrainTree(X, y, TreeConfig{})
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if t1.Predict(x) != t2.Predict(x) {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestTreePredictsMajorityOnUnsplittable(t *testing.T) {
+	// Identical features, conflicting labels: must fall back to majority.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	y := []int{1, 1, 0}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{1, 1}); got != 1 {
+		t.Errorf("majority = %d", got)
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along the diagonal y=x with small noise: PC1 ≈ (1,1)/√2 in
+	// standardized space.
+	rng := rand.New(rand.NewSource(5))
+	var X [][]float64
+	for i := 0; i < 200; i++ {
+		v := rng.NormFloat64()
+		X = append(X, []float64{v + 0.01*rng.NormFloat64(), v + 0.01*rng.NormFloat64()})
+	}
+	m, err := PCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Components[0]
+	if math.Abs(math.Abs(c[0])-math.Abs(c[1])) > 0.05 {
+		t.Errorf("PC1 = %v, want diagonal", c)
+	}
+	if m.Explained[0] < 0.95 {
+		t.Errorf("PC1 explains only %g", m.Explained[0])
+	}
+}
+
+func TestPCATransformDimensions(t *testing.T) {
+	X := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}, {0, 1, 0}}
+	m, err := PCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.TransformAll(X)
+	if len(out) != 4 || len(out[0]) != 2 {
+		t.Fatalf("projection shape %dx%d", len(out), len(out[0]))
+	}
+}
+
+func TestPCAOrthonormalComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var X [][]float64
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.NormFloat64(), 2 * rng.NormFloat64(), rng.NormFloat64() - 1, 0.5 * rng.NormFloat64()})
+	}
+	m, err := PCA(X, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a; b < 4; b++ {
+			var dot float64
+			for j := 0; j < 4; j++ {
+				dot += m.Components[a][j] * m.Components[b][j]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Errorf("components %d·%d = %g, want %g", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestPCAConstantFeatureSafe(t *testing.T) {
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}}
+	m, err := PCA(X, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Transform([]float64{2, 5})
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Errorf("projection of constant feature = %v", out)
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	if _, err := PCA([][]float64{{1}}, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := PCA([][]float64{{1, 2}, {3, 4}}, 5); err == nil {
+		t.Error("too many components accepted")
+	}
+}
+
+func TestTreePredictTotal(t *testing.T) {
+	// Property: prediction always returns a label that was in training.
+	rng := rand.New(rand.NewSource(12))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		X = append(X, []float64{rng.Float64() * 100, rng.Float64()})
+		y = append(y, rng.Intn(2))
+	}
+	tree, err := TrainTree(X, y, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(a, b float64) bool {
+		p := tree.Predict([]float64{a, b})
+		return p == 0 || p == 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

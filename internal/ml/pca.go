@@ -1,0 +1,180 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCAModel is a fitted principal-component projection.
+type PCAModel struct {
+	Mean       []float64
+	Scale      []float64   // per-feature standard deviation (standardization)
+	Components [][]float64 // k rows of length d
+	Explained  []float64   // fraction of variance per component
+}
+
+// PCA fits a k-component principal component analysis to X, standardizing
+// features first (the Grewe features span wildly different ranges).
+func PCA(X [][]float64, k int) (*PCAModel, error) {
+	n := len(X)
+	if n < 2 {
+		return nil, fmt.Errorf("ml: PCA needs at least 2 samples, got %d", n)
+	}
+	d := len(X[0])
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("ml: PCA components %d outside [1, %d]", k, d)
+	}
+	m := &PCAModel{Mean: make([]float64, d), Scale: make([]float64, d)}
+	for _, x := range X {
+		if len(x) != d {
+			return nil, fmt.Errorf("ml: ragged PCA input")
+		}
+		for j, v := range x {
+			m.Mean[j] += v
+		}
+	}
+	for j := range m.Mean {
+		m.Mean[j] /= float64(n)
+	}
+	for _, x := range X {
+		for j, v := range x {
+			dv := v - m.Mean[j]
+			m.Scale[j] += dv * dv
+		}
+	}
+	for j := range m.Scale {
+		m.Scale[j] = math.Sqrt(m.Scale[j] / float64(n-1))
+		if m.Scale[j] == 0 {
+			m.Scale[j] = 1
+		}
+	}
+	// Covariance of standardized data.
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	z := make([]float64, d)
+	for _, x := range X {
+		for j, v := range x {
+			z[j] = (v - m.Mean[j]) / m.Scale[j]
+		}
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				cov[a][b] += z[a] * z[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			cov[a][b] /= float64(n - 1)
+			cov[b][a] = cov[a][b]
+		}
+	}
+	vals, vecs := jacobiEigen(cov)
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		col := order[c]
+		comp := make([]float64, d)
+		for r := 0; r < d; r++ {
+			comp[r] = vecs[r][col]
+		}
+		m.Components = append(m.Components, comp)
+		if total > 0 {
+			m.Explained = append(m.Explained, math.Max(vals[col], 0)/total)
+		} else {
+			m.Explained = append(m.Explained, 0)
+		}
+	}
+	return m, nil
+}
+
+// Transform projects one sample onto the principal components.
+func (m *PCAModel) Transform(x []float64) []float64 {
+	out := make([]float64, len(m.Components))
+	for c, comp := range m.Components {
+		var s float64
+		for j, v := range x {
+			s += comp[j] * (v - m.Mean[j]) / m.Scale[j]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// TransformAll projects a matrix.
+func (m *PCAModel) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Transform(x)
+	}
+	return out
+}
+
+// jacobiEigen computes all eigenvalues/vectors of a symmetric matrix by
+// cyclic Jacobi rotations. Dimensions here are tiny (≤ a dozen features).
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	d := len(a)
+	// Work on a copy.
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < d; i++ {
+					mip, miq := m[i][p], m[i][q]
+					m[i][p] = c*mip - s*miq
+					m[i][q] = s*mip + c*miq
+				}
+				for i := 0; i < d; i++ {
+					mpi, mqi := m[p][i], m[q][i]
+					m[p][i] = c*mpi - s*mqi
+					m[q][i] = s*mpi + c*mqi
+				}
+				for i := 0; i < d; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals := make([]float64, d)
+	for i := 0; i < d; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v
+}

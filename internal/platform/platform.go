@@ -1,0 +1,251 @@
+// Package platform models the paper's experimental hardware (Table 4) as
+// analytic performance models over the dynamic execution profiles produced
+// by internal/interp. It substitutes for physical OpenCL devices: the
+// predictive-modeling experiments need realistic runtimes whose CPU↔GPU
+// crossover depends on exactly the mechanisms the Grewe et al. features
+// capture — host↔device transfer cost, parallelism, memory coalescing,
+// local-memory usage, and branching.
+package platform
+
+import (
+	"fmt"
+
+	"clgen/internal/interp"
+)
+
+// DeviceType distinguishes CPUs from GPUs.
+type DeviceType int
+
+// Device types.
+const (
+	CPU DeviceType = iota
+	GPU
+)
+
+// String returns "CPU" or "GPU".
+func (t DeviceType) String() string {
+	if t == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// Device is one compute device with its performance characteristics.
+type Device struct {
+	Name    string
+	Type    DeviceType
+	Cores   int
+	FreqMHz float64
+	MemGB   float64
+	// GFLOPS is peak single-precision throughput (Table 4).
+	GFLOPS float64
+	// MemBandwidthGBs is device memory bandwidth.
+	MemBandwidthGBs float64
+	// PCIeGBs is host↔device transfer bandwidth; 0 means the device shares
+	// host memory (CPUs) and pays no transfer cost.
+	PCIeGBs float64
+	// TransferLatencyS is the fixed per-launch transfer setup latency.
+	TransferLatencyS float64
+	// LaunchOverheadS is the fixed kernel-launch overhead.
+	LaunchOverheadS float64
+	// UncoalescedPenalty multiplies the cost of uncoalesced global accesses.
+	UncoalescedPenalty float64
+	// BranchOpWeight is the cost of one dynamic branch in equivalent
+	// arithmetic operations (GPU divergence makes this large).
+	BranchOpWeight float64
+	// BarrierOpWeight is the cost of one per-work-item barrier event in
+	// equivalent operations (hardware sync on GPUs, scheduler round-trips
+	// on CPU OpenCL runtimes).
+	BarrierOpWeight float64
+	// LocalMemBonus divides the cost of local-memory traffic relative to
+	// global traffic (on-chip shared memory on GPUs).
+	LocalMemBonus float64
+	// ParallelGrain is the number of in-flight work-items needed to reach
+	// peak throughput; below it, utilization scales linearly.
+	ParallelGrain float64
+}
+
+// Table 4 devices. Bandwidths and bus figures follow the parts' public
+// specifications; penalty constants are calibrated so that the qualitative
+// behaviour (who wins where) matches the paper's measurements.
+var (
+	// IntelI7 is the Core i7-3820 host CPU of both systems.
+	IntelI7 = &Device{
+		Name: "Intel Core i7-3820", Type: CPU,
+		Cores: 4, FreqMHz: 3600, MemGB: 8,
+		GFLOPS:             105,
+		MemBandwidthGBs:    51.2,
+		PCIeGBs:            0, // shares host memory
+		LaunchOverheadS:    15e-6,
+		UncoalescedPenalty: 1.6, // cache misses hurt, but caches help
+		BranchOpWeight:     2,
+		BarrierOpWeight:    150,
+		LocalMemBonus:      1, // "local" memory is ordinary cache on CPUs
+		ParallelGrain:      32,
+	}
+	// AMDTahiti is the AMD Tahiti 7970 GPU.
+	AMDTahiti = &Device{
+		Name: "AMD Tahiti 7970", Type: GPU,
+		Cores: 2048, FreqMHz: 1000, MemGB: 3,
+		GFLOPS:             3790,
+		MemBandwidthGBs:    264,
+		PCIeGBs:            6,
+		TransferLatencyS:   80e-6,
+		LaunchOverheadS:    40e-6,
+		UncoalescedPenalty: 8,
+		BranchOpWeight:     10,
+		BarrierOpWeight:    4,
+		LocalMemBonus:      8,
+		ParallelGrain:      16384,
+	}
+	// IntelI7NV is the same Core i7-3820 as driven on the NVIDIA system.
+	// The two systems run different OpenCL stacks (Table 4: AMD 1526.3 vs
+	// NVIDIA 361.42); the paper's measurements make the CPU markedly less
+	// competitive on the NVIDIA system — its best static mapping is
+	// GPU-only there versus CPU-only on the AMD system. The derating
+	// models the weaker CPU OpenCL runtime, not different silicon.
+	IntelI7NV = &Device{
+		Name: "Intel Core i7-3820 (NVIDIA-system driver)", Type: CPU,
+		Cores: 4, FreqMHz: 3600, MemGB: 8,
+		GFLOPS:             105 * 0.30,
+		MemBandwidthGBs:    51.2 * 0.55,
+		PCIeGBs:            0,
+		LaunchOverheadS:    60e-6,
+		UncoalescedPenalty: 1.8,
+		BranchOpWeight:     3,
+		BarrierOpWeight:    300,
+		LocalMemBonus:      1,
+		ParallelGrain:      32,
+	}
+	// NVIDIAGTX970 is the NVIDIA GTX 970 GPU.
+	NVIDIAGTX970 = &Device{
+		Name: "NVIDIA GTX 970", Type: GPU,
+		Cores: 1664, FreqMHz: 1050, MemGB: 4,
+		GFLOPS:             3900,
+		MemBandwidthGBs:    224,
+		PCIeGBs:            6,
+		TransferLatencyS:   70e-6,
+		LaunchOverheadS:    35e-6,
+		UncoalescedPenalty: 6,
+		BranchOpWeight:     8,
+		BarrierOpWeight:    4,
+		LocalMemBonus:      8,
+		ParallelGrain:      13312,
+	}
+)
+
+// System is a CPU+GPU pair (one experimental platform of Table 4).
+type System struct {
+	Name string
+	CPU  *Device
+	GPU  *Device
+}
+
+// The two experimental systems.
+var (
+	SystemAMD    = &System{Name: "AMD", CPU: IntelI7, GPU: AMDTahiti}
+	SystemNVIDIA = &System{Name: "NVIDIA", CPU: IntelI7NV, GPU: NVIDIAGTX970}
+)
+
+// Workload is everything the performance model needs about one kernel
+// execution: the dynamic profile, the statically derived coalescing
+// fraction of global accesses, host↔device transfer volume, and the
+// element width of global accesses in bytes.
+type Workload struct {
+	Profile       *interp.Profile
+	CoalescedFrac float64 // in [0, 1]
+	TransferBytes int64
+	AccessBytes   int   // bytes per global access (default 4)
+	WorkItems     int64 // total work-items of the launch
+}
+
+func (w *Workload) accessBytes() float64 {
+	if w.AccessBytes <= 0 {
+		return 4
+	}
+	return float64(w.AccessBytes)
+}
+
+// KernelTime returns modeled device-compute seconds (no transfers).
+func (d *Device) KernelTime(w Workload) float64 {
+	p := w.Profile
+	util := 1.0
+	if wi := float64(w.WorkItems); wi > 0 && wi < d.ParallelGrain {
+		util = wi / d.ParallelGrain
+		// A single busy lane still runs at core speed, not peak/grain:
+		// floor utilization at one core's share of the device.
+		if floor := 1 / float64(d.Cores); util < floor {
+			util = floor
+		}
+	}
+	ops := float64(p.IntOps+p.FloatOps) +
+		float64(p.Branches)*d.BranchOpWeight +
+		float64(p.Barriers)*d.BarrierOpWeight +
+		float64(p.Atomics)*8
+	computeT := ops / (d.GFLOPS * 1e9 * util)
+
+	coal := w.CoalescedFrac
+	if coal < 0 {
+		coal = 0
+	}
+	if coal > 1 {
+		coal = 1
+	}
+	globalBytes := float64(p.GlobalMemOps()) * w.accessBytes()
+	effBytes := globalBytes * (coal + (1-coal)*d.UncoalescedPenalty)
+	localBytes := float64(p.LocalMemOps()) * w.accessBytes() / d.LocalMemBonus
+	memT := (effBytes + localBytes) / (d.MemBandwidthGBs * 1e9)
+	if d.Type == GPU {
+		// Memory-parallelism: below the grain the memory system is also
+		// underutilized, but less sharply (memory-level parallelism
+		// saturates earlier than ALUs).
+		if wi := float64(w.WorkItems); wi > 0 && wi < d.ParallelGrain/4 {
+			scale := wi / (d.ParallelGrain / 4)
+			if floor := 4 / float64(d.Cores); scale < floor {
+				scale = floor
+			}
+			memT /= scale
+		}
+	}
+
+	// Compute and memory overlap on both device classes: the slower
+	// pipeline dominates, the faster hides behind it.
+	pipeT := computeT
+	if memT > pipeT {
+		pipeT = memT
+	}
+	return pipeT
+}
+
+// TransferTime returns modeled host↔device transfer seconds.
+func (d *Device) TransferTime(bytes int64) float64 {
+	if d.PCIeGBs <= 0 || bytes <= 0 {
+		return 0
+	}
+	return d.TransferLatencyS + float64(bytes)/(d.PCIeGBs*1e9)
+}
+
+// Runtime returns total modeled seconds for one kernel execution including
+// data transfers and launch overhead — the quantity the paper's
+// methodology measures ("execution time includes both device compute time
+// and the data transfer overheads", §7.2).
+func (d *Device) Runtime(w Workload) float64 {
+	return d.LaunchOverheadS + d.TransferTime(w.TransferBytes) + d.KernelTime(w)
+}
+
+// BestDevice returns the faster device of the system for a workload and
+// both runtimes.
+func (s *System) BestDevice(w Workload) (best *Device, cpuTime, gpuTime float64) {
+	cpuTime = s.CPU.Runtime(w)
+	gpuTime = s.GPU.Runtime(w)
+	if cpuTime <= gpuTime {
+		return s.CPU, cpuTime, gpuTime
+	}
+	return s.GPU, cpuTime, gpuTime
+}
+
+// String summarizes the device.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%s, %d cores @ %.0f MHz, %.2f TFLOPS)",
+		d.Name, d.Type, d.Cores, d.FreqMHz, d.GFLOPS/1000)
+}

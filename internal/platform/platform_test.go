@@ -1,0 +1,166 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clgen/internal/interp"
+)
+
+// wl builds a workload with the given shape.
+func wl(flops, gmem, lmem, branches int64, coal float64, transfer int64, wi int64) Workload {
+	return Workload{
+		Profile: &interp.Profile{
+			FloatOps:    flops,
+			GlobalLoads: gmem / 2, GlobalStores: gmem - gmem/2,
+			LocalLoads: lmem / 2, LocalStores: lmem - lmem/2,
+			Branches: branches,
+		},
+		CoalescedFrac: coal,
+		TransferBytes: transfer,
+		WorkItems:     wi,
+	}
+}
+
+func TestSmallTransferBoundKernelFavorsCPU(t *testing.T) {
+	// Tiny kernel, relatively large transfer: the PCIe cost dominates.
+	w := wl(1_000, 2_000, 0, 0, 1.0, 1<<20, 256)
+	for _, s := range []*System{SystemAMD, SystemNVIDIA} {
+		best, cpuT, gpuT := s.BestDevice(w)
+		if best.Type != CPU {
+			t.Errorf("%s: small kernel mapped to GPU (cpu=%g gpu=%g)", s.Name, cpuT, gpuT)
+		}
+	}
+}
+
+func TestLargeParallelKernelFavorsGPU(t *testing.T) {
+	// Heavy compute, high parallelism, coalesced: GPU must win despite
+	// transfers.
+	w := wl(4_000_000_000, 80_000_000, 0, 0, 1.0, 64<<20, 1<<22)
+	for _, s := range []*System{SystemAMD, SystemNVIDIA} {
+		best, cpuT, gpuT := s.BestDevice(w)
+		if best.Type != GPU {
+			t.Errorf("%s: large kernel mapped to CPU (cpu=%g gpu=%g)", s.Name, cpuT, gpuT)
+		}
+	}
+}
+
+func TestCoalescingMattersOnGPU(t *testing.T) {
+	coalesced := wl(1_000_000, 50_000_000, 0, 0, 1.0, 1<<20, 1<<20)
+	scattered := wl(1_000_000, 50_000_000, 0, 0, 0.0, 1<<20, 1<<20)
+	for _, gpu := range []*Device{AMDTahiti, NVIDIAGTX970} {
+		tc := gpu.KernelTime(coalesced)
+		ts := gpu.KernelTime(scattered)
+		if ts < tc*3 {
+			t.Errorf("%s: uncoalesced only %.2fx slower", gpu.Name, ts/tc)
+		}
+	}
+	// On the CPU the gap must be far smaller.
+	tc := IntelI7.KernelTime(coalesced)
+	ts := IntelI7.KernelTime(scattered)
+	if ts > tc*2 {
+		t.Errorf("CPU coalescing penalty too harsh: %.2fx", ts/tc)
+	}
+}
+
+func TestLocalMemoryCheapOnGPU(t *testing.T) {
+	global := wl(1_000_000, 50_000_000, 0, 0, 0.5, 0, 1<<20)
+	local := wl(1_000_000, 10_000_000, 40_000_000, 0, 0.5, 0, 1<<20)
+	for _, gpu := range []*Device{AMDTahiti, NVIDIAGTX970} {
+		if gpu.KernelTime(local) >= gpu.KernelTime(global) {
+			t.Errorf("%s: local memory not cheaper than global", gpu.Name)
+		}
+	}
+}
+
+func TestLowParallelismHurtsGPU(t *testing.T) {
+	wide := wl(400_000_000, 1_000_000, 0, 0, 1.0, 0, 1<<20)
+	narrow := wl(400_000_000, 1_000_000, 0, 0, 1.0, 0, 64)
+	for _, gpu := range []*Device{AMDTahiti, NVIDIAGTX970} {
+		tw := gpu.KernelTime(wide)
+		tn := gpu.KernelTime(narrow)
+		if tn < tw*10 {
+			t.Errorf("%s: 64 work-items only %.1fx slower than 1M", gpu.Name, tn/tw)
+		}
+	}
+}
+
+func TestCPUNoTransferCost(t *testing.T) {
+	if got := IntelI7.TransferTime(1 << 30); got != 0 {
+		t.Errorf("CPU transfer time = %g", got)
+	}
+	if AMDTahiti.TransferTime(1<<30) <= 0 {
+		t.Error("GPU transfer free")
+	}
+}
+
+func TestRuntimeMonotonicInWork(t *testing.T) {
+	err := quick.Check(func(flops uint32, mem uint32) bool {
+		f := int64(flops%1_000_000) + 1
+		g := int64(mem%1_000_000) + 1
+		small := wl(f, g, 0, 0, 0.8, 1<<16, 4096)
+		large := wl(f*2, g*2, 0, 0, 0.8, 1<<16, 4096)
+		for _, d := range []*Device{IntelI7, AMDTahiti, NVIDIAGTX970} {
+			if d.Runtime(large) < d.Runtime(small) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuntimePositive(t *testing.T) {
+	err := quick.Check(func(flops, mem, branches uint16, coal float64, transfer uint32) bool {
+		c := coal - float64(int(coal)) // into [0,1)
+		if c < 0 {
+			c = -c
+		}
+		w := wl(int64(flops), int64(mem), 0, int64(branches), c, int64(transfer), 1024)
+		for _, d := range []*Device{IntelI7, AMDTahiti, NVIDIAGTX970} {
+			if d.Runtime(w) <= 0 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable4Specs(t *testing.T) {
+	if IntelI7.Cores != 4 || IntelI7.GFLOPS != 105 {
+		t.Errorf("i7 specs: %+v", IntelI7)
+	}
+	if AMDTahiti.Cores != 2048 || AMDTahiti.FreqMHz != 1000 {
+		t.Errorf("Tahiti specs: %+v", AMDTahiti)
+	}
+	if NVIDIAGTX970.Cores != 1664 || NVIDIAGTX970.FreqMHz != 1050 {
+		t.Errorf("GTX970 specs: %+v", NVIDIAGTX970)
+	}
+	if SystemAMD.GPU != AMDTahiti || SystemNVIDIA.GPU != NVIDIAGTX970 {
+		t.Error("system pairing wrong")
+	}
+}
+
+func TestCrossoverExists(t *testing.T) {
+	// Sweep data size for a balanced kernel: the best device must flip
+	// from CPU (small) to GPU (large) somewhere — the crossover that makes
+	// the mapping problem non-trivial.
+	var sawCPU, sawGPU bool
+	for _, n := range []int64{1 << 8, 1 << 12, 1 << 16, 1 << 20, 1 << 24} {
+		w := wl(n*200, n*3, 0, n, 1.0, n*4, n)
+		best, _, _ := SystemAMD.BestDevice(w)
+		if best.Type == CPU {
+			sawCPU = true
+		} else {
+			sawGPU = true
+		}
+	}
+	if !sawCPU || !sawGPU {
+		t.Errorf("no CPU/GPU crossover across sizes (cpu=%v gpu=%v)", sawCPU, sawGPU)
+	}
+}

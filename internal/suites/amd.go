@@ -1,0 +1,279 @@
+package suites
+
+// AMD returns the AMD APP SDK samples: data-transform and sorting kernels
+// with minimal branching (the Fast Walsh–Hadamard transform here is the
+// benchmark of Listing 2, whose feature-space collision with a CLgen
+// kernel motivates the branch feature).
+func AMD() []*Benchmark {
+	mk := func(name, src string, plan func(n int) Launch, n int) *Benchmark {
+		return &Benchmark{Suite: "AMD", Name: name, Src: src, Datasets: stdDatasets(n), Plan: plan}
+	}
+	std4 := func(n int) Launch {
+		return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+			{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+			{Kind: ZeroBuf, Slots: n},
+			{Kind: IntScalar, Int: int64(n)},
+		}}
+	}
+	return []*Benchmark{
+		mk("BinarySearch", `__kernel void binarySearch(__global const int* sorted,
+                           __global int* found,
+                           const int n,
+                           const int key) {
+  int gid = get_global_id(0);
+  int lo = 0;
+  int hi = n - 1;
+  for (int it = 0; it < 14; it++) {
+    int mid = (lo + hi) / 2;
+    int v = sorted[mid % n];
+    if (v < key + gid % 7) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  found[gid] = lo;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 4096},
+			}}
+		}, 65536),
+
+		mk("BitonicSort", `__kernel void bitonicSort(__global int* keys,
+                          const int stage,
+                          const int pass,
+                          const int n) {
+  int gid = get_global_id(0);
+  int pairDistance = 1 << (stage - pass);
+  int left = (gid % n) & ~pairDistance;
+  int right = left | pairDistance;
+  int a = keys[left % n];
+  int b = keys[right % n];
+  int dir = ((gid >> stage) & 1) == 0;
+  int lo = (a < b) ? a : b;
+  int hi = (a < b) ? b : a;
+  keys[left % n] = dir ? lo : hi;
+  keys[right % n] = dir ? hi : lo;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: IntScalar, Int: 5},
+				{Kind: IntScalar, Int: 2},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("BlackScholes", `__kernel void blackScholesAMD(__global const float* rand_in,
+                              __global float* call_out,
+                              __global float* put_out,
+                              const int n) {
+  int gid = get_global_id(0);
+  float in = fabs(rand_in[gid]) + 0.1f;
+  float s = 10.0f + in * 90.0f;
+  float k = 10.0f + in * 80.0f;
+  float t = 0.2f + in * 1.8f;
+  float d1 = (log(s / k) + 0.065f * t) / (0.3f * sqrt(t));
+  float d2 = d1 - 0.3f * sqrt(t);
+  float phiD1 = 0.5f * (1.0f + tanh(0.797885f * (d1 + 0.044715f * d1 * d1 * d1)));
+  float phiD2 = 0.5f * (1.0f + tanh(0.797885f * (d2 + 0.044715f * d2 * d2 * d2)));
+  call_out[gid] = s * phiD1 - k * exp(-0.02f * t) * phiD2;
+  put_out[gid] = call_out[gid] + k * exp(-0.02f * t) - s;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("FastWalshTransform", `__kernel void fastWalshTransform(__global float* tArray,
+                                 const int step,
+                                 const int n) {
+  int tid = get_global_id(0);
+  int group = tid % step;
+  int pair = 2 * step * (tid / step) + group;
+  int match = pair + step;
+  float t1 = tArray[pair % n];
+  float t2 = tArray[match % n];
+  tArray[pair % n] = t1 + t2;
+  tArray[match % n] = t1 - t2;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: 2 * n},
+				{Kind: IntScalar, Int: 8},
+				{Kind: IntScalar, Int: int64(2 * n)},
+			}}
+		}, 262144),
+
+		mk("FloydWarshall", `__kernel void floydWarshall(__global int* path,
+                            const int n,
+                            const int k) {
+  int gid = get_global_id(0);
+  int row = gid / 64;
+  int col = gid % 64;
+  int direct = path[gid];
+  int through = path[(row * 64 + k) % n] + path[(k * 64 + col) % n];
+  path[gid] = (through < direct) ? through : direct;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 17},
+			}}
+		}, 262144),
+
+		mk("Histogram", `__kernel void histogram256(__global const int* data,
+                           __global int* bins,
+                           const int n) {
+  int gid = get_global_id(0);
+  int v = data[gid] & 255;
+  atomic_add(&bins[v % n], 1);
+}`, std4, 524288),
+
+		mk("MatrixMultiplication", `__kernel void mmmKernel(__global const float* a,
+                        __global const float* b,
+                        __global float* c,
+                        __local float* tileA,
+                        const int width) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int row = gid / 64;
+  int col = gid % 64;
+  float sum = 0.0f;
+  for (int t = 0; t < 4; t++) {
+    tileA[lid] = a[(row * 64 + t * 16 + lid % 16) % (width * 16)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 16; k++) {
+      sum = mad(tileA[(lid / 16) * 16 + k], b[((t * 16 + k) * 64 + col) % (width * 16)], sum);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  c[gid] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n * 16, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n * 16, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 64},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 262144),
+
+		mk("MatrixTranspose", `__kernel void matrixTranspose(__global const float* input,
+                              __global float* output,
+                              __local float* block,
+                              const int width) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int row = gid / 64;
+  int col = gid % 64;
+  block[lid] = input[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  output[(col * (width / 64) + row) % width] = block[(lid * 17) % get_local_size(0)];
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 64},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("PrefixSum", `__kernel void prefixSumGroup(__global const float* input,
+                             __global float* output,
+                             __local float* block,
+                             const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  block[lid] = input[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int offset = 1; offset < get_local_size(0); offset <<= 1) {
+    float t = (lid >= offset) ? block[lid - offset] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    block[lid] += t;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  output[gid] = block[lid];
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 524288),
+
+		mk("Reduction", `__kernel void reduce(__global const float* input,
+                     __global float* output,
+                     __local float* sdata,
+                     const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  sdata[lid] = input[gid] + input[(gid + n / 2) % n];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) {
+      sdata[lid] += sdata[lid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) {
+    output[get_group_id(0)] = sdata[0];
+  }
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n / 128},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 2097152),
+
+		mk("ScanLargeArrays", `__kernel void scanLargeArrays(__global const float* input,
+                              __global float* output,
+                              __local float* block,
+                              const int blockLength) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  block[lid] = (lid > 0) ? input[gid - 1] : 0.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float sum = 0.0f;
+  for (int i = 0; i <= lid % 16; i++) {
+    sum += block[(lid - i + get_local_size(0)) % get_local_size(0)];
+  }
+  output[gid] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 524288),
+
+		mk("SimpleConvolution", `__kernel void simpleConvolution(__global const float* input,
+                                __global const float* mask,
+                                __global float* output,
+                                const int width,
+                                const int maskWidth) {
+  int gid = get_global_id(0);
+  float sum = 0.0f;
+  for (int m = 0; m < 9; m++) {
+    sum = mad(input[(gid + m * 3) % width], mask[m % width], sum);
+  }
+  output[gid] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 3},
+			}}
+		}, 1048576),
+	}
+}

@@ -1,0 +1,313 @@
+package suites
+
+// NPB returns the NAS Parallel Benchmarks in the hand-optimized OpenCL
+// style of Seo, Jo, and Lee (SNU-NPB): aggressive local-memory staging and
+// branch-minimized kernels (§8.2 of the paper calls out both properties).
+// Problem classes S/W/A/B/C map to increasing dataset sizes.
+func NPB() []*Benchmark {
+	return []*Benchmark{npbBT(), npbCG(), npbEP(), npbFT(), npbLU(), npbMG(), npbSP()}
+}
+
+func classes(names ...string) []Dataset {
+	var out []Dataset
+	for _, want := range names {
+		for _, d := range npbClasses {
+			if d.Name == want {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// BT: block-tridiagonal solver. Each work-item solves a small dense block
+// system staged through local memory.
+func npbBT() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "BT",
+		Datasets: classes("A", "B", "S", "W"),
+		Src: `__kernel void bt_solve(__global const float* lhs,
+                       __global const float* rhs,
+                       __global float* out,
+                       __local float* block,
+                       const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int lsz = get_local_size(0);
+  block[lid] = lhs[gid] + rhs[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float acc = 0.0f;
+  for (int k = 0; k < 5; k++) {
+    int col = (lid + k) % lsz;
+    acc = mad(block[col], rhs[gid], acc);
+    block[lid] = acc * 0.2f + block[lid] * 0.8f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[gid] = acc + block[lid];
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 128,
+				Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: LocalBuf, Slots: 128},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}
+
+// CG: conjugate gradient. Sparse matrix-vector product over a banded
+// pattern plus a local-memory dot-product reduction.
+func npbCG() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "CG",
+		Datasets: classes("A", "B", "C", "S", "W"),
+		Src: `__kernel void cg_spmv_dot(__global const float* vals,
+                          __global const float* x,
+                          __global float* q,
+                          __global float* partial,
+                          __local float* tmp,
+                          const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  float sum = 0.0f;
+  for (int j = 0; j < 8; j++) {
+    int col = (gid + j * 17) % n;
+    sum = mad(vals[(gid + j) % n], x[col], sum);
+  }
+  q[gid] = sum;
+  tmp[lid] = sum * x[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    float other = tmp[(lid + s) % get_local_size(0)];
+    tmp[lid] += (lid < s) ? other : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  partial[get_group_id(0)] = tmp[0];
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 128,
+				Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: ZeroBuf, Slots: n / 128},
+					{Kind: LocalBuf, Slots: 128},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}
+
+// EP: embarrassingly parallel. Pure compute — a multiplicative
+// congruential pseudo-random stream with Gaussian-pair rejection folded
+// into arithmetic (no data-dependent branching).
+func npbEP() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "EP",
+		Datasets: classes("A", "B", "C", "W"),
+		Src: `__kernel void ep_gaussian(__global float* sx,
+                          __global float* sy,
+                          const int n) {
+  int gid = get_global_id(0);
+  float seed = (float)(gid % 8192) * 0.000122f + 0.271828f;
+  float ax = 0.0f;
+  float ay = 0.0f;
+  for (int k = 0; k < 16; k++) {
+    seed = seed * 5.2114f + 0.3141f;
+    seed = seed - floor(seed);
+    float x1 = 2.0f * seed - 1.0f;
+    seed = seed * 4.6532f + 0.2718f;
+    seed = seed - floor(seed);
+    float x2 = 2.0f * seed - 1.0f;
+    float t = x1 * x1 + x2 * x2;
+    float inside = step(t, 1.0f);
+    float scale = inside * sqrt(fabs(-2.0f * log(t + 1e-7f) / (t + 1e-7f)));
+    ax = mad(x1, scale, ax);
+    ay = mad(x2, scale, ay);
+  }
+  sx[gid] = ax;
+  sy[gid] = ay;
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 128,
+				Args: []Arg{
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}
+
+// FT: 3-D FFT. Butterfly passes with power-of-two strides staged in local
+// memory; strided global traffic makes the single-device choice painful
+// (Figure 7's strongest case).
+func npbFT() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "FT",
+		Datasets: classes("A", "B", "S", "W"),
+		Src: `__kernel void ft_butterfly(__global const float* re_in,
+                           __global const float* im_in,
+                           __global float* re_out,
+                           __global float* im_out,
+                           __local float* stage,
+                           const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  float re = re_in[gid];
+  float im = im_in[gid];
+  stage[lid] = re;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 1; s < 16; s <<= 1) {
+    int partner = (gid ^ s) % n;
+    float pre = re_in[partner];
+    float pim = im_in[partner];
+    float ang = 0.19635f * (float)(s);
+    float wr = cos(ang);
+    float wi = sin(ang);
+    float tre = mad(pre, wr, -pim * wi);
+    float tim = mad(pre, wi, pim * wr);
+    re = re * 0.5f + tre * 0.5f;
+    im = im * 0.5f + tim * 0.5f;
+    stage[lid] = re + stage[(lid + s) % get_local_size(0)] * 0.1f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  re_out[gid] = re + stage[lid];
+  im_out[gid] = im;
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 128,
+				Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: LocalBuf, Slots: 128},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}
+
+// LU: lower-upper Gauss-Seidel. Wavefront-style update with a local tile.
+func npbLU() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "LU",
+		Datasets: classes("A", "B", "C", "S", "W"),
+		Src: `__kernel void lu_sweep(__global const float* a,
+                       __global float* u,
+                       __local float* tile,
+                       const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int lsz = get_local_size(0);
+  tile[lid] = a[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float v = tile[lid];
+  for (int k = 0; k < 6; k++) {
+    int west = (lid + lsz - 1) % lsz;
+    int east = (lid + 1) % lsz;
+    v = 0.25f * (tile[west] + tile[east] + v + a[(gid + k * n / 64) % n]);
+    tile[lid] = v;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  u[gid] = v;
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 64,
+				Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: LocalBuf, Slots: 64},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}
+
+// MG: multigrid. V-cycle restriction/prolongation over strided levels.
+func npbMG() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "MG",
+		Datasets: classes("A", "B", "C", "S", "W"),
+		Src: `__kernel void mg_cycle(__global const float* r,
+                       __global float* z,
+                       __local float* level,
+                       const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  level[lid] = r[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float v = level[lid];
+  for (int stride = 2; stride <= 16; stride <<= 1) {
+    int coarse = (gid / stride * stride) % n;
+    v = mad(r[coarse], 0.5f, v * 0.5f);
+    level[lid] = v + level[(lid + stride) % get_local_size(0)] * 0.125f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  z[gid] = v + level[lid] * 0.0625f;
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 128,
+				Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: LocalBuf, Slots: 128},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}
+
+// SP: scalar pentadiagonal. Five-point recurrences over staged planes.
+func npbSP() *Benchmark {
+	return &Benchmark{
+		Suite: "NPB", Name: "SP",
+		Datasets: classes("A", "B", "C", "S", "W"),
+		Src: `__kernel void sp_rhs(__global const float* u,
+                      __global const float* speed,
+                      __global float* rhs,
+                      __local float* plane,
+                      const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int lsz = get_local_size(0);
+  plane[lid] = u[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int m2 = (lid + lsz - 2) % lsz;
+  int m1 = (lid + lsz - 1) % lsz;
+  int p1 = (lid + 1) % lsz;
+  int p2 = (lid + 2) % lsz;
+  float cterm = plane[m2] - 4.0f * plane[m1] + 6.0f * plane[lid] - 4.0f * plane[p1] + plane[p2];
+  float s = speed[gid];
+  rhs[gid] = mad(-0.05f, cterm, s * plane[lid]);
+}`,
+		Plan: func(n int) Launch {
+			return Launch{
+				GlobalSize: n, LocalSize: 128,
+				Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: LocalBuf, Slots: 128},
+					{Kind: IntScalar, Int: int64(n)},
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,143 @@
+package suites
+
+// NVIDIA returns the NVIDIA GPU Computing SDK samples: clean, coalesced,
+// well-tuned streaming kernels spanning a wide range of arithmetic
+// intensities — the suite the paper found generalizes best (Table 1).
+func NVIDIA() []*Benchmark {
+	mk := func(name, src string, plan func(n int) Launch, n int) *Benchmark {
+		return &Benchmark{Suite: "NVIDIA", Name: name, Src: src, Datasets: stdDatasets(n), Plan: plan}
+	}
+	return []*Benchmark{
+		mk("VectorAdd", `__kernel void vectorAdd(__global const float* a,
+                        __global const float* b,
+                        __global float* c,
+                        const int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    c[i] = a[i] + b[i];
+  }
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 256, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 4194304),
+
+		mk("BlackScholes", `__kernel void blackScholes(__global const float* price,
+                           __global const float* strike,
+                           __global const float* years,
+                           __global float* callResult,
+                           __global float* putResult,
+                           const float riskfree,
+                           const float volatility) {
+  int gid = get_global_id(0);
+  float s = fabs(price[gid]) + 1.0f;
+  float x = fabs(strike[gid]) + 1.0f;
+  float t = fabs(years[gid]) + 0.1f;
+  float sqrtT = sqrt(t);
+  float d1 = (log(s / x) + (riskfree + 0.5f * volatility * volatility) * t) / (volatility * sqrtT);
+  float d2 = d1 - volatility * sqrtT;
+  float k1 = 1.0f / (1.0f + 0.2316419f * fabs(d1));
+  float cnd1 = 1.0f - 0.3989423f * exp(-0.5f * d1 * d1) * k1 * (0.3193815f + k1 * (-0.3565638f + k1 * 1.7814779f));
+  float k2 = 1.0f / (1.0f + 0.2316419f * fabs(d2));
+  float cnd2 = 1.0f - 0.3989423f * exp(-0.5f * d2 * d2) * k2 * (0.3193815f + k2 * (-0.3565638f + k2 * 1.7814779f));
+  float expRT = exp(-riskfree * t);
+  callResult[gid] = s * cnd1 - x * expRT * cnd2;
+  putResult[gid] = x * expRT * (1.0f - cnd2) - s * (1.0f - cnd1);
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: FloatScalar, Float: 0.02},
+				{Kind: FloatScalar, Float: 0.3},
+			}}
+		}, 1048576),
+
+		mk("ConvolutionSeparable", `__kernel void convolutionRows(__global const float* src,
+                              __global const float* kern,
+                              __global float* dst,
+                              __local float* tile,
+                              const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  tile[lid] = src[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float sum = 0.0f;
+  for (int k = -4; k <= 4; k++) {
+    int idx = (lid + k + get_local_size(0)) % get_local_size(0);
+    sum = mad(tile[idx], kern[(k + 4) % n], sum);
+  }
+  dst[gid] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("DotProduct", `__kernel void dotProduct(__global const float4* a,
+                         __global const float4* b,
+                         __global float* c,
+                         const int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    c[i] = dot(a[i], b[i]);
+  }
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("MatVecMul", `__kernel void matVecMul(__global const float* m,
+                        __global const float* v,
+                        __global float* out,
+                        const int w) {
+  int row = get_global_id(0);
+  float sum = 0.0f;
+  for (int j = 0; j < 16; j++) {
+    sum = mad(m[(row * 16 + j) % (w * 16)], v[j % w], sum);
+  }
+  out[row] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n * 16, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 262144),
+
+		mk("FDTD3d", `__kernel void fdtd3d(__global const float* in,
+                     __global float* out,
+                     const int dimx,
+                     const int pad) {
+  int gid = get_global_id(0);
+  int n = dimx;
+  float val = in[gid] * 0.5f;
+  for (int r = 1; r <= 4; r++) {
+    val = mad(in[(gid + r) % n] + in[(gid + n - r) % n], 0.05f, val);
+    val = mad(in[(gid + r * 64) % n] + in[(gid + n - r * 64) % n], 0.04f, val);
+  }
+  out[gid] = val;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 4},
+			}}
+		}, 1048576),
+	}
+}

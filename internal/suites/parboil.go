@@ -1,0 +1,192 @@
+package suites
+
+// Parboil returns the Parboil throughput-computing benchmarks with their
+// packaged datasets (1–4 per program). The suite mixes memory-bound
+// science codes with compute-heavy outliers — Figure 3's two mispredicted
+// outliers live here (cutcp and sad occupy sparse regions of the feature
+// space).
+func Parboil() []*Benchmark {
+	return []*Benchmark{
+		{
+			Suite: "Parboil", Name: "bfs",
+			Datasets: []Dataset{{Name: "1M", N: 1048576}, {Name: "NY", N: 65536}},
+			Src: `__kernel void bfs_kernel(__global const int* nodes,
+                         __global const int* edges,
+                         __global int* costs,
+                         const int n,
+                         const int level) {
+  int gid = get_global_id(0);
+  if (costs[gid] == level) {
+    int first = nodes[gid] % n;
+    for (int e = 0; e < 3; e++) {
+      int dst = edges[(first + e) % n] % n;
+      if (costs[dst] == 0) {
+        costs[dst] = level + 1;
+      }
+    }
+  }
+}`,
+			Plan: func(n int) Launch {
+				return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n},
+					{Kind: IntScalar, Int: int64(n)},
+					{Kind: IntScalar, Int: 0},
+				}}
+			},
+		},
+		{
+			Suite: "Parboil", Name: "cutcp",
+			Datasets: []Dataset{{Name: "small", N: 262144}},
+			// Compute-dominated Coulomb potential: one of the Figure 3
+			// outliers (very high comp/mem ratio, heavy loops).
+			Src: `__kernel void cutcp_lattice(__global const float* atoms,
+                            __global float* lattice,
+                            const int natoms,
+                            const float cutoff2) {
+  int gid = get_global_id(0);
+  float px = (float)(gid % 64) * 0.5f;
+  float py = (float)(gid / 64) * 0.5f;
+  float energy = 0.0f;
+  for (int a = 0; a < 48; a++) {
+    float ax = atoms[(a * 4) % natoms];
+    float ay = atoms[(a * 4 + 1) % natoms];
+    float q = atoms[(a * 4 + 2) % natoms];
+    float dx = px - ax;
+    float dy = py - ay;
+    float r2 = dx * dx + dy * dy + 0.01f;
+    float s = (1.0f - r2 / cutoff2);
+    float inside = step(r2, cutoff2);
+    energy = mad(inside * q / sqrt(r2), s * s, energy);
+  }
+  lattice[gid] = energy;
+}`,
+			Plan: func(n int) Launch {
+				return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: IntScalar, Int: int64(n)},
+					{Kind: FloatScalar, Float: 100.0},
+				}}
+			},
+		},
+		{
+			Suite: "Parboil", Name: "lbm",
+			Datasets: []Dataset{{Name: "short", N: 262144}, {Name: "long", N: 1048576}},
+			Src: `__kernel void lbm_stream_collide(__global const float* srcGrid,
+                                 __global float* dstGrid,
+                                 const int n,
+                                 const float omega) {
+  int gid = get_global_id(0);
+  float rho = 0.0f;
+  float ux = 0.0f;
+  for (int d = 0; d < 9; d++) {
+    float f = srcGrid[(gid + d * n / 16) % n];
+    rho += f;
+    ux = mad(f, (float)(d % 3) - 1.0f, ux);
+  }
+  float ueq = ux / (rho + 1e-6f);
+  float feq = rho * (1.0f + 3.0f * ueq + 4.5f * ueq * ueq);
+  dstGrid[gid] = mad(omega, feq - srcGrid[gid], srcGrid[gid]);
+}`,
+			Plan: func(n int) Launch {
+				return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: IntScalar, Int: int64(n)},
+					{Kind: FloatScalar, Float: 1.85},
+				}}
+			},
+		},
+		{
+			Suite: "Parboil", Name: "sad",
+			Datasets: []Dataset{{Name: "default", N: 131072}, {Name: "large", N: 524288}},
+			// Sum-of-absolute-differences over scattered reference blocks:
+			// deliberately uncoalesced — the second sparse-region outlier.
+			Src: `__kernel void mb_sad_calc(__global const int* frame,
+                           __global const int* ref,
+                           __global int* sad,
+                           const int n) {
+  int gid = get_global_id(0);
+  int total = 0;
+  for (int y = 0; y < 4; y++) {
+    for (int x = 0; x < 4; x++) {
+      int cur = frame[(gid * 16 + y * 4 + x) % n];
+      int r = ref[(gid * 67 + y * 131 + x * 7) % n];
+      total += abs(cur - r);
+    }
+  }
+  sad[gid] = total;
+}`,
+			Plan: func(n int) Launch {
+				return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: IntScalar, Int: int64(n)},
+				}}
+			},
+		},
+		{
+			Suite: "Parboil", Name: "spmv",
+			Datasets: []Dataset{
+				{Name: "small", N: 16384}, {Name: "medium", N: 65536},
+				{Name: "large", N: 262144}, {Name: "huge", N: 1048576},
+			},
+			Src: `__kernel void spmv_jds(__global const float* data,
+                        __global const int* indices,
+                        __global const float* x,
+                        __global float* y,
+                        const int n) {
+  int row = get_global_id(0);
+  float sum = 0.0f;
+  for (int j = 0; j < 6; j++) {
+    int idx = (row + j * n / 8) % n;
+    int col = indices[idx] % n;
+    sum = mad(data[idx], x[col], sum);
+  }
+  y[row] = sum;
+}`,
+			Plan: func(n int) Launch {
+				return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: IntScalar, Int: int64(n)},
+				}}
+			},
+		},
+		{
+			Suite: "Parboil", Name: "stencil",
+			Datasets: []Dataset{{Name: "default", N: 1048576}},
+			Src: `__kernel void stencil7pt(__global const float* a0,
+                          __global float* anext,
+                          __local float* sh,
+                          const int nx) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int lsz = get_local_size(0);
+  sh[lid] = a0[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float c = sh[lid];
+  float west = sh[(lid + lsz - 1) % lsz];
+  float east = sh[(lid + 1) % lsz];
+  float north = a0[(gid + nx - 128) % nx];
+  float south = a0[(gid + 128) % nx];
+  float top = a0[(gid + nx - nx / 4) % nx];
+  float bottom = a0[(gid + nx / 4) % nx];
+  anext[gid] = 0.8f * c + 0.0333f * (west + east + north + south + top + bottom);
+}`,
+			Plan: func(n int) Launch {
+				return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+					{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+					{Kind: ZeroBuf, Slots: n},
+					{Kind: LocalBuf, Slots: 128},
+					{Kind: IntScalar, Int: int64(n)},
+				}}
+			},
+		},
+	}
+}

@@ -1,0 +1,145 @@
+package suites
+
+import "fmt"
+
+// PolyBench returns the PolyBench/GPU linear-algebra benchmarks: dense
+// loop nests with row- and column-major access mixes (column walks are
+// uncoalesced) and high arithmetic intensity per element.
+func PolyBench() []*Benchmark {
+	mk := func(name, src string, plan func(n int) Launch, n int) *Benchmark {
+		return &Benchmark{Suite: "PolyBench", Name: name, Src: src, Datasets: stdDatasets(n), Plan: plan}
+	}
+	// Most PolyBench kernels are matrix codes over n rows with a fixed
+	// blocked width; they share a launch plan over (A, B, out, n).
+	linAlgPlan := func(bufs int) func(n int) Launch {
+		return func(n int) Launch {
+			args := make([]Arg, 0, bufs+1)
+			for i := 0; i < bufs-1; i++ {
+				args = append(args, Arg{Kind: GlobalBuf, Slots: n * 8, ReadOnly: true})
+			}
+			args = append(args, Arg{Kind: ZeroBuf, Slots: n})
+			args = append(args, Arg{Kind: IntScalar, Int: int64(n)})
+			return Launch{GlobalSize: n, LocalSize: 64, Args: args}
+		}
+	}
+	// rowColKernel builds the family of row×col contraction kernels that
+	// dominate PolyBench, varying the inner-walk stride pattern.
+	rowColKernel := func(kname, inner string) string {
+		return fmt.Sprintf(`__kernel void %s(__global const float* A,
+              __global const float* B,
+              __global float* out,
+              const int n) {
+  int row = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < 8; k++) {
+    %s
+  }
+  out[row] = acc;
+}`, kname, inner)
+	}
+	return []*Benchmark{
+		mk("2mm", rowColKernel("mm2_kernel1",
+			"acc = mad(A[(row * 8 + k) % (n * 8)], B[(k * n + row) % (n * 8)], acc);"),
+			linAlgPlan(3), 262144),
+		mk("3mm", rowColKernel("mm3_kernel1",
+			"acc = mad(A[(row * 8 + k) % (n * 8)], B[(k * 8 + row % 8) % (n * 8)], acc); acc = mad(acc, 0.5f, A[(row + k * n) % (n * 8)]);"),
+			linAlgPlan(3), 262144),
+		mk("atax", rowColKernel("atax_kernel",
+			"float t = A[(row * 8 + k) % (n * 8)] * B[k % (n * 8)]; acc = mad(A[(k * n + row) % (n * 8)], t, acc);"),
+			linAlgPlan(3), 131072),
+		mk("bicg", rowColKernel("bicg_kernel",
+			"acc = mad(A[(k * n + row) % (n * 8)], B[k % (n * 8)], acc);"),
+			linAlgPlan(3), 131072),
+		mk("doitgen", rowColKernel("doitgen_kernel",
+			"acc = mad(A[(row + k * n) % (n * 8)], B[(k * 8 + k) % (n * 8)], acc);"),
+			linAlgPlan(3), 262144),
+		mk("gemm", rowColKernel("gemm_kernel",
+			"acc = mad(A[(row * 8 + k) % (n * 8)], B[(k * n + row % 64) % (n * 8)], acc);"),
+			linAlgPlan(3), 524288),
+		mk("gesummv", rowColKernel("gesummv_kernel",
+			"acc = mad(A[(row * 8 + k) % (n * 8)] + B[(row * 8 + k) % (n * 8)], 0.75f, acc);"),
+			linAlgPlan(3), 131072),
+		mk("mvt", rowColKernel("mvt_kernel",
+			"acc = mad(A[(k * n + row) % (n * 8)], B[k % (n * 8)], acc);"),
+			linAlgPlan(3), 131072),
+		mk("syrk", rowColKernel("syrk_kernel",
+			"acc = mad(A[(row * 8 + k) % (n * 8)], A[(row * 8 + k) % (n * 8)], acc); acc = mad(B[(row + k * n) % (n * 8)], 0.25f, acc);"),
+			linAlgPlan(3), 262144),
+		mk("syr2k", rowColKernel("syr2k_kernel",
+			"acc = mad(A[(row * 8 + k) % (n * 8)], B[(k * n + row) % (n * 8)], acc); acc = mad(B[(row * 8 + k) % (n * 8)], A[(k * n + row) % (n * 8)], acc);"),
+			linAlgPlan(3), 262144),
+
+		mk("adi", `__kernel void adi_column_sweep(__global const float* a,
+                               __global float* x,
+                               const int n) {
+  int gid = get_global_id(0);
+  float v = x[gid];
+  for (int s = 1; s <= 4; s++) {
+    float up = x[(gid + n - s * 128) % n];
+    v = (v - 0.1f * up) / (1.0f + 0.1f * a[(gid + s) % n]);
+  }
+  x[gid] = v;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 131072),
+
+		mk("correlation", `__kernel void corr_kernel(__global const float* data,
+                          __global const float* mean,
+                          __global float* symmat,
+                          const int n) {
+  int gid = get_global_id(0);
+  float m1 = mean[gid % 64];
+  float acc = 0.0f;
+  for (int k = 0; k < 8; k++) {
+    float v1 = data[(gid * 8 + k) % (n * 8)] - m1;
+    float v2 = data[(k * n + gid) % (n * 8)] - mean[k % 64];
+    acc = mad(v1, v2, acc);
+  }
+  symmat[gid] = acc / 7.0f;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n * 8, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 262144),
+
+		mk("covariance", `__kernel void covar_kernel(__global const float* data,
+                           __global float* symmat,
+                           const int n) {
+  int gid = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < 8; k++) {
+    acc = mad(data[(gid * 8 + k) % (n * 8)], data[(k * n + gid) % (n * 8)], acc);
+  }
+  symmat[gid] = acc / 8.0f;
+}`, linAlgPlan(2), 262144),
+
+		mk("gramschmidt", `__kernel void gs_norm(__global const float* a,
+                      __global float* r,
+                      __global float* q,
+                      const int n) {
+  int gid = get_global_id(0);
+  float nrm = 0.0f;
+  for (int k = 0; k < 8; k++) {
+    float v = a[(k * n + gid) % (n * 8)];
+    nrm = mad(v, v, nrm);
+  }
+  float inv = rsqrt(nrm + 1e-6f);
+  r[gid] = sqrt(nrm);
+  q[gid] = a[gid % (n * 8)] * inv;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n * 8, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 131072),
+	}
+}

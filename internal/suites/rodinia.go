@@ -1,0 +1,346 @@
+package suites
+
+// Rodinia returns the Rodinia heterogeneous-computing suite: irregular
+// memory access, data-dependent branching, and a mix of memory- and
+// compute-bound kernels.
+func Rodinia() []*Benchmark {
+	mk := func(name, src string, plan func(n int) Launch, n int) *Benchmark {
+		return &Benchmark{Suite: "Rodinia", Name: name, Src: src, Datasets: stdDatasets(n), Plan: plan}
+	}
+	return []*Benchmark{
+		mk("backprop", `__kernel void bp_layerforward(__global const float* input,
+                              __global const float* weights,
+                              __global float* hidden,
+                              const int n) {
+  int gid = get_global_id(0);
+  float sum = 0.0f;
+  for (int j = 0; j < 16; j++) {
+    sum = mad(input[(gid + j) % n], weights[(gid * 7 + j) % n], sum);
+  }
+  hidden[gid] = 1.0f / (1.0f + exp(-sum));
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 262144),
+
+		mk("bfs", `__kernel void bfs_frontier(__global const int* edges,
+                           __global const int* frontier,
+                           __global int* next,
+                           __global int* visited,
+                           const int n) {
+  int gid = get_global_id(0);
+  if (frontier[gid] != 0) {
+    for (int e = 0; e < 4; e++) {
+      int dst = edges[(gid * 4 + e) % n];
+      if (visited[dst % n] == 0) {
+        visited[dst % n] = 1;
+        next[dst % n] = 1;
+      }
+    }
+  }
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 524288),
+
+		mk("cfd", `__kernel void cfd_flux(__global const float* density,
+                       __global const float* momentum,
+                       __global float* fluxes,
+                       const int n) {
+  int gid = get_global_id(0);
+  float d = density[gid];
+  float m = momentum[gid];
+  float pressure = 0.4f * (m - 0.5f * d * d);
+  float flux = 0.0f;
+  for (int nb = 0; nb < 4; nb++) {
+    int j = (gid + nb * 33 + 1) % n;
+    float dn = density[j];
+    float mn = momentum[j];
+    flux += (dn - d) * 0.25f + (mn - m) * 0.125f + pressure * 0.01f;
+  }
+  fluxes[gid] = flux;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("gaussian", `__kernel void gaussian_elim(__global const float* a,
+                            __global float* m,
+                            const int size,
+                            const int t) {
+  int gid = get_global_id(0);
+  int row = gid / 64 + t + 1;
+  int piv = (t * 65) % size;
+  float ratio = a[(row * 64 + t) % size] / (a[piv] + 1e-6f);
+  m[gid] = a[gid] - ratio * a[(t * 64 + gid % 64) % size];
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 3},
+			}}
+		}, 65536),
+
+		mk("heartwall", `__kernel void hw_track(__global const float* frame,
+                       __global const float* tpl,
+                       __global float* corr,
+                       const int n) {
+  int gid = get_global_id(0);
+  float best = -1e30f;
+  for (int dy = 0; dy < 5; dy++) {
+    float s = 0.0f;
+    for (int dx = 0; dx < 5; dx++) {
+      s = mad(frame[(gid + dy * 31 + dx) % n], tpl[(dy * 5 + dx) % n], s);
+    }
+    best = fmax(best, s);
+  }
+  corr[gid] = best;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 131072),
+
+		mk("hotspot", `__kernel void hotspot_step(__global const float* temp,
+                           __global const float* power,
+                           __global float* out,
+                           __local float* tile,
+                           const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  int lsz = get_local_size(0);
+  tile[lid] = temp[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float west = tile[(lid + lsz - 1) % lsz];
+  float east = tile[(lid + 1) % lsz];
+  float north = temp[(gid + n - 64) % n];
+  float south = temp[(gid + 64) % n];
+  float center = tile[lid];
+  out[gid] = center + 0.2f * (west + east + north + south - 4.0f * center) + power[gid] * 0.05f;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 64},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 1048576),
+
+		mk("kmeans", `__kernel void kmeans_assign(__global const float* points,
+                            __global const float* centers,
+                            __global int* membership,
+                            const int n,
+                            const int k) {
+  int gid = get_global_id(0);
+  float px = points[gid];
+  float py = points[(gid + n / 2) % n];
+  int best = 0;
+  float bestDist = 1e30f;
+  for (int c = 0; c < 8; c++) {
+    float dx = px - centers[c * 2 % n];
+    float dy = py - centers[(c * 2 + 1) % n];
+    float d = dx * dx + dy * dy;
+    if (d < bestDist) {
+      bestDist = d;
+      best = c;
+    }
+  }
+  membership[gid] = best;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 8},
+			}}
+		}, 524288),
+
+		mk("lavaMD", `__kernel void lava_forces(__global const float* pos,
+                          __global const float* charge,
+                          __global float* force,
+                          const int n) {
+  int gid = get_global_id(0);
+  float px = pos[gid];
+  float f = 0.0f;
+  for (int j = 0; j < 16; j++) {
+    int nb = (gid + j * 13 + 1) % n;
+    float r = px - pos[nb];
+    float r2 = r * r + 0.01f;
+    float u2 = 1.0f / r2;
+    f = mad(charge[nb] * exp(-r2), u2, f);
+  }
+  force[gid] = f;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 131072),
+
+		mk("lud", `__kernel void lud_perimeter(__global const float* a,
+                            __global float* lu,
+                            __local float* dia,
+                            const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  dia[lid] = a[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float v = a[gid];
+  for (int k = 0; k < 8; k++) {
+    int kk = (lid + k) % get_local_size(0);
+    v -= dia[kk] * a[(gid + k * 61) % n];
+  }
+  lu[gid] = v;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 64},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 65536),
+
+		mk("nn", `__kernel void nn_distance(__global const float* lat,
+                          __global const float* lng,
+                          __global float* dist,
+                          const float target_lat,
+                          const float target_lng) {
+  int gid = get_global_id(0);
+  float dlat = lat[gid] - target_lat;
+  float dlng = lng[gid] - target_lng;
+  dist[gid] = sqrt(dlat * dlat + dlng * dlng);
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: FloatScalar, Float: 0.3},
+				{Kind: FloatScalar, Float: -0.7},
+			}}
+		}, 1048576),
+
+		mk("nw", `__kernel void nw_diag(__global const int* ref,
+                      __global int* matrix,
+                      const int n,
+                      const int penalty) {
+  int gid = get_global_id(0);
+  int up = matrix[(gid + n - 65) % n];
+  int left = matrix[(gid + n - 1) % n];
+  int diag = matrix[(gid + n - 66) % n];
+  int score = diag + ref[gid];
+  int best = score;
+  if (up - penalty > best) {
+    best = up - penalty;
+  }
+  if (left - penalty > best) {
+    best = left - penalty;
+  }
+  matrix[gid] = best;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 10},
+			}}
+		}, 131072),
+
+		mk("pathfinder", `__kernel void dynproc_kernel(__global const int* wall,
+                             __global const int* src,
+                             __global int* dst,
+                             const int cols,
+                             const int steps) {
+  int gid = get_global_id(0);
+  int best = src[gid];
+  for (int s = 0; s < steps; s++) {
+    int left = src[(gid + cols - 1) % cols];
+    int right = src[(gid + 1) % cols];
+    int m = best;
+    if (left < m) {
+      m = left;
+    }
+    if (right < m) {
+      m = right;
+    }
+    best = m + wall[(gid + s * cols / 8) % cols];
+  }
+  dst[gid] = best;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 12},
+			}}
+		}, 262144),
+
+		mk("srad", `__kernel void srad_update(__global const float* img,
+                          __global float* out,
+                          const int n,
+                          const float lambda) {
+  int gid = get_global_id(0);
+  float c = img[gid];
+  float dN = img[(gid + n - 64) % n] - c;
+  float dS = img[(gid + 64) % n] - c;
+  float dW = img[(gid + n - 1) % n] - c;
+  float dE = img[(gid + 1) % n] - c;
+  float g2 = (dN * dN + dS * dS + dW * dW + dE * dE) / (c * c + 1e-6f);
+  float l = 0.5f * g2 - 0.0625f * (dN + dS + dW + dE) * (dN + dS + dW + dE) / (c * c + 1e-6f);
+  float q = (1.0f + l) / (1.0f + 0.5f * g2 + 1e-6f);
+  float coeff = 1.0f / (1.0f + (q - 0.05f) / 0.0525f);
+  out[gid] = c + lambda * coeff * (dN + dS + dW + dE);
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: FloatScalar, Float: 0.5},
+			}}
+		}, 1048576),
+
+		mk("streamcluster", `__kernel void sc_pgain(__global const float* points,
+                       __global const float* centers,
+                       __global float* cost,
+                       const int n,
+                       const int dim) {
+  int gid = get_global_id(0);
+  float total = 0.0f;
+  for (int d = 0; d < 8; d++) {
+    float diff = points[(gid * 8 + d) % n] - centers[d % n];
+    total = mad(diff, diff, total);
+  }
+  float old = cost[gid];
+  cost[gid] = (total < old) ? total : old;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 8},
+			}}
+		}, 131072),
+	}
+}

@@ -1,0 +1,295 @@
+package suites
+
+// SHOC returns the Scalable HeterOgeneous Computing microbenchmarks:
+// deliberately simple kernels each isolating one performance behaviour
+// (streaming bandwidth, reduction, scan, hashing compute, molecular
+// dynamics gather, ...).
+func SHOC() []*Benchmark {
+	mk := func(name, src string, plan func(n int) Launch, n int) *Benchmark {
+		return &Benchmark{Suite: "SHOC", Name: name, Src: src, Datasets: stdDatasets(n), Plan: plan}
+	}
+	stream3 := func(n int) Launch {
+		return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+			{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+			{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+			{Kind: ZeroBuf, Slots: n},
+			{Kind: IntScalar, Int: int64(n)},
+		}}
+	}
+	return []*Benchmark{
+		mk("Triad", `__kernel void triad(__global const float* a,
+                    __global const float* b,
+                    __global float* c,
+                    const float s) {
+  int gid = get_global_id(0);
+  c[gid] = mad(s, b[gid], a[gid]);
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: FloatScalar, Float: 1.75},
+			}}
+		}, 65536),
+
+		mk("Reduction", `__kernel void reduce_shoc(__global const float* g_idata,
+                          __global float* g_odata,
+                          __local float* sdata,
+                          const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  sdata[lid] = g_idata[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+    if (lid < s) {
+      sdata[lid] += sdata[lid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) {
+    g_odata[get_group_id(0)] = sdata[0];
+  }
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 256, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n / 256},
+				{Kind: LocalBuf, Slots: 256},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 65536),
+
+		mk("Scan", `__kernel void scan_local(__global const float* in,
+                         __global float* out,
+                         __local float* s_data,
+                         const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  s_data[lid] = in[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int d = 1; d < get_local_size(0); d <<= 1) {
+    float t = (lid >= d) ? s_data[lid - d] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    s_data[lid] += t;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[gid] = s_data[lid];
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 32768),
+
+		mk("FFT", `__kernel void fft_radix2(__global const float* re_in,
+                         __global const float* im_in,
+                         __global float* re_out,
+                         const int n) {
+  int gid = get_global_id(0);
+  int partner = (gid ^ 8) % n;
+  float ar = re_in[gid];
+  float ai = im_in[gid];
+  float br = re_in[partner];
+  float bi = im_in[partner];
+  float ang = -6.2831853f * (float)(gid % 16) / 16.0f;
+  float wr = cos(ang);
+  float wi = sin(ang);
+  re_out[gid] = ar + mad(br, wr, -bi * wi);
+}`, stream3T(), 32768),
+
+		mk("GEMM", `__kernel void sgemm_nn(__global const float* a,
+                       __global const float* b,
+                       __global float* c,
+                       __local float* tile,
+                       const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  float sum = 0.0f;
+  for (int t = 0; t < 2; t++) {
+    tile[lid] = a[(gid + t * get_local_size(0)) % n];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 16; k++) {
+      sum = mad(tile[(lid + k) % get_local_size(0)], b[(k * n / 32 + gid) % n], sum);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  c[gid] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 16384),
+
+		mk("MD", `__kernel void md_lj(__global const float* position,
+                    __global const int* neighbors,
+                    __global float* force,
+                    const int n) {
+  int gid = get_global_id(0);
+  float px = position[gid];
+  float f = 0.0f;
+  for (int j = 0; j < 12; j++) {
+    int nb = neighbors[(gid * 12 + j) % n] % n;
+    float r = px - position[nb];
+    float r2 = r * r + 0.01f;
+    float inv6 = 1.0f / (r2 * r2 * r2);
+    f = mad(inv6, inv6 - 0.5f, f);
+  }
+  force[gid] = f;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 8192),
+
+		mk("MD5Hash", `__kernel void md5_search(__global const int* keys,
+                         __global int* digests,
+                         const int n) {
+  int gid = get_global_id(0);
+  uint a = (uint)(keys[gid]) + 0x67452301u;
+  uint b = 0xefcdab89u;
+  uint c = 0x98badcfeu;
+  uint d = 0x10325476u;
+  for (int r = 0; r < 16; r++) {
+    uint f = (b & c) | (~b & d);
+    uint tmp = d;
+    d = c;
+    c = b;
+    b = b + rotate(a + f + (uint)(r) * 0x5a827999u, 7);
+    a = tmp;
+  }
+  digests[gid] = (int)(a ^ b ^ c ^ d);
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 32768),
+
+		mk("Sort", `__kernel void sort_local_bitonic(__global int* keys,
+                                 __local int* lkeys,
+                                 const int n) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  lkeys[lid] = keys[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int stage = 1; stage <= 4; stage++) {
+    int partner = lid ^ (1 << (stage - 1));
+    int mine = lkeys[lid];
+    int theirs = lkeys[partner % get_local_size(0)];
+    int ascending = (lid & (1 << stage)) == 0;
+    int keep = (mine < theirs) == (ascending != 0) ? mine : theirs;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    lkeys[lid] = keep;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  keys[gid] = lkeys[lid];
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: LocalBuf, Slots: 128},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 16384),
+
+		mk("SpMV", `__kernel void spmv_csr_scalar(__global const float* val,
+                              __global const int* cols,
+                              __global const float* vec,
+                              __global float* out,
+                              const int n) {
+  int row = get_global_id(0);
+  float t = 0.0f;
+  for (int j = 0; j < 4; j++) {
+    int idx = (row * 4 + j) % n;
+    t = mad(val[idx], vec[cols[idx] % n], t);
+  }
+  out[row] = t;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+			}}
+		}, 16384),
+
+		mk("Stencil2D", `__kernel void stencil2d(__global const float* data,
+                        __global float* newData,
+                        const int n,
+                        const float wCenter) {
+  int gid = get_global_id(0);
+  float c = data[gid];
+  float sum = wCenter * c;
+  sum = mad(0.1f, data[(gid + 1) % n] + data[(gid + n - 1) % n], sum);
+  sum = mad(0.1f, data[(gid + 128) % n] + data[(gid + n - 128) % n], sum);
+  newData[gid] = sum;
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: ZeroBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: FloatScalar, Float: 0.6},
+			}}
+		}, 32768),
+
+		mk("BFS", `__kernel void bfs_shoc(__global const int* edgeArray,
+                        __global int* levels,
+                        const int n,
+                        const int curLevel) {
+  int gid = get_global_id(0);
+  if (levels[gid] == curLevel) {
+    for (int e = 0; e < 2; e++) {
+      int nbr = edgeArray[(gid * 2 + e) % n] % n;
+      if (levels[nbr] > curLevel + 1) {
+        levels[nbr] = curLevel + 1;
+      }
+    }
+  }
+}`, func(n int) Launch {
+			return Launch{GlobalSize: n, LocalSize: 64, Args: []Arg{
+				{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+				{Kind: GlobalBuf, Slots: n},
+				{Kind: IntScalar, Int: int64(n)},
+				{Kind: IntScalar, Int: 1},
+			}}
+		}, 16384),
+
+		mk("S3D", `__kernel void s3d_rates(__global const float* t,
+                        __global const float* c,
+                        __global float* wdot,
+                        const int n) {
+  int gid = get_global_id(0);
+  float temp = fabs(t[gid]) * 1000.0f + 300.0f;
+  float logT = log(temp);
+  float invT = 1.0f / temp;
+  float rate = 0.0f;
+  for (int r = 0; r < 8; r++) {
+    float ea = 4000.0f + (float)(r) * 750.0f;
+    float kf = exp(mad(2.5f, logT, -ea * invT * 0.5f) * 0.1f);
+    rate = mad(kf, c[(gid + r * 3) % n], rate);
+  }
+  wdot[gid] = rate;
+}`, stream3, 16384),
+	}
+}
+
+// stream3T is the FFT launch plan: two read-only inputs and one output.
+func stream3T() func(n int) Launch {
+	return func(n int) Launch {
+		return Launch{GlobalSize: n, LocalSize: 128, Args: []Arg{
+			{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+			{Kind: GlobalBuf, Slots: n, ReadOnly: true},
+			{Kind: ZeroBuf, Slots: n},
+			{Kind: IntScalar, Int: int64(n)},
+		}}
+	}
+}

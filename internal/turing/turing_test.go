@@ -1,0 +1,109 @@
+package turing
+
+import (
+	"math/rand"
+	"testing"
+
+	"clgen/internal/clsmith"
+	"clgen/internal/corpus"
+	"clgen/internal/github"
+	"clgen/internal/model"
+	"clgen/internal/rewriter"
+)
+
+// buildPools assembles the §6.1 pools: rewritten human kernels, CLgen
+// samples, and rewritten CLSmith kernels.
+func buildPools(t *testing.T) (panel *Panel, human, clgenPool, clsmithPool []string) {
+	t.Helper()
+	files := github.Mine(github.MinerConfig{Seed: 33, Repos: 60, FilesPerRepo: 8})
+	c, err := corpus.Build(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	human = c.Kernels
+	if len(human) < 40 {
+		t.Fatalf("only %d human kernels", len(human))
+	}
+	panel, err = NewPanel(c.Text, human[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.TrainNGram(c.Text, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for len(clgenPool) < 30 {
+		k := m.SampleKernel(rng, model.SampleOpts{})
+		if corpus.FilterSample(k).OK {
+			clgenPool = append(clgenPool, k)
+		}
+	}
+	for _, src := range clsmith.GenerateN(9, 30) {
+		norm, err := rewriter.Normalize(src, nil)
+		if err != nil {
+			t.Fatalf("clsmith rewrite: %v", err)
+		}
+		clsmithPool = append(clsmithPool, norm)
+	}
+	return panel, human[20:], clgenPool, clsmithPool
+}
+
+func TestPanelReproducesPaperShape(t *testing.T) {
+	panel, human, clgenPool, clsmithPool := buildPools(t)
+
+	// Control group: 5 judges on CLSmith vs human (paper: 96%, σ 9%).
+	control := panel.RunGroup(clsmithPool, human, 5, 10, 100)
+	if control.Mean < 0.85 {
+		t.Errorf("control mean %.2f, want ≥ 0.85 (paper: 0.96)", control.Mean)
+	}
+	if control.FalsePositives != 0 {
+		t.Errorf("control false positives = %d, paper reports none", control.FalsePositives)
+	}
+
+	// CLgen group: 10 judges (paper: 52%, σ 17% — chance level).
+	clgen := panel.RunGroup(clgenPool, human, 10, 10, 200)
+	if clgen.Mean < 0.30 || clgen.Mean > 0.72 {
+		t.Errorf("clgen mean %.2f outside chance band (paper: 0.52)", clgen.Mean)
+	}
+	if clgen.Mean >= control.Mean {
+		t.Errorf("clgen (%.2f) should be harder to spot than clsmith (%.2f)", clgen.Mean, control.Mean)
+	}
+}
+
+func TestSurprisalOrdering(t *testing.T) {
+	panel, human, clgenPool, clsmithPool := buildPools(t)
+	mean := func(pool []string) float64 {
+		var s float64
+		for _, k := range pool {
+			s += panel.surprisal(k)
+		}
+		return s / float64(len(pool))
+	}
+	h, g, s := mean(human[:20]), mean(clgenPool[:20]), mean(clsmithPool[:20])
+	if s <= g {
+		t.Errorf("clsmith surprisal %.2f not above clgen %.2f", s, g)
+	}
+	if g > h*1.5 {
+		t.Errorf("clgen surprisal %.2f far above human %.2f", g, h)
+	}
+}
+
+func TestTellsDetectCLSmith(t *testing.T) {
+	_, _, _, clsmithPool := buildPools(t)
+	detected := 0
+	for _, k := range clsmithPool {
+		if tells(k) > 2 {
+			detected++
+		}
+	}
+	if detected < len(clsmithPool)*2/3 {
+		t.Errorf("tells fired on only %d/%d clsmith kernels", detected, len(clsmithPool))
+	}
+}
+
+func TestPanelValidation(t *testing.T) {
+	if _, err := NewPanel("", nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
