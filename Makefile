@@ -1,0 +1,33 @@
+# Developer workflow for the clgen reproduction. `make check` is the
+# tier-1 gate: build, vet, formatting, and the race-enabled test suite.
+
+GO ?= go
+
+.PHONY: check build vet fmt test race bench bench-snapshot
+
+check: build vet fmt race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; fail if any.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Runs the benches and leaves BENCH_telemetry.json behind: the
+# stage-duration histogram baseline future perf PRs diff against.
+bench-snapshot:
+	$(GO) test -run=TestMain -bench=. -benchtime=1x

@@ -7,10 +7,14 @@
 package clgen_test
 
 import (
+	"flag"
+	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"clgen/internal/clc"
 	"clgen/internal/clsmith"
@@ -23,7 +27,26 @@ import (
 	"clgen/internal/nn"
 	"clgen/internal/platform"
 	"clgen/internal/rewriter"
+	"clgen/internal/telemetry"
 )
+
+// TestMain persists a telemetry snapshot after benchmark runs: the
+// stage-duration histograms and pipeline counters accumulated while the
+// benches ran are written to BENCH_telemetry.json, giving future perf
+// PRs a baseline trajectory to diff against. Plain `go test` runs (no
+// -bench) skip the snapshot.
+func TestMain(m *testing.M) {
+	start := time.Now()
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
+		if err := telemetry.WriteDefaultReport("bench", "BENCH_telemetry.json", start); err != nil {
+			fmt.Fprintln(os.Stderr, "bench telemetry snapshot:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "bench telemetry snapshot written to BENCH_telemetry.json")
+		}
+	}
+	os.Exit(code)
+}
 
 // --- shared world (built once; excluded from timings) ---
 

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	cldrive [-size N] [-seed S] [file.cl]   (reads stdin without a file)
+//
+// Observability (shared across clgen/clexp/cldrive):
+//
+//	cldrive -v                     debug logging
+//	cldrive -quiet                 warnings and errors only
+//	cldrive -metrics-addr :9090    live /metrics, /vars, /stages, /debug/pprof/
+//	cldrive -report run.json       machine-readable RunReport on exit
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"clgen/internal/driver"
 	"clgen/internal/platform"
+	"clgen/internal/telemetry"
 )
 
 func main() {
@@ -24,45 +32,75 @@ func main() {
 		seed = flag.Int64("seed", 1, "payload seed")
 		cap  = flag.Int("cap", 16384, "execution-size cap (0 = run full size)")
 	)
+	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := tf.Start("cldrive")
+	if err != nil {
+		fatal(err)
+	}
 
+	code := 0
+	err = drive(rt, *size, *seed, *cap, flag.Args())
+	if err == errCheckerRejected {
+		code = 2
+		err = nil
+	}
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	os.Exit(code)
+}
+
+// errCheckerRejected distinguishes the exit-2 path (kernel failed the
+// dynamic checker) from hard failures.
+var errCheckerRejected = fmt.Errorf("kernel rejected by the dynamic checker")
+
+func drive(rt *telemetry.Runtime, size int, seed int64, cap int, args []string) error {
 	var src []byte
 	var err error
-	if flag.NArg() > 0 {
-		src, err = os.ReadFile(flag.Arg(0))
+	if len(args) > 0 {
+		src, err = os.ReadFile(args[0])
 	} else {
 		src, err = io.ReadAll(os.Stdin)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
+	span := telemetry.Start("cldrive.run")
+	defer span.End()
 	k, err := driver.Load(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	span.SetAttr("kernel", k.Name)
 	fmt.Printf("kernel: %s\n", k.Name)
 	fmt.Printf("static features: comp=%d mem=%d localmem=%d coalesced=%d branches=%d\n",
 		k.Static.Comp, k.Static.Mem, k.Static.LocalMem, k.Static.Coalesced, k.Static.Branches)
 
-	res := driver.Check(k, min(*size, nonZero(*cap, *size)), *seed, driver.RunConfig{})
+	res := driver.Check(k, min(size, nonZero(cap, size)), seed, driver.RunConfig{})
 	fmt.Printf("dynamic checker: %s\n", res.Verdict)
 	if !res.OK() {
 		if res.Err != nil {
 			fmt.Printf("  cause: %v\n", res.Err)
 		}
-		os.Exit(2)
+		rt.Log.Warn("kernel rejected", "kernel", k.Name, "verdict", string(res.Verdict))
+		return errCheckerRejected
 	}
 
 	for _, sys := range []*platform.System{platform.SystemAMD, platform.SystemNVIDIA} {
-		m, err := driver.Measure(k, *size, sys, *seed, driver.MeasureConfig{ExecCap: *cap})
+		m, err := driver.Measure(k, size, sys, seed, driver.MeasureConfig{ExecCap: cap})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("%s system: cpu=%.3fms gpu=%.3fms -> %s (%.2fx) transfer=%dB wgsize=%d\n",
 			sys.Name, m.CPUTime*1e3, m.GPUTime*1e3, m.Oracle, m.Speedup(),
 			m.Vector.Transfer, m.Vector.WgSize)
 	}
+	return nil
 }
 
 func nonZero(v, def int) int {

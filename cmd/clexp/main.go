@@ -7,6 +7,13 @@
 //	clexp -run table1,fig7,fig8
 //	clexp -run fig9 -kernels 2000
 //	clexp -scale test -run all     (fast, reduced sizes)
+//
+// Observability (shared across clgen/clexp/cldrive):
+//
+//	clexp -v                       debug logging
+//	clexp -quiet                   warnings and errors only
+//	clexp -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
+//	clexp -report run.json         machine-readable RunReport on exit
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strings"
 
 	"clgen/internal/experiments"
+	"clgen/internal/telemetry"
 )
 
 var experimentOrder = []string{
@@ -30,15 +38,31 @@ func main() {
 		seed    = flag.Int64("seed", 1, "campaign seed")
 		kernels = flag.Int("kernels", 2000, "figure 9 kernel pool size")
 	)
+	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := tf.Start("clexp")
+	if err != nil {
+		fatal(err)
+	}
+	err = campaign(rt, *run, *scale, *seed, *kernels)
+	// Close before exiting so the run summary and -report are written
+	// even when an experiment failed partway.
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
 
+func campaign(rt *telemetry.Runtime, run, scale string, seed int64, kernels int) error {
 	want := map[string]bool{}
-	if *run == "all" {
+	if run == "all" {
 		for _, e := range experimentOrder {
 			want[e] = true
 		}
 	} else {
-		for _, e := range strings.Split(*run, ",") {
+		for _, e := range strings.Split(run, ",") {
 			want[strings.TrimSpace(e)] = true
 		}
 	}
@@ -63,20 +87,20 @@ func main() {
 	needWorld := want["corpus"] || want["table1"] || want["fig3"] || want["fig7"] ||
 		want["fig8"] || want["fig9"] || want["turing"] || want["collisions"]
 	if !needWorld {
-		return
+		return nil
 	}
 
-	cfg := experiments.Config{Seed: *seed, Log: func(f string, a ...any) {
-		fmt.Fprintf(os.Stderr, f+"\n", a...)
-	}}
-	if *scale == "test" {
+	cfg := experiments.Config{Seed: seed}
+	if scale == "test" {
 		cfg = experiments.TestConfig()
-		cfg.Quiet = false
-		cfg.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
+	// Progress goes through the structured logger; -quiet already raised
+	// the logger level, so the config hook stays active either way.
+	cfg.Quiet = false
+	cfg.Log = rt.Log.Logf
 	w, err := experiments.BuildWorld(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if want["corpus"] {
@@ -85,52 +109,53 @@ func main() {
 	if want["table1"] {
 		r, err := experiments.Table1(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Table 1: cross-suite performance (AMD)", r.Render())
 	}
 	if want["fig3"] {
 		r, err := experiments.Figure3(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Figure 3: Parboil feature space (NVIDIA)", r.Render())
 	}
 	if want["fig7"] {
 		r, err := experiments.Figure7(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Figure 7: Grewe model ± CLgen on NPB", r.Render())
 	}
 	if want["fig8"] {
 		r, err := experiments.Figure8(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Figure 8: extended model over all suites", r.Render())
 	}
 	if want["fig9"] {
-		r, err := experiments.Figure9(w, *kernels)
+		r, err := experiments.Figure9(w, kernels)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Figure 9: feature-space matches", r.Render())
 	}
 	if want["turing"] {
 		r, err := experiments.TuringTest(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("§6.1 human-or-machine test", r.Render())
 	}
 	if want["collisions"] {
 		r, err := experiments.Collisions(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Listing 2: feature collisions", r.Render())
 	}
+	return nil
 }
 
 func fatal(err error) {

@@ -9,6 +9,13 @@
 //	clgen -mode train  [-model FILE] [-backend ngram|lstm] [-repos N]
 //	clgen -mode sample [-n N] [-model FILE] [-repos N] [-seed S] [-temp T] [-free]
 //	clgen -mode stats  [-repos N] [-seed S]
+//
+// Observability (shared across clgen/clexp/cldrive):
+//
+//	clgen -v                       debug logging
+//	clgen -quiet                   warnings and errors only
+//	clgen -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
+//	clgen -report run.json         machine-readable RunReport on exit
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"clgen/internal/github"
 	"clgen/internal/model"
 	"clgen/internal/nn"
+	"clgen/internal/telemetry"
 )
 
 func main() {
@@ -39,73 +47,92 @@ func main() {
 		layers  = flag.Int("layers", 2, "LSTM layers")
 		epochs  = flag.Int("epochs", 8, "LSTM training epochs")
 	)
+	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := tf.Start("clgen")
+	if err != nil {
+		fatal(err)
+	}
 
-	switch *mode {
+	err = synthesizer(rt, *mode, *modelF, *repos, *seed, *n, *temp, *backend,
+		*free, *order, *hidden, *layers, *epochs)
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func synthesizer(rt *telemetry.Runtime, mode, modelF string, repos int, seed int64,
+	n int, temp float64, backend string, free bool, order, hidden, layers, epochs int) error {
+	log := rt.Log
+	switch mode {
 	case "corpus", "stats":
-		files := github.Mine(github.MinerConfig{Seed: *seed, Repos: *repos, FilesPerRepo: 8})
+		files := github.Mine(github.MinerConfig{Seed: seed, Repos: repos, FilesPerRepo: 8})
 		c, err := corpus.Build(files)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(experiments.RenderCorpusStats(c.Stats))
-		if *mode == "corpus" {
+		if mode == "corpus" {
 			fmt.Println("\n--- corpus sample (first kernel) ---")
 			if len(c.Kernels) > 0 {
 				fmt.Println(c.Kernels[0])
 			}
 		}
 	case "train":
-		cfg := coreConfig(*repos, *seed, *backend, *order, *hidden, *layers, *epochs)
-		fmt.Fprintf(os.Stderr, "building corpus and training %s model...\n", cfg.Backend)
+		cfg := coreConfig(repos, seed, backend, order, hidden, layers, epochs)
+		log.Info("building corpus and training model", "backend", string(cfg.Backend))
 		g, err := core.Build(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if *modelF == "" {
-			fatal(fmt.Errorf("-mode train needs -model FILE"))
+		if modelF == "" {
+			return fmt.Errorf("-mode train needs -model FILE")
 		}
-		if err := g.Model.SaveFile(*modelF); err != nil {
-			fatal(err)
+		if err := g.Model.SaveFile(modelF); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "model written to %s\n", *modelF)
+		log.Info("model written", "path", modelF)
 	case "sample":
 		var m *model.Model
-		if *modelF != "" {
-			loaded, err := model.LoadFile(*modelF)
+		if modelF != "" {
+			loaded, err := model.LoadFile(modelF)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			m = loaded
 		}
-		cfg := coreConfig(*repos, *seed, *backend, *order, *hidden, *layers, *epochs)
+		cfg := coreConfig(repos, seed, backend, order, hidden, layers, epochs)
 		var g *core.CLgen
 		if m != nil {
 			g = &core.CLgen{Model: m}
 		} else {
-			fmt.Fprintf(os.Stderr, "building corpus and training %s model...\n", cfg.Backend)
+			log.Info("building corpus and training model", "backend", string(cfg.Backend))
 			built, err := core.Build(cfg)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			g = built
 		}
-		opts := model.SampleOpts{Temperature: *temp}
-		if *free {
+		opts := model.SampleOpts{Temperature: temp}
+		if free {
 			opts.Seed = model.FreeSeed
 		}
-		kernels, stats, err := g.Synthesize(*n, opts, *seed+100)
+		kernels, stats, err := g.Synthesize(n, opts, seed+100)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+			log.Warn("synthesis shortfall", "err", err)
 		}
 		for i, k := range kernels {
 			fmt.Printf("// --- kernel %d ---\n%s\n\n", i+1, k)
 		}
-		fmt.Fprintf(os.Stderr, "accepted %d/%d samples (%.0f%% acceptance)\n",
-			stats.Accepted, stats.Attempts, stats.AcceptRate()*100)
+		log.Info("synthesis done", "accepted", stats.Accepted, "attempts", stats.Attempts,
+			"accept_rate", fmt.Sprintf("%.0f%%", stats.AcceptRate()*100))
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", mode)
 	}
+	return nil
 }
 
 // coreConfig assembles the synthesis configuration from flags.

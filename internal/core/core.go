@@ -15,6 +15,7 @@ import (
 	"clgen/internal/github"
 	"clgen/internal/model"
 	"clgen/internal/nn"
+	"clgen/internal/telemetry"
 )
 
 // Backend selects the language-model implementation.
@@ -64,7 +65,12 @@ type CLgen struct {
 // Build runs mining, corpus assembly, and model training.
 func Build(cfg Config) (*CLgen, error) {
 	cfg.defaults()
+	span := telemetry.Start("core.build")
+	defer span.End()
+	mine := telemetry.Start("github.mine")
 	files := github.Mine(cfg.Miner)
+	mine.SetAttr("files", len(files))
+	mine.End()
 	c, err := corpus.Build(files)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -75,6 +81,8 @@ func Build(cfg Config) (*CLgen, error) {
 // FromCorpus trains a model over an already-built corpus.
 func FromCorpus(c *corpus.Corpus, cfg Config) (*CLgen, error) {
 	cfg.defaults()
+	span := telemetry.Start("model.train").SetAttr("backend", string(cfg.Backend))
+	defer span.End()
 	var m *model.Model
 	var err error
 	switch cfg.Backend {
@@ -111,6 +119,12 @@ func (s SynthesisStats) AcceptRate() float64 {
 // attempt budget runs out), returning the accepted kernels. Duplicates are
 // discarded: CLgen's value is covering the space, not repeating it.
 func (g *CLgen) Synthesize(n int, opts model.SampleOpts, seed int64) ([]string, SynthesisStats, error) {
+	span := telemetry.Start("core.synthesize").SetAttr("requested", n)
+	defer span.End()
+	reg := telemetry.Default()
+	attempted := reg.Counter("sampler_samples_attempted_total", "Samples drawn from the language model.")
+	accepted := reg.Counter("sampler_samples_accepted_total", "Samples surviving the rejection filter.")
+
 	rng := rand.New(rand.NewSource(seed))
 	stats := SynthesisStats{Requested: n, Reasons: map[corpus.RejectReason]int{}}
 	seen := map[string]bool{}
@@ -121,19 +135,27 @@ func (g *CLgen) Synthesize(n int, opts model.SampleOpts, seed int64) ([]string, 
 	}
 	for len(out) < n && stats.Attempts < maxAttempts {
 		stats.Attempts++
+		attempted.Inc()
 		k := g.Model.SampleKernel(rng, opts)
 		res := corpus.FilterSample(k)
 		if !res.OK {
 			stats.Reasons[res.Reason]++
+			reg.Counter(telemetry.Label("sampler_samples_rejected_total", "reason", string(res.Reason)),
+				"Samples rejected by the filter, by reason.").Inc()
 			continue
 		}
 		if seen[k] {
+			reg.Counter("sampler_duplicates_total", "Filter-passing samples discarded as duplicates.").Inc()
 			continue
 		}
 		seen[k] = true
 		out = append(out, k)
 		stats.Accepted++
+		accepted.Inc()
 	}
+	span.SetAttr("accepted", stats.Accepted).SetAttr("attempts", stats.Attempts)
+	telemetry.Debug("synthesis finished", "requested", n, "accepted", stats.Accepted,
+		"attempts", stats.Attempts, "accept_rate", stats.AcceptRate())
 	if len(out) < n {
 		return out, stats, fmt.Errorf("core: synthesized only %d/%d kernels in %d attempts", len(out), n, stats.Attempts)
 	}

@@ -14,6 +14,7 @@ import (
 	"clgen/internal/github"
 	"clgen/internal/ir"
 	"clgen/internal/rewriter"
+	"clgen/internal/telemetry"
 )
 
 // MinInstructions is the rejection filter's minimum static instruction
@@ -190,6 +191,9 @@ type Corpus struct {
 // filtering (recording the no-shim discard rate for comparison), code
 // rewriting, and corpus concatenation.
 func Build(files []github.ContentFile) (*Corpus, error) {
+	span := telemetry.Start("corpus.build")
+	defer span.End()
+	reg := telemetry.Default()
 	c := &Corpus{}
 	c.Stats.Reasons = map[RejectReason]int{}
 	var rejectedNoShim int
@@ -200,14 +204,25 @@ func Build(files []github.ContentFile) (*Corpus, error) {
 	for _, cf := range files {
 		c.Stats.Files++
 		c.Stats.Lines += cf.Lines()
-		if res := Filter(cf.Text, false); !res.OK {
+		reg.Counter("corpus_files_total", "Content files entering the rejection filter.").Inc()
+		noShimRejected := !Filter(cf.Text, false).OK
+		if noShimRejected {
 			rejectedNoShim++
 		}
 		res := Filter(cf.Text, true)
 		if !res.OK {
 			c.Stats.Reasons[res.Reason]++
+			reg.Counter(telemetry.Label("corpus_files_discarded_total", "reason", string(res.Reason)),
+				"Content files discarded by the rejection filter, by reason.").Inc()
 			continue
 		}
+		if noShimRejected {
+			// The shim header recovered a file the bare filter discarded
+			// (the paper's 40% -> 32% discard-rate improvement).
+			reg.Counter("corpus_shim_recovered_total",
+				"Files rejected without the shim header but accepted with it.").Inc()
+		}
+		reg.Counter("corpus_files_accepted_total", "Content files surviving the rejection filter.").Inc()
 		c.Stats.AcceptedFiles++
 		c.Stats.AcceptedLines += cf.Lines()
 		stripShimDecls(res.File)
@@ -240,6 +255,14 @@ func Build(files []github.ContentFile) (*Corpus, error) {
 		c.Stats.DiscardRateNoShim = float64(rejectedNoShim) / float64(c.Stats.Files)
 		c.Stats.DiscardRateShim = float64(c.Stats.Files-c.Stats.AcceptedFiles) / float64(c.Stats.Files)
 	}
+	reg.Counter("corpus_kernels_total", "Kernel functions entering the language corpus.").
+		Add(int64(c.Stats.Kernels))
+	span.SetAttr("files", c.Stats.Files).SetAttr("accepted", c.Stats.AcceptedFiles).
+		SetAttr("kernels", c.Stats.Kernels)
+	telemetry.Debug("corpus built",
+		"files", c.Stats.Files, "accepted", c.Stats.AcceptedFiles,
+		"kernels", c.Stats.Kernels, "discard_shim", c.Stats.DiscardRateShim,
+		"discard_noshim", c.Stats.DiscardRateNoShim)
 	return c, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"clgen/internal/interp"
+	"clgen/internal/telemetry"
 )
 
 // CheckVerdict classifies a kernel's §5.2 dynamic-checker outcome.
@@ -47,6 +48,14 @@ func (r CheckResult) OK() bool { return r.Verdict == UsefulWork }
 // step-limit timeout, barrier divergence) yield RunFailure — the analogue
 // of a crashed or timed-out run on hardware.
 func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
+	res := check(k, globalSize, seed, cfg)
+	telemetry.Default().Counter(
+		telemetry.Label("driver_checker_verdicts_total", "verdict", string(res.Verdict)),
+		"Dynamic-checker verdicts (§5.2), by outcome.").Inc()
+	return res
+}
+
+func check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	rngA := rand.New(rand.NewSource(seed))
 	rngB := rand.New(rand.NewSource(seed + 1))
 	a1, err := GeneratePayload(k, globalSize, rngA)

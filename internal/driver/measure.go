@@ -2,10 +2,12 @@ package driver
 
 import (
 	"fmt"
+	"time"
 
 	"clgen/internal/features"
 	"clgen/internal/interp"
 	"clgen/internal/platform"
+	"clgen/internal/telemetry"
 )
 
 // Measurement is one (kernel, dataset, system) performance observation:
@@ -56,6 +58,12 @@ type MeasureConfig struct {
 // Measure runs the dynamic checker and, if the kernel does useful work,
 // produces a Measurement on the given system.
 func Measure(k *Kernel, globalSize int, sys *platform.System, seed int64, cfg MeasureConfig) (*Measurement, error) {
+	start := time.Now()
+	defer func() {
+		telemetry.Default().Histogram("driver_measure_seconds",
+			"Wall time of one Measure call (checker + execution).", nil).
+			Observe(time.Since(start).Seconds())
+	}()
 	if cfg.Repeats <= 0 {
 		cfg.Repeats = 1
 	}

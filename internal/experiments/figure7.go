@@ -7,6 +7,7 @@ import (
 
 	"clgen/internal/grewe"
 	"clgen/internal/platform"
+	"clgen/internal/telemetry"
 )
 
 // Figure7System is one panel of Figure 7: per NPB-program×class speedups
@@ -45,6 +46,7 @@ type Figure7Result struct {
 // in [14], which augments training with additional GPGPU kernels), ±
 // synthetic CLgen benchmarks.
 func Figure7(w *World) (*Figure7Result, error) {
+	defer telemetry.Start("experiments.figure7").End()
 	res := &Figure7Result{}
 	var prodWith, prodWithout float64 = 1, 1
 	for _, sys := range Systems {

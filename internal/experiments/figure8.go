@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"clgen/internal/grewe"
+	"clgen/internal/telemetry"
 )
 
 // Figure8System is one panel of Figure 8: the extended model (raw features
@@ -41,6 +42,7 @@ type Figure8Result struct {
 // combined features, the extended model trains with synthetic benchmarks
 // on the extended features.
 func Figure8(w *World) (*Figure8Result, error) {
+	defer telemetry.Start("experiments.figure8").End()
 	res := &Figure8Result{}
 	prod := 1.0
 	for _, sys := range Systems {

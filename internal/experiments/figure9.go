@@ -11,6 +11,7 @@ import (
 	"clgen/internal/features"
 	"clgen/internal/model"
 	"clgen/internal/suites"
+	"clgen/internal/telemetry"
 )
 
 // Figure9Series is one line of Figure 9: for a kernel source, the number
@@ -43,6 +44,7 @@ const figure9Resamples = 10
 // plus the branch feature) coincide with those of the 71 benchmarks.
 // maxKernels bounds the per-source pool (the paper uses 10,000).
 func Figure9(w *World, maxKernels int) (*Figure9Result, error) {
+	defer telemetry.Start("experiments.figure9").End()
 	if maxKernels <= 0 {
 		maxKernels = 2000
 	}

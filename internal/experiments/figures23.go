@@ -9,6 +9,7 @@ import (
 	"clgen/internal/grewe"
 	"clgen/internal/ml"
 	"clgen/internal/platform"
+	"clgen/internal/telemetry"
 )
 
 // Figure2Row is one bar of Figure 2: the mean number of benchmarks used
@@ -66,6 +67,7 @@ type Figure3Result struct {
 // outliers mispredicted; adding hand-selected neighboring observations
 // (the nearest other-suite points in feature space) corrects them.
 func Figure3(w *World) (*Figure3Result, error) {
+	defer telemetry.Start("experiments.figure3").End()
 	sys := platform.SystemNVIDIA.Name
 	parboil := w.SuiteObs(sys, "Parboil")
 	if len(parboil) == 0 {

@@ -10,6 +10,7 @@ import (
 	"clgen/internal/platform"
 	"clgen/internal/rewriter"
 	"clgen/internal/suites"
+	"clgen/internal/telemetry"
 	"clgen/internal/turing"
 )
 
@@ -25,6 +26,7 @@ type TuringResult struct {
 // 10 (CLgen) / 5 (control, CLSmith), double-blind over equal pools of
 // rewritten machine and human code.
 func TuringTest(w *World) (*TuringResult, error) {
+	defer telemetry.Start("experiments.turing").End()
 	human := w.CLgen.Corpus.Kernels
 	if len(human) < 20 {
 		return nil, fmt.Errorf("turing: only %d human kernels", len(human))
@@ -113,6 +115,7 @@ type CollisionResult struct {
 // the AMD system: identical original static features as a benchmark, with
 // or without agreement once branches are counted.
 func Collisions(w *World) (*CollisionResult, error) {
+	defer telemetry.Start("experiments.collisions").End()
 	type benchInfo struct {
 		id     string
 		st     features.Static

@@ -7,6 +7,7 @@ import (
 	"clgen/internal/grewe"
 	"clgen/internal/platform"
 	"clgen/internal/suites"
+	"clgen/internal/telemetry"
 )
 
 // Table1Result is the cross-suite performance grid: Grid[i][j] is the
@@ -28,6 +29,7 @@ type Table1Result struct {
 // Table1 reproduces Table 1: cross-suite generalization of the original
 // Grewe et al. model on the AMD platform.
 func Table1(w *World) (*Table1Result, error) {
+	defer telemetry.Start("experiments.table1").End()
 	sys := platform.SystemAMD.Name
 	r := &Table1Result{Suites: suites.Suites}
 	r.WorstValue = 2

@@ -15,6 +15,7 @@ import (
 	"clgen/internal/model"
 	"clgen/internal/platform"
 	"clgen/internal/suites"
+	"clgen/internal/telemetry"
 )
 
 // Config scales an experimental campaign. The zero value gives the full
@@ -51,11 +52,11 @@ func (c *Config) defaults() {
 	if len(c.PayloadSizes) == 0 {
 		c.PayloadSizes = []int{2048, 16384, 131072, 1 << 20}
 	}
-	if c.Log == nil {
+	switch {
+	case c.Quiet:
 		c.Log = func(string, ...any) {}
-	}
-	if c.Quiet {
-		c.Log = func(string, ...any) {}
+	case c.Log == nil:
+		c.Log = telemetry.DefaultLogger().Logf
 	}
 }
 
@@ -89,6 +90,8 @@ type World struct {
 // BuildWorld mines, trains, synthesizes, and measures everything.
 func BuildWorld(cfg Config) (*World, error) {
 	cfg.defaults()
+	span := telemetry.Start("world.build")
+	defer span.End()
 	w := &World{
 		Cfg:      cfg,
 		Obs:      map[string]map[string][]*grewe.Observation{},
@@ -118,11 +121,17 @@ func BuildWorld(cfg Config) (*World, error) {
 	w.Stats = stats
 
 	cfg.Log("measuring benchmark suites...")
-	if err := w.measureSuites(); err != nil {
+	suiteSpan := telemetry.Start("world.measure_suites")
+	err = w.measureSuites()
+	suiteSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	cfg.Log("measuring synthetic kernels...")
+	synthSpan := telemetry.Start("world.measure_synthetic")
 	w.measureSynthetic()
+	synthSpan.End()
+	span.SetAttr("synthetic_kernels", len(w.Synth))
 	return w, nil
 }
 
@@ -162,10 +171,13 @@ func (w *World) measureSuites() error {
 // driver and dynamic checker at each payload size. Kernels the checker
 // rejects contribute nothing — exactly the paper's pipeline.
 func (w *World) measureSynthetic() {
+	reg := telemetry.Default()
 	usable := 0
 	for i, src := range w.Synth {
 		k, err := driver.Load(src)
 		if err != nil {
+			reg.Counter("world_synthetic_load_failures_total",
+				"Synthetic kernels the host driver could not load.").Inc()
 			continue
 		}
 		kernelUsable := false
@@ -198,6 +210,10 @@ func (w *World) measureSynthetic() {
 			usable++
 		}
 	}
+	reg.Counter("world_synthetic_usable_total",
+		"Synthetic kernels passing the dynamic checker at some payload size.").Add(int64(usable))
+	reg.Counter("world_synthetic_measured_total",
+		"Synthetic kernels attempted by the measurement loop.").Add(int64(len(w.Synth)))
 	w.Cfg.Log("synthetic kernels passing the dynamic checker: %d/%d", usable, len(w.Synth))
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"clgen/internal/nn"
+	"clgen/internal/telemetry"
 )
 
 // Vocabulary is a bijection between corpus characters and dense indices.
@@ -209,6 +210,7 @@ func (m *Model) SampleKernel(rng *rand.Rand, opts SampleOpts) string {
 	for _, id := range m.Vocab.Encode("\n" + opts.Seed) {
 		sess.Observe(id)
 	}
+	reg := telemetry.Default()
 	scratch := make([]float64, m.Vocab.Size())
 	for n := 0; n < opts.MaxLen; n++ {
 		id := nn.SampleNext(sess, opts.Temperature, rng, scratch)
@@ -221,11 +223,20 @@ func (m *Model) SampleKernel(rng *rand.Rand, opts SampleOpts) string {
 		case '}':
 			depth--
 			if depth == 0 {
+				reg.Counter("sampler_chars_generated_total",
+					"Characters emitted by the sampling loop.").Add(int64(n + 1))
 				return out.String()
 			}
 		}
 	}
-	return out.String() // length bound hit; likely rejected downstream
+	// Length bound hit with the brace depth still open: Algorithm 1's
+	// depth tracking never found the kernel's closing brace, so the
+	// sample is truncated and will likely be rejected downstream.
+	reg.Counter("sampler_chars_generated_total",
+		"Characters emitted by the sampling loop.").Add(int64(opts.MaxLen))
+	reg.Counter("sampler_maxlen_hits_total",
+		"Samples truncated at MaxLen with unbalanced braces (depth-tracking rejection).").Inc()
+	return out.String()
 }
 
 // SampleMany draws count kernels (no filtering).

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
+
+	"clgen/internal/telemetry"
 )
 
 // TrainConfig controls LSTM training. The defaults follow §4.2 of the
@@ -58,10 +61,20 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 			return 0, fmt.Errorf("nn: corpus index %d outside vocabulary %d", x, m.Vocab)
 		}
 	}
+	span := telemetry.Start("nn.train").
+		SetAttr("epochs", cfg.Epochs).SetAttr("corpus_chars", len(corpus))
+	defer span.End()
+	reg := telemetry.Default()
+	lossGauge := reg.Gauge("nn_train_loss", "Mean cross-entropy per character of the last epoch.")
+	rateGauge := reg.Gauge("nn_train_chars_per_sec", "Training throughput of the last epoch.")
+	charsTotal := reg.Counter("nn_train_chars_total", "Characters consumed by LSTM training.")
+	epochSeconds := reg.Histogram("nn_train_epoch_seconds", "Wall time per training epoch.", nil)
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	lr := cfg.LearnRate
 	var lastLoss float64
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		st := m.ZeroState()
 		g := m.newGrads()
 		var epochLoss float64
@@ -86,6 +99,14 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 			m.applySGD(g, lr, cfg.Clip, seqsInBatch*cfg.SeqLen)
 		}
 		lastLoss = epochLoss / math.Max(float64(chars), 1)
+		elapsed := time.Since(epochStart)
+		charsPerSec := float64(chars) / math.Max(elapsed.Seconds(), 1e-9)
+		lossGauge.Set(lastLoss)
+		rateGauge.Set(charsPerSec)
+		charsTotal.Add(int64(chars))
+		epochSeconds.Observe(elapsed.Seconds())
+		telemetry.Debug("nn: epoch complete",
+			"epoch", epoch, "loss", lastLoss, "chars_per_sec", charsPerSec, "lr", lr)
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, lastLoss)
 		}
@@ -93,6 +114,7 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 			lr *= cfg.DecayFactor
 		}
 	}
+	span.SetAttr("final_loss", lastLoss)
 	return lastLoss, nil
 }
 

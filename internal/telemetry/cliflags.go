@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CLIFlags are the observability flags shared by every binary in this
+// repo (clgen, clexp, cldrive): consistent names, consistent semantics.
+type CLIFlags struct {
+	Verbose     bool   // -v: debug logging
+	Quiet       bool   // -quiet: warnings and errors only
+	JSONLog     bool   // -log-json: JSON log encoding
+	MetricsAddr string // -metrics-addr: serve /metrics, /vars, /debug/pprof
+	ReportPath  string // -report: write a RunReport JSON on exit
+}
+
+// RegisterCLIFlags installs the shared observability flags on fs
+// (flag.CommandLine in the binaries).
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.BoolVar(&f.Verbose, "v", false, "enable debug logging")
+	fs.BoolVar(&f.Quiet, "quiet", false, "suppress progress logging (warnings and errors only)")
+	fs.BoolVar(&f.JSONLog, "log-json", false, "emit logs as JSON lines")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9090)")
+	fs.StringVar(&f.ReportPath, "report", "", "write a JSON telemetry RunReport to this path on exit")
+	return f
+}
+
+// Runtime is the per-process observability state a binary tears down on
+// exit: the configured default logger, the optional metrics server, and
+// the pending RunReport.
+type Runtime struct {
+	Component string
+	Log       *Logger
+	Server    *Server
+	start     time.Time
+	flags     *CLIFlags
+	summaryW  io.Writer
+}
+
+// Start applies the flags: it configures the process-global logger
+// (level and encoding), starts the metrics server when -metrics-addr is
+// set, and returns the Runtime whose Close finishes the run.
+func (f *CLIFlags) Start(component string) (*Runtime, error) {
+	level := LevelInfo
+	if f.Verbose {
+		level = LevelDebug
+	}
+	if f.Quiet {
+		level = LevelWarn
+	}
+	enc := EncodeText
+	if f.JSONLog {
+		enc = EncodeJSON
+	}
+	log := NewLogger(os.Stderr, level, enc).With("component", component)
+	SetDefaultLogger(log)
+
+	rt := &Runtime{Component: component, Log: log, start: time.Now(), flags: f, summaryW: os.Stderr}
+	if f.MetricsAddr != "" {
+		srv, err := Serve(f.MetricsAddr, Default(), DefaultTracer())
+		if err != nil {
+			return nil, err
+		}
+		rt.Server = srv
+		log.Info("telemetry server listening",
+			"addr", srv.Addr, "endpoints", "/metrics /vars /stages /debug/pprof/")
+	}
+	return rt, nil
+}
+
+// Close finishes the run: it prints the stage-tree run summary (unless
+// -quiet or -log-json — the tree is plain text and would corrupt a
+// JSON-lines stream; machine consumers use -report), writes the
+// RunReport when -report is set, and stops the metrics server.
+func (rt *Runtime) Close() error {
+	if rt == nil {
+		return nil
+	}
+	var firstErr error
+	if !rt.flags.Quiet && !rt.flags.JSONLog {
+		if tree := DefaultTracer().TreeString(); tree != "" {
+			fmt.Fprintf(rt.summaryW, "---- run summary (%s, %s) ----\n%s",
+				rt.Component, time.Since(rt.start).Round(time.Millisecond), tree)
+		}
+	}
+	if rt.flags.ReportPath != "" {
+		if err := WriteDefaultReport(rt.Component, rt.flags.ReportPath, rt.start); err != nil {
+			firstErr = err
+			rt.Log.Error("writing run report failed", "path", rt.flags.ReportPath, "err", err)
+		} else {
+			rt.Log.Info("run report written", "path", rt.flags.ReportPath)
+		}
+	}
+	if err := rt.Server.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,252 @@
+// Package telemetry is the pipeline-wide observability layer: a leveled
+// structured logger, a process-global metrics registry (counters, gauges,
+// histograms with Prometheus text exposition), lightweight span tracing
+// that accumulates a per-run stage tree, an opt-in HTTP server exposing
+// /metrics, /vars, and net/http/pprof, and a machine-readable RunReport.
+//
+// The package is stdlib-only and imported by every pipeline layer (corpus
+// filtering, model training, sampling, the host driver, and the
+// experimental harness), so a full run's timings, counters, and failure
+// modes are observable in one place.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a logging severity.
+type Level int32
+
+// Severities, ordered. A logger emits records at or above its level.
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l == LevelInfo:
+		return "info"
+	case l == LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Encoding selects the logger's output format.
+type Encoding int
+
+// Encodings.
+const (
+	EncodeText Encoding = iota // ts=... level=... msg=... k=v
+	EncodeJSON                 // one JSON object per line
+)
+
+// Logger is a goroutine-safe leveled structured logger. Records are
+// key=value pairs rendered as text or JSON to a pluggable sink.
+type Logger struct {
+	mu    *sync.Mutex // shared with children so writes stay line-atomic
+	w     io.Writer
+	level *atomic.Int32 // shared with children
+	enc   Encoding
+	with  []kv
+	now   func() time.Time
+}
+
+type kv struct {
+	k string
+	v any
+}
+
+// NewLogger builds a logger writing to w at the given level and encoding.
+func NewLogger(w io.Writer, level Level, enc Encoding) *Logger {
+	l := &Logger{mu: &sync.Mutex{}, w: w, enc: enc, now: time.Now, level: &atomic.Int32{}}
+	l.level.Store(int32(level))
+	return l
+}
+
+var (
+	defaultLoggerMu sync.Mutex
+	defaultLogger   = NewLogger(os.Stderr, LevelInfo, EncodeText)
+)
+
+// DefaultLogger returns the process-wide logger.
+func DefaultLogger() *Logger {
+	defaultLoggerMu.Lock()
+	defer defaultLoggerMu.Unlock()
+	return defaultLogger
+}
+
+// SetDefaultLogger replaces the process-wide logger.
+func SetDefaultLogger(l *Logger) {
+	defaultLoggerMu.Lock()
+	defer defaultLoggerMu.Unlock()
+	defaultLogger = l
+}
+
+// SetLevel changes the logger's minimum severity.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Level returns the logger's minimum severity.
+func (l *Logger) Level() Level { return Level(l.level.Load()) }
+
+// Enabled reports whether records at the given level are emitted.
+func (l *Logger) Enabled(level Level) bool { return level >= l.Level() }
+
+// With returns a child logger whose records carry the given key=value
+// pairs in addition to per-record ones. The child shares the parent's
+// sink, mutex, and level.
+func (l *Logger) With(pairs ...any) *Logger {
+	child := &Logger{mu: l.mu, w: l.w, enc: l.enc, now: l.now, level: l.level,
+		with: append([]kv(nil), l.with...)}
+	child.with = append(child.with, collectPairs(pairs)...)
+	return child
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, pairs ...any) { l.log(LevelDebug, msg, pairs) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, pairs ...any) { l.log(LevelInfo, msg, pairs) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, pairs ...any) { l.log(LevelWarn, msg, pairs) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, pairs ...any) { l.log(LevelError, msg, pairs) }
+
+// Logf logs a printf-style message at LevelInfo. It is the compatibility
+// shim for progress hooks like experiments.Config.Log.
+func (l *Logger) Logf(format string, args ...any) {
+	l.log(LevelInfo, fmt.Sprintf(format, args...), nil)
+}
+
+// Package-level helpers on the default logger.
+
+// Debug logs to the default logger.
+func Debug(msg string, pairs ...any) { DefaultLogger().Debug(msg, pairs...) }
+
+// Info logs to the default logger.
+func Info(msg string, pairs ...any) { DefaultLogger().Info(msg, pairs...) }
+
+// Warn logs to the default logger.
+func Warn(msg string, pairs ...any) { DefaultLogger().Warn(msg, pairs...) }
+
+// Error logs to the default logger.
+func Error(msg string, pairs ...any) { DefaultLogger().Error(msg, pairs...) }
+
+func collectPairs(pairs []any) []kv {
+	var out []kv
+	for i := 0; i+1 < len(pairs); i += 2 {
+		k, ok := pairs[i].(string)
+		if !ok {
+			k = fmt.Sprint(pairs[i])
+		}
+		out = append(out, kv{k, pairs[i+1]})
+	}
+	if len(pairs)%2 == 1 {
+		out = append(out, kv{"EXTRA", pairs[len(pairs)-1]})
+	}
+	return out
+}
+
+func (l *Logger) log(level Level, msg string, pairs []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	fields := append(append([]kv(nil), l.with...), collectPairs(pairs)...)
+	var line []byte
+	switch l.enc {
+	case EncodeJSON:
+		line = encodeJSONRecord(l.now(), level, msg, fields)
+	default:
+		line = encodeTextRecord(l.now(), level, msg, fields)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(line)
+}
+
+func encodeTextRecord(ts time.Time, level Level, msg string, fields []kv) []byte {
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(ts.UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteIfNeeded(msg))
+	for _, f := range fields {
+		b.WriteByte(' ')
+		b.WriteString(f.k)
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(formatValue(f.v)))
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+func encodeJSONRecord(ts time.Time, level Level, msg string, fields []kv) []byte {
+	rec := map[string]any{
+		"ts":    ts.UTC().Format(time.RFC3339Nano),
+		"level": level.String(),
+		"msg":   msg,
+	}
+	for _, f := range fields {
+		rec[f.k] = jsonValue(f.v)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		line = []byte(fmt.Sprintf(`{"level":"error","msg":"telemetry: marshal: %v"}`, err))
+	}
+	return append(line, '\n')
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return x.String()
+	case error:
+		return x.Error()
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.String()
+	case error:
+		return x.Error()
+	default:
+		return v
+	}
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

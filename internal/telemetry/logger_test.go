@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedLogger(buf *bytes.Buffer, level Level, enc Encoding) *Logger {
+	l := NewLogger(buf, level, enc)
+	l.now = func() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) }
+	return l
+}
+
+func TestLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, LevelInfo, EncodeText)
+	l.Info("corpus built", "files", 12, "rate", 0.25, "reason", "parse error")
+	want := `ts=2026-01-02T03:04:05.000Z level=info msg="corpus built" files=12 rate=0.25 reason="parse error"` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("got  %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	l.Debug("hidden")
+	if buf.Len() != 0 {
+		t.Errorf("debug leaked below level: %q", buf.String())
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "level=debug") {
+		t.Errorf("debug missing: %q", buf.String())
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, LevelInfo, EncodeJSON).With("component", "clexp")
+	l.Warn("synthesis shortfall", "got", 5, "want", 10)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v: %q", err, buf.String())
+	}
+	if rec["level"] != "warn" || rec["msg"] != "synthesis shortfall" ||
+		rec["component"] != "clexp" || rec["got"] != float64(5) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestLoggerLogf(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, LevelInfo, EncodeText)
+	l.Logf("synthesizing %d kernels...", 300)
+	if !strings.Contains(buf.String(), `msg="synthesizing 300 kernels..."`) {
+		t.Errorf("Logf output: %q", buf.String())
+	}
+}
+
+// TestLoggerConcurrent writes from 32 goroutines through a parent and a
+// With-child and verifies every line arrives intact (no interleaving).
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, EncodeText)
+	child := l.With("worker", "w1")
+	const goroutines = 32
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		lg := l
+		if g%2 == 1 {
+			lg = child
+		}
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lg.Info("tick", "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != goroutines*perG {
+		t.Fatalf("lines = %d, want %d", len(lines), goroutines*perG)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("mangled line: %q", line)
+		}
+	}
+}

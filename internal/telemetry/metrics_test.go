@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one counter, gauge, and histogram from
+// 32 goroutines and checks the final values are exact: updates must be
+// atomic and get-or-create must always return the same instance.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 32
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("c_total", "").Inc()
+				r.Gauge("g", "").Add(0.5)
+				r.Histogram("h_seconds", "", []float64{0.5}).Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("g", "").Value(); math.Abs(got-goroutines*perG*0.5) > 1e-9 {
+		t.Errorf("gauge = %f, want %f", got, float64(goroutines*perG)*0.5)
+	}
+	h := r.Histogram("h_seconds", "", nil)
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if math.Abs(h.Sum()-goroutines*perG*0.25) > 1e-6 {
+		t.Errorf("histogram sum = %f", h.Sum())
+	}
+	snap := h.snapshot()
+	if snap.Buckets[0] != goroutines*perG || snap.Buckets[1] != goroutines*perG {
+		t.Errorf("cumulative buckets = %v", snap.Buckets)
+	}
+}
+
+// TestSnapshotDuringWrites takes snapshots concurrently with writers and
+// checks every observed counter value is sane and monotonically
+// nondecreasing across snapshots.
+func TestSnapshotDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("w_total", "").Inc()
+				r.Histogram("w_seconds", "", nil).Observe(0.01)
+			}
+		}()
+	}
+	var prev int64 = -1
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			v := s.Counters["w_total"]
+			if v < prev {
+				t.Errorf("counter went backwards: %d -> %d", prev, v)
+				return
+			}
+			if v > writers*perG {
+				t.Errorf("counter overshot: %d", v)
+				return
+			}
+			prev = v
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	if got := r.Snapshot().Counters["w_total"]; got != writers*perG {
+		t.Errorf("final = %d, want %d", got, writers*perG)
+	}
+}
+
+// TestPrometheusGolden locks the text exposition format against a golden
+// file: families sorted, HELP/TYPE headers, labeled series, cumulative
+// histogram buckets with le labels and _sum/_count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("corpus_files_total", "Content files entering the rejection filter.").Add(10)
+	r.Counter(Label("samples_rejected_total", "reason", "parse error"),
+		"Samples rejected by the filter.").Add(3)
+	r.Counter(Label("samples_rejected_total", "reason", "no kernel function"), "").Add(2)
+	r.Gauge("train_loss", "Mean cross-entropy per character.").Set(1.25)
+	h := r.Histogram(Label("stage_seconds", "stage", "corpus.build"),
+		"Stage wall time in seconds.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(7)
+	r.Gauge("b", "").Set(2.5)
+	r.Histogram("c_seconds", "", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["a_total"] != 7 || snap.Gauges["b"] != 2.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	hs := snap.Histograms["c_seconds"]
+	if hs.Count != 1 || hs.Mean() != 0.5 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total", "reason", `a "b"`); got != `x_total{reason="a \"b\""}` {
+		t.Errorf("Label = %s", got)
+	}
+	if got := Label("x_total"); got != "x_total" {
+		t.Errorf("Label no pairs = %s", got)
+	}
+	if familyName(`x{a="b"}`) != "x" || labelPart(`x{a="b"}`) != `a="b"` {
+		t.Error("family/label split broken")
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pipeline_runs_total", "Total pipeline runs.").Add(3)
+	tr := NewTracer(reg)
+	tr.Start("stage.one").End()
+
+	ts := httptest.NewServer(NewServeMux(reg, tr))
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 || !strings.Contains(body, "pipeline_runs_total 3") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if !strings.Contains(body, "# TYPE pipeline_runs_total counter") {
+		t.Errorf("/metrics missing TYPE header: %q", body)
+	}
+
+	code, body = get(t, ts.URL+"/vars")
+	if code != 200 {
+		t.Fatalf("/vars: %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	if snap.Counters["pipeline_runs_total"] != 3 {
+		t.Errorf("/vars counters = %v", snap.Counters)
+	}
+
+	code, body = get(t, ts.URL+"/stages")
+	if code != 200 || !strings.Contains(body, "stage.one") {
+		t.Errorf("/stages: %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg, NewTracer(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := get(t, "http://"+s.Addr+"/metrics")
+	if code != 200 {
+		t.Errorf("/metrics over live server: %d", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := Serve("definitely-not-an-addr:xx", reg, nil); err == nil {
+		t.Error("bad address did not fail synchronously")
+	}
+}
+
+func TestCLIFlagsRuntime(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterCLIFlags(fs)
+	report := filepath.Join(t.TempDir(), "report.json")
+	if err := fs.Parse([]string{"-quiet", "-metrics-addr", "127.0.0.1:0", "-report", report}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Quiet || f.MetricsAddr == "" || f.ReportPath != report {
+		t.Fatalf("flags = %+v", f)
+	}
+	rt, err := f.Start("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DefaultLogger().Level() != LevelWarn {
+		t.Errorf("quiet level = %v", DefaultLogger().Level())
+	}
+	Default().Counter("t_runs_total", "").Inc()
+	sp := DefaultTracer().Start("t.stage")
+	sp.End()
+
+	code, body := get(t, "http://"+rt.Server.Addr+"/metrics")
+	if code != 200 || !strings.Contains(body, "t_runs_total") {
+		t.Errorf("live /metrics: %d %q", code, body)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if r.Component != "test" || r.Counters["t_runs_total"] < 1 {
+		t.Errorf("report = %+v", r)
+	}
+	found := false
+	for _, st := range r.Stages {
+		if st.Name == "t.stage" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report stages missing t.stage: %+v", r.Stages)
+	}
+}
