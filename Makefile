@@ -21,13 +21,18 @@ fmt:
 test:
 	$(GO) test ./...
 
+# The determinism suite builds whole worlds at several worker counts; give
+# the race detector's overhead generous headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
 
 # Runs the benches and leaves BENCH_telemetry.json behind: the
 # stage-duration histogram baseline future perf PRs diff against.
+# Also records BENCH_parallel.json: serial-vs-parallel wall times of the
+# worker-pool fan-outs (workers=1,2,4) with outputs verified identical.
 bench-snapshot:
 	$(GO) test -run=TestMain -bench=. -benchtime=1x
+	BENCH_PARALLEL=1 $(GO) test -run=TestParallelBenchSnapshot .

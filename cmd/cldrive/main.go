@@ -7,12 +7,14 @@
 //
 //	cldrive [-size N] [-seed S] [file.cl]   (reads stdin without a file)
 //
-// Observability (shared across clgen/clexp/cldrive):
+// Observability and concurrency (shared across clgen/clexp/cldrive):
 //
 //	cldrive -v                     debug logging
 //	cldrive -quiet                 warnings and errors only
 //	cldrive -metrics-addr :9090    live /metrics, /vars, /stages, /debug/pprof/
 //	cldrive -report run.json       machine-readable RunReport on exit
+//	cldrive -workers N             worker-pool size (default GOMAXPROCS);
+//	                               outputs are identical for every N
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"clgen/internal/driver"
 	"clgen/internal/platform"
+	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )
 
@@ -33,6 +36,7 @@ func main() {
 		cap  = flag.Int("cap", 16384, "execution-size cap (0 = run full size)")
 	)
 	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
+	pool.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	rt, err := tf.Start("cldrive")
 	if err != nil {
@@ -91,13 +95,28 @@ func drive(rt *telemetry.Runtime, size int, seed int64, cap int, args []string) 
 		return errCheckerRejected
 	}
 
-	for _, sys := range []*platform.System{platform.SystemAMD, platform.SystemNVIDIA} {
+	// The two systems are independent: measure them concurrently under
+	// explicit child spans (workers spawn goroutines, so implicit span
+	// parenting would race) and print in system order.
+	systems := []*platform.System{platform.SystemAMD, platform.SystemNVIDIA}
+	type outcome struct {
+		m   *driver.Measurement
+		err error
+	}
+	results := pool.Map(0, len(systems), func(i int) outcome {
+		sys := systems[i]
+		child := span.Child("measure." + sys.Name)
+		defer child.End()
 		m, err := driver.Measure(k, size, sys, seed, driver.MeasureConfig{ExecCap: cap})
-		if err != nil {
-			return err
+		return outcome{m: m, err: err}
+	})
+	for i, o := range results {
+		if o.err != nil {
+			return o.err
 		}
+		m := o.m
 		fmt.Printf("%s system: cpu=%.3fms gpu=%.3fms -> %s (%.2fx) transfer=%dB wgsize=%d\n",
-			sys.Name, m.CPUTime*1e3, m.GPUTime*1e3, m.Oracle, m.Speedup(),
+			systems[i].Name, m.CPUTime*1e3, m.GPUTime*1e3, m.Oracle, m.Speedup(),
 			m.Vector.Transfer, m.Vector.WgSize)
 	}
 	return nil

@@ -8,12 +8,14 @@
 //	clexp -run fig9 -kernels 2000
 //	clexp -scale test -run all     (fast, reduced sizes)
 //
-// Observability (shared across clgen/clexp/cldrive):
+// Observability and concurrency (shared across clgen/clexp/cldrive):
 //
 //	clexp -v                       debug logging
 //	clexp -quiet                   warnings and errors only
 //	clexp -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
 //	clexp -report run.json         machine-readable RunReport on exit
+//	clexp -workers N               worker-pool size (default GOMAXPROCS);
+//	                               outputs are identical for every N
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"clgen/internal/experiments"
+	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )
 
@@ -39,6 +42,7 @@ func main() {
 		kernels = flag.Int("kernels", 2000, "figure 9 kernel pool size")
 	)
 	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
+	pool.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	rt, err := tf.Start("clexp")
 	if err != nil {

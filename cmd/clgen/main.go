@@ -10,12 +10,14 @@
 //	clgen -mode sample [-n N] [-model FILE] [-repos N] [-seed S] [-temp T] [-free]
 //	clgen -mode stats  [-repos N] [-seed S]
 //
-// Observability (shared across clgen/clexp/cldrive):
+// Observability and concurrency (shared across clgen/clexp/cldrive):
 //
 //	clgen -v                       debug logging
 //	clgen -quiet                   warnings and errors only
 //	clgen -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
 //	clgen -report run.json         machine-readable RunReport on exit
+//	clgen -workers N               worker-pool size (default GOMAXPROCS);
+//	                               outputs are identical for every N
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"clgen/internal/github"
 	"clgen/internal/model"
 	"clgen/internal/nn"
+	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )
 
@@ -48,6 +51,7 @@ func main() {
 		epochs  = flag.Int("epochs", 8, "LSTM training epochs")
 	)
 	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
+	pool.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	rt, err := tf.Start("clgen")
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"clgen/internal/github"
 	"clgen/internal/model"
 	"clgen/internal/nn"
+	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )
 
@@ -42,6 +43,9 @@ type Config struct {
 	LSTMHidden int
 	LSTMLayers int
 	LSTMTrain  nn.TrainConfig
+	// Workers bounds the corpus-filter fan-out (<= 0 means the pool
+	// default, i.e. the -workers flag or GOMAXPROCS).
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -71,7 +75,7 @@ func Build(cfg Config) (*CLgen, error) {
 	files := github.Mine(cfg.Miner)
 	mine.SetAttr("files", len(files))
 	mine.End()
-	c, err := corpus.Build(files)
+	c, err := corpus.BuildWorkers(files, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -118,14 +122,23 @@ func (s SynthesisStats) AcceptRate() float64 {
 // Synthesize samples kernels until n pass the rejection filter (or the
 // attempt budget runs out), returning the accepted kernels. Duplicates are
 // discarded: CLgen's value is covering the space, not repeating it.
+// Sampling and filtering fan out over the pool's default worker count;
+// see SynthesizeWorkers.
 func (g *CLgen) Synthesize(n int, opts model.SampleOpts, seed int64) ([]string, SynthesisStats, error) {
+	return g.SynthesizeWorkers(n, opts, seed, 0)
+}
+
+// SynthesizeWorkers is Synthesize with an explicit worker count (<= 0
+// means the pool default). Attempt i samples from an RNG derived from
+// (seed, i) and attempts are accepted in index order, so the returned
+// kernels and stats are identical for every worker count.
+func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, workers int) ([]string, SynthesisStats, error) {
 	span := telemetry.Start("core.synthesize").SetAttr("requested", n)
 	defer span.End()
 	reg := telemetry.Default()
 	attempted := reg.Counter("sampler_samples_attempted_total", "Samples drawn from the language model.")
 	accepted := reg.Counter("sampler_samples_accepted_total", "Samples surviving the rejection filter.")
 
-	rng := rand.New(rand.NewSource(seed))
 	stats := SynthesisStats{Requested: n, Reasons: map[corpus.RejectReason]int{}}
 	seen := map[string]bool{}
 	var out []string
@@ -133,26 +146,38 @@ func (g *CLgen) Synthesize(n int, opts model.SampleOpts, seed int64) ([]string, 
 	if maxAttempts < 400 {
 		maxAttempts = 400
 	}
-	for len(out) < n && stats.Attempts < maxAttempts {
-		stats.Attempts++
-		attempted.Inc()
-		k := g.Model.SampleKernel(rng, opts)
-		res := corpus.FilterSample(k)
-		if !res.OK {
-			stats.Reasons[res.Reason]++
-			reg.Counter(telemetry.Label("sampler_samples_rejected_total", "reason", string(res.Reason)),
-				"Samples rejected by the filter, by reason.").Inc()
-			continue
-		}
-		if seen[k] {
-			reg.Counter("sampler_duplicates_total", "Filter-passing samples discarded as duplicates.").Inc()
-			continue
-		}
-		seen[k] = true
-		out = append(out, k)
-		stats.Accepted++
-		accepted.Inc()
+	type attempt struct {
+		kernel string
+		res    corpus.FilterResult
 	}
+	// Sample + filter is the hot, pure stage; acceptance bookkeeping
+	// (counters, dedup, the attempt budget) stays sequential in attempt
+	// order inside the accept callback.
+	pool.Scan(workers, maxAttempts,
+		func(i int) attempt {
+			rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
+			k := g.Model.SampleKernel(rng, opts)
+			return attempt{kernel: k, res: corpus.FilterSample(k)}
+		},
+		func(i int, a attempt) bool {
+			stats.Attempts++
+			attempted.Inc()
+			if !a.res.OK {
+				stats.Reasons[a.res.Reason]++
+				reg.Counter(telemetry.Label("sampler_samples_rejected_total", "reason", string(a.res.Reason)),
+					"Samples rejected by the filter, by reason.").Inc()
+				return true
+			}
+			if seen[a.kernel] {
+				reg.Counter("sampler_duplicates_total", "Filter-passing samples discarded as duplicates.").Inc()
+				return true
+			}
+			seen[a.kernel] = true
+			out = append(out, a.kernel)
+			stats.Accepted++
+			accepted.Inc()
+			return len(out) < n
+		})
 	span.SetAttr("accepted", stats.Accepted).SetAttr("attempts", stats.Attempts)
 	telemetry.Debug("synthesis finished", "requested", n, "accepted", stats.Accepted,
 		"attempts", stats.Attempts, "accept_rate", stats.AcceptRate())

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -73,6 +74,26 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	for i := range k1 {
 		if k1[i] != k2[i] {
 			t.Fatal("synthesis not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
+	g := build(t)
+	want, wantStats, err := g.SynthesizeWorkers(8, model.SampleOpts{Seed: model.FreeSeed}, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, stats, err := g.SynthesizeWorkers(8, model.SampleOpts{Seed: model.FreeSeed}, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: kernels differ", workers)
+		}
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Fatalf("workers=%d: stats differ:\n%+v\nvs\n%+v", workers, stats, wantStats)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"clgen/internal/clc"
 	"clgen/internal/github"
 	"clgen/internal/ir"
+	"clgen/internal/pool"
 	"clgen/internal/rewriter"
 	"clgen/internal/telemetry"
 )
@@ -187,10 +188,73 @@ type Corpus struct {
 	Stats   Stats
 }
 
+// fileOutcome is the result of the per-file pipeline stage: everything
+// Build's sequential aggregation needs, computed by one pure function of
+// the content file so the fan-out parallelizes without ordering effects.
+type fileOutcome struct {
+	lines          int
+	noShimRejected bool
+	reason         RejectReason // Accepted when the file survived
+	identsBefore   map[string]bool
+	units          []unitOutcome
+	err            error
+}
+
+// unitOutcome is one rewritten per-kernel unit of an accepted file.
+type unitOutcome struct {
+	text        string
+	kernels     int
+	identsAfter map[string]bool
+}
+
+// processFile runs the heavy per-file work of §4.1 — both rejection-filter
+// passes, shim stripping, kernel-unit splitting, and rewriting — with no
+// shared state.
+func processFile(cf github.ContentFile) fileOutcome {
+	o := fileOutcome{lines: cf.Lines()}
+	o.noShimRejected = !Filter(cf.Text, false).OK
+	res := Filter(cf.Text, true)
+	if !res.OK {
+		o.reason = res.Reason
+		return o
+	}
+	stripShimDecls(res.File)
+	o.identsBefore = map[string]bool{}
+	collectIdents(res.File, o.identsBefore)
+	// Split the file into per-kernel units — the corpus is a collection
+	// of kernel functions (§4.1 reports 9487 of them), each carrying
+	// the helper functions it calls — then rewrite every unit from a
+	// clean slate so identifier numbering is consistent corpus-wide.
+	for _, unit := range splitKernelUnits(res.File) {
+		normalized := rewriter.NormalizeParsed(unit)
+		reparsed, err := clc.Parse(normalized)
+		if err != nil {
+			o.err = fmt.Errorf("corpus: rewritten unit no longer parses: %w", err)
+			return o
+		}
+		idents := map[string]bool{}
+		collectIdents(reparsed, idents)
+		o.units = append(o.units, unitOutcome{
+			text:        normalized,
+			kernels:     len(reparsed.Kernels()),
+			identsAfter: idents,
+		})
+	}
+	return o
+}
+
 // Build runs the full pipeline over mined content files: rejection
 // filtering (recording the no-shim discard rate for comparison), code
-// rewriting, and corpus concatenation.
+// rewriting, and corpus concatenation. Per-file work fans out over the
+// pool's default worker count; see BuildWorkers.
 func Build(files []github.ContentFile) (*Corpus, error) {
+	return BuildWorkers(files, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count (<= 0 means the pool
+// default). The per-file stage is pure and results are aggregated in file
+// order, so the corpus is byte-identical for every worker count.
+func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
 	span := telemetry.Start("corpus.build")
 	defer span.End()
 	reg := telemetry.Default()
@@ -201,22 +265,26 @@ func Build(files []github.ContentFile) (*Corpus, error) {
 	identsAfter := map[string]bool{}
 	var text strings.Builder
 
-	for _, cf := range files {
+	outcomes := pool.Map(workers, len(files), func(i int) fileOutcome {
+		return processFile(files[i])
+	})
+	for _, o := range outcomes {
 		c.Stats.Files++
-		c.Stats.Lines += cf.Lines()
+		c.Stats.Lines += o.lines
 		reg.Counter("corpus_files_total", "Content files entering the rejection filter.").Inc()
-		noShimRejected := !Filter(cf.Text, false).OK
-		if noShimRejected {
+		if o.noShimRejected {
 			rejectedNoShim++
 		}
-		res := Filter(cf.Text, true)
-		if !res.OK {
-			c.Stats.Reasons[res.Reason]++
-			reg.Counter(telemetry.Label("corpus_files_discarded_total", "reason", string(res.Reason)),
+		if o.reason != Accepted {
+			c.Stats.Reasons[o.reason]++
+			reg.Counter(telemetry.Label("corpus_files_discarded_total", "reason", string(o.reason)),
 				"Content files discarded by the rejection filter, by reason.").Inc()
 			continue
 		}
-		if noShimRejected {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.noShimRejected {
 			// The shim header recovered a file the bare filter discarded
 			// (the paper's 40% -> 32% discard-rate improvement).
 			reg.Counter("corpus_shim_recovered_total",
@@ -224,23 +292,17 @@ func Build(files []github.ContentFile) (*Corpus, error) {
 		}
 		reg.Counter("corpus_files_accepted_total", "Content files surviving the rejection filter.").Inc()
 		c.Stats.AcceptedFiles++
-		c.Stats.AcceptedLines += cf.Lines()
-		stripShimDecls(res.File)
-		collectIdents(res.File, identsBefore)
-		// Split the file into per-kernel units — the corpus is a collection
-		// of kernel functions (§4.1 reports 9487 of them), each carrying
-		// the helper functions it calls — then rewrite every unit from a
-		// clean slate so identifier numbering is consistent corpus-wide.
-		for _, unit := range splitKernelUnits(res.File) {
-			normalized := rewriter.NormalizeParsed(unit)
-			reparsed, err := clc.Parse(normalized)
-			if err != nil {
-				return nil, fmt.Errorf("corpus: rewritten unit no longer parses: %w", err)
+		c.Stats.AcceptedLines += o.lines
+		for id := range o.identsBefore {
+			identsBefore[id] = true
+		}
+		for _, u := range o.units {
+			for id := range u.identsAfter {
+				identsAfter[id] = true
 			}
-			collectIdents(reparsed, identsAfter)
-			c.Stats.Kernels += len(reparsed.Kernels())
-			c.Kernels = append(c.Kernels, normalized)
-			text.WriteString(normalized)
+			c.Stats.Kernels += u.kernels
+			c.Kernels = append(c.Kernels, u.text)
+			text.WriteString(u.text)
 			text.WriteString("\n")
 		}
 	}

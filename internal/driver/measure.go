@@ -7,6 +7,7 @@ import (
 	"clgen/internal/features"
 	"clgen/internal/interp"
 	"clgen/internal/platform"
+	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )
 
@@ -71,11 +72,17 @@ func Measure(k *Kernel, globalSize int, sys *platform.System, seed int64, cfg Me
 	if cfg.ExecCap > 0 && execSize > cfg.ExecCap {
 		execSize = cfg.ExecCap
 	}
+	// Each repeat seeds its own payload (seed + r*1000, as before), so the
+	// runs are independent and fan out over the worker pool; the profiles
+	// are folded in repeat order, giving the same aggregate as the serial
+	// loop.
+	results := pool.Map(0, cfg.Repeats, func(r int) CheckResult {
+		return Check(k, execSize, seed+int64(r)*1000, cfg.Run)
+	})
 	var agg *interp.Profile
 	var transfer int64
 	var wg int
-	for r := 0; r < cfg.Repeats; r++ {
-		res := Check(k, execSize, seed+int64(r)*1000, cfg.Run)
+	for _, res := range results {
 		if !res.OK() {
 			return nil, res.CheckError()
 		}

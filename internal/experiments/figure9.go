@@ -10,6 +10,7 @@ import (
 	"clgen/internal/corpus"
 	"clgen/internal/features"
 	"clgen/internal/model"
+	"clgen/internal/pool"
 	"clgen/internal/suites"
 	"clgen/internal/telemetry"
 )
@@ -81,26 +82,39 @@ func Figure9(w *World, maxKernels int) (*Figure9Result, error) {
 }
 
 // clgenKeys samples accepted kernels beyond the world's synthesis batch
-// until the requested pool size (or the attempt budget) is reached.
+// until the requested pool size (or the attempt budget) is reached. Both
+// the feature extraction of the existing batch and the top-up sampling
+// fan out over the worker pool; attempt i draws from an RNG derived from
+// (Seed+700, i) and keys accumulate in index order, so the pool is
+// identical for every worker count.
 func (w *World) clgenKeys(maxKernels int) []string {
-	var keys []string
-	for _, src := range w.Synth {
-		if k := keyOf(src); k != "" {
+	keys := make([]string, 0, len(w.Synth))
+	for _, k := range pool.Map(w.Cfg.Workers, len(w.Synth), func(i int) string {
+		return keyOf(w.Synth[i])
+	}) {
+		if k != "" {
 			keys = append(keys, k)
 		}
 	}
-	rng := rand.New(rand.NewSource(w.Cfg.Seed + 700))
-	attempts := 0
-	for len(keys) < maxKernels && attempts < maxKernels*8 {
-		attempts++
-		src := w.CLgen.Model.SampleKernel(rng, model.SampleOpts{Seed: model.FreeSeed})
-		if !corpus.FilterSample(src).OK {
-			continue
-		}
-		if k := keyOf(src); k != "" {
-			keys = append(keys, k)
-		}
+	if len(keys) >= maxKernels {
+		return keys
 	}
+	base := w.Cfg.Seed + 700
+	pool.Scan(w.Cfg.Workers, maxKernels*8,
+		func(i int) string {
+			rng := rand.New(rand.NewSource(pool.DeriveSeed(base, int64(i))))
+			src := w.CLgen.Model.SampleKernel(rng, model.SampleOpts{Seed: model.FreeSeed})
+			if !corpus.FilterSample(src).OK {
+				return ""
+			}
+			return keyOf(src)
+		},
+		func(i int, k string) bool {
+			if k != "" {
+				keys = append(keys, k)
+			}
+			return len(keys) < maxKernels
+		})
 	return keys
 }
 

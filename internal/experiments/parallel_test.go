@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildWorldDeterministicAcrossWorkers is the experiments half of the
+// determinism suite: an entire campaign — corpus build, synthesis, suite
+// measurement, and the synthetic payload sweep — must produce identical
+// worlds for every worker count.
+func TestBuildWorldDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Seed:         7,
+		MinerRepos:   30,
+		SynthKernels: 12,
+		PayloadSizes: []int{4096},
+		ExecCap:      2048,
+		Quiet:        true,
+	}
+	build := func(workers int) *World {
+		c := cfg
+		c.Workers = workers
+		w, err := BuildWorld(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return w
+	}
+	want := build(1)
+	for _, workers := range []int{8} {
+		got := build(workers)
+		if !reflect.DeepEqual(got.Synth, want.Synth) {
+			t.Errorf("workers=%d: synthesized kernels differ", workers)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Errorf("workers=%d: synthesis stats differ:\n%+v\nvs\n%+v",
+				workers, got.Stats, want.Stats)
+		}
+		if !reflect.DeepEqual(got.Obs, want.Obs) {
+			t.Errorf("workers=%d: suite observations differ", workers)
+		}
+		if !reflect.DeepEqual(got.SynthObs, want.SynthObs) {
+			t.Errorf("workers=%d: synthetic observations differ", workers)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"clgen/internal/grewe"
 	"clgen/internal/model"
 	"clgen/internal/platform"
+	"clgen/internal/pool"
 	"clgen/internal/suites"
 	"clgen/internal/telemetry"
 )
@@ -25,7 +26,7 @@ type Config struct {
 	// MinerRepos scales the synthetic GitHub mine (default 150).
 	MinerRepos int
 	// SynthKernels is the number of CLgen benchmarks to synthesize
-	// (default 300; the paper used 1000).
+	// (default 400; the paper used 1000).
 	SynthKernels int
 	// PayloadSizes are the host-driver global sizes swept per synthetic
 	// kernel (the paper sweeps payloads from 128B to 130MB).
@@ -33,6 +34,10 @@ type Config struct {
 	// ExecCap bounds executed NDRange sizes; larger nominal sizes are
 	// extrapolated (see interp.Profile.Scale). 0 keeps the suites default.
 	ExecCap int
+	// Workers bounds the campaign's fan-outs (corpus filtering, synthesis,
+	// measurement sweeps). <= 0 means the pool default (-workers flag or
+	// GOMAXPROCS). Results are identical for every worker count.
+	Workers int
 	// Quiet suppresses progress logging.
 	Quiet bool
 	// Log receives progress lines when not quiet.
@@ -103,7 +108,8 @@ func BuildWorld(cfg Config) (*World, error) {
 	}
 	cfg.Log("building corpus and training model (repos=%d)...", cfg.MinerRepos)
 	g, err := core.Build(core.Config{
-		Miner: github.MinerConfig{Seed: cfg.Seed, Repos: cfg.MinerRepos, FilesPerRepo: 8},
+		Miner:   github.MinerConfig{Seed: cfg.Seed, Repos: cfg.MinerRepos, FilesPerRepo: 8},
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -111,8 +117,8 @@ func BuildWorld(cfg Config) (*World, error) {
 	w.CLgen = g
 
 	cfg.Log("synthesizing %d kernels...", cfg.SynthKernels)
-	synth, stats, err := g.Synthesize(cfg.SynthKernels,
-		model.SampleOpts{Seed: model.FreeSeed, Temperature: 1.0}, cfg.Seed+100)
+	synth, stats, err := g.SynthesizeWorkers(cfg.SynthKernels,
+		model.SampleOpts{Seed: model.FreeSeed, Temperature: 1.0}, cfg.Seed+100, cfg.Workers)
 	if err != nil {
 		// Partial synthesis is usable; record what we got.
 		cfg.Log("synthesis shortfall: %v", err)
@@ -139,30 +145,54 @@ func (w *World) measureSuites() error {
 	for _, sys := range Systems {
 		w.Obs[sys.Name] = map[string][]*grewe.Observation{}
 	}
+	// Flatten the (benchmark, dataset) nest into one work list so every
+	// measurement fans out over the pool; results are folded back in list
+	// order, so the observation slices match the serial nesting exactly.
+	type job struct {
+		b  *suites.Benchmark
+		ds suites.Dataset
+	}
+	type outcome struct {
+		suite     string
+		bench     string
+		mAMD, mNV *driver.Measurement
+		err       error
+	}
+	var jobs []job
 	for _, b := range suites.All() {
-		k, err := b.Load()
-		if err != nil {
-			return fmt.Errorf("experiments: %w", err)
-		}
 		for _, ds := range b.Datasets {
-			// Execute once (on the AMD system), then re-model the same
-			// profile for the NVIDIA system: the device models share the
-			// execution profile, not the hardware.
-			mAMD, err := b.Measure(k, ds, platform.SystemAMD, w.Cfg.Seed+11)
-			if err != nil {
-				return fmt.Errorf("experiments: %w", err)
-			}
-			mNV, err := driver.MeasureProfile(k, mAMD.Profile, mAMD.Vector.Transfer,
-				mAMD.GlobalSize, int(mAMD.Vector.WgSize), platform.SystemNVIDIA)
-			if err != nil {
-				return fmt.Errorf("experiments: %w", err)
-			}
-			mNV.Kernel = mAMD.Kernel
-			w.Obs[platform.SystemAMD.Name][b.Suite] = append(w.Obs[platform.SystemAMD.Name][b.Suite],
-				&grewe.Observation{Bench: b.ID(), M: mAMD})
-			w.Obs[platform.SystemNVIDIA.Name][b.Suite] = append(w.Obs[platform.SystemNVIDIA.Name][b.Suite],
-				&grewe.Observation{Bench: b.ID(), M: mNV})
+			jobs = append(jobs, job{b: b, ds: ds})
 		}
+	}
+	results := pool.Map(w.Cfg.Workers, len(jobs), func(i int) outcome {
+		j := jobs[i]
+		k, err := j.b.Load()
+		if err != nil {
+			return outcome{err: err}
+		}
+		// Execute once (on the AMD system), then re-model the same
+		// profile for the NVIDIA system: the device models share the
+		// execution profile, not the hardware.
+		mAMD, err := j.b.Measure(k, j.ds, platform.SystemAMD, w.Cfg.Seed+11)
+		if err != nil {
+			return outcome{err: err}
+		}
+		mNV, err := driver.MeasureProfile(k, mAMD.Profile, mAMD.Vector.Transfer,
+			mAMD.GlobalSize, int(mAMD.Vector.WgSize), platform.SystemNVIDIA)
+		if err != nil {
+			return outcome{err: err}
+		}
+		mNV.Kernel = mAMD.Kernel
+		return outcome{suite: j.b.Suite, bench: j.b.ID(), mAMD: mAMD, mNV: mNV}
+	})
+	for _, o := range results {
+		if o.err != nil {
+			return fmt.Errorf("experiments: %w", o.err)
+		}
+		w.Obs[platform.SystemAMD.Name][o.suite] = append(w.Obs[platform.SystemAMD.Name][o.suite],
+			&grewe.Observation{Bench: o.bench, M: o.mAMD})
+		w.Obs[platform.SystemNVIDIA.Name][o.suite] = append(w.Obs[platform.SystemNVIDIA.Name][o.suite],
+			&grewe.Observation{Bench: o.bench, M: o.mNV})
 	}
 	return nil
 }
@@ -172,15 +202,21 @@ func (w *World) measureSuites() error {
 // rejects contribute nothing — exactly the paper's pipeline.
 func (w *World) measureSynthetic() {
 	reg := telemetry.Default()
-	usable := 0
-	for i, src := range w.Synth {
-		k, err := driver.Load(src)
+	// The per-kernel payload sweep is pure (the seed depends only on the
+	// kernel index), so kernels fan out over the pool. Observations and
+	// counters are folded back in kernel order — identical to the serial
+	// sweep for every worker count.
+	type pair struct{ mAMD, mNV *driver.Measurement }
+	type outcome struct {
+		loadFailed bool
+		pairs      []pair
+	}
+	results := pool.Map(w.Cfg.Workers, len(w.Synth), func(i int) outcome {
+		k, err := driver.Load(w.Synth[i])
 		if err != nil {
-			reg.Counter("world_synthetic_load_failures_total",
-				"Synthetic kernels the host driver could not load.").Inc()
-			continue
+			return outcome{loadFailed: true}
 		}
-		kernelUsable := false
+		var o outcome
 		for _, size := range w.Cfg.PayloadSizes {
 			mAMD, err := driver.Measure(k, size, platform.SystemAMD, w.Cfg.Seed+int64(i)*31,
 				driver.MeasureConfig{
@@ -200,13 +236,24 @@ func (w *World) measureSynthetic() {
 				continue
 			}
 			mNV.Kernel = mAMD.Kernel
-			w.SynthObs[platform.SystemAMD.Name] = append(w.SynthObs[platform.SystemAMD.Name],
-				&grewe.Observation{Bench: "synthetic", M: mAMD})
-			w.SynthObs[platform.SystemNVIDIA.Name] = append(w.SynthObs[platform.SystemNVIDIA.Name],
-				&grewe.Observation{Bench: "synthetic", M: mNV})
-			kernelUsable = true
+			o.pairs = append(o.pairs, pair{mAMD: mAMD, mNV: mNV})
 		}
-		if kernelUsable {
+		return o
+	})
+	usable := 0
+	for _, o := range results {
+		if o.loadFailed {
+			reg.Counter("world_synthetic_load_failures_total",
+				"Synthetic kernels the host driver could not load.").Inc()
+			continue
+		}
+		for _, p := range o.pairs {
+			w.SynthObs[platform.SystemAMD.Name] = append(w.SynthObs[platform.SystemAMD.Name],
+				&grewe.Observation{Bench: "synthetic", M: p.mAMD})
+			w.SynthObs[platform.SystemNVIDIA.Name] = append(w.SynthObs[platform.SystemNVIDIA.Name],
+				&grewe.Observation{Bench: "synthetic", M: p.mNV})
+		}
+		if len(o.pairs) > 0 {
 			usable++
 		}
 	}

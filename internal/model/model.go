@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"clgen/internal/nn"
+	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )
 
@@ -188,22 +189,106 @@ func (o *SampleOpts) defaults() {
 	}
 }
 
+// lexState is the sampler's lexer state for Algorithm 1's depth tracking.
+type lexState uint8
+
+// Lexer states.
+const (
+	lexCode lexState = iota
+	lexLineComment
+	lexBlockComment
+	lexString
+	lexChar
+)
+
+// braceTracker counts `{`/`}` depth while skipping braces inside string
+// and character literals and comments. Algorithm 1 terminates a sample at
+// the kernel's closing brace; counting a quoted `"{"` or a `}` inside a
+// comment would close (or never close) the kernel at the wrong depth.
+type braceTracker struct {
+	depth int
+	state lexState
+	// escaped marks a pending backslash escape inside a literal.
+	escaped bool
+	// prev is the previous character, for the two-character tokens
+	// `//`, `/*`, `*/`. Cleared on state entry so `/*/` does not
+	// self-close.
+	prev byte
+}
+
+// feed consumes one character and reports whether it was a real closing
+// brace that returned the depth to zero (Algorithm 1's stop condition).
+func (t *braceTracker) feed(ch byte) bool {
+	switch t.state {
+	case lexLineComment:
+		if ch == '\n' {
+			t.state = lexCode
+		}
+	case lexBlockComment:
+		if t.prev == '*' && ch == '/' {
+			// The closing '/' must not double as the first slash of a
+			// following `//` or `/*`.
+			t.state = lexCode
+			t.prev = 0
+			return false
+		}
+	case lexString, lexChar:
+		quote := byte('"')
+		if t.state == lexChar {
+			quote = '\''
+		}
+		switch {
+		case t.escaped:
+			t.escaped = false
+		case ch == '\\':
+			t.escaped = true
+		case ch == quote:
+			t.state = lexCode
+		}
+	default: // lexCode
+		switch ch {
+		case '{':
+			t.depth++
+		case '}':
+			t.depth--
+			t.prev = ch
+			return t.depth == 0
+		case '"':
+			t.state = lexString
+			t.escaped = false
+		case '\'':
+			t.state = lexChar
+			t.escaped = false
+		case '/':
+			if t.prev == '/' {
+				t.state = lexLineComment
+				t.prev = 0
+				return false
+			}
+		case '*':
+			if t.prev == '/' {
+				t.state = lexBlockComment
+				t.prev = 0
+				return false
+			}
+		}
+	}
+	t.prev = ch
+	return false
+}
+
 // SampleKernel implements Algorithm 1: prime the model with the seed text,
-// then sample character by character, tracking brace depth, until the
-// kernel's closing brace or the length bound.
+// then sample character by character, tracking brace depth (with a lexer
+// state machine, so braces inside literals and comments do not count),
+// until the kernel's closing brace or the length bound.
 func (m *Model) SampleKernel(rng *rand.Rand, opts SampleOpts) string {
 	opts.defaults()
 	sess := m.LM.NewSession()
 	var out strings.Builder
 	out.WriteString(opts.Seed)
-	depth := 0
+	var tracker braceTracker
 	for i := 0; i < len(opts.Seed); i++ {
-		switch opts.Seed[i] {
-		case '{':
-			depth++
-		case '}':
-			depth--
-		}
+		tracker.feed(opts.Seed[i])
 	}
 	// Prime with a newline then the seed, matching corpus layout where
 	// kernels start at line beginnings.
@@ -217,16 +302,10 @@ func (m *Model) SampleKernel(rng *rand.Rand, opts SampleOpts) string {
 		ch := m.Vocab.Chars[id]
 		out.WriteByte(ch)
 		sess.Observe(id)
-		switch ch {
-		case '{':
-			depth++
-		case '}':
-			depth--
-			if depth == 0 {
-				reg.Counter("sampler_chars_generated_total",
-					"Characters emitted by the sampling loop.").Add(int64(n + 1))
-				return out.String()
-			}
+		if tracker.feed(ch) {
+			reg.Counter("sampler_chars_generated_total",
+				"Characters emitted by the sampling loop.").Add(int64(n + 1))
+			return out.String()
 		}
 	}
 	// Length bound hit with the brace depth still open: Algorithm 1's
@@ -239,11 +318,13 @@ func (m *Model) SampleKernel(rng *rand.Rand, opts SampleOpts) string {
 	return out.String()
 }
 
-// SampleMany draws count kernels (no filtering).
-func (m *Model) SampleMany(rng *rand.Rand, opts SampleOpts, count int) []string {
-	out := make([]string, count)
-	for i := range out {
-		out[i] = m.SampleKernel(rng, opts)
-	}
-	return out
+// SampleMany draws count kernels (no filtering) on up to workers
+// goroutines (workers <= 0 means the pool default). Each kernel samples
+// from its own RNG derived from (seed, index), so the output is
+// byte-identical for every worker count.
+func (m *Model) SampleMany(seed int64, opts SampleOpts, count, workers int) []string {
+	return pool.Map(workers, count, func(i int) string {
+		rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
+		return m.SampleKernel(rng, opts)
+	})
 }

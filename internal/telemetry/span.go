@@ -13,15 +13,23 @@ import (
 // Tracer records spans into a per-run stage tree and feeds their
 // durations into a registry histogram (`stage_seconds{stage="..."}`).
 //
-// Two parenting modes compose:
+// Three parenting modes compose:
 //
+//   - Explicit mode: parent.Child(name) parents the new span under parent
+//     without touching the tracer's implicit stack — the correct mode for
+//     spans opened on worker goroutines (the pipeline's parallel stages),
+//     where the implicit stack would misattribute them.
 //   - Context mode: StartSpan(ctx, name) parents the new span under the
-//     span carried by ctx, for code that already threads contexts.
+//     span carried by ctx, for code that already threads contexts. A
+//     ctx-parented span is explicit: it is goroutine-safe and leaves the
+//     implicit stack alone.
 //   - Implicit mode: Start(name) parents under the tracer's current open
-//     span. The pipeline is a single-goroutine batch job, so the implicit
-//     stack gives correctly nested trees without changing signatures.
-//     All tracer state is mutex-protected, so concurrent use is safe (it
-//     merely flattens nesting for spans started on other goroutines).
+//     span, giving correctly nested trees on the coordinating goroutine
+//     without changing signatures.
+//
+// All tracer state is mutex-protected, so concurrent use is race-free in
+// every mode; only implicit Start calls from non-root goroutines nest
+// unpredictably (use Child there instead).
 type Tracer struct {
 	mu    sync.Mutex
 	reg   *Registry
@@ -55,6 +63,7 @@ type Span struct {
 	start    time.Time
 	dur      time.Duration
 	ended    bool
+	implicit bool // on the tracer's implicit stack (Start), vs explicit (Child/ctx)
 	parent   *Span
 	children []*Span
 	attrs    []kv
@@ -64,34 +73,47 @@ type ctxKey struct{}
 
 // StartSpan opens a span named name, parented under the span in ctx (or
 // the tracer's current span when ctx carries none), and returns a
-// derived context carrying it.
+// derived context carrying it. A ctx-parented span is explicit — safe to
+// open from any goroutine.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	var parent *Span
+	var s *Span
 	if p, ok := ctx.Value(ctxKey{}).(*Span); ok {
-		parent = p
+		s = t.start(name, p, false)
+	} else {
+		s = t.start(name, nil, true)
 	}
-	s := t.start(name, parent)
 	return context.WithValue(ctx, ctxKey{}, s), s
 }
 
-// Start opens a span under the tracer's current open span.
+// Start opens a span under the tracer's current open span (implicit mode;
+// intended for the coordinating goroutine).
 func (t *Tracer) Start(name string) *Span {
-	return t.start(name, nil)
+	return t.start(name, nil, true)
 }
 
-func (t *Tracer) start(name string, parent *Span) *Span {
+// Child opens a span explicitly parented under s. It never touches the
+// tracer's implicit stack, so it is the correct way to open spans from
+// worker goroutines: concurrent children of the same parent attach as
+// siblings instead of flattening or nesting under each other.
+func (s *Span) Child(name string) *Span {
+	return s.tracer.start(name, s, false)
+}
+
+func (t *Tracer) start(name string, parent *Span, implicit bool) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if parent == nil {
+	if implicit && parent == nil {
 		parent = t.cur
 	}
-	s := &Span{tracer: t, name: name, start: t.now(), parent: parent}
+	s := &Span{tracer: t, name: name, start: t.now(), implicit: implicit, parent: parent}
 	if parent != nil {
 		parent.children = append(parent.children, s)
 	} else {
 		t.roots = append(t.roots, s)
 	}
-	t.cur = s
+	if implicit {
+		t.cur = s
+	}
 	return s
 }
 
@@ -140,10 +162,14 @@ func (s *Span) End() {
 	s.ended = true
 	s.dur = t.now().Sub(s.start)
 	// Pop this span (and any unclosed descendants) off the implicit stack.
-	for c := t.cur; c != nil; c = c.parent {
-		if c == s {
-			t.cur = s.parent
-			break
+	// Explicit spans (Child/ctx-parented) were never pushed, so ending them
+	// from a worker goroutine cannot disturb the coordinator's stack.
+	if s.implicit {
+		for c := t.cur; c != nil; c = c.parent {
+			if c == s {
+				t.cur = s.parent
+				break
+			}
 		}
 	}
 	reg := t.reg

@@ -114,6 +114,64 @@ func TestSpanContextParenting(t *testing.T) {
 	}
 }
 
+// TestSpanChildParenting checks that Child spans opened concurrently on
+// worker goroutines all attach as siblings under their explicit parent —
+// never nested under each other and never flattened to roots — and that
+// the coordinator's implicit stack is untouched by their lifecycle.
+func TestSpanChildParenting(t *testing.T) {
+	tr := NewTracer(nil)
+	clk := newFakeClock()
+	tr.SetClock(clk.now)
+
+	root := tr.Start("phase")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				root.Child("item").End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The implicit stack still points at root: a sibling stage started now
+	// nests under root, not under some worker's span.
+	sib := tr.Start("next")
+	sib.End()
+	root.End()
+
+	stages := tr.Stages()
+	if len(stages) != 1 {
+		t.Fatalf("roots = %d, want 1 (children leaked to root?)", len(stages))
+	}
+	if got := len(stages[0].Children); got != 8*25+1 {
+		t.Fatalf("children of root = %d, want %d", got, 8*25+1)
+	}
+	for _, c := range stages[0].Children {
+		if len(c.Children) != 0 {
+			t.Fatalf("concurrent children nested under each other: %+v", c)
+		}
+	}
+}
+
+// TestSpanChildEndOrder checks that ending an explicit child after its
+// implicit parent has ended does not corrupt the stack.
+func TestSpanChildEndOrder(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("a")
+	child := root.Child("b")
+	root.End()
+	child.End() // must not pop anything
+	after := tr.Start("c")
+	after.End()
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0].Name != "a" || stages[1].Name != "c" {
+		t.Fatalf("stages = %+v", stages)
+	}
+}
+
 // TestSpanConcurrent opens/closes spans from many goroutines; the tree
 // may be flat but must be race-free and complete.
 func TestSpanConcurrent(t *testing.T) {

@@ -1,0 +1,114 @@
+package clgen_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"clgen/internal/corpus"
+	"clgen/internal/github"
+	"clgen/internal/model"
+)
+
+// parallelBenchReport is the BENCH_parallel.json schema: serial-vs-parallel
+// wall times for the two hot fan-outs (corpus rejection filtering and model
+// sampling), one row per worker count. Speedups are relative to workers=1
+// on the same stage. gomaxprocs records the machine's parallelism budget —
+// on a single-CPU box the expected speedup is ~1x and the snapshot mainly
+// proves the pool adds no overhead cliff.
+type parallelBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Corpus     []parallelBenchEntry `json:"corpus_build"`
+	Sample     []parallelBenchEntry `json:"sample_many"`
+}
+
+type parallelBenchEntry struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	ItemsPerSe float64 `json:"items_per_sec"`
+	Speedup    float64 `json:"speedup_vs_serial"`
+}
+
+// TestParallelBenchSnapshot measures corpus-build and sampling throughput
+// at workers=1,2,4, verifies the outputs are byte-identical across worker
+// counts, and writes BENCH_parallel.json. Gated behind BENCH_PARALLEL=1 so
+// plain `go test` stays fast; run via `make bench-snapshot`.
+func TestParallelBenchSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_PARALLEL") == "" {
+		t.Skip("set BENCH_PARALLEL=1 to record the serial-vs-parallel snapshot")
+	}
+	report := parallelBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	counts := []int{1, 2, 4}
+
+	files := github.Mine(github.MinerConfig{Seed: 3, Repos: 120, FilesPerRepo: 8})
+	var refCorpus *corpus.Corpus
+	for _, workers := range counts {
+		start := time.Now()
+		c, err := corpus.BuildWorkers(files, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := time.Since(start).Seconds()
+		if refCorpus == nil {
+			refCorpus = c
+		} else if c.Text != refCorpus.Text {
+			t.Fatalf("corpus text differs at workers=%d", workers)
+		}
+		report.Corpus = append(report.Corpus, parallelBenchEntry{
+			Workers: workers, Seconds: sec, ItemsPerSe: float64(len(files)) / sec,
+			Speedup: report.corpusSpeedup(sec),
+		})
+	}
+
+	m, err := model.TrainNGram(refCorpus.Text, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 200
+	var ref []string
+	for _, workers := range counts {
+		start := time.Now()
+		got := m.SampleMany(17, model.SampleOpts{Seed: model.FreeSeed}, samples, workers)
+		sec := time.Since(start).Seconds()
+		if ref == nil {
+			ref = got
+		} else {
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("sample %d differs at workers=%d", i, workers)
+				}
+			}
+		}
+		report.Sample = append(report.Sample, parallelBenchEntry{
+			Workers: workers, Seconds: sec, ItemsPerSe: samples / sec,
+			Speedup: report.sampleSpeedup(sec),
+		})
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "parallel bench snapshot written to BENCH_parallel.json")
+}
+
+func (r *parallelBenchReport) corpusSpeedup(sec float64) float64 {
+	if len(r.Corpus) == 0 {
+		return 1
+	}
+	return r.Corpus[0].Seconds / sec
+}
+
+func (r *parallelBenchReport) sampleSpeedup(sec float64) float64 {
+	if len(r.Sample) == 0 {
+		return 1
+	}
+	return r.Sample[0].Seconds / sec
+}
