@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot
+.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke
 
 check: build vet fmt race
 
@@ -33,6 +33,24 @@ bench:
 # stage-duration histogram baseline future perf PRs diff against.
 # Also records BENCH_parallel.json: serial-vs-parallel wall times of the
 # worker-pool fan-outs (workers=1,2,4) with outputs verified identical.
+# Stale snapshots are removed first so a failed run cannot leave a
+# previous baseline masquerading as fresh (idempotent re-runs).
 bench-snapshot:
+	rm -f BENCH_telemetry.json BENCH_parallel.json
 	$(GO) test -run=TestMain -bench=. -benchtime=1x
 	BENCH_PARALLEL=1 $(GO) test -run=TestParallelBenchSnapshot .
+
+# End-to-end provenance gate on a tiny deterministic run: two clgen runs
+# with the same seed must diff clean, a perturbed run must trip the gate.
+# CI runs this after `make check` (see .github/workflows/check.yml).
+provenance-smoke:
+	$(GO) build -o /tmp/clgen-smoke ./cmd/clgen
+	$(GO) build -o /tmp/cltrace-smoke ./cmd/cltrace
+	/tmp/clgen-smoke -mode sample -n 3 -repos 15 -seed 9 -quiet -journal /tmp/prov-run1.jsonl >/dev/null
+	/tmp/clgen-smoke -mode sample -n 3 -repos 15 -seed 9 -quiet -journal /tmp/prov-run2.jsonl >/dev/null
+	/tmp/clgen-smoke -mode sample -n 3 -repos 10 -seed 9 -quiet -journal /tmp/prov-run3.jsonl >/dev/null
+	/tmp/cltrace-smoke funnel /tmp/prov-run1.jsonl
+	/tmp/cltrace-smoke diff /tmp/prov-run1.jsonl /tmp/prov-run2.jsonl
+	@if /tmp/cltrace-smoke diff /tmp/prov-run1.jsonl /tmp/prov-run3.jsonl >/dev/null; then \
+		echo "provenance-smoke: perturbed run should have tripped the diff gate"; exit 1; \
+	else echo "provenance-smoke: perturbed run tripped the gate as expected"; fi

@@ -13,6 +13,7 @@
 //	cldrive -quiet                 warnings and errors only
 //	cldrive -metrics-addr :9090    live /metrics, /vars, /stages, /debug/pprof/
 //	cldrive -report run.json       machine-readable RunReport on exit
+//	cldrive -journal run.jsonl     per-artifact provenance journal (cltrace)
 //	cldrive -workers N             worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 package main
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"clgen/internal/driver"
+	"clgen/internal/journal"
 	"clgen/internal/platform"
 	"clgen/internal/pool"
 	"clgen/internal/telemetry"
@@ -78,7 +80,14 @@ func drive(rt *telemetry.Runtime, size int, seed int64, cap int, args []string) 
 	defer span.End()
 	k, err := driver.Load(string(src))
 	if err != nil {
+		if journal.Enabled() {
+			journal.Emit(journal.Event{ID: journal.ID(string(src)),
+				Stage: journal.StageDriverLoad, Reason: err.Error()})
+		}
 		return err
+	}
+	if journal.Enabled() {
+		journal.Emit(journal.Event{ID: journal.ID(string(src)), Stage: journal.StageDriverLoad})
 	}
 	span.SetAttr("kernel", k.Name)
 	fmt.Printf("kernel: %s\n", k.Name)
@@ -115,6 +124,11 @@ func drive(rt *telemetry.Runtime, size int, seed int64, cap int, args []string) 
 			return o.err
 		}
 		m := o.m
+		if journal.Enabled() {
+			journal.Emit(journal.Event{ID: journal.ID(string(src)), Stage: journal.StageMeasured,
+				Kernel: k.Name, System: systems[i].Name, Size: m.GlobalSize,
+				CPUms: m.CPUTime * 1e3, GPUms: m.GPUTime * 1e3, Oracle: m.Oracle.String()})
+		}
 		fmt.Printf("%s system: cpu=%.3fms gpu=%.3fms -> %s (%.2fx) transfer=%dB wgsize=%d\n",
 			systems[i].Name, m.CPUTime*1e3, m.GPUTime*1e3, m.Oracle, m.Speedup(),
 			m.Vector.Transfer, m.Vector.WgSize)

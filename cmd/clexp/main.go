@@ -14,6 +14,7 @@
 //	clexp -quiet                   warnings and errors only
 //	clexp -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
 //	clexp -report run.json         machine-readable RunReport on exit
+//	clexp -journal run.jsonl       per-artifact provenance journal (cltrace)
 //	clexp -workers N               worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 package main

@@ -16,6 +16,7 @@
 //	clgen -quiet                   warnings and errors only
 //	clgen -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
 //	clgen -report run.json         machine-readable RunReport on exit
+//	clgen -journal run.jsonl       per-artifact provenance journal (cltrace)
 //	clgen -workers N               worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 package main

@@ -1,0 +1,126 @@
+// Command cltrace analyzes the provenance journals the other binaries
+// write with the shared -journal flag (see internal/journal): it turns a
+// run's per-artifact lifecycle events back into the paper's funnel tables
+// and gates run-to-run regressions in CI.
+//
+// Usage:
+//
+//	cltrace funnel run.jsonl
+//	    §4.1 corpus discard breakdown, §4.3 sample acceptance, §5.2
+//	    dynamic-checker verdicts, and per-stage latency percentiles.
+//
+//	cltrace show run.jsonl <id-prefix>
+//	    Reconstruct one artifact's full history (events whose content-hash
+//	    ID — or parent ID, for derived artifacts — starts with the prefix).
+//
+//	cltrace diff [-threshold pct] old.jsonl new.jsonl
+//	    Compare two runs: artifact counts, acceptance rates, and modeled
+//	    runtimes gate at the threshold (default 5%); wall-clock stage
+//	    latencies are reported but never gated. Exits 1 on regression —
+//	    identical-seed runs always pass, so this is the CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clgen/internal/journal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "funnel":
+		err = funnel(os.Args[2:])
+	case "show":
+		err = show(os.Args[2:])
+	case "diff":
+		var regressed bool
+		regressed, err = diff(os.Args[2:])
+		if err == nil && regressed {
+			os.Exit(1)
+		}
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cltrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cltrace:", err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cltrace funnel <journal.jsonl>
+  cltrace show   <journal.jsonl> <id-prefix>
+  cltrace diff   [-threshold pct] <old.jsonl> <new.jsonl>`)
+}
+
+func funnel(args []string) error {
+	fs := flag.NewFlagSet("funnel", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("funnel needs exactly one journal path")
+	}
+	events, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(journal.Funnel(events).Render())
+	return nil
+}
+
+func show(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("show needs a journal path and an id prefix")
+	}
+	events, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	history := journal.History(events, fs.Arg(1))
+	if len(history) == 0 {
+		return fmt.Errorf("no events match id prefix %q", fs.Arg(1))
+	}
+	fmt.Print(journal.RenderHistory(history))
+	return nil
+}
+
+func diff(args []string) (bool, error) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", journal.DefaultThresholdPct,
+		"regression threshold: percent (counts, runtimes) or percentage points (rates)")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("diff needs exactly two journal paths")
+	}
+	before, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	after, err := journal.ReadFile(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+	d := journal.Diff(before, after, *threshold)
+	fmt.Print(d.Render())
+	return !d.OK(), nil
+}

@@ -10,9 +10,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"clgen/internal/corpus"
 	"clgen/internal/github"
+	"clgen/internal/journal"
 	"clgen/internal/model"
 	"clgen/internal/nn"
 	"clgen/internal/pool"
@@ -149,33 +151,48 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 	type attempt struct {
 		kernel string
 		res    corpus.FilterResult
+		durMS  float64
 	}
 	// Sample + filter is the hot, pure stage; acceptance bookkeeping
 	// (counters, dedup, the attempt budget) stays sequential in attempt
-	// order inside the accept callback.
+	// order inside the accept callback — journal emission lives there too,
+	// so the event stream is deterministic for every worker count.
 	pool.Scan(workers, maxAttempts,
 		func(i int) attempt {
+			start := time.Now()
 			rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
 			k := g.Model.SampleKernel(rng, opts)
-			return attempt{kernel: k, res: corpus.FilterSample(k)}
+			return attempt{kernel: k, res: corpus.FilterSample(k),
+				durMS: float64(time.Since(start)) / float64(time.Millisecond)}
 		},
 		func(i int, a attempt) bool {
 			stats.Attempts++
 			attempted.Inc()
+			var kid string
+			if journal.Enabled() {
+				kid = journal.ID(a.kernel)
+				journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampled,
+					Item: i, DurMS: a.durMS})
+			}
 			if !a.res.OK {
 				stats.Reasons[a.res.Reason]++
 				reg.Counter(telemetry.Label("sampler_samples_rejected_total", "reason", string(a.res.Reason)),
 					"Samples rejected by the filter, by reason.").Inc()
+				journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
+					Reason: string(a.res.Reason)})
 				return true
 			}
 			if seen[a.kernel] {
 				reg.Counter("sampler_duplicates_total", "Filter-passing samples discarded as duplicates.").Inc()
+				journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
+					Reason: journal.ReasonDuplicate})
 				return true
 			}
 			seen[a.kernel] = true
 			out = append(out, a.kernel)
 			stats.Accepted++
 			accepted.Inc()
+			journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter})
 			return len(out) < n
 		})
 	span.SetAttr("accepted", stats.Accepted).SetAttr("attempts", stats.Attempts)

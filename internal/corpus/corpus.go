@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"clgen/internal/clc"
 	"clgen/internal/github"
 	"clgen/internal/ir"
+	"clgen/internal/journal"
 	"clgen/internal/pool"
 	"clgen/internal/rewriter"
 	"clgen/internal/telemetry"
@@ -198,6 +200,7 @@ type fileOutcome struct {
 	identsBefore   map[string]bool
 	units          []unitOutcome
 	err            error
+	durMS          float64 // wall time of the per-file stage, for the journal
 }
 
 // unitOutcome is one rewritten per-kernel unit of an accepted file.
@@ -210,8 +213,10 @@ type unitOutcome struct {
 // processFile runs the heavy per-file work of §4.1 — both rejection-filter
 // passes, shim stripping, kernel-unit splitting, and rewriting — with no
 // shared state.
-func processFile(cf github.ContentFile) fileOutcome {
-	o := fileOutcome{lines: cf.Lines()}
+func processFile(cf github.ContentFile) (o fileOutcome) {
+	start := time.Now()
+	defer func() { o.durMS = float64(time.Since(start)) / float64(time.Millisecond) }()
+	o = fileOutcome{lines: cf.Lines()}
 	o.noShimRejected = !Filter(cf.Text, false).OK
 	res := Filter(cf.Text, true)
 	if !res.OK {
@@ -268,7 +273,14 @@ func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
 	outcomes := pool.Map(workers, len(files), func(i int) fileOutcome {
 		return processFile(files[i])
 	})
-	for _, o := range outcomes {
+	// Journal emission happens here in the ordered fold (not in the worker
+	// fn) so the event stream is deterministic for every worker count.
+	for i, o := range outcomes {
+		var fileID string
+		if journal.Enabled() {
+			fileID = journal.ID(files[i].Text)
+			journal.Emit(journal.Event{ID: fileID, Stage: journal.StageMined, Item: i})
+		}
 		c.Stats.Files++
 		c.Stats.Lines += o.lines
 		reg.Counter("corpus_files_total", "Content files entering the rejection filter.").Inc()
@@ -279,6 +291,8 @@ func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
 			c.Stats.Reasons[o.reason]++
 			reg.Counter(telemetry.Label("corpus_files_discarded_total", "reason", string(o.reason)),
 				"Content files discarded by the rejection filter, by reason.").Inc()
+			journal.Emit(journal.Event{ID: fileID, Stage: journal.StageCorpusFilter,
+				Reason: string(o.reason), DurMS: o.durMS})
 			continue
 		}
 		if o.err != nil {
@@ -291,6 +305,8 @@ func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
 				"Files rejected without the shim header but accepted with it.").Inc()
 		}
 		reg.Counter("corpus_files_accepted_total", "Content files surviving the rejection filter.").Inc()
+		journal.Emit(journal.Event{ID: fileID, Stage: journal.StageCorpusFilter,
+			Recovered: o.noShimRejected, DurMS: o.durMS})
 		c.Stats.AcceptedFiles++
 		c.Stats.AcceptedLines += o.lines
 		for id := range o.identsBefore {
@@ -299,6 +315,10 @@ func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
 		for _, u := range o.units {
 			for id := range u.identsAfter {
 				identsAfter[id] = true
+			}
+			if journal.Enabled() {
+				journal.Emit(journal.Event{ID: journal.ID(u.text), Stage: journal.StageRewritten,
+					Parent: fileID, Kernels: u.kernels})
 			}
 			c.Stats.Kernels += u.kernels
 			c.Kernels = append(c.Kernels, u.text)

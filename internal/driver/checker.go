@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"clgen/internal/interp"
+	"clgen/internal/journal"
 	"clgen/internal/telemetry"
 )
 
@@ -48,10 +50,19 @@ func (r CheckResult) OK() bool { return r.Verdict == UsefulWork }
 // step-limit timeout, barrier divergence) yield RunFailure — the analogue
 // of a crashed or timed-out run on hardware.
 func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
+	start := time.Now()
 	res := check(k, globalSize, seed, cfg)
 	telemetry.Default().Counter(
 		telemetry.Label("driver_checker_verdicts_total", "verdict", string(res.Verdict)),
 		"Dynamic-checker verdicts (§5.2), by outcome.").Inc()
+	// Emission happens on the calling (possibly worker) goroutine, but the
+	// set of Check calls is the same for every worker count, so journals
+	// stay equivalent after order normalization.
+	if journal.Enabled() {
+		journal.Emit(journal.Event{ID: journal.ID(k.Src), Stage: journal.StageChecked,
+			Verdict: string(res.Verdict), Size: globalSize, Seed: seed,
+			DurMS: float64(time.Since(start)) / float64(time.Millisecond)})
+	}
 	return res
 }
 

@@ -1,14 +1,38 @@
 package experiments
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
+
+	"clgen/internal/journal"
 )
+
+// captureJournal runs fn with a temporary process-global journal and
+// returns the events it emitted.
+func captureJournal(t *testing.T, fn func()) []journal.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf, 0)
+	journal.SetActive(w)
+	defer journal.SetActive(nil)
+	fn()
+	journal.SetActive(nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
 
 // TestBuildWorldDeterministicAcrossWorkers is the experiments half of the
 // determinism suite: an entire campaign — corpus build, synthesis, suite
 // measurement, and the synthetic payload sweep — must produce identical
-// worlds for every worker count.
+// worlds for every worker count. The provenance journal must likewise be
+// equivalent after order normalization.
 func TestBuildWorldDeterministicAcrossWorkers(t *testing.T) {
 	cfg := Config{
 		Seed:         7,
@@ -18,18 +42,22 @@ func TestBuildWorldDeterministicAcrossWorkers(t *testing.T) {
 		ExecCap:      2048,
 		Quiet:        true,
 	}
-	build := func(workers int) *World {
+	build := func(workers int) (*World, []journal.Event) {
 		c := cfg
 		c.Workers = workers
-		w, err := BuildWorld(c)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		return w
+		var w *World
+		events := captureJournal(t, func() {
+			var err error
+			w, err = BuildWorld(c)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		return w, events
 	}
-	want := build(1)
+	want, wantEvents := build(1)
 	for _, workers := range []int{8} {
-		got := build(workers)
+		got, gotEvents := build(workers)
 		if !reflect.DeepEqual(got.Synth, want.Synth) {
 			t.Errorf("workers=%d: synthesized kernels differ", workers)
 		}
@@ -42,6 +70,9 @@ func TestBuildWorldDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got.SynthObs, want.SynthObs) {
 			t.Errorf("workers=%d: synthetic observations differ", workers)
+		}
+		if !journal.Equivalent(wantEvents, gotEvents) {
+			t.Errorf("workers=%d: journal not equivalent to workers=1", workers)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"clgen/internal/driver"
 	"clgen/internal/github"
 	"clgen/internal/grewe"
+	"clgen/internal/journal"
 	"clgen/internal/model"
 	"clgen/internal/platform"
 	"clgen/internal/pool"
@@ -155,6 +156,7 @@ func (w *World) measureSuites() error {
 	type outcome struct {
 		suite     string
 		bench     string
+		id        string // journal content hash of the kernel source
 		mAMD, mNV *driver.Measurement
 		err       error
 	}
@@ -170,6 +172,10 @@ func (w *World) measureSuites() error {
 		if err != nil {
 			return outcome{err: err}
 		}
+		var id string
+		if journal.Enabled() {
+			id = journal.ID(k.Src)
+		}
 		// Execute once (on the AMD system), then re-model the same
 		// profile for the NVIDIA system: the device models share the
 		// execution profile, not the hardware.
@@ -183,18 +189,33 @@ func (w *World) measureSuites() error {
 			return outcome{err: err}
 		}
 		mNV.Kernel = mAMD.Kernel
-		return outcome{suite: j.b.Suite, bench: j.b.ID(), mAMD: mAMD, mNV: mNV}
+		return outcome{suite: j.b.Suite, bench: j.b.ID(), id: id, mAMD: mAMD, mNV: mNV}
 	})
 	for _, o := range results {
 		if o.err != nil {
 			return fmt.Errorf("experiments: %w", o.err)
 		}
+		// Journal emission happens in this ordered fold so the event stream
+		// is deterministic for every worker count.
+		emitMeasured(o.id, o.suite, o.bench, o.mAMD, platform.SystemAMD.Name)
+		emitMeasured(o.id, o.suite, o.bench, o.mNV, platform.SystemNVIDIA.Name)
 		w.Obs[platform.SystemAMD.Name][o.suite] = append(w.Obs[platform.SystemAMD.Name][o.suite],
 			&grewe.Observation{Bench: o.bench, M: o.mAMD})
 		w.Obs[platform.SystemNVIDIA.Name][o.suite] = append(w.Obs[platform.SystemNVIDIA.Name][o.suite],
 			&grewe.Observation{Bench: o.bench, M: o.mNV})
 	}
 	return nil
+}
+
+// emitMeasured journals one (kernel, size, system) measurement. Modeled
+// runtimes are converted from seconds to the journal's milliseconds.
+func emitMeasured(id, suite, bench string, m *driver.Measurement, system string) {
+	if !journal.Enabled() {
+		return
+	}
+	journal.Emit(journal.Event{ID: id, Stage: journal.StageMeasured,
+		Kernel: bench, Suite: suite, System: system, Size: m.GlobalSize,
+		CPUms: m.CPUTime * 1e3, GPUms: m.GPUTime * 1e3, Oracle: m.Oracle.String()})
 }
 
 // measureSynthetic drives every accepted synthetic kernel through the host
@@ -209,12 +230,13 @@ func (w *World) measureSynthetic() {
 	type pair struct{ mAMD, mNV *driver.Measurement }
 	type outcome struct {
 		loadFailed bool
+		loadErr    string
 		pairs      []pair
 	}
 	results := pool.Map(w.Cfg.Workers, len(w.Synth), func(i int) outcome {
 		k, err := driver.Load(w.Synth[i])
 		if err != nil {
-			return outcome{loadFailed: true}
+			return outcome{loadFailed: true, loadErr: err.Error()}
 		}
 		var o outcome
 		for _, size := range w.Cfg.PayloadSizes {
@@ -241,13 +263,23 @@ func (w *World) measureSynthetic() {
 		return o
 	})
 	usable := 0
-	for _, o := range results {
+	for i, o := range results {
+		// Journal emission happens in this ordered fold so the event stream
+		// is deterministic for every worker count.
+		var id string
+		if journal.Enabled() {
+			id = journal.ID(w.Synth[i])
+			journal.Emit(journal.Event{ID: id, Stage: journal.StageDriverLoad,
+				Item: i, Reason: o.loadErr})
+		}
 		if o.loadFailed {
 			reg.Counter("world_synthetic_load_failures_total",
 				"Synthetic kernels the host driver could not load.").Inc()
 			continue
 		}
 		for _, p := range o.pairs {
+			emitMeasured(id, "synthetic", p.mAMD.Kernel, p.mAMD, platform.SystemAMD.Name)
+			emitMeasured(id, "synthetic", p.mNV.Kernel, p.mNV, platform.SystemNVIDIA.Name)
 			w.SynthObs[platform.SystemAMD.Name] = append(w.SynthObs[platform.SystemAMD.Name],
 				&grewe.Observation{Bench: "synthetic", M: p.mAMD})
 			w.SynthObs[platform.SystemNVIDIA.Name] = append(w.SynthObs[platform.SystemNVIDIA.Name],

@@ -1,0 +1,275 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SystemStats aggregates the measured events of one system.
+type SystemStats struct {
+	Count int
+	CPUms float64 // sum of modeled CPU runtimes
+	GPUms float64 // sum of modeled GPU runtimes
+}
+
+// MeanCPU returns the mean modeled CPU runtime in ms.
+func (s SystemStats) MeanCPU() float64 { return mean(s.CPUms, s.Count) }
+
+// MeanGPU returns the mean modeled GPU runtime in ms.
+func (s SystemStats) MeanGPU() float64 { return mean(s.GPUms, s.Count) }
+
+func mean(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SuiteStats aggregates the measured events of one suite: Bestms sums the
+// faster device's modeled runtime per measurement (the oracle runtime).
+type SuiteStats struct {
+	Count  int
+	Bestms float64
+}
+
+// MeanBest returns the mean oracle (faster-device) runtime in ms.
+func (s SuiteStats) MeanBest() float64 { return mean(s.Bestms, s.Count) }
+
+// LatencyStats summarizes the wall durations of one stage, in ms.
+type LatencyStats struct {
+	Count         int
+	P50, P90, P99 float64
+}
+
+// FunnelReport aggregates one journal into the paper's funnel statistics:
+// the §4.1 corpus discard breakdown, the §4.3 sample acceptance rate, and
+// the §5.2 dynamic-checker outcome breakdown, plus per-stage latency
+// percentiles from event durations.
+type FunnelReport struct {
+	Mined            int
+	CorpusAccepted   int
+	CorpusReasons    map[string]int // rejection reason -> count
+	ShimRecovered    int
+	RewrittenUnits   int
+	RewrittenKernels int
+
+	Sampled          int
+	SampleAccepted   int
+	SampleDuplicates int
+	SampleReasons    map[string]int // rejection reason -> count (no duplicates)
+
+	Loads        int
+	LoadFailures int
+	Checks       int
+	Verdicts     map[string]int // checker verdict -> count
+
+	Measured int
+	Systems  map[string]*SystemStats
+	Suites   map[string]*SuiteStats
+
+	Latencies map[Stage]LatencyStats
+}
+
+// CorpusDiscardRate returns the fraction of mined files the filter
+// discarded (the paper's §4.1 headline number).
+func (r *FunnelReport) CorpusDiscardRate() float64 {
+	if r.Mined == 0 {
+		return 0
+	}
+	return 1 - float64(r.CorpusAccepted)/float64(r.Mined)
+}
+
+// SampleAcceptRate returns accepted/sampled (§4.3).
+func (r *FunnelReport) SampleAcceptRate() float64 {
+	if r.Sampled == 0 {
+		return 0
+	}
+	return float64(r.SampleAccepted) / float64(r.Sampled)
+}
+
+// UsefulRate returns the fraction of checks yielding "useful work" (§5.2).
+func (r *FunnelReport) UsefulRate() float64 {
+	if r.Checks == 0 {
+		return 0
+	}
+	return float64(r.Verdicts["useful work"]) / float64(r.Checks)
+}
+
+// Funnel aggregates a journal's events into a FunnelReport.
+func Funnel(events []Event) *FunnelReport {
+	r := &FunnelReport{
+		CorpusReasons: map[string]int{},
+		SampleReasons: map[string]int{},
+		Verdicts:      map[string]int{},
+		Systems:       map[string]*SystemStats{},
+		Suites:        map[string]*SuiteStats{},
+		Latencies:     map[Stage]LatencyStats{},
+	}
+	durs := map[Stage][]float64{}
+	for _, e := range events {
+		if e.DurMS > 0 {
+			durs[e.Stage] = append(durs[e.Stage], e.DurMS)
+		}
+		switch e.Stage {
+		case StageMined:
+			r.Mined++
+		case StageCorpusFilter:
+			if e.Reason == "" {
+				r.CorpusAccepted++
+				if e.Recovered {
+					r.ShimRecovered++
+				}
+			} else {
+				r.CorpusReasons[e.Reason]++
+			}
+		case StageRewritten:
+			r.RewrittenUnits++
+			r.RewrittenKernels += e.Kernels
+		case StageSampled:
+			r.Sampled++
+		case StageSampleFilter:
+			switch e.Reason {
+			case "":
+				r.SampleAccepted++
+			case ReasonDuplicate:
+				r.SampleDuplicates++
+			default:
+				r.SampleReasons[e.Reason]++
+			}
+		case StageDriverLoad:
+			r.Loads++
+			if e.Reason != "" {
+				r.LoadFailures++
+			}
+		case StageChecked:
+			r.Checks++
+			r.Verdicts[e.Verdict]++
+		case StageMeasured:
+			r.Measured++
+			sys := r.Systems[e.System]
+			if sys == nil {
+				sys = &SystemStats{}
+				r.Systems[e.System] = sys
+			}
+			sys.Count++
+			sys.CPUms += e.CPUms
+			sys.GPUms += e.GPUms
+			if e.Suite != "" {
+				st := r.Suites[e.Suite]
+				if st == nil {
+					st = &SuiteStats{}
+					r.Suites[e.Suite] = st
+				}
+				st.Count++
+				st.Bestms += minF(e.CPUms, e.GPUms)
+			}
+		}
+	}
+	for stage, ds := range durs {
+		r.Latencies[stage] = percentiles(ds)
+	}
+	return r
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// percentiles computes nearest-rank P50/P90/P99 over ms durations.
+func percentiles(ds []float64) LatencyStats {
+	sort.Float64s(ds)
+	pick := func(p float64) float64 {
+		i := int(p * float64(len(ds)))
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return ds[i]
+	}
+	return LatencyStats{Count: len(ds), P50: pick(0.50), P90: pick(0.90), P99: pick(0.99)}
+}
+
+// Render formats the funnel as the paper's discard/acceptance tables.
+// Sections for stages absent from the journal are omitted, so a
+// cldrive-only journal prints only its driver funnel.
+func (r *FunnelReport) Render() string {
+	var b strings.Builder
+	b.WriteString("provenance funnel\n")
+	if r.Mined > 0 || r.CorpusAccepted > 0 {
+		fmt.Fprintf(&b, "corpus    %6d mined  -> %5d accepted (%.1f%% discarded, §4.1)\n",
+			r.Mined, r.CorpusAccepted, r.CorpusDiscardRate()*100)
+		writeReasons(&b, r.CorpusReasons)
+		fmt.Fprintf(&b, "          shim recovered %d; rewritten units %d (%d kernels)\n",
+			r.ShimRecovered, r.RewrittenUnits, r.RewrittenKernels)
+	}
+	if r.Sampled > 0 {
+		fmt.Fprintf(&b, "sampling  %6d drawn  -> %5d accepted (%.1f%%), %d duplicates\n",
+			r.Sampled, r.SampleAccepted, r.SampleAcceptRate()*100, r.SampleDuplicates)
+		writeReasons(&b, r.SampleReasons)
+	}
+	if r.Loads > 0 {
+		fmt.Fprintf(&b, "driver    %6d loads  -> %5d failed\n", r.Loads, r.LoadFailures)
+	}
+	if r.Checks > 0 {
+		fmt.Fprintf(&b, "checker   %6d checks -> %5d useful work (%.1f%%, §5.2)\n",
+			r.Checks, r.Verdicts["useful work"], r.UsefulRate()*100)
+		writeReasons(&b, r.Verdicts)
+	}
+	if r.Measured > 0 {
+		fmt.Fprintf(&b, "measured  %6d measurements\n", r.Measured)
+		for _, name := range sortedKeys(r.Systems) {
+			s := r.Systems[name]
+			fmt.Fprintf(&b, "  %6d  system=%s (mean cpu %.3fms, gpu %.3fms)\n",
+				s.Count, name, s.MeanCPU(), s.MeanGPU())
+		}
+		for _, name := range sortedKeys(r.Suites) {
+			s := r.Suites[name]
+			fmt.Fprintf(&b, "  %6d  suite=%s (mean best %.3fms)\n", s.Count, name, s.MeanBest())
+		}
+	}
+	if len(r.Latencies) > 0 {
+		fmt.Fprintf(&b, "stage latency (ms)   %8s %9s %9s %9s\n", "count", "p50", "p90", "p99")
+		for _, stage := range StageOrder {
+			l, ok := r.Latencies[stage]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-18s %8d %9.2f %9.2f %9.2f\n", stage, l.Count, l.P50, l.P90, l.P99)
+		}
+	}
+	return b.String()
+}
+
+// writeReasons renders a reason histogram, most common first (ties by
+// name), matching corpus.Stats.ReasonsSummary's layout.
+func writeReasons(b *strings.Builder, reasons map[string]int) {
+	type rc struct {
+		r string
+		n int
+	}
+	var rcs []rc
+	for r, n := range reasons {
+		rcs = append(rcs, rc{r, n})
+	}
+	sort.Slice(rcs, func(i, j int) bool {
+		if rcs[i].n != rcs[j].n {
+			return rcs[i].n > rcs[j].n
+		}
+		return rcs[i].r < rcs[j].r
+	})
+	for _, x := range rcs {
+		fmt.Fprintf(b, "  %6d  %s\n", x.n, x.r)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,180 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fixtureEvents builds a small deterministic journal under a fake clock:
+// 4 mined files (2 accepted, one shim-recovered), 3 rewritten units,
+// 6 samples (3 accepted, 1 duplicate, 2 rejected), 3 driver loads (1
+// failure), 4 checks (2 useful), and 4 measurements over two systems and
+// two suites.
+func fixtureEvents() []Event {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tick := 0
+	at := func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	}
+	e := func(ev Event) Event {
+		ev.Time = at()
+		return ev
+	}
+	return []Event{
+		e(Event{ID: "f1", Stage: StageMined, Item: 0}),
+		e(Event{ID: "f1", Stage: StageCorpusFilter, DurMS: 4}),
+		e(Event{ID: "f2", Stage: StageMined, Item: 1}),
+		e(Event{ID: "f2", Stage: StageCorpusFilter, Reason: "parse error", DurMS: 1}),
+		e(Event{ID: "f3", Stage: StageMined, Item: 2}),
+		e(Event{ID: "f3", Stage: StageCorpusFilter, Recovered: true, DurMS: 6}),
+		e(Event{ID: "f4", Stage: StageMined, Item: 3}),
+		e(Event{ID: "f4", Stage: StageCorpusFilter, Reason: "no kernel function", DurMS: 2}),
+		e(Event{ID: "u1", Stage: StageRewritten, Parent: "f1", Kernels: 1}),
+		e(Event{ID: "u2", Stage: StageRewritten, Parent: "f3", Kernels: 2}),
+		e(Event{ID: "u3", Stage: StageRewritten, Parent: "f3", Kernels: 1}),
+
+		e(Event{ID: "s1", Stage: StageSampled, Item: 0, DurMS: 10}),
+		e(Event{ID: "s1", Stage: StageSampleFilter}),
+		e(Event{ID: "s2", Stage: StageSampled, Item: 1, DurMS: 12}),
+		e(Event{ID: "s2", Stage: StageSampleFilter, Reason: "parse error"}),
+		e(Event{ID: "s3", Stage: StageSampled, Item: 2, DurMS: 11}),
+		e(Event{ID: "s3", Stage: StageSampleFilter}),
+		e(Event{ID: "s1", Stage: StageSampled, Item: 3, DurMS: 9}),
+		e(Event{ID: "s1", Stage: StageSampleFilter, Reason: ReasonDuplicate}),
+		e(Event{ID: "s4", Stage: StageSampled, Item: 4, DurMS: 14}),
+		e(Event{ID: "s4", Stage: StageSampleFilter, Reason: "fewer than 3 static instructions"}),
+		e(Event{ID: "s5", Stage: StageSampled, Item: 5, DurMS: 13}),
+		e(Event{ID: "s5", Stage: StageSampleFilter}),
+
+		e(Event{ID: "s1", Stage: StageDriverLoad, Item: 0}),
+		e(Event{ID: "s3", Stage: StageDriverLoad, Item: 1, Reason: "unsupported argument type"}),
+		e(Event{ID: "s5", Stage: StageDriverLoad, Item: 2}),
+
+		e(Event{ID: "s1", Stage: StageChecked, Verdict: "useful work", Size: 4096, Seed: 7, DurMS: 20}),
+		e(Event{ID: "s5", Stage: StageChecked, Verdict: "no output", Size: 4096, Seed: 8, DurMS: 5}),
+		e(Event{ID: "b1", Stage: StageChecked, Verdict: "useful work", Size: 2048, Seed: 11, DurMS: 30}),
+		e(Event{ID: "b2", Stage: StageChecked, Verdict: "input insensitive", Size: 2048, Seed: 12, DurMS: 8}),
+
+		e(Event{ID: "s1", Stage: StageMeasured, Kernel: "clgen-0000@4096", Suite: "synthetic",
+			System: "amd", Size: 4096, CPUms: 2.0, GPUms: 1.0, Oracle: "GPU"}),
+		e(Event{ID: "s1", Stage: StageMeasured, Kernel: "clgen-0000@4096", Suite: "synthetic",
+			System: "nvidia", Size: 4096, CPUms: 2.4, GPUms: 1.8, Oracle: "GPU"}),
+		e(Event{ID: "b1", Stage: StageMeasured, Kernel: "npb.bt", Suite: "npb",
+			System: "amd", Size: 2048, CPUms: 1.0, GPUms: 3.0, Oracle: "CPU"}),
+		e(Event{ID: "b1", Stage: StageMeasured, Kernel: "npb.bt", Suite: "npb",
+			System: "nvidia", Size: 2048, CPUms: 1.2, GPUms: 2.2, Oracle: "CPU"}),
+	}
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestFunnelGolden(t *testing.T) {
+	checkGolden(t, "funnel.golden", Funnel(fixtureEvents()).Render())
+}
+
+func TestFunnelCounts(t *testing.T) {
+	r := Funnel(fixtureEvents())
+	if r.Mined != 4 || r.CorpusAccepted != 2 || r.ShimRecovered != 1 {
+		t.Errorf("corpus: mined=%d accepted=%d recovered=%d", r.Mined, r.CorpusAccepted, r.ShimRecovered)
+	}
+	if r.RewrittenUnits != 3 || r.RewrittenKernels != 4 {
+		t.Errorf("rewritten: units=%d kernels=%d", r.RewrittenUnits, r.RewrittenKernels)
+	}
+	if r.Sampled != 6 || r.SampleAccepted != 3 || r.SampleDuplicates != 1 {
+		t.Errorf("samples: drawn=%d accepted=%d dup=%d", r.Sampled, r.SampleAccepted, r.SampleDuplicates)
+	}
+	if r.Loads != 3 || r.LoadFailures != 1 {
+		t.Errorf("loads: %d/%d failed", r.LoadFailures, r.Loads)
+	}
+	if r.Checks != 4 || r.Verdicts["useful work"] != 2 {
+		t.Errorf("checks: %d, useful=%d", r.Checks, r.Verdicts["useful work"])
+	}
+	if r.Measured != 4 || r.Systems["amd"].Count != 2 || r.Suites["npb"].Count != 2 {
+		t.Errorf("measured: %d (amd=%v npb=%v)", r.Measured, r.Systems["amd"], r.Suites["npb"])
+	}
+	if got := r.Suites["npb"].MeanBest(); got != 1.1 {
+		t.Errorf("npb mean best = %g, want 1.1", got)
+	}
+}
+
+// TestDiffIdenticalRunsClean is the identical-seed acceptance criterion:
+// a journal diffed against (a reordered copy of) itself reports zero
+// regressions.
+func TestDiffIdenticalRunsClean(t *testing.T) {
+	events := fixtureEvents()
+	reordered := make([]Event, len(events))
+	for i, e := range events {
+		e.Time = e.Time.Add(time.Hour) // a later, slower run of the same seed
+		e.DurMS *= 3
+		reordered[len(events)-1-i] = e
+	}
+	d := Diff(events, reordered, 0)
+	if !d.OK() {
+		t.Fatalf("identical runs regressed: %v", d.Regressions)
+	}
+}
+
+// perturbedEvents drops one accepted sample and slows one suite — the
+// regressions the diff gate must catch.
+func perturbedEvents() []Event {
+	var out []Event
+	for _, e := range fixtureEvents() {
+		switch {
+		case e.ID == "s5" && e.Stage == StageSampleFilter:
+			e.Reason = "parse error" // s5 no longer accepted
+		case e.ID == "s5" && e.Stage == StageDriverLoad,
+			e.ID == "s5" && e.Stage == StageChecked:
+			continue // and never reaches the driver
+		case e.Stage == StageMeasured && e.Suite == "npb":
+			e.CPUms *= 2 // npb regressed on its oracle device
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestDiffGolden(t *testing.T) {
+	checkGolden(t, "diff.golden", Diff(fixtureEvents(), perturbedEvents(), 0).Render())
+}
+
+func TestDiffCatchesRegressions(t *testing.T) {
+	d := Diff(fixtureEvents(), perturbedEvents(), 0)
+	if d.OK() {
+		t.Fatal("perturbed run passed the gate")
+	}
+	wantRegressed := map[string]bool{"samples accepted": true, "suite npb best mean": true}
+	got := map[string]bool{}
+	for _, r := range d.Rows {
+		if r.Regressed {
+			got[r.Name] = true
+		}
+	}
+	for name := range wantRegressed {
+		if !got[name] {
+			t.Errorf("expected %q to regress; regressions: %v", name, d.Regressions)
+		}
+	}
+	// A huge threshold lets everything through.
+	if d := Diff(fixtureEvents(), perturbedEvents(), 1000); !d.OK() {
+		t.Errorf("threshold 1000%% still regressed: %v", d.Regressions)
+	}
+}

@@ -1,0 +1,436 @@
+// Package journal is the pipeline's provenance layer: an append-only
+// JSONL event log in which every artifact — a mined content file, a
+// model-synthesized sample, a driven kernel — is identified by a stable
+// content hash and emits one typed Event per lifecycle stage (mined,
+// rejection-filter verdict, rewriter normalization, sampling, dynamic
+// checking, measurement). Where telemetry counters aggregate, the journal
+// records: after a run exits, `cltrace` can reconstruct any artifact's
+// full history, reproduce the paper's §4.1/§5.2 funnel tables, and diff
+// two runs for regression gating.
+//
+// Writes go through a buffered asynchronous writer that is safe under the
+// internal/pool worker fan-outs: Emit never blocks the pipeline — events
+// that cannot be buffered are dropped and counted in the
+// `journal_events_dropped_total` telemetry counter. Emission sites run
+// either on the ordered aggregation goroutine (corpus, core, experiments)
+// or on worker goroutines (driver), so two journals of the same seeded run
+// at different worker counts may interleave differently on disk; they are
+// compared after order normalization (Canonical / Equivalent), under which
+// workers=1 and workers=N journals are equal.
+package journal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clgen/internal/telemetry"
+)
+
+// Stage is an artifact lifecycle stage.
+type Stage string
+
+// Lifecycle stages, in pipeline order.
+const (
+	// StageMined marks a content file entering the corpus pipeline.
+	StageMined Stage = "mined"
+	// StageCorpusFilter is the §4.1 rejection-filter verdict on a mined
+	// file: Reason empty means accepted, otherwise a corpus.RejectReason.
+	StageCorpusFilter Stage = "corpus_filter"
+	// StageRewritten marks one normalized per-kernel unit produced by the
+	// rewriter from an accepted file (Parent links the source file).
+	StageRewritten Stage = "rewritten"
+	// StageSampled marks a kernel drawn from the language model.
+	StageSampled Stage = "sampled"
+	// StageSampleFilter is the §4.3 rejection-filter verdict on a sample:
+	// Reason empty means accepted, a corpus.RejectReason otherwise, or
+	// ReasonDuplicate for filter-passing samples discarded by dedup.
+	StageSampleFilter Stage = "sample_filter"
+	// StageDriverLoad marks the host driver loading a kernel; Reason holds
+	// the load error when it failed.
+	StageDriverLoad Stage = "driver_load"
+	// StageChecked is the §5.2 dynamic-checker outcome (Verdict).
+	StageChecked Stage = "checked"
+	// StageMeasured is one modeled (kernel, size, system) measurement.
+	StageMeasured Stage = "measured"
+)
+
+// ReasonDuplicate marks a sample that passed the rejection filter but was
+// discarded as a duplicate of an earlier accepted sample. It extends the
+// corpus.RejectReason values in StageSampleFilter events.
+const ReasonDuplicate = "duplicate"
+
+// StageOrder lists the stages in pipeline order, for rendering.
+var StageOrder = []Stage{
+	StageMined, StageCorpusFilter, StageRewritten,
+	StageSampled, StageSampleFilter,
+	StageDriverLoad, StageChecked, StageMeasured,
+}
+
+// Event is one journal record. ID is the artifact's content hash; the
+// remaining fields are stage-specific and zero elsewhere. Time and DurMS
+// are the only run-varying fields — Canonical zeroes them, so two seeded
+// runs of the same pipeline produce equivalent event multisets.
+type Event struct {
+	Time  time.Time `json:"t"`
+	ID    string    `json:"id"`
+	Stage Stage     `json:"stage"`
+	// Item is the artifact's index within its stage fan-out (file index,
+	// sample attempt, synthetic-kernel index).
+	Item int `json:"item,omitempty"`
+	// Reason is the rejection reason of a filter/load stage ("" = passed).
+	Reason string `json:"reason,omitempty"`
+	// Verdict is the dynamic-checker outcome of a checked stage.
+	Verdict string `json:"verdict,omitempty"`
+	// Parent links a derived artifact (rewritten unit) to its source ID.
+	Parent string `json:"parent,omitempty"`
+	// Kernel / Suite / System name a measured stage's subject.
+	Kernel string `json:"kernel,omitempty"`
+	Suite  string `json:"suite,omitempty"`
+	System string `json:"system,omitempty"`
+	// Kernels counts kernel functions in a rewritten unit.
+	Kernels int `json:"kernels,omitempty"`
+	// Size is the global size of a checked/measured stage.
+	Size int `json:"size,omitempty"`
+	// Seed is the payload seed of a checked stage.
+	Seed int64 `json:"seed,omitempty"`
+	// CPUms / GPUms are modeled device runtimes of a measured stage.
+	CPUms float64 `json:"cpu_ms,omitempty"`
+	GPUms float64 `json:"gpu_ms,omitempty"`
+	// Oracle is the faster device of a measured stage.
+	Oracle string `json:"oracle,omitempty"`
+	// Recovered marks a corpus_filter acceptance the shim header enabled
+	// (rejected without it — the paper's 40% → 32% improvement).
+	Recovered bool `json:"shim_recovered,omitempty"`
+	// DurMS is the wall time of the stage's work, for latency funnels.
+	DurMS float64 `json:"dur_ms,omitempty"`
+}
+
+// Canonical returns the event with its run-varying fields (timestamp and
+// wall duration) zeroed — the form under which journals of the same
+// seeded run compare equal regardless of worker count or machine speed.
+func (e Event) Canonical() Event {
+	e.Time = time.Time{}
+	e.DurMS = 0
+	return e
+}
+
+// ID returns the stable content-hash identifier of an artifact: the first
+// 16 hex digits of the SHA-256 of its source text.
+func ID(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
+}
+
+// DefaultBuffer is the async writer's event buffer capacity. The pipeline
+// emits at most a few events per artifact, so overflow (and therefore
+// event drops) only occurs when the disk cannot keep up with sustained
+// multi-thousand-events-per-flush bursts.
+const DefaultBuffer = 1 << 16
+
+// Writer appends events to a JSONL stream through a buffered background
+// goroutine. Emit is non-blocking and safe for concurrent use from worker
+// goroutines; events that cannot be buffered are dropped and counted.
+type Writer struct {
+	mu     sync.RWMutex // guards closed vs. in-flight Emits
+	closed bool
+	ch     chan Event
+	done   chan struct{}
+	bw     *bufio.Writer
+	c      io.Closer // underlying file, nil for plain io.Writer sinks
+	now    func() time.Time
+	err    error // first encode error; written by the drain goroutine only
+	closeE error
+}
+
+// NewWriter starts a journal writer over w with the given event buffer
+// capacity (<= 0 means DefaultBuffer). Close flushes and stops it.
+func NewWriter(w io.Writer, buffer int) *Writer {
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	jw := &Writer{
+		ch:   make(chan Event, buffer),
+		done: make(chan struct{}),
+		bw:   bufio.NewWriter(w),
+		now:  time.Now,
+	}
+	go jw.drain()
+	return jw
+}
+
+// Create opens (truncating) a journal file at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	jw := NewWriter(f, 0)
+	jw.c = f
+	return jw, nil
+}
+
+// SetClock replaces the writer's time source (for tests). Call before the
+// first Emit.
+func (w *Writer) SetClock(now func() time.Time) { w.now = now }
+
+func (w *Writer) drain() {
+	defer close(w.done)
+	written := telemetry.Default().Counter("journal_events_written_total",
+		"Provenance events written to the journal.")
+	enc := json.NewEncoder(w.bw)
+	for e := range w.ch {
+		if err := enc.Encode(e); err != nil {
+			if w.err == nil {
+				w.err = fmt.Errorf("journal: encode: %w", err)
+			}
+			continue
+		}
+		written.Inc()
+	}
+}
+
+// Emit buffers one event, stamping its Time when unset. It never blocks:
+// when the buffer is full (or the writer is closed) the event is dropped
+// and `journal_events_dropped_total` is incremented.
+func (w *Writer) Emit(e Event) {
+	if e.Time.IsZero() {
+		e.Time = w.now()
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.closed {
+		dropped().Inc()
+		return
+	}
+	select {
+	case w.ch <- e:
+	default:
+		dropped().Inc()
+	}
+}
+
+func dropped() *telemetry.Counter {
+	return telemetry.Default().Counter("journal_events_dropped_total",
+		"Provenance events dropped because the journal buffer was full.")
+}
+
+// Close drains the buffer, flushes, and closes the underlying file. It is
+// idempotent; Emit calls after Close drop (and count) their events.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.closeE
+	}
+	w.closed = true
+	close(w.ch)
+	w.mu.Unlock()
+	<-w.done
+	err := w.err
+	if ferr := w.bw.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("journal: flush: %w", ferr)
+	}
+	if w.c != nil {
+		if cerr := w.c.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("journal: close: %w", cerr)
+		}
+	}
+	w.closeE = err
+	return err
+}
+
+// active is the process-global journal the emission helpers write to; nil
+// (the default) makes Emit a near-free no-op, so pipeline packages call it
+// unconditionally.
+var active atomic.Pointer[Writer]
+
+// SetActive installs w as the process-global journal (nil deactivates).
+// Binaries install it via the shared -journal flag; tests install a
+// temporary writer and must clear it before Close.
+func SetActive(w *Writer) { active.Store(w) }
+
+// Active returns the process-global journal, or nil.
+func Active() *Writer { return active.Load() }
+
+// Enabled reports whether a process-global journal is installed. Emission
+// sites use it to skip content hashing when no one is listening.
+func Enabled() bool { return active.Load() != nil }
+
+// Emit writes e to the process-global journal, if one is installed.
+func Emit(e Event) {
+	if w := active.Load(); w != nil {
+		w.Emit(e)
+	}
+}
+
+// closer adapts the open-journal hook's teardown to io.Closer.
+type closer func() error
+
+func (c closer) Close() error { return c() }
+
+func init() {
+	// Installing the opener here (rather than importing journal from
+	// telemetry, which would cycle: journal depends on telemetry for its
+	// counters) lets telemetry.CLIFlags own the shared -journal flag.
+	telemetry.SetJournalOpener(func(path string) (io.Closer, error) {
+		w, err := Create(path)
+		if err != nil {
+			return nil, err
+		}
+		SetActive(w)
+		return closer(func() error {
+			SetActive(nil)
+			return w.Close()
+		}), nil
+	})
+}
+
+// Read decodes a JSONL event stream.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("journal: decode event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadFile reads every event of a journal file.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// CanonicalLines renders events in order-normalized form: each event is
+// canonicalized (timestamps and durations zeroed), JSON-encoded, and the
+// lines sorted. Two journals of the same seeded run have equal canonical
+// lines for every worker count.
+func CanonicalLines(events []Event) []string {
+	lines := make([]string, len(events))
+	for i, e := range events {
+		b, err := json.Marshal(e.Canonical())
+		if err != nil {
+			// Event is a plain struct; Marshal cannot fail on it.
+			panic(err)
+		}
+		lines[i] = string(b)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// Equivalent reports whether two journals record the same event multiset
+// after order normalization.
+func Equivalent(a, b []Event) bool {
+	la, lb := CanonicalLines(a), CanonicalLines(b)
+	if len(la) != len(lb) {
+		return false
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stageRank orders stages for history rendering; unknown stages sort last.
+func stageRank(s Stage) int {
+	for i, o := range StageOrder {
+		if o == s {
+			return i
+		}
+	}
+	return len(StageOrder)
+}
+
+// History selects the lifecycle of one artifact: every event whose ID or
+// Parent starts with idPrefix, ordered by time (then stage order for
+// same-timestamp events, as under a coarse or fake clock).
+func History(events []Event, idPrefix string) []Event {
+	var out []Event
+	for _, e := range events {
+		if matchPrefix(e.ID, idPrefix) || matchPrefix(e.Parent, idPrefix) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return stageRank(out[i].Stage) < stageRank(out[j].Stage)
+	})
+	return out
+}
+
+func matchPrefix(id, prefix string) bool {
+	return prefix != "" && len(id) >= len(prefix) && id[:len(prefix)] == prefix
+}
+
+// RenderHistory formats one artifact's history as a human-readable trace.
+func RenderHistory(events []Event) string {
+	if len(events) == 0 {
+		return "no events\n"
+	}
+	var b []byte
+	for _, e := range events {
+		b = append(b, fmt.Sprintf("%s  %-13s %s\n",
+			e.Time.UTC().Format("2006-01-02T15:04:05.000Z"), e.Stage, describe(e))...)
+	}
+	return string(b)
+}
+
+// describe renders an event's stage-specific fields on one line.
+func describe(e Event) string {
+	s := "id=" + e.ID
+	switch e.Stage {
+	case StageMined:
+		s += fmt.Sprintf(" item=%d", e.Item)
+	case StageCorpusFilter, StageSampleFilter, StageDriverLoad:
+		if e.Reason == "" {
+			s += " accepted"
+		} else {
+			s += fmt.Sprintf(" rejected (%s)", e.Reason)
+		}
+		if e.Recovered {
+			s += " shim-recovered"
+		}
+	case StageRewritten:
+		s += fmt.Sprintf(" parent=%s kernels=%d", e.Parent, e.Kernels)
+	case StageSampled:
+		s += fmt.Sprintf(" attempt=%d", e.Item)
+	case StageChecked:
+		s += fmt.Sprintf(" verdict=%q size=%d seed=%d", e.Verdict, e.Size, e.Seed)
+	case StageMeasured:
+		s += fmt.Sprintf(" system=%q", e.System)
+		if e.Suite != "" {
+			s += fmt.Sprintf(" suite=%s", e.Suite)
+		}
+		if e.Kernel != "" {
+			s += fmt.Sprintf(" kernel=%s", e.Kernel)
+		}
+		s += fmt.Sprintf(" size=%d cpu=%.3fms gpu=%.3fms -> %s", e.Size, e.CPUms, e.GPUms, e.Oracle)
+	}
+	if e.DurMS > 0 {
+		s += fmt.Sprintf(" (%.1fms)", e.DurMS)
+	}
+	return s
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"clgen/internal/journal"
 	"clgen/internal/nn"
 	"clgen/internal/pool"
 	"clgen/internal/telemetry"
@@ -323,8 +324,19 @@ func (m *Model) SampleKernel(rng *rand.Rand, opts SampleOpts) string {
 // from its own RNG derived from (seed, index), so the output is
 // byte-identical for every worker count.
 func (m *Model) SampleMany(seed int64, opts SampleOpts, count, workers int) []string {
-	return pool.Map(workers, count, func(i int) string {
+	out := pool.Map(workers, count, func(i int) string {
 		rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
 		return m.SampleKernel(rng, opts)
 	})
+	attempted := telemetry.Default().Counter("sampler_samples_attempted_total",
+		"Samples drawn from the language model.")
+	attempted.Add(int64(len(out)))
+	// Journal emission after the fan-out, in index order, so the event
+	// stream is deterministic for every worker count.
+	if journal.Enabled() {
+		for i, k := range out {
+			journal.Emit(journal.Event{ID: journal.ID(k), Stage: journal.StageSampled, Item: i})
+		}
+	}
+	return out
 }

@@ -16,6 +16,7 @@ type CLIFlags struct {
 	JSONLog     bool   // -log-json: JSON log encoding
 	MetricsAddr string // -metrics-addr: serve /metrics, /vars, /debug/pprof
 	ReportPath  string // -report: write a RunReport JSON on exit
+	JournalPath string // -journal: append a JSONL provenance journal
 }
 
 // RegisterCLIFlags installs the shared observability flags on fs
@@ -27,8 +28,19 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.BoolVar(&f.JSONLog, "log-json", false, "emit logs as JSON lines")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9090)")
 	fs.StringVar(&f.ReportPath, "report", "", "write a JSON telemetry RunReport to this path on exit")
+	fs.StringVar(&f.JournalPath, "journal", "", "write a per-artifact JSONL provenance journal to this path (analyze with cltrace)")
 	return f
 }
+
+// journalOpener is installed by internal/journal's init (telemetry cannot
+// import journal — journal depends on telemetry for its drop counters).
+// It opens the -journal path, activates the process-global journal, and
+// returns the closer that flushes and deactivates it.
+var journalOpener func(path string) (io.Closer, error)
+
+// SetJournalOpener installs the -journal backend. Called once from
+// internal/journal's init; last writer wins.
+func SetJournalOpener(open func(path string) (io.Closer, error)) { journalOpener = open }
 
 // Runtime is the per-process observability state a binary tears down on
 // exit: the configured default logger, the optional metrics server, and
@@ -40,6 +52,7 @@ type Runtime struct {
 	start     time.Time
 	flags     *CLIFlags
 	summaryW  io.Writer
+	journal   io.Closer
 }
 
 // Start applies the flags: it configures the process-global logger
@@ -61,9 +74,23 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 	SetDefaultLogger(log)
 
 	rt := &Runtime{Component: component, Log: log, start: time.Now(), flags: f, summaryW: os.Stderr}
+	if f.JournalPath != "" {
+		if journalOpener == nil {
+			return nil, fmt.Errorf("telemetry: -journal set but no journal backend is linked in")
+		}
+		j, err := journalOpener(f.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		rt.journal = j
+		log.Info("provenance journal open", "path", f.JournalPath)
+	}
 	if f.MetricsAddr != "" {
 		srv, err := Serve(f.MetricsAddr, Default(), DefaultTracer())
 		if err != nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
 			return nil, err
 		}
 		rt.Server = srv
@@ -76,7 +103,8 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 // Close finishes the run: it prints the stage-tree run summary (unless
 // -quiet or -log-json — the tree is plain text and would corrupt a
 // JSON-lines stream; machine consumers use -report), writes the
-// RunReport when -report is set, and stops the metrics server.
+// RunReport when -report is set, flushes and closes the provenance
+// journal when -journal is set, and stops the metrics server.
 func (rt *Runtime) Close() error {
 	if rt == nil {
 		return nil
@@ -94,6 +122,14 @@ func (rt *Runtime) Close() error {
 			rt.Log.Error("writing run report failed", "path", rt.flags.ReportPath, "err", err)
 		} else {
 			rt.Log.Info("run report written", "path", rt.flags.ReportPath)
+		}
+	}
+	if rt.journal != nil {
+		if err := rt.journal.Close(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			rt.Log.Error("closing provenance journal failed", "err", err)
 		}
 	}
 	if err := rt.Server.Close(); err != nil && firstErr == nil {
