@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke
+.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke lint-suites
 
 check: build vet fmt race
 
@@ -33,12 +33,23 @@ bench:
 # stage-duration histogram baseline future perf PRs diff against.
 # Also records BENCH_parallel.json: serial-vs-parallel wall times of the
 # worker-pool fan-outs (workers=1,2,4) with outputs verified identical.
+# BENCH_analysis.json adds the static analyzer's cost/payoff: rejection-
+# filter throughput with strict mode off vs on, and the dynamic-checker
+# executions the pre-screen eliminates.
 # Stale snapshots are removed first so a failed run cannot leave a
 # previous baseline masquerading as fresh (idempotent re-runs).
 bench-snapshot:
-	rm -f BENCH_telemetry.json BENCH_parallel.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_analysis.json
 	$(GO) test -run=TestMain -bench=. -benchtime=1x
 	BENCH_PARALLEL=1 $(GO) test -run=TestParallelBenchSnapshot .
+	BENCH_ANALYSIS=1 $(GO) test -run=TestAnalysisBenchSnapshot -timeout 30m .
+
+# Static-analyzer false-positive sweep over the seven benchmark suites:
+# cllint exits nonzero if any hand-audited working kernel draws an
+# Error-severity diagnostic (the golden copy of this output lives in
+# internal/analysis/testdata/suites.golden).
+lint-suites:
+	$(GO) run ./cmd/cllint -suites
 
 # End-to-end provenance gate on a tiny deterministic run: two clgen runs
 # with the same seed must diff clean, a perturbed run must trip the gate.

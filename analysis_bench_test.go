@@ -1,0 +1,133 @@
+package clgen_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"clgen/internal/corpus"
+	"clgen/internal/driver"
+	"clgen/internal/experiments"
+	"clgen/internal/github"
+	"clgen/internal/telemetry"
+)
+
+// analysisBenchReport is the BENCH_analysis.json schema: the cost of the
+// static analyzer on the corpus rejection filter (same mined file set,
+// strict mode off vs on) and its payoff on the driver — dynamic checker
+// executions eliminated by the pre-screen over a full reduced campaign.
+type analysisBenchReport struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Filter     []analysisBenchRow  `json:"corpus_filter"`
+	PreScreen  analysisBenchDriver `json:"driver_prescreen"`
+}
+
+type analysisBenchRow struct {
+	Static       bool    `json:"static"`
+	Files        int     `json:"files"`
+	Accepted     int     `json:"accepted"`
+	Seconds      float64 `json:"seconds"`
+	FilesPerSec  float64 `json:"files_per_sec"`
+	StaticReject int     `json:"static_rejected"`
+}
+
+type analysisBenchDriver struct {
+	// Kernel executions over the same reduced campaign with -static-checks
+	// off vs on; the difference is the pipeline-level saving (the sampler's
+	// strict filter stops statically-faulty kernels before the driver).
+	KernelRunsOff int `json:"kernel_runs_static_off"`
+	KernelRunsOn  int `json:"kernel_runs_static_on"`
+	// Direct pre-screen measurement: every kernel the static-off campaign
+	// synthesized, checked once with StaticPreScreen. Skips counts kernels
+	// whose forecast let the driver skip the checker entirely; RunsSaved is
+	// the four-execution budget those skips avoided.
+	Checked        int `json:"prescreen_checked"`
+	PreScreenSkips int `json:"prescreen_skips"`
+	RunsSaved      int `json:"prescreen_runs_saved"`
+}
+
+// TestAnalysisBenchSnapshot measures the static analyzer's filter
+// overhead and pre-screen savings and writes BENCH_analysis.json. Gated
+// behind BENCH_ANALYSIS=1 so plain `go test` stays fast; run via `make
+// bench-snapshot`.
+func TestAnalysisBenchSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_ANALYSIS") == "" {
+		t.Skip("set BENCH_ANALYSIS=1 to record the static-analysis snapshot")
+	}
+	report := analysisBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+
+	// Filter throughput: identical mined input, strict mode off vs on.
+	files := github.Mine(github.MinerConfig{Seed: 3, Repos: 120, FilesPerRepo: 8})
+	for _, static := range []bool{false, true} {
+		start := time.Now()
+		c, err := corpus.BuildEx(files, corpus.BuildOpts{Static: static})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := time.Since(start).Seconds()
+		rejected := 0
+		for reason, n := range c.Stats.Reasons {
+			if len(reason) > 7 && reason[:7] == "static:" {
+				rejected += n
+			}
+		}
+		report.Filter = append(report.Filter, analysisBenchRow{
+			Static: static, Files: len(files), Accepted: c.Stats.AcceptedFiles,
+			Seconds: sec, FilesPerSec: float64(len(files)) / sec, StaticReject: rejected,
+		})
+	}
+
+	// Pre-screen savings: the same reduced campaign with the analyzer off
+	// and on; counter deltas give the dynamic executions eliminated.
+	reg := telemetry.Default()
+	campaign := func(static bool) (*experiments.World, map[string]int64) {
+		cfg := experiments.TestConfig()
+		cfg.Quiet = true
+		cfg.StaticChecks = static
+		before := reg.Snapshot().Counters
+		w, err := experiments.BuildWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := reg.Snapshot().Counters
+		d := map[string]int64{}
+		for name := range after {
+			d[name] = after[name] - before[name]
+		}
+		return w, d
+	}
+	offWorld, off := campaign(false)
+	_, on := campaign(true)
+	report.PreScreen.KernelRunsOff = int(off["driver_kernel_runs_total"])
+	report.PreScreen.KernelRunsOn = int(on["driver_kernel_runs_total"])
+
+	// Direct pre-screen measurement over the static-off campaign's kernel
+	// set — the population a -static-checks cldrive faces.
+	before := reg.Snapshot().Counters
+	for _, src := range offWorld.Synth {
+		k, err := driver.Load(src)
+		if err != nil {
+			continue
+		}
+		report.PreScreen.Checked++
+		driver.Check(k, 256, 1, driver.RunConfig{Static: driver.StaticPreScreen})
+	}
+	after := reg.Snapshot().Counters
+	report.PreScreen.PreScreenSkips = int(after["driver_static_prescreen_skips_total"] -
+		before["driver_static_prescreen_skips_total"])
+	report.PreScreen.RunsSaved = int(after["driver_static_prescreen_runs_saved_total"] -
+		before["driver_static_prescreen_runs_saved_total"])
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_analysis.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "static-analysis bench snapshot written to BENCH_analysis.json")
+}

@@ -16,6 +16,9 @@
 //	cldrive -journal run.jsonl     per-artifact provenance journal (cltrace)
 //	cldrive -workers N             worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
+//	cldrive -static-checks         pre-screen with the static analyzer;
+//	                               statically rejected kernels skip the
+//	                               four dynamic checker executions
 package main
 
 import (
@@ -46,7 +49,7 @@ func main() {
 	}
 
 	code := 0
-	err = drive(rt, *size, *seed, *cap, flag.Args())
+	err = drive(rt, *size, *seed, *cap, tf.StaticChecks, flag.Args())
 	if err == errCheckerRejected {
 		code = 2
 		err = nil
@@ -64,7 +67,7 @@ func main() {
 // dynamic checker) from hard failures.
 var errCheckerRejected = fmt.Errorf("kernel rejected by the dynamic checker")
 
-func drive(rt *telemetry.Runtime, size int, seed int64, cap int, args []string) error {
+func drive(rt *telemetry.Runtime, size int, seed int64, cap int, static bool, args []string) error {
 	var src []byte
 	var err error
 	if len(args) > 0 {
@@ -94,8 +97,16 @@ func drive(rt *telemetry.Runtime, size int, seed int64, cap int, args []string) 
 	fmt.Printf("static features: comp=%d mem=%d localmem=%d coalesced=%d branches=%d\n",
 		k.Static.Comp, k.Static.Mem, k.Static.LocalMem, k.Static.Coalesced, k.Static.Branches)
 
-	res := driver.Check(k, min(size, nonZero(cap, size)), seed, driver.RunConfig{})
-	fmt.Printf("dynamic checker: %s\n", res.Verdict)
+	mode := driver.StaticOff
+	if static {
+		mode = driver.StaticPreScreen
+	}
+	res := driver.Check(k, min(size, nonZero(cap, size)), seed, driver.RunConfig{Static: mode})
+	if res.Static {
+		fmt.Printf("dynamic checker: %s (static pre-screen, not executed)\n", res.Verdict)
+	} else {
+		fmt.Printf("dynamic checker: %s\n", res.Verdict)
+	}
 	if !res.OK() {
 		if res.Err != nil {
 			fmt.Printf("  cause: %v\n", res.Err)

@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = campaign(rt, *run, *scale, *seed, *kernels)
+	err = campaign(rt, *run, *scale, *seed, *kernels, tf.StaticChecks)
 	// Close before exiting so the run summary and -report are written
 	// even when an experiment failed partway.
 	if cerr := rt.Close(); err == nil {
@@ -60,7 +60,7 @@ func main() {
 	}
 }
 
-func campaign(rt *telemetry.Runtime, run, scale string, seed int64, kernels int) error {
+func campaign(rt *telemetry.Runtime, run, scale string, seed int64, kernels int, static bool) error {
 	want := map[string]bool{}
 	if run == "all" {
 		for _, e := range experimentOrder {
@@ -99,6 +99,7 @@ func campaign(rt *telemetry.Runtime, run, scale string, seed int64, kernels int)
 	if scale == "test" {
 		cfg = experiments.TestConfig()
 	}
+	cfg.StaticChecks = static
 	// Progress goes through the structured logger; -quiet already raised
 	// the logger level, so the config hook stays active either way.
 	cfg.Quiet = false

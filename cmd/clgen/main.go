@@ -60,7 +60,7 @@ func main() {
 	}
 
 	err = synthesizer(rt, *mode, *modelF, *repos, *seed, *n, *temp, *backend,
-		*free, *order, *hidden, *layers, *epochs)
+		*free, *order, *hidden, *layers, *epochs, tf.StaticChecks)
 	if cerr := rt.Close(); err == nil {
 		err = cerr
 	}
@@ -70,12 +70,13 @@ func main() {
 }
 
 func synthesizer(rt *telemetry.Runtime, mode, modelF string, repos int, seed int64,
-	n int, temp float64, backend string, free bool, order, hidden, layers, epochs int) error {
+	n int, temp float64, backend string, free bool, order, hidden, layers, epochs int,
+	static bool) error {
 	log := rt.Log
 	switch mode {
 	case "corpus", "stats":
 		files := github.Mine(github.MinerConfig{Seed: seed, Repos: repos, FilesPerRepo: 8})
-		c, err := corpus.Build(files)
+		c, err := corpus.BuildEx(files, corpus.BuildOpts{Static: static})
 		if err != nil {
 			return err
 		}
@@ -87,7 +88,7 @@ func synthesizer(rt *telemetry.Runtime, mode, modelF string, repos int, seed int
 			}
 		}
 	case "train":
-		cfg := coreConfig(repos, seed, backend, order, hidden, layers, epochs)
+		cfg := coreConfig(repos, seed, backend, order, hidden, layers, epochs, static)
 		log.Info("building corpus and training model", "backend", string(cfg.Backend))
 		g, err := core.Build(cfg)
 		if err != nil {
@@ -109,10 +110,10 @@ func synthesizer(rt *telemetry.Runtime, mode, modelF string, repos int, seed int
 			}
 			m = loaded
 		}
-		cfg := coreConfig(repos, seed, backend, order, hidden, layers, epochs)
+		cfg := coreConfig(repos, seed, backend, order, hidden, layers, epochs, static)
 		var g *core.CLgen
 		if m != nil {
-			g = &core.CLgen{Model: m}
+			g = &core.CLgen{Model: m, Static: static}
 		} else {
 			log.Info("building corpus and training model", "backend", string(cfg.Backend))
 			built, err := core.Build(cfg)
@@ -141,13 +142,15 @@ func synthesizer(rt *telemetry.Runtime, mode, modelF string, repos int, seed int
 }
 
 // coreConfig assembles the synthesis configuration from flags.
-func coreConfig(repos int, seed int64, backend string, order, hidden, layers, epochs int) core.Config {
+func coreConfig(repos int, seed int64, backend string, order, hidden, layers, epochs int,
+	static bool) core.Config {
 	return core.Config{
-		Miner:      github.MinerConfig{Seed: seed, Repos: repos, FilesPerRepo: 8},
-		Backend:    core.Backend(backend),
-		NGramOrder: order,
-		LSTMHidden: hidden,
-		LSTMLayers: layers,
+		Miner:        github.MinerConfig{Seed: seed, Repos: repos, FilesPerRepo: 8},
+		Backend:      core.Backend(backend),
+		NGramOrder:   order,
+		LSTMHidden:   hidden,
+		LSTMLayers:   layers,
+		StaticChecks: static,
 		LSTMTrain: nn.TrainConfig{
 			Epochs: epochs, SeqLen: 64, LearnRate: 0.5, DecayEvery: 4,
 			BatchSeqs: 1, Seed: seed,

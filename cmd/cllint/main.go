@@ -1,0 +1,137 @@
+// Command cllint runs the internal/analysis static analyzer (CFG +
+// dataflow over the internal/clc AST) on OpenCL sources and prints
+// file/line diagnostics, one per line:
+//
+//	file.cl:12:5: warning: [unused-arg] A: kernel argument b is never used
+//
+// Usage:
+//
+//	cllint file.cl [file2.cl ...]   lint the named files
+//	cllint                          lint stdin
+//	cllint -suites                  lint the seven built-in benchmark
+//	                                suites (regression baseline; output
+//	                                is deterministic and golden-diffable)
+//
+// Exit status is 0 when no Error-severity diagnostic was found, 1 when
+// at least one input has an Error diagnostic or fails to parse, and 2
+// on usage or I/O failure. Error-severity diagnostics are the ones the
+// strict corpus filter (-static-checks) rejects on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clgen/internal/analysis"
+	"clgen/internal/clc"
+	"clgen/internal/corpus"
+	"clgen/internal/suites"
+)
+
+func main() {
+	var (
+		suitesMode = flag.Bool("suites", false, "lint the built-in benchmark suites instead of files")
+		quiet      = flag.Bool("quiet", false, "suppress the per-input summary on stderr")
+	)
+	flag.Parse()
+
+	var failed bool
+	var err error
+	if *suitesMode {
+		failed = lintSuites(*quiet)
+	} else {
+		failed, err = lintFiles(flag.Args(), *quiet)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cllint:", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintFiles analyzes each named file (stdin when none) and reports
+// whether any input produced an Error diagnostic or failed to parse.
+func lintFiles(paths []string, quiet bool) (failed bool, err error) {
+	if len(paths) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return false, err
+		}
+		return lintSource("<stdin>", string(src), quiet), nil
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return failed, err
+		}
+		if lintSource(path, string(src), quiet) {
+			failed = true
+		}
+	}
+	return failed, nil
+}
+
+// lintSource preprocesses, parses, checks and analyzes one translation
+// unit. The shim preprocessor serves the same header set the corpus
+// filter uses, so cllint sees kernels exactly as the pipeline does.
+func lintSource(prefix, src string, quiet bool) (failed bool) {
+	expanded, err := corpus.ShimPreprocessor().Preprocess(src)
+	if err != nil {
+		fmt.Printf("%s: preprocess error: %v\n", prefix, err)
+		return true
+	}
+	f, err := clc.Parse(expanded)
+	if err != nil {
+		fmt.Printf("%s: parse error: %v\n", prefix, err)
+		return true
+	}
+	if err := clc.Check(f); err != nil {
+		fmt.Printf("%s: check error: %v\n", prefix, err)
+		return true
+	}
+	rep := analysis.Analyze(f)
+	fmt.Print(rep.Render(prefix))
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "%s: %d diagnostics, %d errors\n",
+			prefix, len(rep.Diags), len(rep.Errors()))
+	}
+	return rep.HasErrors()
+}
+
+// lintSuites analyzes every built-in benchmark, prefixing diagnostics
+// with the benchmark ID. Suite sources are pre-expanded, so they parse
+// without the preprocessor; any diagnostic here is a candidate false
+// positive and is golden-checked in CI (make lint-suites).
+func lintSuites(quiet bool) (failed bool) {
+	flagged, errors := 0, 0
+	for _, b := range suites.All() {
+		f, err := clc.Parse(b.Src)
+		if err != nil {
+			fmt.Printf("%s: parse error: %v\n", b.ID(), err)
+			failed = true
+			continue
+		}
+		if err := clc.Check(f); err != nil {
+			fmt.Printf("%s: check error: %v\n", b.ID(), err)
+			failed = true
+			continue
+		}
+		rep := analysis.Analyze(f)
+		fmt.Print(rep.Render(b.ID()))
+		if len(rep.Diags) > 0 {
+			flagged++
+		}
+		if rep.HasErrors() {
+			errors++
+			failed = true
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "suites: %d benchmarks flagged, %d with errors\n", flagged, errors)
+	}
+	return failed
+}

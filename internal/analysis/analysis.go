@@ -1,0 +1,493 @@
+// Package analysis is a static analyzer for the OpenCL C subset accepted
+// by internal/clc. It builds a control-flow graph per function, runs a
+// small forward/backward dataflow framework over it (reaching
+// definitions, liveness, affine-in-G interval propagation), and derives
+// kernel lints that predict §5.2 dynamic-checker outcomes without
+// executing the kernel: statically out-of-bounds buffer accesses under
+// the §5.1 payload contract, barriers in divergent control flow,
+// provably non-terminating loops, kernels that cannot produce output,
+// plus code-quality diagnostics (uninitialized reads, unused arguments,
+// dead statements).
+//
+// The corpus rejection filter consumes Error-severity diagnostics in its
+// opt-in strict mode, and the driver skips the four-execution dynamic
+// checker when a kernel's predicted verdict is already known; see
+// DESIGN.md for the pass-authoring conventions.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"clgen/internal/clc"
+	"clgen/internal/telemetry"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities. Error-level diagnostics reject the kernel in the strict
+// corpus filter; Warn and Info are reported but never reject.
+const (
+	Info Severity = iota
+	Warn
+	Error
+)
+
+// String returns the lint-output spelling.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warn:
+		return "warning"
+	}
+	return "info"
+}
+
+// Predicted §5.2 dynamic-checker verdicts. Values mirror
+// driver.CheckVerdict spellings so journal events from both sides join.
+const (
+	PredictNoOutput   = "no output"
+	PredictRunFailure = "run failure"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      clc.Pos
+	Fn       string // enclosing function; "" for file level
+	Kernel   bool   // Fn is a kernel
+	Lint     string // stable lint identifier, e.g. "oob-index"
+	Severity Severity
+	Msg      string
+	// Predicted is the §5.2 verdict this finding implies ("" when the
+	// finding does not determine dynamic behavior, e.g. uninitialized
+	// reads, which the simulated device defines by zero-initializing).
+	Predicted string
+	// Ops estimates the static instructions a dead statement contributes
+	// (dead-code lint only).
+	Ops int
+}
+
+// Prediction is the checker outcome the analyzer forecasts for a kernel.
+type Prediction struct {
+	Verdict string
+	Lint    string
+	Pos     clc.Pos
+	Why     string
+}
+
+// Report is the result of analyzing one translation unit.
+type Report struct {
+	Diags []Diagnostic
+	// Predictions maps kernel names to forecast checker outcomes; kernels
+	// the analyzer cannot fault are absent.
+	Predictions map[string]Prediction
+	// DeadOps estimates the static instructions contributed by dead
+	// statements across the file (the strict filter subtracts it from the
+	// instruction count before applying the §4.1 threshold).
+	DeadOps int
+}
+
+// HasErrors reports whether any Error-severity diagnostic was found.
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the Error-severity diagnostics.
+func (r *Report) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// PredictedVerdict returns the forecast §5.2 verdict for a kernel, or "".
+func (r *Report) PredictedVerdict(kernel string) string {
+	return r.Predictions[kernel].Verdict
+}
+
+// PrimaryError picks the diagnostic that best explains a strict-filter
+// rejection: the one backing a prediction if any, else the first Error.
+func (r *Report) PrimaryError() *Diagnostic {
+	names := make([]string, 0, len(r.Predictions))
+	for k := range r.Predictions {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		p := r.Predictions[k]
+		for i := range r.Diags {
+			d := &r.Diags[i]
+			if d.Fn == k && d.Lint == p.Lint && d.Pos == p.Pos {
+				return d
+			}
+		}
+	}
+	for i := range r.Diags {
+		if r.Diags[i].Severity == Error {
+			return &r.Diags[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the diagnostics one per line as
+// "prefix:line:col: severity: [lint] fn: message".
+func (r *Report) Render(prefix string) string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString(FormatDiagnostic(prefix, d))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatDiagnostic renders one diagnostic in the cllint line format.
+func FormatDiagnostic(prefix string, d Diagnostic) string {
+	fn := d.Fn
+	if fn == "" {
+		fn = "<file>"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: [%s] %s: %s",
+		prefix, d.Pos.Line, d.Pos.Col, d.Severity, d.Lint, fn, d.Msg)
+}
+
+// fnInfo bundles the per-function artifacts the lints share.
+type fnInfo struct {
+	fn        *clc.FuncDecl
+	st        *symtab
+	g         *Graph
+	ev        *ienv
+	intervals *Result[*istate]
+	assigned  *Result[varset]
+	live      *Result[varset]
+	reachable map[*Block]bool
+	must      map[*Block]bool
+}
+
+// Analyze runs every pass and lint over a checked file. The file must
+// have passed clc.Check (expression types resolved); Analyze never
+// panics on such input, and its output is deterministic.
+func Analyze(f *clc.File) *Report {
+	reg := telemetry.Default()
+	reg.Counter("analysis_files_total", "Translation units analyzed.").Inc()
+	rep := &Report{Predictions: make(map[string]Prediction)}
+	fileVars := fileScope(f)
+
+	var infos []*fnInfo
+	byName := make(map[string]*fnInfo)
+	start := time.Now()
+	for _, fn := range f.Functions() {
+		if fn.Body == nil {
+			continue
+		}
+		info := analyzeFn(fn, fileVars)
+		infos = append(infos, info)
+		byName[fn.Name] = info
+	}
+	observePass(reg, "frontend", time.Since(start))
+
+	// Store summaries are interprocedural: compute them once for the file.
+	stores := storeSummaries(infos, byName)
+
+	start = time.Now()
+	for _, info := range infos {
+		lintUninit(rep, info)
+		lintDead(rep, info)
+		lintInvariantLoops(rep, info)
+		if info.fn.IsKernel {
+			lintUnusedArgs(rep, info)
+			lintBounds(rep, info)
+			lintBarriers(rep, info)
+			lintOutput(rep, info, stores, byName)
+			predict(rep, info)
+		}
+	}
+	observePass(reg, "lints", time.Since(start))
+
+	sort.SliceStable(rep.Diags, func(i, j int) bool {
+		a, b := rep.Diags[i], rep.Diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Lint != b.Lint {
+			return a.Lint < b.Lint
+		}
+		return a.Msg < b.Msg
+	})
+	for _, d := range rep.Diags {
+		reg.Counter(telemetry.Label("analysis_diagnostics_total", "lint", d.Lint),
+			"Diagnostics emitted, by lint.").Inc()
+	}
+	return rep
+}
+
+// analyzeFn runs the shared passes for one function.
+func analyzeFn(fn *clc.FuncDecl, fileVars map[string]*Var) *fnInfo {
+	reg := telemetry.Default()
+	start := time.Now()
+	st := resolveFunc(fn, fileVars)
+	g := BuildCFG(fn)
+	observePass(reg, "cfg", time.Since(start))
+
+	info := &fnInfo{fn: fn, st: st, g: g}
+	info.reachable = make(map[*Block]bool, len(g.Blocks))
+	for _, b := range g.Postorder() {
+		info.reachable[b] = true
+	}
+
+	start = time.Now()
+	info.assigned = possiblyAssigned(g, st)
+	info.live = liveVars(g, st)
+	observePass(reg, "dataflow", time.Since(start))
+
+	start = time.Now()
+	info.ev = newIenv(g, st)
+	info.intervals = info.ev.solveIntervals(g)
+	info.must = mustExec(g, info.ev, info.intervals)
+	observePass(reg, "intervals", time.Since(start))
+	return info
+}
+
+func observePass(reg *telemetry.Registry, pass string, d time.Duration) {
+	reg.Histogram(telemetry.Label("analysis_pass_seconds", "pass", pass),
+		"Wall time per analysis pass.", nil).Observe(d.Seconds())
+}
+
+// addDiag appends a finding for the function under analysis.
+func addDiag(rep *Report, info *fnInfo, d Diagnostic) {
+	d.Fn = info.fn.Name
+	d.Kernel = info.fn.IsKernel
+	rep.Diags = append(rep.Diags, d)
+}
+
+// predict folds a kernel's Error findings into the §5.2 verdict the
+// dynamic checker would reach, in the checker's own order: the no-output
+// precheck fires before any execution, then the four runs can fail.
+func predict(rep *Report, info *fnInfo) {
+	name := info.fn.Name
+	var zeroOut, runFail, noStore *Diagnostic
+	for i := range rep.Diags {
+		d := &rep.Diags[i]
+		if d.Fn != name || d.Severity != Error {
+			continue
+		}
+		switch {
+		case d.Lint == "no-output" && d.Predicted == PredictNoOutput:
+			if strings.Contains(d.Msg, "no output arguments") {
+				if zeroOut == nil {
+					zeroOut = d
+				}
+			} else if noStore == nil {
+				noStore = d
+			}
+		case d.Predicted == PredictRunFailure:
+			if runFail == nil {
+				runFail = d
+			}
+		}
+	}
+	pick := zeroOut
+	if pick == nil {
+		pick = runFail
+	}
+	if pick == nil {
+		pick = noStore
+	}
+	if pick == nil {
+		return
+	}
+	rep.Predictions[name] = Prediction{
+		Verdict: pick.Predicted, Lint: pick.Lint, Pos: pick.Pos, Why: pick.Msg,
+	}
+}
+
+// --- must-execute --------------------------------------------------------
+
+// mustExec computes the blocks that execute on every run of the function.
+// The core is dominance over Exit in a graph augmented with a virtual
+// loop-head -> Exit edge per loop (so non-terminating loops still count
+// as reached); bodies of loops whose entry condition is provably true are
+// then folded in, to fixpoint.
+func mustExec(g *Graph, ev *ienv, intervals *Result[*istate]) map[*Block]bool {
+	heads := make(map[*Block]bool, len(g.Loops))
+	for _, l := range g.Loops {
+		heads[l.Head] = true
+	}
+	succs := func(b *Block) []*Block {
+		if !heads[b] {
+			return b.Succs
+		}
+		out := make([]*Block, 0, len(b.Succs)+1)
+		out = append(out, b.Succs...)
+		return append(out, g.Exit)
+	}
+	idom := dominatorsBy(g, succs)
+
+	must := make(map[*Block]bool)
+	for _, b := range g.Blocks {
+		if _, ok := idom[b]; ok && Dominates(idom, b, g.Exit) {
+			must[b] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, l := range g.Loops {
+			if l.DoWhile || !must[l.Head] || !loopEntered(ev, intervals, l) {
+				continue
+			}
+			backs := backEdgeSources(l)
+			inBody := make(map[*Block]bool, len(l.Body))
+			for _, b := range l.Body {
+				inBody[b] = true
+			}
+			for _, b := range l.Body {
+				if must[b] || !inBody[b] {
+					continue
+				}
+				all := len(backs) > 0
+				for _, bs := range backs {
+					if !Dominates(idom, b, bs) {
+						all = false
+						break
+					}
+				}
+				if all {
+					must[b] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return must
+}
+
+// loopEntered reports whether the loop condition is provably true on the
+// entry edge (so the body runs at least once).
+func loopEntered(ev *ienv, intervals *Result[*istate], l *Loop) bool {
+	if l.Cond == nil {
+		return true
+	}
+	entry := loopEntryState(intervals, l)
+	if entry == nil || entry.bot {
+		return false
+	}
+	return ev.pureTruth(entry, l.Cond) == triTrue
+}
+
+// loopEntryState joins the out states of the head's predecessors outside
+// the loop: the abstract store the first iteration sees.
+func loopEntryState(intervals *Result[*istate], l *Loop) *istate {
+	inBody := make(map[*Block]bool, len(l.Body))
+	for _, b := range l.Body {
+		inBody[b] = true
+	}
+	var entry *istate
+	for _, p := range l.Head.Preds {
+		if inBody[p] || p == l.Head {
+			continue
+		}
+		entry = joinState(entry, intervals.Out[p])
+	}
+	return entry
+}
+
+// backEdgeSources lists the body blocks that jump back to the head.
+func backEdgeSources(l *Loop) []*Block {
+	inBody := make(map[*Block]bool, len(l.Body))
+	for _, b := range l.Body {
+		inBody[b] = true
+	}
+	var out []*Block
+	for _, p := range l.Head.Preds {
+		if inBody[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dominatorsBy computes immediate dominators over an alternative successor
+// relation (used for the augmented must-execute graph).
+func dominatorsBy(g *Graph, succs func(*Block) []*Block) map[*Block]*Block {
+	// Postorder over the augmented graph.
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var order []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		seen[b] = true
+		for _, s := range succs(b) {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		order = append(order, b)
+	}
+	visit(g.Entry)
+	rpo := make([]*Block, len(order))
+	for i, b := range order {
+		rpo[len(order)-1-i] = b
+	}
+	preds := make(map[*Block][]*Block, len(rpo))
+	for _, b := range rpo {
+		for _, s := range succs(b) {
+			if seen[s] {
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := map[*Block]*Block{g.Entry: g.Entry}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var ni *Block
+			for _, p := range preds[b] {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if ni == nil {
+					ni = p
+				} else {
+					ni = intersect(ni, p)
+				}
+			}
+			if ni != nil && idom[b] != ni {
+				idom[b] = ni
+				changed = true
+			}
+		}
+	}
+	return idom
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"clgen/internal/clc"
+)
+
+// This file implements the statically-out-of-bounds access lint. Under
+// the §5.1 payload contract, global and constant pointer arguments
+// reference G-element buffers and local pointer arguments L-element
+// scratch with L <= G, so G is an upper bound on every argument buffer's
+// length; fixed-size arrays have exact lengths. An access is flagged when
+// the interval analysis proves the index out of range for every value
+// (must-executing blocks only) or when an attained endpoint witnesses
+// some execution reaching an out-of-range index.
+
+// bufferBound describes the element count of an indexable object.
+type bufferBound struct {
+	name  string
+	len   bnd  // element-count bound
+	exact bool // len is the exact length, not just an upper bound
+}
+
+// bufferOf resolves the base of an indexed access to a length bound, or
+// ok=false when the length is unknown (private pointers, aliases).
+func (ev *ienv) bufferOf(v *Var) (bufferBound, bool) {
+	if v == nil {
+		return bufferBound{}, false
+	}
+	switch t := v.Type.(type) {
+	case *clc.PointerType:
+		if v.Kind != ParamVar || !ev.isKernel {
+			return bufferBound{}, false
+		}
+		switch t.Space {
+		case clc.Global, clc.Constant:
+			return bufferBound{name: v.Name, len: bAff(1, 0), exact: true}, true
+		case clc.Local:
+			// L-element scratch with L <= G: G remains a valid upper bound.
+			return bufferBound{name: v.Name, len: bAff(1, 0), exact: false}, true
+		}
+	case *clc.ArrayType:
+		return bufferBound{name: v.Name, len: bInt(int64(t.Len)), exact: true}, true
+	}
+	return bufferBound{}, false
+}
+
+// pointerBase peels pointer arithmetic down to a variable, accumulating
+// the element offset: p, p + i, p - i, &p[i], casts that preserve the
+// element size. ok=false when the shape is not recognized.
+func (ev *ienv) pointerBase(s *istate, e clc.Expr) (*Var, ival, bool) {
+	switch x := e.(type) {
+	case *clc.Ident:
+		if v := ev.st.uses[x]; v != nil {
+			return v, constIval(0), true
+		}
+	case *clc.BinaryExpr:
+		if x.Op != clc.ADD && x.Op != clc.SUB {
+			return nil, topIval, false
+		}
+		if isPointerish(x.X.ExprType()) {
+			v, off, ok := ev.pointerBase(s, x.X)
+			if !ok {
+				return nil, topIval, false
+			}
+			d := ev.pureIval(s, x.Y)
+			if x.Op == clc.SUB {
+				d = negIval(d)
+			}
+			return v, addIval(off, d), true
+		}
+		if x.Op == clc.ADD && isPointerish(x.Y.ExprType()) {
+			v, off, ok := ev.pointerBase(s, x.Y)
+			if !ok {
+				return nil, topIval, false
+			}
+			return v, addIval(off, ev.pureIval(s, x.X)), true
+		}
+	case *clc.CastExpr:
+		// Only element-size-preserving casts keep the index unit.
+		if sameElemSize(x.To, x.X.ExprType()) {
+			return ev.pointerBase(s, x.X)
+		}
+	case *clc.UnaryExpr:
+		if x.Op == clc.AND {
+			if ix, ok := x.X.(*clc.IndexExpr); ok {
+				v, off, ok := ev.pointerBase(s, ix.X)
+				if !ok {
+					return nil, topIval, false
+				}
+				return v, addIval(off, ev.pureIval(s, ix.Index)), true
+			}
+			return ev.pointerBase(s, x.X)
+		}
+		if x.Op == clc.MUL {
+			return nil, topIval, false
+		}
+	}
+	return nil, topIval, false
+}
+
+func isPointerish(t clc.Type) bool {
+	switch t.(type) {
+	case *clc.PointerType, *clc.ArrayType:
+		return true
+	}
+	return false
+}
+
+func sameElemSize(a, b clc.Type) bool {
+	pa, ok1 := a.(*clc.PointerType)
+	pb, ok2 := b.(*clc.PointerType)
+	return ok1 && ok2 && pa.Elem.Size() == pb.Elem.Size()
+}
+
+// lintBounds replays the interval analysis over each block with access
+// hooks installed and checks every indexed access against its buffer
+// bound.
+func lintBounds(rep *Report, info *fnInfo) {
+	ev := info.ev
+	seen := make(map[clc.Expr]bool)
+	var curBlk *Block
+
+	report := func(pos clc.Pos, name string, idx ival, buf bufferBound, always bool) {
+		length := fmtBnd(buf.len)
+		if !buf.exact {
+			length = "at most " + length
+		}
+		verb := "goes"
+		if always {
+			verb = "is always"
+		}
+		addDiag(rep, info, Diagnostic{
+			Pos: pos, Lint: "oob-index", Severity: Error, Predicted: PredictRunFailure,
+			Msg: fmt.Sprintf("access to %q %s out of bounds (index %s, length %s)",
+				name, verb, fmtIval(idx), length),
+		})
+	}
+
+	// check classifies one access of idx elements into a buffer.
+	check := func(site clc.Node, key clc.Expr, buf bufferBound, idx ival) {
+		if seen[key] || !info.must[curBlk] {
+			return
+		}
+		alwaysHigh := leqAll(buf.len, idx.lo)
+		alwaysLow := ltAll(idx.hi, bInt(0))
+		attHigh := idx.hiAtt && leqAll(buf.len, idx.hi)
+		attLow := idx.loAtt && ltAll(idx.lo, bInt(0))
+		switch {
+		case alwaysHigh || alwaysLow:
+			seen[key] = true
+			report(site.NodePos(), buf.name, idx, buf, true)
+		case attHigh || attLow:
+			seen[key] = true
+			report(site.NodePos(), buf.name, idx, buf, false)
+		}
+	}
+
+	onAccess := func(e clc.Expr, idx ival, s *istate) {
+		switch x := e.(type) {
+		case *clc.IndexExpr:
+			// Vector element selection has its own width bound.
+			if vt, ok := x.X.ExprType().(*clc.VectorType); ok {
+				name := "vector"
+				if v := ev.st.varOf(x.X); v != nil {
+					name = v.Name
+				}
+				check(x, x, bufferBound{name: name, len: bInt(int64(vt.Len)), exact: true}, idx)
+				return
+			}
+			v, off, ok := ev.pointerBase(s, x.X)
+			if !ok {
+				return
+			}
+			buf, ok := ev.bufferOf(v)
+			if !ok {
+				return
+			}
+			check(x, x, buf, addIval(idx, off))
+		case *clc.UnaryExpr: // *(p + i); idx arrives as top, decompose here
+			v, off, ok := ev.pointerBase(s, x.X)
+			if !ok {
+				return
+			}
+			buf, ok := ev.bufferOf(v)
+			if !ok {
+				return
+			}
+			check(x, x, buf, off)
+		}
+	}
+	onCall := func(x *clc.CallExpr, args []ival, s *istate) {
+		n, ok := clc.VectorWidthOfName(x.Fun)
+		if !ok {
+			return
+		}
+		var offIdx, ptrIdx int
+		if strings.HasPrefix(x.Fun, "vload") {
+			offIdx, ptrIdx = 0, 1
+		} else {
+			offIdx, ptrIdx = 1, 2
+		}
+		if len(x.Args) <= ptrIdx {
+			return
+		}
+		v, base, ok := ev.pointerBase(s, x.Args[ptrIdx])
+		if !ok {
+			return
+		}
+		buf, ok := ev.bufferOf(v)
+		if !ok {
+			return
+		}
+		// vloadN(off, p) touches elements off*N .. off*N + N-1. The N-wide
+		// spread is accessed by one work item, so attainment survives it.
+		span := mulIvalConst(args[offIdx], int64(n))
+		spread := ival{
+			lo: span.lo, hi: addB(span.hi, bInt(int64(n-1))),
+			loAtt: span.loAtt, hiAtt: span.hiAtt,
+		}
+		check(x, x, buf, addIval(spread, base))
+	}
+
+	ev.onAccess, ev.onCall = onAccess, onCall
+	defer func() { ev.onAccess, ev.onCall = nil, nil }()
+	for _, b := range info.g.Blocks {
+		if !blockLive(info, b) {
+			continue
+		}
+		curBlk = b
+		cur := info.intervals.In[b].clone()
+		for _, s := range b.Stmts {
+			ev.execStmt(cur, s)
+		}
+		if b.Cond != nil {
+			ev.exec(cur, b.Cond)
+		}
+	}
+}
+
+// --- rendering -----------------------------------------------------------
+
+// fmtBnd renders an endpoint in terms of G: "G-1", "2*G+3", "7", "+inf".
+func fmtBnd(x bnd) string {
+	switch x.inf {
+	case -1:
+		return "-inf"
+	case +1:
+		return "+inf"
+	}
+	if x.a == 0 {
+		return fmt.Sprintf("%d", x.b)
+	}
+	var g string
+	switch x.a {
+	case 1:
+		g = "G"
+	case -1:
+		g = "-G"
+	default:
+		g = fmt.Sprintf("%d*G", x.a)
+	}
+	switch {
+	case x.b == 0:
+		return g
+	case x.b > 0:
+		return fmt.Sprintf("%s+%d", g, x.b)
+	default:
+		return fmt.Sprintf("%s%d", g, x.b)
+	}
+}
+
+// fmtIval renders an interval: "[0, G-1]", or a bare point value.
+func fmtIval(x ival) string {
+	if x.isPoint() {
+		return fmtBnd(x.lo)
+	}
+	return fmt.Sprintf("[%s, %s]", fmtBnd(x.lo), fmtBnd(x.hi))
+}

@@ -1,0 +1,414 @@
+package analysis
+
+import "clgen/internal/clc"
+
+// This file is the dataflow framework every lint builds on: a generic
+// worklist solver over the CFG, plus the two classic set analyses
+// (reaching definitions and liveness) shared by the uninitialized-read and
+// dead-statement lints. States are opaque to the solver; an analysis
+// supplies boundary state, transfer, join, and equality.
+
+// Direction selects forward or backward propagation.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Analysis describes one dataflow problem over states of type S.
+//
+// The solver treats nil-state (the zero S for pointer-ish states must be
+// distinguishable via Equal) as "not yet computed"; Bottom supplies the
+// identity element of Join.
+type Analysis[S any] struct {
+	Dir    Direction
+	Bottom func() S // identity of Join; state of unreachable blocks
+	Entry  func() S // boundary state at Entry (Forward) or Exit (Backward)
+	// Transfer pushes a state through a whole block (its Stmts and, for
+	// forward analyses, the Cond evaluated at its end).
+	Transfer func(b *Block, in S) S
+	// EdgeTransfer, when non-nil, refines the state flowing along the edge
+	// from -> to (to == from.Succs[edge]). Only used by forward analyses.
+	EdgeTransfer func(from *Block, edge int, out S) S
+	Join         func(a, b S) S
+	Equal        func(a, b S) bool
+	// Widen, when non-nil, is applied in place of plain replacement once a
+	// block's input has been recomputed more than WidenAfter times,
+	// guaranteeing termination on infinite-height domains.
+	Widen      func(old, new S) S
+	WidenAfter int
+}
+
+// Result holds the fixpoint states at block boundaries.
+type Result[S any] struct {
+	In  map[*Block]S // state before the block (program order)
+	Out map[*Block]S // state after the block
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the boundary
+// states. For backward analyses In/Out still refer to program order: In is
+// the state before the block executes (the analysis result flowing out of
+// it), Out the state after it.
+func Solve[S any](g *Graph, a Analysis[S]) *Result[S] {
+	res := &Result[S]{In: make(map[*Block]S), Out: make(map[*Block]S)}
+	order := g.ReversePostorder()
+	if a.Dir == Backward {
+		order = g.Postorder()
+	}
+	reachable := make(map[*Block]bool, len(order))
+	for _, b := range order {
+		reachable[b] = true
+	}
+	for _, b := range g.Blocks {
+		res.In[b] = a.Bottom()
+		res.Out[b] = a.Bottom()
+	}
+	rounds := make(map[*Block]int)
+
+	// deps lists the blocks whose input is recomputed from b's output.
+	deps := func(b *Block) []*Block {
+		if a.Dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	srcs := func(b *Block) []*Block {
+		if a.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	boundary := g.Entry
+	if a.Dir == Backward {
+		boundary = g.Exit
+	}
+
+	inWork := make(map[*Block]bool, len(order))
+	work := make([]*Block, 0, len(order))
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		in := a.Bottom()
+		if b == boundary {
+			in = a.Entry()
+		}
+		for _, p := range srcs(b) {
+			if !reachable[p] {
+				continue
+			}
+			out := res.Out[p]
+			if a.Dir == Forward && a.EdgeTransfer != nil {
+				for ei, s := range p.Succs {
+					if s == b {
+						in = a.Join(in, a.EdgeTransfer(p, ei, out))
+					}
+				}
+				continue
+			}
+			in = a.Join(in, out)
+		}
+		if a.Widen != nil {
+			rounds[b]++
+			if rounds[b] > a.WidenAfter {
+				in = a.Widen(res.In[b], in)
+			}
+		}
+		out := a.Transfer(b, in)
+		changed := !a.Equal(in, res.In[b]) || !a.Equal(out, res.Out[b])
+		res.In[b] = in
+		res.Out[b] = out
+		if changed {
+			for _, d := range deps(b) {
+				if reachable[d] && !inWork[d] {
+					work = append(work, d)
+					inWork[d] = true
+				}
+			}
+		}
+	}
+	// For backward analyses, swap so In/Out follow program order.
+	if a.Dir == Backward {
+		res.In, res.Out = res.Out, res.In
+	}
+	return res
+}
+
+// --- variable sets -------------------------------------------------------
+
+// varset is a persistent-ish set of variables. Sets are treated as
+// immutable by the solvers: operations return new sets when they change
+// anything.
+type varset map[*Var]struct{}
+
+func (s varset) has(v *Var) bool { _, ok := s[v]; return ok }
+
+func (s varset) union(t varset) varset {
+	if len(t) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return t
+	}
+	grew := false
+	for v := range t {
+		if !s.has(v) {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		return s
+	}
+	u := make(varset, len(s)+len(t))
+	for v := range s {
+		u[v] = struct{}{}
+	}
+	for v := range t {
+		u[v] = struct{}{}
+	}
+	return u
+}
+
+func (s varset) with(v *Var) varset {
+	if s.has(v) {
+		return s
+	}
+	u := make(varset, len(s)+1)
+	for w := range s {
+		u[w] = struct{}{}
+	}
+	u[v] = struct{}{}
+	return u
+}
+
+func (s varset) without(v *Var) varset {
+	if !s.has(v) {
+		return s
+	}
+	u := make(varset, len(s))
+	for w := range s {
+		if w != v {
+			u[w] = struct{}{}
+		}
+	}
+	return u
+}
+
+func (s varset) equal(t varset) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for v := range s {
+		if !t.has(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- defs and uses of statements -----------------------------------------
+
+// exprDefs calls def for every variable an expression may assign
+// (assignments, compound assignments, ++/--), and use for every variable
+// it reads (passing the use site). Assignment left-hand sides that are
+// plain identifiers are definitions; any other lvalue shape (a[i], *p,
+// v.x) reads its operands and defines memory, not a variable. Compound
+// assignments and ++/-- both read and write. Callbacks fire in evaluation
+// order, which lets replay-based lints interleave them with state updates.
+func exprDefs(st *symtab, e clc.Expr, def func(*Var), use func(*Var, clc.Expr)) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *clc.Ident:
+		if v := st.uses[x]; v != nil && use != nil {
+			use(v, x)
+		}
+	case *clc.AssignExpr:
+		exprDefs(st, x.Y, def, use)
+		if v := st.varOf(x.X); v != nil {
+			if x.Op != clc.ASSIGN && use != nil {
+				use(v, x.X) // compound assignment reads the old value
+			}
+			if def != nil {
+				def(v)
+			}
+			return
+		}
+		// Member stores (v.x = e) both read and write the variable.
+		if m, ok := x.X.(*clc.MemberExpr); ok {
+			if v := st.varOf(m.X); v != nil {
+				if use != nil {
+					use(v, m.X)
+				}
+				if def != nil {
+					def(v)
+				}
+				return
+			}
+		}
+		exprDefs(st, x.X, def, use)
+	case *clc.UnaryExpr:
+		if x.Op == clc.INC || x.Op == clc.DEC {
+			if v := st.varOf(x.X); v != nil {
+				if use != nil {
+					use(v, x.X)
+				}
+				if def != nil {
+					def(v)
+				}
+				return
+			}
+		}
+		exprDefs(st, x.X, def, use)
+	case *clc.PostfixExpr:
+		if v := st.varOf(x.X); v != nil {
+			if use != nil {
+				use(v, x.X)
+			}
+			if def != nil {
+				def(v)
+			}
+			return
+		}
+		exprDefs(st, x.X, def, use)
+	case *clc.BinaryExpr:
+		exprDefs(st, x.X, def, use)
+		exprDefs(st, x.Y, def, use)
+	case *clc.CondExpr:
+		exprDefs(st, x.Cond, def, use)
+		exprDefs(st, x.A, def, use)
+		exprDefs(st, x.B, def, use)
+	case *clc.CallExpr:
+		for _, a := range x.Args {
+			exprDefs(st, a, def, use)
+		}
+	case *clc.IndexExpr:
+		exprDefs(st, x.X, def, use)
+		exprDefs(st, x.Index, def, use)
+	case *clc.MemberExpr:
+		exprDefs(st, x.X, def, use)
+	case *clc.CastExpr:
+		exprDefs(st, x.X, def, use)
+	case *clc.ArgPack:
+		for _, a := range x.Args {
+			exprDefs(st, a, def, use)
+		}
+	case *clc.InitList:
+		for _, el := range x.Elems {
+			exprDefs(st, el, def, use)
+		}
+	case *clc.SizeofExpr:
+		// sizeof does not evaluate its operand.
+	}
+}
+
+// stmtDefs reports the defs and uses of one leaf statement.
+func stmtDefs(st *symtab, s clc.Stmt, def func(*Var), use func(*Var, clc.Expr)) {
+	switch x := s.(type) {
+	case *clc.DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init != nil {
+				exprDefs(st, d.Init, def, use)
+				if v := declVar(st, d); v != nil && def != nil {
+					def(v)
+				}
+			}
+		}
+	case *clc.ExprStmt:
+		exprDefs(st, x.X, def, use)
+	case *clc.ReturnStmt:
+		if x.X != nil {
+			exprDefs(st, x.X, def, use)
+		}
+	}
+}
+
+// declVar finds the Var created for a block-scope declaration.
+func declVar(st *symtab, d *clc.VarDecl) *Var {
+	for _, v := range st.locals {
+		if v.Decl == d {
+			return v
+		}
+	}
+	return nil
+}
+
+// --- possibly-assigned (may reaching-definitions) ------------------------
+
+// possiblyAssigned solves the forward may-analysis whose state is the set
+// of variables with at least one definition reaching this point. A use of
+// a local that is NOT in the set is a definite uninitialized read: no path
+// from function entry assigns it. Parameters are assigned at entry.
+func possiblyAssigned(g *Graph, st *symtab) *Result[varset] {
+	return Solve(g, Analysis[varset]{
+		Dir:    Forward,
+		Bottom: func() varset { return nil },
+		Entry: func() varset {
+			s := make(varset, len(st.params))
+			for _, p := range st.params {
+				s[p] = struct{}{}
+			}
+			return s
+		},
+		Transfer: func(b *Block, in varset) varset {
+			out := in
+			for _, s := range b.Stmts {
+				stmtDefs(st, s, func(v *Var) { out = out.with(v) }, nil)
+			}
+			if b.Cond != nil {
+				exprDefs(st, b.Cond, func(v *Var) { out = out.with(v) }, nil)
+			}
+			return out
+		},
+		Join:  func(a, b varset) varset { return a.union(b) },
+		Equal: func(a, b varset) bool { return a.equal(b) },
+	})
+}
+
+// liveVars solves backward liveness: In[b] is the set of variables whose
+// value may be read before being overwritten on some path from the start
+// of b.
+func liveVars(g *Graph, st *symtab) *Result[varset] {
+	transfer := func(b *Block, live varset) varset {
+		// live is the state after the block; walk statements backward.
+		if b.Cond != nil {
+			exprDefs(st, b.Cond, nil, func(v *Var, _ clc.Expr) { live = live.with(v) })
+		}
+		for i := len(b.Stmts) - 1; i >= 0; i-- {
+			live = stmtLiveBefore(st, b.Stmts[i], live)
+		}
+		return live
+	}
+	return Solve(g, Analysis[varset]{
+		Dir:      Backward,
+		Bottom:   func() varset { return nil },
+		Entry:    func() varset { return nil },
+		Transfer: transfer,
+		Join:     func(a, b varset) varset { return a.union(b) },
+		Equal:    func(a, b varset) bool { return a.equal(b) },
+	})
+}
+
+// stmtLiveBefore computes liveness immediately before one leaf statement
+// given liveness after it. Definitions of addr-taken variables do not kill
+// (a later read through a pointer may observe them).
+func stmtLiveBefore(st *symtab, s clc.Stmt, after varset) varset {
+	live := after
+	// Kill pure definitions first (backward order: defs kill, then uses gen).
+	stmtDefs(st, s, func(v *Var) {
+		if !v.AddrTaken {
+			live = live.without(v)
+		}
+	}, nil)
+	stmtDefs(st, s, nil, func(v *Var, _ clc.Expr) { live = live.with(v) })
+	return live
+}

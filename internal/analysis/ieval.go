@@ -1,0 +1,585 @@
+package analysis
+
+import (
+	"math"
+
+	"clgen/internal/clc"
+)
+
+// This file runs the interval domain over the CFG: an abstract interpreter
+// for clc expressions (exec applies side effects and returns the value),
+// branch-condition refinement on CFG edges, and structural induction-
+// variable recognition for counted for-loops (which sidesteps the
+// precision loss widening would otherwise inflict on loop counters).
+
+// ienv carries the per-function context of the interval analysis.
+type ienv struct {
+	st       *symtab
+	isKernel bool
+	// facts maps a loop head to the induction facts applied on its
+	// body-entry edge.
+	facts map[*Block][]indFact
+	// condBlocks maps a branch condition expression to its block, letting
+	// structural walks (barrier lint, loop lint) look up interval states.
+	condBlocks map[clc.Expr]*Block
+	// onAccess, when set (bounds-lint replay only), observes every indexed
+	// memory access in evaluation order: e is the *clc.IndexExpr with idx
+	// its evaluated index, or a deref *clc.UnaryExpr (idx is top; the
+	// observer decomposes the pointer arithmetic itself, before side
+	// effects apply).
+	onAccess func(e clc.Expr, idx ival, s *istate)
+	// onCall, when set, observes every call after argument evaluation
+	// (vloadN/vstoreN bounds are checked here).
+	onCall func(x *clc.CallExpr, args []ival, s *istate)
+	// gidCopies / lidCopies are variables whose single definition is a
+	// plain copy of get_global_id(0) / get_local_id(0). In dimension 0
+	// with a zero offset, gid = group*L + lid, so gid >= lid pointwise:
+	// branch refinement transfers lower bounds from lid copies to gid
+	// copies (and upper bounds the other way).
+	gidCopies map[*Var]bool
+	lidCopies map[*Var]bool
+}
+
+// indFact describes one recognized induction variable of a counted loop:
+// inside the body, v ranges over [init, bound] (ends adjusted per op).
+type indFact struct {
+	v          *Var
+	initE      clc.Expr
+	boundE     clc.Expr
+	includeEnd bool // LEQ / GEQ comparison
+	up         bool
+	step       int64
+	hasExit    bool // loop has break/return: final value may not be reached
+}
+
+// trackable reports whether the interval analysis models the variable.
+func trackable(v *Var) bool {
+	if v == nil || v.AddrTaken || v.Kind == FileVar {
+		return false
+	}
+	return isIntScalar(v.Type)
+}
+
+func isIntScalar(t clc.Type) bool {
+	s, ok := t.(*clc.ScalarType)
+	return ok && s.Kind.IsInteger()
+}
+
+func isUnsignedScalar(t clc.Type) bool {
+	s, ok := t.(*clc.ScalarType)
+	return ok && s.Kind.IsUnsigned()
+}
+
+// newIenv prepares the interval context for one function.
+func newIenv(g *Graph, st *symtab) *ienv {
+	ev := &ienv{
+		st:         st,
+		isKernel:   g.Fn.IsKernel,
+		facts:      make(map[*Block][]indFact),
+		condBlocks: make(map[clc.Expr]*Block),
+		gidCopies:  make(map[*Var]bool),
+		lidCopies:  make(map[*Var]bool),
+	}
+	ev.findWorkItemCopies(g.Fn)
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			ev.condBlocks[b.Cond] = b
+		}
+	}
+	for _, l := range g.Loops {
+		if f, ok := ev.induction(st, l); ok {
+			ev.facts[l.Head] = append(ev.facts[l.Head], f)
+		}
+	}
+	return ev
+}
+
+// findWorkItemCopies records the variables whose single definition in the
+// function (counting the implicit zero of an initializer-less declaration)
+// is a plain copy of get_global_id(0) or get_local_id(0). Such variables
+// are exactly the builtin value on every path, which lets branch
+// refinement exploit the gid >= lid invariant across them.
+func (ev *ienv) findWorkItemCopies(fn *clc.FuncDecl) {
+	if fn == nil || fn.Body == nil {
+		return
+	}
+	defs := make(map[*Var]int)
+	rhs := make(map[*Var]clc.Expr)
+	note := func(v *Var, e clc.Expr) {
+		if v == nil {
+			return
+		}
+		defs[v]++
+		rhs[v] = e
+	}
+	clc.Walk(fn.Body, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.DeclStmt:
+			for _, d := range x.Decls {
+				note(declVar(ev.st, d), d.Init)
+			}
+		case *clc.AssignExpr:
+			var e clc.Expr
+			if x.Op == clc.ASSIGN {
+				e = x.Y
+			}
+			note(ev.st.varOf(x.X), e)
+		case *clc.UnaryExpr:
+			if x.Op == clc.INC || x.Op == clc.DEC {
+				note(ev.st.varOf(x.X), nil)
+			}
+		case *clc.PostfixExpr:
+			note(ev.st.varOf(x.X), nil)
+		}
+		return true
+	})
+	for v, n := range defs {
+		if n != 1 || !trackable(v) {
+			continue
+		}
+		switch workItemCall(rhs[v]) {
+		case "get_global_id":
+			ev.gidCopies[v] = true
+		case "get_local_id":
+			ev.lidCopies[v] = true
+		}
+	}
+}
+
+// workItemCall reports which dimension-0 work-item query an expression is
+// ("get_global_id" or "get_local_id"), or "" for anything else. Casts to
+// at-least-32-bit integer types are looked through: both builtins return
+// values in [0, G-1], which such casts preserve.
+func workItemCall(e clc.Expr) string {
+	for {
+		c, ok := e.(*clc.CastExpr)
+		if !ok {
+			break
+		}
+		if s, ok := c.To.(*clc.ScalarType); !ok || !s.Kind.IsInteger() || s.Kind.Bits() < 32 {
+			return ""
+		}
+		e = c.X
+	}
+	c, ok := e.(*clc.CallExpr)
+	if !ok || len(c.Args) != 1 {
+		return ""
+	}
+	lit, ok := c.Args[0].(*clc.IntLit)
+	if !ok || lit.Value != 0 {
+		return ""
+	}
+	if c.Fun == "get_global_id" || c.Fun == "get_local_id" {
+		return c.Fun
+	}
+	return ""
+}
+
+// entryState is the abstract store at function entry: under the §5.1
+// contract every integral scalar argument of a kernel holds G.
+func (ev *ienv) entryState() *istate {
+	s := &istate{m: make(map[*Var]ival)}
+	if !ev.isKernel {
+		return s
+	}
+	for _, p := range ev.st.params {
+		if trackable(p) {
+			s.set(p, ival{lo: bAff(1, 0), hi: bAff(1, 0), loAtt: true, hiAtt: true, dense: true})
+		}
+	}
+	return s
+}
+
+// solveIntervals runs the interval analysis over the CFG.
+func (ev *ienv) solveIntervals(g *Graph) *Result[*istate] {
+	return Solve(g, Analysis[*istate]{
+		Dir:    Forward,
+		Bottom: botState,
+		Entry:  ev.entryState,
+		Transfer: func(b *Block, in *istate) *istate {
+			if in == nil || in.bot {
+				return botState()
+			}
+			s := in.clone()
+			for _, st := range b.Stmts {
+				ev.execStmt(s, st)
+			}
+			if b.Cond != nil {
+				ev.exec(s, b.Cond)
+			}
+			return s
+		},
+		EdgeTransfer: func(from *Block, edge int, out *istate) *istate {
+			if out == nil || out.bot {
+				return botState()
+			}
+			if from.Cond == nil || from.IsSwitch {
+				return out
+			}
+			s := ev.refine(out.clone(), from.Cond, edge == 0)
+			if edge == 0 {
+				for _, f := range ev.facts[from] {
+					if s.bot {
+						break
+					}
+					s.set(f.v, ev.factIval(s, f))
+				}
+			}
+			return s
+		},
+		Join:       joinState,
+		Equal:      equalState,
+		Widen:      widenState,
+		WidenAfter: 2,
+	})
+}
+
+func (ev *ienv) execStmt(s *istate, st clc.Stmt) {
+	switch x := st.(type) {
+	case *clc.DeclStmt:
+		for _, d := range x.Decls {
+			v := declVar(ev.st, d)
+			var iv ival
+			if d.Init != nil {
+				iv = ev.exec(s, d.Init)
+			} else {
+				// The simulated device zero-initializes locals, so this is
+				// the value an uninitialized read observes.
+				iv = constIval(0)
+			}
+			if trackable(v) {
+				s.set(v, iv)
+			}
+		}
+	case *clc.ExprStmt:
+		ev.exec(s, x.X)
+	case *clc.ReturnStmt:
+		if x.X != nil {
+			ev.exec(s, x.X)
+		}
+	}
+}
+
+// exec abstractly evaluates an expression, applying its side effects to s
+// and returning the interval of its value. Non-integer expressions return
+// top.
+func (ev *ienv) exec(s *istate, e clc.Expr) ival {
+	switch x := e.(type) {
+	case nil:
+		return topIval
+	case *clc.IntLit:
+		return constIval(x.Value)
+	case *clc.CharLit:
+		return constIval(x.Value)
+	case *clc.Ident:
+		return ev.identIval(s, x)
+	case *clc.BinaryExpr:
+		return ev.execBinary(s, x)
+	case *clc.AssignExpr:
+		yv := ev.exec(s, x.Y)
+		if v := ev.st.varOf(x.X); v != nil {
+			nv := yv
+			if x.Op != clc.ASSIGN {
+				nv = ev.binop(compoundOp(x.Op), s.get(v), yv, x.ExprType())
+			}
+			if trackable(v) {
+				s.set(v, nv)
+			}
+			return nv
+		}
+		ev.exec(s, x.X) // lvalue subexpression side effects (a[i++] = ...)
+		return yv
+	case *clc.UnaryExpr:
+		switch x.Op {
+		case clc.INC, clc.DEC:
+			return ev.incdec(s, x.X, x.Op, false)
+		case clc.SUB:
+			return negIval(ev.exec(s, x.X))
+		case clc.ADD:
+			return ev.exec(s, x.X)
+		case clc.NOT:
+			return triIval(triNot(ev.truthOf(s, x.X)))
+		case clc.BNOT:
+			return negIval(addIval(ev.exec(s, x.X), constIval(1)))
+		default: // deref, address-of
+			if x.Op == clc.MUL && ev.onAccess != nil {
+				ev.onAccess(x, topIval, s)
+			}
+			ev.exec(s, x.X)
+			return topIval
+		}
+	case *clc.PostfixExpr:
+		return ev.incdec(s, x.X, x.Op, true)
+	case *clc.CondExpr:
+		ev.truthOf(s, x.Cond) // apply the condition's side effects
+		// Each arm sees the state refined by its branch; a provably dead
+		// arm (bottom) is skipped entirely, so replay observers never see
+		// accesses that cannot execute.
+		sa := ev.refine(s.clone(), x.Cond, true)
+		sb := ev.refine(s.clone(), x.Cond, false)
+		av, bv := topIval, topIval
+		if !sa.bot {
+			av = ev.exec(sa, x.A)
+		}
+		if !sb.bot {
+			bv = ev.exec(sb, x.B)
+		}
+		switch {
+		case sa.bot && sb.bot:
+			s.replace(botState())
+			return topIval
+		case sb.bot:
+			s.replace(sa)
+			return av
+		case sa.bot:
+			s.replace(sb)
+			return bv
+		}
+		s.replace(joinState(sa, sb))
+		return joinIval(av, bv)
+	case *clc.CallExpr:
+		args := make([]ival, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ev.exec(s, a)
+		}
+		if ev.onCall != nil {
+			ev.onCall(x, args, s)
+		}
+		return ev.callIval(x, args)
+	case *clc.IndexExpr:
+		ev.exec(s, x.X)
+		idx := ev.exec(s, x.Index)
+		if ev.onAccess != nil {
+			ev.onAccess(x, idx, s)
+		}
+		return topIval
+	case *clc.MemberExpr:
+		ev.exec(s, x.X)
+		return topIval
+	case *clc.CastExpr:
+		v := ev.exec(s, x.X)
+		return castIval(v, x.To)
+	case *clc.ArgPack:
+		for _, a := range x.Args {
+			ev.exec(s, a)
+		}
+		return topIval
+	case *clc.InitList:
+		for _, el := range x.Elems {
+			ev.exec(s, el)
+		}
+		return topIval
+	case *clc.SizeofExpr:
+		if x.Type != nil {
+			return constIval(int64(x.Type.Size()))
+		}
+		if x.X != nil && x.X.ExprType() != nil {
+			return constIval(int64(x.X.ExprType().Size()))
+		}
+		return topIval
+	default:
+		return topIval
+	}
+}
+
+func (ev *ienv) incdec(s *istate, operand clc.Expr, op clc.TokenKind, postfix bool) ival {
+	delta := constIval(1)
+	if op == clc.DEC {
+		delta = constIval(-1)
+	}
+	if v := ev.st.varOf(operand); v != nil && trackable(v) {
+		old := s.get(v)
+		nv := addIval(old, delta)
+		s.set(v, nv)
+		if postfix {
+			return old
+		}
+		return nv
+	}
+	ev.exec(s, operand)
+	return topIval
+}
+
+func (ev *ienv) identIval(s *istate, x *clc.Ident) ival {
+	if v := ev.st.uses[x]; v != nil {
+		if trackable(v) {
+			return s.get(v)
+		}
+		// Constant file-scope declarations with literal initializers.
+		if v.Kind == FileVar && v.Decl != nil && v.Decl.IsConst {
+			if lit, ok := v.Decl.Init.(*clc.IntLit); ok {
+				return constIval(lit.Value)
+			}
+		}
+		return topIval
+	}
+	if f, ok := clc.PredeclaredValue(x.Name); ok {
+		if f == math.Trunc(f) && math.Abs(f) < 1<<31 {
+			return constIval(int64(f))
+		}
+	}
+	return topIval
+}
+
+// compoundOp maps a compound-assignment token to its binary operator.
+func compoundOp(op clc.TokenKind) clc.TokenKind {
+	switch op {
+	case clc.ADDASSIGN:
+		return clc.ADD
+	case clc.SUBASSIGN:
+		return clc.SUB
+	case clc.MULASSIGN:
+		return clc.MUL
+	case clc.DIVASSIGN:
+		return clc.DIV
+	case clc.REMASSIGN:
+		return clc.REM
+	case clc.ANDASSIGN:
+		return clc.AND
+	case clc.ORASSIGN:
+		return clc.OR
+	case clc.XORASSIGN:
+		return clc.XOR
+	case clc.SHLASSIGN:
+		return clc.SHL
+	case clc.SHRASSIGN:
+		return clc.SHR
+	}
+	return op
+}
+
+func (ev *ienv) execBinary(s *istate, x *clc.BinaryExpr) ival {
+	switch x.Op {
+	case clc.LAND, clc.LOR:
+		lt := ev.truthOf(s, x.X)
+		sr := s.clone()
+		rt := ev.truthOf(sr, x.Y) // short-circuit: Y's effects are conditional
+		s.replace(joinState(s, sr))
+		if x.Op == clc.LAND {
+			return triIval(triAnd(lt, rt))
+		}
+		return triIval(triOr(lt, rt))
+	}
+	xv := ev.exec(s, x.X)
+	yv := ev.exec(s, x.Y)
+	return ev.binop(x.Op, xv, yv, x.ExprType())
+}
+
+func (ev *ienv) binop(op clc.TokenKind, xv, yv ival, t clc.Type) ival {
+	switch op {
+	case clc.ADD:
+		return addIval(xv, yv)
+	case clc.SUB:
+		r := subIval(xv, yv)
+		// Unsigned subtraction wraps; a possibly-negative model value
+		// means the real value may be huge instead.
+		if t != nil && isUnsignedScalar(t) && !leqAll(bInt(0), r.lo) {
+			return topIval
+		}
+		return r
+	case clc.MUL:
+		return mulIval(xv, yv)
+	case clc.DIV:
+		if yv.isPoint() && yv.lo.a == 0 && yv.lo.b > 0 {
+			return divIval(xv, yv.lo.b)
+		}
+		return topIval
+	case clc.REM:
+		if yv.isPoint() && yv.lo.a == 0 {
+			return remIval(xv, yv.lo.b)
+		}
+		if leqAll(bInt(0), xv.lo) && ltAll(bInt(0), yv.lo) && yv.hi.isFin() {
+			return ival{lo: bInt(0), hi: addB(yv.hi, bInt(-1))}
+		}
+		return topIval
+	case clc.SHL:
+		if yv.isPoint() && yv.lo.a == 0 && yv.lo.b >= 0 && yv.lo.b <= 30 {
+			return mulIvalConst(xv, int64(1)<<uint(yv.lo.b))
+		}
+		return topIval
+	case clc.SHR:
+		if yv.isPoint() && yv.lo.a == 0 && yv.lo.b >= 0 && yv.lo.b <= 62 {
+			return divIval(xv, int64(1)<<uint(yv.lo.b))
+		}
+		return topIval
+	case clc.AND:
+		if leqAll(bInt(0), xv.lo) && leqAll(bInt(0), yv.lo) {
+			hi := xv.hi
+			if leqAll(yv.hi, hi) {
+				hi = yv.hi
+			}
+			return ival{lo: bInt(0), hi: hi}
+		}
+		return topIval
+	case clc.OR, clc.XOR:
+		if leqAll(bInt(0), xv.lo) && leqAll(bInt(0), yv.lo) {
+			return ival{lo: bInt(0), hi: addB(xv.hi, yv.hi)}.norm()
+		}
+		return topIval
+	case clc.LT, clc.LEQ, clc.GT, clc.GEQ, clc.EQ, clc.NEQ:
+		return triIval(cmpTri(op, xv, yv))
+	}
+	return topIval
+}
+
+// triIval maps a decided truth value to {0}, {1}, or [0,1].
+func triIval(t tri) ival {
+	switch t {
+	case triTrue:
+		return constIval(1)
+	case triFalse:
+		return constIval(0)
+	}
+	return ival{lo: bInt(0), hi: bInt(1)}
+}
+
+// truthOf evaluates an expression as a branch condition.
+func (ev *ienv) truthOf(s *istate, e clc.Expr) tri {
+	switch x := e.(type) {
+	case *clc.BinaryExpr:
+		switch x.Op {
+		case clc.LAND:
+			lt := ev.truthOf(s, x.X)
+			sr := s.clone()
+			rt := ev.truthOf(sr, x.Y)
+			s.replace(joinState(s, sr))
+			return triAnd(lt, rt)
+		case clc.LOR:
+			lt := ev.truthOf(s, x.X)
+			sr := s.clone()
+			rt := ev.truthOf(sr, x.Y)
+			s.replace(joinState(s, sr))
+			return triOr(lt, rt)
+		}
+	case *clc.UnaryExpr:
+		if x.Op == clc.NOT {
+			return triNot(ev.truthOf(s, x.X))
+		}
+	}
+	return ivalTruth(ev.exec(s, e))
+}
+
+// pureTruth evaluates a condition without letting its side effects leak
+// into the caller's state.
+func (ev *ienv) pureTruth(s *istate, e clc.Expr) tri {
+	return ev.truthOf(s.clone(), e)
+}
+
+// pureIval evaluates an expression without mutating s.
+func (ev *ienv) pureIval(s *istate, e clc.Expr) ival {
+	return ev.exec(s.clone(), e)
+}
+
+// castIval models integer conversions: same-or-widening casts keep the
+// interval, everything else degrades to top (truncation and unsigned
+// reinterpretation can move values arbitrarily).
+func castIval(v ival, to clc.Type) ival {
+	st, ok := to.(*clc.ScalarType)
+	if !ok || !st.Kind.IsInteger() {
+		return topIval
+	}
+	if st.Kind.Bits() >= 32 && (!st.Kind.IsUnsigned() || leqAll(bInt(0), v.lo)) {
+		return v
+	}
+	return topIval
+}

@@ -1,0 +1,460 @@
+package analysis
+
+import "clgen/internal/clc"
+
+// This file implements the constant-range propagation pass: an abstract
+// interpretation over intervals whose bounds are affine in G, the run's
+// global work size. The §5.1 payload contract makes G pervasive — global
+// buffers hold G elements, integral scalar arguments receive the value G,
+// and get_global_id(0) ranges over [0, G-1] — so affine-in-G bounds are
+// exactly what is needed to prove buffer accesses in or out of range.
+//
+// Soundness direction: bounds are over-approximations valid for every
+// G >= 1. The attainment bits (loAtt/hiAtt) carry the opposite,
+// under-approximating claim — "some work item of some execution reaches
+// this endpoint" — which the out-of-bounds lint needs before it may turn
+// a possible violation into a definite verdict. dense additionally claims
+// every integer in the interval is attained, which lets branch refinement
+// preserve attainment.
+
+// bnd is one interval endpoint: a*G + b, or +-infinity.
+type bnd struct {
+	inf int8 // -1, 0, +1
+	a   int64
+	b   int64
+}
+
+var (
+	negInf = bnd{inf: -1}
+	posInf = bnd{inf: +1}
+)
+
+// bndLimit keeps coefficient growth (and with it, overflow) in check;
+// bounds beyond it degrade to infinity.
+const bndLimit = int64(1) << 40
+
+func bInt(c int64) bnd    { return bnd{b: c} }
+func bAff(a, b int64) bnd { return bnd{a: a, b: b} }
+
+func (x bnd) isFin() bool { return x.inf == 0 }
+
+func bndEq(x, y bnd) bool { return x == y }
+
+// addB adds two endpoints of the same side (never +inf with -inf).
+func addB(x, y bnd) bnd {
+	if x.inf != 0 {
+		return x
+	}
+	if y.inf != 0 {
+		return y
+	}
+	return bnd{a: x.a + y.a, b: x.b + y.b}
+}
+
+func negB(x bnd) bnd {
+	if x.inf != 0 {
+		return bnd{inf: -x.inf}
+	}
+	return bnd{a: -x.a, b: -x.b}
+}
+
+func mulB(x bnd, c int64) bnd {
+	if c == 0 {
+		return bnd{}
+	}
+	if x.inf != 0 {
+		if c < 0 {
+			return bnd{inf: -x.inf}
+		}
+		return x
+	}
+	return bnd{a: x.a * c, b: x.b * c}
+}
+
+// leqAll reports x <= y for every G >= 1.
+func leqAll(x, y bnd) bool {
+	if x.inf == -1 || y.inf == +1 {
+		return true
+	}
+	if x.inf == +1 || y.inf == -1 {
+		return false
+	}
+	da, db := y.a-x.a, y.b-x.b
+	// da*G + db >= 0 for all G >= 1 iff da >= 0 and da+db >= 0.
+	return da >= 0 && da+db >= 0
+}
+
+// ltAll reports x < y (strictly) for every G >= 1.
+func ltAll(x, y bnd) bool {
+	if x.inf == +1 || y.inf == -1 {
+		return false
+	}
+	if x.inf == -1 || y.inf == +1 {
+		return true
+	}
+	da, db := y.a-x.a, y.b-x.b
+	return da >= 0 && da+db >= 1
+}
+
+// minB/maxB pick an endpoint when the two are comparable; ok is false when
+// neither direction is provable (the caller keeps a safe default).
+func minB(x, y bnd) (bnd, bool) {
+	if leqAll(x, y) {
+		return x, true
+	}
+	if leqAll(y, x) {
+		return y, true
+	}
+	return bnd{}, false
+}
+
+func maxB(x, y bnd) (bnd, bool) {
+	if leqAll(y, x) {
+		return x, true
+	}
+	if leqAll(x, y) {
+		return y, true
+	}
+	return bnd{}, false
+}
+
+// ival is an interval with attainment tracking.
+type ival struct {
+	lo, hi       bnd
+	loAtt, hiAtt bool
+	dense        bool
+}
+
+var topIval = ival{lo: negInf, hi: posInf}
+
+func constIval(c int64) ival {
+	return ival{lo: bInt(c), hi: bInt(c), loAtt: true, hiAtt: true, dense: true}
+}
+
+func (x ival) isTop() bool { return x.lo.inf == -1 && x.hi.inf == +1 }
+
+func (x ival) isPoint() bool { return x.lo.inf == 0 && bndEq(x.lo, x.hi) }
+
+// norm degrades out-of-range coefficients to infinity so interval
+// arithmetic cannot overflow int64 in any realistic program.
+func (x ival) norm() ival {
+	big := func(e bnd) bool {
+		return e.inf == 0 && (e.a > bndLimit || e.a < -bndLimit || e.b > bndLimit || e.b < -bndLimit)
+	}
+	if big(x.lo) {
+		x.lo, x.loAtt, x.dense = negInf, false, false
+	}
+	if big(x.hi) {
+		x.hi, x.hiAtt, x.dense = posInf, false, false
+	}
+	return x
+}
+
+// joinIval is the interval hull.
+func joinIval(x, y ival) ival {
+	var r ival
+	if lo, ok := minB(x.lo, y.lo); ok {
+		r.lo = lo
+		r.loAtt = (bndEq(lo, x.lo) && x.loAtt) || (bndEq(lo, y.lo) && y.loAtt)
+	} else {
+		r.lo = negInf
+	}
+	if hi, ok := maxB(x.hi, y.hi); ok {
+		r.hi = hi
+		r.hiAtt = (bndEq(hi, x.hi) && x.hiAtt) || (bndEq(hi, y.hi) && y.hiAtt)
+	} else {
+		r.hi = posInf
+	}
+	// The union of two dense overlapping-or-adjacent ranges is dense.
+	if x.dense && y.dense &&
+		leqAll(x.lo, addB(y.hi, bInt(1))) && leqAll(y.lo, addB(x.hi, bInt(1))) {
+		r.dense = true
+	}
+	return r
+}
+
+// widenIval jumps unstable endpoints to infinity.
+func widenIval(old, new ival) ival {
+	r := new
+	if !leqAll(old.lo, new.lo) {
+		r.lo, r.loAtt, r.dense = negInf, false, false
+	}
+	if !leqAll(new.hi, old.hi) {
+		r.hi, r.hiAtt, r.dense = posInf, false, false
+	}
+	return r
+}
+
+func addIval(x, y ival) ival {
+	r := ival{lo: addB(x.lo, y.lo), hi: addB(x.hi, y.hi)}
+	// Endpoint attainment survives addition only when at most one operand
+	// varies: two correlated non-constant operands need not reach their
+	// extremes in the same execution.
+	onePoint := x.isPoint() || y.isPoint()
+	r.loAtt = x.loAtt && y.loAtt && onePoint
+	r.hiAtt = x.hiAtt && y.hiAtt && onePoint
+	r.dense = (x.dense && y.isPoint()) || (y.dense && x.isPoint())
+	return r.norm()
+}
+
+func negIval(x ival) ival {
+	return ival{lo: negB(x.hi), hi: negB(x.lo), loAtt: x.hiAtt, hiAtt: x.loAtt, dense: x.dense}
+}
+
+func subIval(x, y ival) ival { return addIval(x, negIval(y)) }
+
+func mulIvalConst(x ival, c int64) ival {
+	if c == 0 {
+		return constIval(0)
+	}
+	var r ival
+	if c > 0 {
+		r = ival{lo: mulB(x.lo, c), hi: mulB(x.hi, c), loAtt: x.loAtt, hiAtt: x.hiAtt}
+	} else {
+		r = ival{lo: mulB(x.hi, c), hi: mulB(x.lo, c), loAtt: x.hiAtt, hiAtt: x.loAtt}
+	}
+	r.dense = x.dense && (c == 1 || c == -1)
+	return r.norm()
+}
+
+func mulIval(x, y ival) ival {
+	if x.isPoint() && x.lo.a == 0 {
+		return mulIvalConst(y, x.lo.b)
+	}
+	if y.isPoint() && y.lo.a == 0 {
+		return mulIvalConst(x, y.lo.b)
+	}
+	// Non-constant x non-constant products are quadratic in G; only the
+	// sign survives.
+	if leqAll(bInt(0), x.lo) && leqAll(bInt(0), y.lo) {
+		return ival{lo: bInt(0), hi: posInf}
+	}
+	return topIval
+}
+
+// divIval implements C truncating division by a positive constant: the
+// magnitude never grows, so the operand's bounds remain valid.
+func divIval(x ival, c int64) ival {
+	if c == 1 {
+		return x
+	}
+	r := x
+	if leqAll(bInt(0), x.lo) {
+		r.lo = bInt(0)
+	}
+	r.loAtt, r.hiAtt, r.dense = false, false, false
+	return r
+}
+
+func remIval(x ival, c int64) ival {
+	if c <= 0 {
+		return topIval
+	}
+	if leqAll(bInt(0), x.lo) {
+		return ival{lo: bInt(0), hi: bInt(c - 1)}
+	}
+	return ival{lo: bInt(-(c - 1)), hi: bInt(c - 1)}
+}
+
+// --- tri-state booleans --------------------------------------------------
+
+type tri int
+
+// Tri-state truth values for statically evaluated conditions.
+const (
+	triUnknown tri = iota
+	triTrue
+	triFalse
+)
+
+func triNot(t tri) tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	}
+	return triUnknown
+}
+
+func triAnd(a, b tri) tri {
+	if a == triFalse || b == triFalse {
+		return triFalse
+	}
+	if a == triTrue && b == triTrue {
+		return triTrue
+	}
+	return triUnknown
+}
+
+func triOr(a, b tri) tri {
+	if a == triTrue || b == triTrue {
+		return triTrue
+	}
+	if a == triFalse && b == triFalse {
+		return triFalse
+	}
+	return triUnknown
+}
+
+// cmpTri statically decides x OP y over intervals, for every execution and
+// every G >= 1.
+func cmpTri(op clc.TokenKind, x, y ival) tri {
+	switch op {
+	case clc.LT:
+		if ltAll(x.hi, y.lo) {
+			return triTrue
+		}
+		if leqAll(y.hi, x.lo) {
+			return triFalse
+		}
+	case clc.LEQ:
+		if leqAll(x.hi, y.lo) {
+			return triTrue
+		}
+		if ltAll(y.hi, x.lo) {
+			return triFalse
+		}
+	case clc.GT:
+		return cmpTri(clc.LT, y, x)
+	case clc.GEQ:
+		return cmpTri(clc.LEQ, y, x)
+	case clc.EQ:
+		if x.isPoint() && y.isPoint() && bndEq(x.lo, y.lo) {
+			return triTrue
+		}
+		if ltAll(x.hi, y.lo) || ltAll(y.hi, x.lo) {
+			return triFalse
+		}
+	case clc.NEQ:
+		return triNot(cmpTri(clc.EQ, x, y))
+	}
+	return triUnknown
+}
+
+// ivalTruth decides whether a scalar interval is definitely nonzero or
+// definitely zero.
+func ivalTruth(x ival) tri {
+	if x.isPoint() && x.lo.a == 0 && x.lo.b == 0 {
+		return triFalse
+	}
+	if ltAll(bInt(0), x.lo) || ltAll(x.hi, bInt(0)) {
+		return triTrue
+	}
+	return triUnknown
+}
+
+// --- interval state ------------------------------------------------------
+
+// istate is the abstract store: tracked variable -> interval. Variables
+// absent from the map are unconstrained (top). bot marks unreachable
+// states (the identity of join).
+type istate struct {
+	bot bool
+	m   map[*Var]ival
+}
+
+func botState() *istate { return &istate{bot: true} }
+
+func (s *istate) clone() *istate {
+	if s.bot {
+		return botState()
+	}
+	n := &istate{m: make(map[*Var]ival, len(s.m))}
+	for v, iv := range s.m {
+		n.m[v] = iv
+	}
+	return n
+}
+
+func (s *istate) get(v *Var) ival {
+	if s.bot {
+		return topIval
+	}
+	if iv, ok := s.m[v]; ok {
+		return iv
+	}
+	return topIval
+}
+
+// replace overwrites s with the contents of o (used to merge the
+// conditionally executed arms of ternaries and short-circuit operators).
+func (s *istate) replace(o *istate) {
+	if o == nil {
+		s.bot, s.m = true, nil
+		return
+	}
+	s.bot, s.m = o.bot, o.m
+}
+
+func (s *istate) set(v *Var, iv ival) {
+	if s.bot {
+		return
+	}
+	if iv.isTop() {
+		delete(s.m, v)
+		return
+	}
+	if s.m == nil {
+		s.m = make(map[*Var]ival)
+	}
+	s.m[v] = iv
+}
+
+func joinState(a, b *istate) *istate {
+	if a == nil || a.bot {
+		return b
+	}
+	if b == nil || b.bot {
+		return a
+	}
+	n := &istate{m: make(map[*Var]ival)}
+	for v, x := range a.m {
+		if y, ok := b.m[v]; ok {
+			j := joinIval(x, y)
+			if !j.isTop() {
+				n.m[v] = j
+			}
+		}
+	}
+	return n
+}
+
+func equalState(a, b *istate) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.bot != b.bot {
+		return false
+	}
+	if a.bot {
+		return true
+	}
+	if len(a.m) != len(b.m) {
+		return false
+	}
+	for v, x := range a.m {
+		y, ok := b.m[v]
+		if !ok || x != y {
+			return false
+		}
+	}
+	return true
+}
+
+func widenState(old, new *istate) *istate {
+	if old == nil || old.bot || new == nil || new.bot {
+		return new
+	}
+	n := &istate{m: make(map[*Var]ival)}
+	for v, x := range new.m {
+		if y, ok := old.m[v]; ok {
+			w := widenIval(y, x)
+			if !w.isTop() {
+				n.m[v] = w
+			}
+		}
+		// Vars top in old stay top: dropping them is the widening.
+	}
+	return n
+}

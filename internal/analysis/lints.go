@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"clgen/internal/clc"
+)
+
+// This file implements the dataflow-backed lints: uninitialized reads,
+// dead statements, unused kernel arguments, loop-invariant (potentially
+// non-terminating) loop conditions, and barriers in divergent control
+// flow. The buffer-bounds and output lints live in bounds.go and
+// output.go.
+
+// blockLive reports whether the interval analysis found the block
+// reachable (a bottom in-state proves it never executes).
+func blockLive(info *fnInfo, b *Block) bool {
+	s := info.intervals.In[b]
+	return info.reachable[b] && s != nil && !s.bot
+}
+
+// --- uninitialized reads -------------------------------------------------
+
+// uninitLintable limits the uninitialized-read lint to variables whose
+// reads are meaningful as a whole: scalars, vectors, and pointers.
+// Arrays and structs are excluded (element stores do not define the
+// variable in the dataflow model, so they would false-positive).
+func uninitLintable(t clc.Type) bool {
+	switch t.(type) {
+	case *clc.ScalarType, *clc.VectorType, *clc.PointerType:
+		return true
+	}
+	return false
+}
+
+// lintUninit flags definite uninitialized reads: uses of a local that no
+// path from function entry assigns. The §5.2 device zero-initializes
+// locals, so this predicts no dynamic failure — it is undefined behavior
+// on real OpenCL implementations and rejects in the strict filter.
+func lintUninit(rep *Report, info *fnInfo) {
+	flagged := make(map[*Var]bool)
+	for _, b := range info.g.Blocks {
+		if !blockLive(info, b) {
+			continue
+		}
+		set := info.assigned.In[b]
+		def := func(v *Var) { set = set.with(v) }
+		use := func(v *Var, at clc.Expr) {
+			if v.Kind != LocalVar || v.AddrTaken || flagged[v] ||
+				!uninitLintable(v.Type) || set.has(v) {
+				return
+			}
+			flagged[v] = true
+			addDiag(rep, info, Diagnostic{
+				Pos: at.NodePos(), Lint: "uninit-read", Severity: Error,
+				Msg: fmt.Sprintf("variable %q is read but never initialized on any path", v.Name),
+			})
+		}
+		for _, s := range b.Stmts {
+			stmtDefs(info.st, s, def, use)
+		}
+		if b.Cond != nil {
+			exprDefs(info.st, b.Cond, def, use)
+		}
+	}
+}
+
+// --- dead statements -----------------------------------------------------
+
+// pureExpr reports whether evaluating e has no side effects beyond its
+// value: no assignments, no ++/--, and no calls other than value-only
+// builtins (work-item queries, math). Memory reads are pure.
+func pureExpr(e clc.Expr) bool {
+	pure := true
+	clc.Walk(e, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.AssignExpr, *clc.PostfixExpr:
+			pure = false
+		case *clc.UnaryExpr:
+			if x.Op == clc.INC || x.Op == clc.DEC {
+				pure = false
+			}
+		case *clc.CallExpr:
+			b := clc.LookupBuiltin(x.Fun)
+			if b == nil || b.Sync || b.Atomic || strings.HasPrefix(x.Fun, "vstore") {
+				pure = false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// opEstimate approximates the static instructions a statement or
+// expression contributes, mirroring the §4.1 instruction-count heuristic:
+// one op per operator, call, or memory access.
+func opEstimate(n clc.Node) int {
+	ops := 0
+	clc.Walk(n, func(m clc.Node) bool {
+		switch m.(type) {
+		case *clc.BinaryExpr, *clc.UnaryExpr, *clc.PostfixExpr, *clc.AssignExpr,
+			*clc.CondExpr, *clc.CastExpr, *clc.CallExpr, *clc.IndexExpr:
+			ops++
+		}
+		return true
+	})
+	if ops == 0 {
+		ops = 1
+	}
+	return ops
+}
+
+// lintDead flags assignments and initializers whose value is never read
+// (the §5.2 "dead statement" precursor to trivially small kernels). Only
+// side-effect-free right-hand sides qualify; the estimated op count is
+// aggregated into Report.DeadOps for the strict filter's instruction
+// threshold.
+func lintDead(rep *Report, info *fnInfo) {
+	st := info.st
+	deadVarAssign := func(v *Var, after varset) bool {
+		return v != nil && !v.AddrTaken && !after.has(v) &&
+			(v.Kind == LocalVar || v.Kind == ParamVar)
+	}
+	flag := func(pos clc.Pos, name string, n clc.Node) {
+		ops := opEstimate(n)
+		rep.DeadOps += ops
+		addDiag(rep, info, Diagnostic{
+			Pos: pos, Lint: "dead-code", Severity: Info, Ops: ops,
+			Msg: fmt.Sprintf("value assigned to %q is never read", name),
+		})
+	}
+	for _, b := range info.g.Blocks {
+		if !blockLive(info, b) {
+			continue
+		}
+		// Walk statements backward, tracking liveness after each.
+		after := info.live.Out[b]
+		if b.Cond != nil {
+			exprDefs(st, b.Cond, nil, func(v *Var, _ clc.Expr) { after = after.with(v) })
+		}
+		for i := len(b.Stmts) - 1; i >= 0; i-- {
+			s := b.Stmts[i]
+			switch x := s.(type) {
+			case *clc.ExprStmt:
+				if as, ok := x.X.(*clc.AssignExpr); ok {
+					if v := st.varOf(as.X); deadVarAssign(v, after) && pureExpr(as.Y) {
+						flag(x.NodePos(), v.Name, x.X)
+					}
+				}
+			case *clc.DeclStmt:
+				// Per-declarator liveness: later declarators in the same
+				// statement may read earlier ones.
+				cur := after
+				for j := len(x.Decls) - 1; j >= 0; j-- {
+					d := x.Decls[j]
+					v := declVar(st, d)
+					if d.Init != nil && deadVarAssign(v, cur) && pureExpr(d.Init) {
+						flag(d.Pos, d.Name, d.Init)
+					}
+					if v != nil && !v.AddrTaken {
+						cur = cur.without(v)
+					}
+					if d.Init != nil {
+						exprDefs(st, d.Init, nil, func(u *Var, _ clc.Expr) { cur = cur.with(u) })
+					}
+				}
+			}
+			after = stmtLiveBefore(st, s, after)
+		}
+	}
+}
+
+// --- unused kernel arguments ---------------------------------------------
+
+// lintUnusedArgs flags kernel parameters no expression references.
+func lintUnusedArgs(rep *Report, info *fnInfo) {
+	used := make(map[*Var]bool, len(info.st.uses))
+	for _, v := range info.st.uses {
+		used[v] = true
+	}
+	for _, p := range info.st.params {
+		if p.Name == "" || used[p] {
+			continue
+		}
+		addDiag(rep, info, Diagnostic{
+			Pos: p.Pos(), Lint: "unused-arg", Severity: Warn,
+			Msg: fmt.Sprintf("kernel argument %q is never used", p.Name),
+		})
+	}
+}
+
+// --- loop-invariant conditions -------------------------------------------
+
+// lintInvariantLoops flags loops whose condition provably never changes
+// across iterations: with the condition also provably true and no break
+// or return, the loop cannot terminate (§5.2 "non-terminating" — the
+// four-execution checker reports a run failure when the step limit
+// trips). An invariant condition of unknown truth still means the loop
+// runs zero times or forever, which is worth a warning.
+func lintInvariantLoops(rep *Report, info *fnInfo) {
+	for _, l := range info.g.Loops {
+		if !blockLive(info, l.Head) {
+			continue
+		}
+		canExit := l.HasBreak || l.HasReturn
+		if l.Cond == nil {
+			if !canExit {
+				addDiag(rep, info, Diagnostic{
+					Pos: l.Stmt.NodePos(), Lint: "invariant-loop", Severity: Error,
+					Predicted: PredictRunFailure,
+					Msg:       "infinite loop: no condition, break, or return",
+				})
+			}
+			continue
+		}
+		if !info.ev.loopInvariantExpr(info.st, l, l.Cond) {
+			continue
+		}
+		entry := loopEntryState(info.intervals, l)
+		if entry == nil || entry.bot {
+			continue
+		}
+		switch info.ev.pureTruth(entry, l.Cond) {
+		case triTrue:
+			if !canExit {
+				addDiag(rep, info, Diagnostic{
+					Pos: l.Stmt.NodePos(), Lint: "invariant-loop", Severity: Error,
+					Predicted: PredictRunFailure,
+					Msg:       "loop condition is loop-invariant and always true: the loop cannot terminate",
+				})
+			}
+		case triFalse:
+			// The loop simply never runs (or, for do-while, runs once):
+			// harmless at runtime, not this lint's concern.
+		default:
+			if !canExit {
+				runs := "zero times or forever"
+				if l.DoWhile {
+					runs = "once or forever"
+				}
+				addDiag(rep, info, Diagnostic{
+					Pos: l.Stmt.NodePos(), Lint: "invariant-loop", Severity: Warn,
+					Msg: "loop condition never changes across iterations: the loop runs " + runs,
+				})
+			}
+		}
+	}
+}
+
+// --- barrier divergence --------------------------------------------------
+
+// divergentVars computes the flow-insensitive set of variables that may
+// hold a per-work-item value: assigned from get_global_id/get_local_id,
+// from memory (payload contents differ per element), or from another
+// divergent variable. Kernel arguments are uniform (every work item
+// receives the same values under §5.1).
+func divergentVars(info *fnInfo) varset {
+	div := make(varset)
+	record := func(v *Var, rhs clc.Expr) {
+		if v == nil || div.has(v) {
+			return
+		}
+		if divergentExpr(info.st, rhs, div) {
+			div[v] = struct{}{}
+		}
+	}
+	for changed := true; changed; {
+		n := len(div)
+		clc.Walk(info.fn.Body, func(node clc.Node) bool {
+			switch x := node.(type) {
+			case *clc.AssignExpr:
+				if v := info.st.varOf(x.X); v != nil {
+					if x.Op != clc.ASSIGN && div.has(v) {
+						return true // already divergent
+					}
+					record(v, x.Y)
+				}
+			case *clc.DeclStmt:
+				for _, d := range x.Decls {
+					if d.Init != nil {
+						record(declVar(info.st, d), d.Init)
+					}
+				}
+			}
+			return true
+		})
+		changed = len(div) != n
+	}
+	return div
+}
+
+// divergentExpr reports whether an expression may evaluate differently
+// across work items of one work-group.
+func divergentExpr(st *symtab, e clc.Expr, div varset) bool {
+	if e == nil {
+		return false
+	}
+	d := false
+	clc.Walk(e, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.Ident:
+			if v := st.uses[x]; v != nil && (div.has(v) || v.AddrTaken) {
+				d = true
+			}
+		case *clc.CallExpr:
+			switch x.Fun {
+			case "get_global_id", "get_local_id":
+				d = true
+			case "get_group_id", "get_global_size", "get_local_size",
+				"get_num_groups", "get_global_offset", "get_work_dim":
+				// Uniform within a work-group.
+			default:
+				b := clc.LookupBuiltin(x.Fun)
+				if b == nil || b.Atomic || strings.HasPrefix(x.Fun, "vload") {
+					// User functions (may query work-item IDs), atomics, and
+					// memory loads are conservatively divergent.
+					d = true
+				}
+			}
+		case *clc.IndexExpr:
+			d = true // memory contents differ per element
+		case *clc.MemberExpr:
+			if x.Arrow {
+				d = true
+			}
+		case *clc.UnaryExpr:
+			if x.Op == clc.MUL {
+				d = true // pointer dereference
+			}
+		}
+		return !d
+	})
+	return d
+}
+
+// lintBarriers flags barrier() calls inside control flow whose condition
+// may differ between work items of the same group: if some work items
+// reach the barrier and others do not, the §5.2 run deadlocks and the
+// checker reports a run failure. Conditions the interval analysis decides
+// statically do not branch and are skipped.
+func lintBarriers(rep *Report, info *fnInfo) {
+	div := divergentVars(info)
+	condDivergent := func(cond clc.Expr) bool {
+		if cond == nil || !divergentExpr(info.st, cond, div) {
+			return false
+		}
+		if b, ok := info.ev.condBlocks[cond]; ok {
+			s := info.intervals.In[b]
+			if s == nil || s.bot {
+				return false // branch never reached
+			}
+			sc := s.clone()
+			for _, stm := range b.Stmts {
+				info.ev.execStmt(sc, stm)
+			}
+			if info.ev.pureTruth(sc, cond) != triUnknown {
+				return false // statically decided: all work items agree
+			}
+		}
+		return true
+	}
+	flagged := make(map[clc.Expr]bool)
+	var walk func(s clc.Stmt, divCtx bool)
+	checkExpr := func(e clc.Expr, divCtx bool) {
+		if !divCtx || e == nil {
+			return
+		}
+		clc.Walk(e, func(n clc.Node) bool {
+			if c, ok := n.(*clc.CallExpr); ok && isBarrierCall(c.Fun) && !flagged[c] {
+				flagged[c] = true
+				addDiag(rep, info, Diagnostic{
+					Pos: c.NodePos(), Lint: "barrier-divergence", Severity: Error,
+					Predicted: PredictRunFailure,
+					Msg:       "barrier inside divergent control flow: work items may not all reach it",
+				})
+			}
+			return true
+		})
+	}
+	walkBody := func(s clc.Stmt, divCtx bool) { walk(s, divCtx) }
+	walk = func(s clc.Stmt, divCtx bool) {
+		switch x := s.(type) {
+		case nil:
+		case *clc.BlockStmt:
+			for _, st := range x.Stmts {
+				walk(st, divCtx)
+			}
+		case *clc.ExprStmt:
+			checkExpr(x.X, divCtx)
+		case *clc.DeclStmt:
+			for _, d := range x.Decls {
+				checkExpr(d.Init, divCtx)
+			}
+		case *clc.ReturnStmt:
+			checkExpr(x.X, divCtx)
+		case *clc.IfStmt:
+			c := divCtx || condDivergent(x.Cond)
+			walkBody(x.Then, c)
+			walkBody(x.Else, c)
+		case *clc.ForStmt:
+			walk(x.Init, divCtx)
+			c := divCtx || condDivergent(x.Cond)
+			walkBody(x.Body, c)
+		case *clc.WhileStmt:
+			c := divCtx || condDivergent(x.Cond)
+			walkBody(x.Body, c)
+		case *clc.DoWhileStmt:
+			c := divCtx || condDivergent(x.Cond)
+			walkBody(x.Body, c)
+		case *clc.SwitchStmt:
+			c := divCtx || condDivergent(x.Tag)
+			for _, cs := range x.Cases {
+				for _, st := range cs.Body {
+					walk(st, c)
+				}
+			}
+		}
+	}
+	walk(info.fn.Body, false)
+}
+
+// isBarrierCall reports whether the named builtin requires all work items
+// of a group to reach it (fences do not).
+func isBarrierCall(name string) bool {
+	return name == "barrier" || name == "work_group_barrier"
+}

@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"clgen/internal/clc"
+)
+
+// This file implements the §5.2 "no output" prediction: a kernel whose
+// runs the dynamic checker always rejects because nothing it does can
+// reach an output buffer. Two cases are decidable statically: the kernel
+// has no output-capable argument at all (the checker's precheck), or it
+// has one but provably never stores through it. Store reachability is
+// computed with a flow-insensitive pointer-alias taint inside each
+// function plus transitive per-function store/load summaries across user
+// function calls.
+
+// fnSummary records which parameters a function may store through or
+// load from, directly or via its callees.
+type fnSummary struct {
+	stored map[int]bool
+	loaded map[int]bool
+}
+
+// allParams is the conservative alias set: "could be any pointer param".
+var allParams = map[int]bool{-1: true}
+
+// storeSummaries computes per-function store/load summaries to fixpoint
+// over the (possibly recursive) call graph.
+func storeSummaries(infos []*fnInfo, byName map[string]*fnInfo) map[string]*fnSummary {
+	sums := make(map[string]*fnSummary, len(infos))
+	for _, info := range infos {
+		sums[info.fn.Name] = &fnSummary{stored: make(map[int]bool), loaded: make(map[int]bool)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			if updateSummary(info, sums, byName) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// paramAliases computes, per variable, the set of parameter indices its
+// pointer value may originate from (flow-insensitive, to fixpoint).
+func paramAliases(info *fnInfo) map[*Var]map[int]bool {
+	st := info.st
+	aliases := make(map[*Var]map[int]bool)
+	for i, p := range st.params {
+		if _, ok := p.Type.(*clc.PointerType); ok {
+			aliases[p] = map[int]bool{i: true}
+		}
+	}
+	merge := func(dst *Var, src map[int]bool) bool {
+		if len(src) == 0 {
+			return false
+		}
+		m := aliases[dst]
+		if m == nil {
+			m = make(map[int]bool)
+			aliases[dst] = m
+		}
+		grew := false
+		for i := range src {
+			if !m[i] {
+				m[i] = true
+				grew = true
+			}
+		}
+		return grew
+	}
+	for changed := true; changed; {
+		changed = false
+		clc.Walk(info.fn.Body, func(n clc.Node) bool {
+			switch x := n.(type) {
+			case *clc.AssignExpr:
+				if v := st.varOf(x.X); v != nil && isPointerish(v.Type) {
+					if merge(v, exprAliases(st, x.Y, aliases)) {
+						changed = true
+					}
+				}
+			case *clc.DeclStmt:
+				for _, d := range x.Decls {
+					v := declVar(st, d)
+					if v != nil && d.Init != nil && isPointerish(v.Type) {
+						if merge(v, exprAliases(st, d.Init, aliases)) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+// exprAliases returns the parameter indices a pointer-valued expression
+// may alias. allParams marks "unknown pointer provenance".
+func exprAliases(st *symtab, e clc.Expr, aliases map[*Var]map[int]bool) map[int]bool {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *clc.Ident:
+		if v := st.uses[x]; v != nil {
+			return aliases[v]
+		}
+		return nil
+	case *clc.BinaryExpr:
+		return unionAliases(exprAliases(st, x.X, aliases), exprAliases(st, x.Y, aliases))
+	case *clc.CondExpr:
+		return unionAliases(exprAliases(st, x.A, aliases), exprAliases(st, x.B, aliases))
+	case *clc.CastExpr:
+		return exprAliases(st, x.X, aliases)
+	case *clc.UnaryExpr:
+		if x.Op == clc.AND || x.Op == clc.ADD {
+			return exprAliases(st, x.X, aliases)
+		}
+		if x.Op == clc.MUL {
+			// Pointer loaded through a pointer: unknown provenance.
+			if isPointerish(exprType(e)) {
+				return allParams
+			}
+		}
+		return nil
+	case *clc.IndexExpr:
+		// &p[i] routes through UnaryExpr; a pointer VALUE loaded from
+		// memory has unknown provenance.
+		if isPointerish(exprType(e)) {
+			return allParams
+		}
+		return exprAliases(st, x.X, aliases)
+	case *clc.AssignExpr:
+		return exprAliases(st, x.Y, aliases)
+	}
+	return nil
+}
+
+func exprType(e clc.Expr) clc.Type {
+	if e == nil {
+		return nil
+	}
+	return e.ExprType()
+}
+
+func unionAliases(a, b map[int]bool) map[int]bool {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	m := make(map[int]bool, len(a)+len(b))
+	for i := range a {
+		m[i] = true
+	}
+	for i := range b {
+		m[i] = true
+	}
+	return m
+}
+
+// updateSummary recomputes one function's summary; reports growth.
+func updateSummary(info *fnInfo, sums map[string]*fnSummary, byName map[string]*fnInfo) bool {
+	st := info.st
+	sum := sums[info.fn.Name]
+	aliases := paramAliases(info)
+	changed := false
+	mark := func(dst map[int]bool, set map[int]bool) {
+		if set[-1] { // unknown provenance: could be any pointer param
+			for i, p := range st.params {
+				if _, ok := p.Type.(*clc.PointerType); ok && !dst[i] {
+					dst[i] = true
+					changed = true
+				}
+			}
+			return
+		}
+		for i := range set {
+			if !dst[i] {
+				dst[i] = true
+				changed = true
+			}
+		}
+	}
+	base := func(e clc.Expr) map[int]bool { return exprAliases(st, e, aliases) }
+
+	// plainLHS holds memory lvalues that are pure store targets (simple
+	// assignment); everything else that touches memory is a load.
+	plainLHS := make(map[clc.Expr]bool)
+	clc.Walk(info.fn.Body, func(n clc.Node) bool {
+		x, ok := n.(*clc.AssignExpr)
+		if !ok {
+			return true
+		}
+		if st.varOf(x.X) != nil {
+			return true // plain variable, not memory
+		}
+		switch lhs := x.X.(type) {
+		case *clc.IndexExpr:
+			mark(sum.stored, base(lhs.X))
+			if x.Op == clc.ASSIGN {
+				plainLHS[x.X] = true
+			}
+		case *clc.UnaryExpr:
+			if lhs.Op == clc.MUL {
+				mark(sum.stored, base(lhs.X))
+				if x.Op == clc.ASSIGN {
+					plainLHS[x.X] = true
+				}
+			}
+		case *clc.MemberExpr:
+			if lhs.Arrow {
+				mark(sum.stored, base(lhs.X))
+				if x.Op == clc.ASSIGN {
+					plainLHS[x.X] = true
+				}
+			}
+		}
+		return true
+	})
+	clc.Walk(info.fn.Body, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.IndexExpr:
+			if !plainLHS[clc.Expr(x)] {
+				mark(sum.loaded, base(x.X))
+			}
+		case *clc.UnaryExpr:
+			if x.Op == clc.MUL && !plainLHS[clc.Expr(x)] {
+				mark(sum.loaded, base(x.X))
+			}
+		case *clc.MemberExpr:
+			if x.Arrow && !plainLHS[clc.Expr(x)] {
+				mark(sum.loaded, base(x.X))
+			}
+		case *clc.CallExpr:
+			markCall(x, st, sums, byName, mark, base)
+		}
+		return true
+	})
+	return changed
+}
+
+// markCall applies the memory effects of one call site.
+func markCall(x *clc.CallExpr, st *symtab, sums map[string]*fnSummary,
+	byName map[string]*fnInfo, mark func(map[int]bool, map[int]bool),
+	base func(clc.Expr) map[int]bool) {
+	sum := sums[st.fn.Name]
+	if n, ok := clc.VectorWidthOfName(x.Fun); ok && n > 0 {
+		if strings.HasPrefix(x.Fun, "vload") && len(x.Args) >= 2 {
+			mark(sum.loaded, base(x.Args[1]))
+		} else if len(x.Args) >= 3 {
+			mark(sum.stored, base(x.Args[2]))
+		}
+		return
+	}
+	if b := clc.LookupBuiltin(x.Fun); b != nil {
+		if b.Atomic && len(x.Args) >= 1 {
+			mark(sum.stored, base(x.Args[0]))
+			mark(sum.loaded, base(x.Args[0]))
+			return
+		}
+		if b.Sync {
+			return
+		}
+		// Other builtins: conservatively treat pointer arguments as both
+		// read and written (e.g. fract/sincos-style out-parameters).
+		for _, a := range x.Args {
+			if isPointerish(exprType(a)) {
+				mark(sum.stored, base(a))
+				mark(sum.loaded, base(a))
+			}
+		}
+		return
+	}
+	if callee, ok := byName[x.Fun]; ok {
+		cs := sums[x.Fun]
+		for j, a := range x.Args {
+			if j >= len(callee.fn.Params) || !isPointerish(exprType(a)) {
+				continue
+			}
+			if cs.stored[j] {
+				mark(sum.stored, base(a))
+			}
+			if cs.loaded[j] {
+				mark(sum.loaded, base(a))
+			}
+		}
+		return
+	}
+	// Unknown function: assume it may read and write every pointer arg.
+	for _, a := range x.Args {
+		if isPointerish(exprType(a)) {
+			mark(sum.stored, base(a))
+			mark(sum.loaded, base(a))
+		}
+	}
+}
+
+// outputCapable mirrors driver.GeneratePayload's transfer rules: a
+// parameter contributes checker-visible output iff it is a non-local,
+// non-constant, writable pointer.
+func outputCapable(p *clc.ParamDecl) bool {
+	pt, ok := p.Type.(*clc.PointerType)
+	if !ok {
+		return false
+	}
+	if pt.Space == clc.Local || pt.Space == clc.Constant {
+		return false
+	}
+	return p.Access != "read_only" && !p.IsConst
+}
+
+// lintOutput flags kernels whose every run the checker rejects as
+// "no output", plus arguments whose stores can never be observed.
+func lintOutput(rep *Report, info *fnInfo, sums map[string]*fnSummary, byName map[string]*fnInfo) {
+	fn := info.fn
+	sum := sums[fn.Name]
+	var outIdx []int
+	for i, p := range fn.Params {
+		if outputCapable(p) {
+			outIdx = append(outIdx, i)
+		}
+	}
+	if len(outIdx) == 0 {
+		addDiag(rep, info, Diagnostic{
+			Pos: fn.Pos, Lint: "no-output", Severity: Error, Predicted: PredictNoOutput,
+			Msg: "kernel has no output arguments; the checker rejects every run as \"no output\"",
+		})
+		return
+	}
+	stores := false
+	for _, i := range outIdx {
+		if sum.stored[i] {
+			stores = true
+			break
+		}
+	}
+	if !stores {
+		addDiag(rep, info, Diagnostic{
+			Pos: fn.Pos, Lint: "no-output", Severity: Error, Predicted: PredictNoOutput,
+			Msg: "kernel never stores to an output argument",
+		})
+	}
+	// Stores into non-output memory that nothing reads back are lost.
+	for i, p := range fn.Params {
+		if outputCapable(p) || p.Name == "" {
+			continue
+		}
+		if _, ok := p.Type.(*clc.PointerType); !ok {
+			continue
+		}
+		if sum.stored[i] && !sum.loaded[i] {
+			addDiag(rep, info, Diagnostic{
+				Pos: info.st.params[i].Pos(), Lint: "write-only-arg", Severity: Warn,
+				Msg: fmt.Sprintf("stores to non-output argument %q are never read back", p.Name),
+			})
+		}
+	}
+}

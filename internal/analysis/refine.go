@@ -1,0 +1,560 @@
+package analysis
+
+import "clgen/internal/clc"
+
+// This file holds the parts of the interval pass that squeeze information
+// out of control flow: branch-condition refinement on CFG edges, the
+// abstract values of work-item and arithmetic builtins, and structural
+// recognition of counted-loop induction variables.
+
+// gidIval is get_global_id(0) under a one-dimensional launch: [0, G-1],
+// both ends attained (work items 0 and G-1 exist in every run), dense.
+func gidIval() ival {
+	return ival{lo: bInt(0), hi: bAff(1, -1), loAtt: true, hiAtt: true, dense: true}
+}
+
+// callIval models builtin return values. The driver launches kernels over
+// a single dimension (GlobalSize = {G,1,1}), so dimension arguments other
+// than 0 yield degenerate ranges.
+func (ev *ienv) callIval(x *clc.CallExpr, args []ival) ival {
+	dim := func() (int64, bool) {
+		if len(args) == 0 {
+			return 0, false
+		}
+		if a := args[0]; a.isPoint() && a.lo.a == 0 {
+			return a.lo.b, true
+		}
+		return 0, false
+	}
+	switch x.Fun {
+	case "get_global_id":
+		if d, ok := dim(); ok {
+			if d == 0 {
+				return gidIval()
+			}
+			return constIval(0)
+		}
+		return ival{lo: bInt(0), hi: bAff(1, -1), loAtt: true}
+	case "get_local_id", "get_group_id":
+		// Bounded by the global range; the exact top (L-1, ngroups-1) is
+		// not affine in G.
+		return ival{lo: bInt(0), hi: bAff(1, -1), loAtt: true}
+	case "get_global_size":
+		if d, ok := dim(); ok {
+			if d == 0 {
+				return ival{lo: bAff(1, 0), hi: bAff(1, 0), loAtt: true, hiAtt: true, dense: true}
+			}
+			return constIval(1)
+		}
+		return ival{lo: bInt(1), hi: bAff(1, 0)}
+	case "get_local_size", "get_num_groups":
+		return ival{lo: bInt(1), hi: bAff(1, 0)}
+	case "get_global_offset":
+		return constIval(0)
+	case "get_work_dim":
+		return ival{lo: bInt(1), hi: bInt(3)}
+	case "min":
+		if len(args) == 2 {
+			return minIval(args[0], args[1])
+		}
+	case "max":
+		if len(args) == 2 {
+			return maxIval(args[0], args[1])
+		}
+	case "clamp":
+		if len(args) == 3 {
+			return minIval(maxIval(args[0], args[1]), args[2])
+		}
+	case "abs":
+		if len(args) == 1 {
+			return absIval(args[0])
+		}
+	}
+	return topIval
+}
+
+func minIval(x, y ival) ival {
+	if leqAll(x.hi, y.lo) {
+		return x
+	}
+	if leqAll(y.hi, x.lo) {
+		return y
+	}
+	r := ival{}
+	if lo, ok := minB(x.lo, y.lo); ok {
+		r.lo = lo
+	} else {
+		r.lo = negInf
+	}
+	// min(x,y) <= both upper bounds; prefer the provably smaller one.
+	r.hi = x.hi
+	if leqAll(y.hi, x.hi) {
+		r.hi = y.hi
+	}
+	return r
+}
+
+func maxIval(x, y ival) ival {
+	return negIval(minIval(negIval(x), negIval(y)))
+}
+
+func absIval(x ival) ival {
+	if leqAll(bInt(0), x.lo) {
+		return x
+	}
+	if leqAll(x.hi, bInt(0)) {
+		return negIval(x)
+	}
+	r := ival{lo: bInt(0), hi: posInf}
+	if hi, ok := maxB(negB(x.lo), x.hi); ok {
+		r.hi = hi
+	}
+	return r
+}
+
+// --- branch refinement ---------------------------------------------------
+
+// refine narrows s with the knowledge that cond evaluated to branch. It
+// may return a bottom state when the branch is provably dead. s is owned
+// by the caller (already cloned).
+func (ev *ienv) refine(s *istate, cond clc.Expr, branch bool) *istate {
+	if s.bot {
+		return s
+	}
+	// Dead-branch pruning first: a provably constant condition kills the
+	// contradicting edge outright.
+	switch ev.pureTruth(s, cond) {
+	case triTrue:
+		if !branch {
+			return botState()
+		}
+		return s
+	case triFalse:
+		if branch {
+			return botState()
+		}
+		return s
+	}
+	ev.refineCond(s, cond, branch)
+	return s
+}
+
+func (ev *ienv) refineCond(s *istate, cond clc.Expr, branch bool) {
+	if s.bot {
+		return
+	}
+	switch x := cond.(type) {
+	case *clc.UnaryExpr:
+		if x.Op == clc.NOT {
+			ev.refineCond(s, x.X, !branch)
+		}
+	case *clc.BinaryExpr:
+		switch x.Op {
+		case clc.LAND:
+			if branch { // both conjuncts hold
+				ev.refineCond(s, x.X, true)
+				ev.refineCond(s, x.Y, true)
+			}
+		case clc.LOR:
+			if !branch { // both disjuncts fail
+				ev.refineCond(s, x.X, false)
+				ev.refineCond(s, x.Y, false)
+			}
+		case clc.LT, clc.LEQ, clc.GT, clc.GEQ, clc.EQ, clc.NEQ:
+			op := x.Op
+			if !branch {
+				op = negateCmp(op)
+			}
+			if v := ev.st.varOf(x.X); v != nil && trackable(v) {
+				ev.refineVarCmp(s, v, op, ev.pureIval(s, x.Y))
+			}
+			if v := ev.st.varOf(x.Y); v != nil && trackable(v) {
+				ev.refineVarCmp(s, v, mirrorCmp(op), ev.pureIval(s, x.X))
+			}
+		}
+	case *clc.Ident:
+		if v := ev.st.uses[x]; v != nil && trackable(v) {
+			if branch {
+				ev.refineVarCmp(s, v, clc.NEQ, constIval(0))
+			} else {
+				ev.refineVarCmp(s, v, clc.EQ, constIval(0))
+			}
+		}
+	}
+}
+
+func negateCmp(op clc.TokenKind) clc.TokenKind {
+	switch op {
+	case clc.LT:
+		return clc.GEQ
+	case clc.LEQ:
+		return clc.GT
+	case clc.GT:
+		return clc.LEQ
+	case clc.GEQ:
+		return clc.LT
+	case clc.EQ:
+		return clc.NEQ
+	case clc.NEQ:
+		return clc.EQ
+	}
+	return op
+}
+
+// mirrorCmp swaps operand sides: x OP y == y mirror(OP) x.
+func mirrorCmp(op clc.TokenKind) clc.TokenKind {
+	switch op {
+	case clc.LT:
+		return clc.GT
+	case clc.LEQ:
+		return clc.GEQ
+	case clc.GT:
+		return clc.LT
+	case clc.GEQ:
+		return clc.LEQ
+	}
+	return op
+}
+
+// refineVarCmp intersects v's interval with the solutions of `v OP y`.
+// Attainment and density survive only when y is an attained point: then a
+// dense operand still attains the tightened endpoints, and the branch is
+// taken exactly by the executions attaining them.
+func (ev *ienv) refineVarCmp(s *istate, v *Var, op clc.TokenKind, y ival) {
+	x := s.get(v)
+	point := y.isPoint() && y.loAtt
+	var newLo, newHi bnd
+	hasLo, hasHi := false, false
+	switch op {
+	case clc.LT:
+		newHi, hasHi = addB(y.hi, bInt(-1)), y.hi.isFin()
+	case clc.LEQ:
+		newHi, hasHi = y.hi, y.hi.isFin()
+	case clc.GT:
+		newLo, hasLo = addB(y.lo, bInt(1)), y.lo.isFin()
+	case clc.GEQ:
+		newLo, hasLo = y.lo, y.lo.isFin()
+	case clc.EQ:
+		newLo, hasLo = y.lo, y.lo.isFin()
+		newHi, hasHi = y.hi, y.hi.isFin()
+	case clc.NEQ:
+		// Only endpoint shaving is expressible.
+		if point {
+			if bndEq(y.lo, x.lo) {
+				newLo, hasLo = addB(x.lo, bInt(1)), true
+			}
+			if bndEq(y.hi, x.hi) {
+				newHi, hasHi = addB(x.hi, bInt(-1)), true
+			}
+		}
+	}
+	r := x
+	// Filtering executions through a varying bound invalidates attainment
+	// claims — except for point intervals, whose single value every
+	// execution shares (the §5.1 scalar arguments, notably).
+	if !point && !x.isPoint() {
+		r.loAtt, r.hiAtt, r.dense = false, false, false
+	}
+	if hasLo && leqAll(x.lo, newLo) && !bndEq(x.lo, newLo) {
+		r.lo = newLo
+		r.loAtt = x.dense && point && leqAll(newLo, x.hi)
+	}
+	if hasHi && leqAll(newHi, x.hi) && !bndEq(newHi, x.hi) {
+		r.hi = newHi
+		r.hiAtt = x.dense && point && leqAll(x.lo, newHi)
+	}
+	if r.lo.isFin() && r.hi.isFin() {
+		if ltAll(r.hi, r.lo) {
+			s.replace(botState())
+			return
+		}
+		if !leqAll(r.lo, r.hi) {
+			// Possibly empty for some G: keep bounds, drop attainment.
+			r.loAtt, r.hiAtt, r.dense = false, false, false
+		}
+	}
+	s.set(v, r)
+	ev.transferWorkItem(s, v, newLo, hasLo, newHi, hasHi)
+}
+
+// transferWorkItem propagates branch-derived bounds across the work-item
+// identity gid = group*L + lid: in dimension 0 with a zero offset
+// gid >= lid holds pointwise, so a lower bound learned on a single-
+// definition lid copy also bounds every gid copy from below, and an upper
+// bound learned on a gid copy bounds every lid copy from above.
+// Transferred bounds never claim attainment (the filtering branch may be
+// taken by no execution at all for some launch geometries).
+func (ev *ienv) transferWorkItem(s *istate, v *Var, newLo bnd, hasLo bool, newHi bnd, hasHi bool) {
+	lower := hasLo && ev.lidCopies[v]
+	upper := hasHi && ev.gidCopies[v]
+	if !lower && !upper {
+		return
+	}
+	apply := func(w *Var, b bnd, isLo bool) {
+		if s.bot || w == v {
+			return
+		}
+		x := s.get(w)
+		r := x
+		if isLo {
+			if !leqAll(x.lo, b) || bndEq(x.lo, b) {
+				return
+			}
+			r.lo, r.loAtt, r.dense = b, false, false
+		} else {
+			if !leqAll(b, x.hi) || bndEq(b, x.hi) {
+				return
+			}
+			r.hi, r.hiAtt, r.dense = b, false, false
+		}
+		if r.lo.isFin() && r.hi.isFin() {
+			if ltAll(r.hi, r.lo) {
+				s.replace(botState())
+				return
+			}
+			if !leqAll(r.lo, r.hi) {
+				r.loAtt, r.hiAtt = false, false
+			}
+		}
+		s.set(w, r)
+	}
+	if lower {
+		for w := range ev.gidCopies {
+			apply(w, newLo, true)
+		}
+	}
+	if upper {
+		for w := range ev.lidCopies {
+			apply(w, newHi, false)
+		}
+	}
+}
+
+// --- induction variables -------------------------------------------------
+
+// induction recognizes `for (v = init; v CMP bound; v += step)` loops where
+// v is a tracked int scalar with no other definition in the loop and bound
+// is loop-invariant. The resulting fact pins v's in-body interval,
+// sidestepping widening.
+func (ev *ienv) induction(st *symtab, l *Loop) (indFact, bool) {
+	fs, ok := l.Stmt.(*clc.ForStmt)
+	if !ok || fs.Cond == nil || fs.Post == nil {
+		return indFact{}, false
+	}
+	var v *Var
+	var initE clc.Expr
+	switch init := fs.Init.(type) {
+	case *clc.DeclStmt:
+		if len(init.Decls) != 1 || init.Decls[0].Init == nil {
+			return indFact{}, false
+		}
+		v = declVar(st, init.Decls[0])
+		initE = init.Decls[0].Init
+	case *clc.ExprStmt:
+		as, ok := init.X.(*clc.AssignExpr)
+		if !ok || as.Op != clc.ASSIGN {
+			return indFact{}, false
+		}
+		v = st.varOf(as.X)
+		initE = as.Y
+	default:
+		return indFact{}, false
+	}
+	if !trackable(v) {
+		return indFact{}, false
+	}
+
+	step, ok := stepOf(st, v, fs.Post)
+	if !ok || step == 0 {
+		return indFact{}, false
+	}
+
+	cond, ok := fs.Cond.(*clc.BinaryExpr)
+	if !ok {
+		return indFact{}, false
+	}
+	op := cond.Op
+	var boundE clc.Expr
+	if st.varOf(cond.X) == v {
+		boundE = cond.Y
+	} else if st.varOf(cond.Y) == v {
+		boundE = cond.X
+		op = mirrorCmp(op)
+	} else {
+		return indFact{}, false
+	}
+	up := step > 0
+	switch {
+	case up && (op == clc.LT || op == clc.LEQ):
+	case !up && (op == clc.GT || op == clc.GEQ):
+	default:
+		return indFact{}, false
+	}
+
+	// v must have exactly one definition inside the loop: the post
+	// expression (which lives in a body block).
+	defs := 0
+	for _, b := range l.Body {
+		for _, stm := range b.Stmts {
+			stmtDefs(st, stm, func(d *Var) {
+				if d == v {
+					defs++
+				}
+			}, nil)
+		}
+	}
+	if defs != 1 {
+		return indFact{}, false
+	}
+	// The bound and init must not depend on anything the loop changes:
+	// both are evaluated in the loop-head state when the fact is applied.
+	if !ev.loopInvariantExpr(st, l, boundE) || !ev.loopInvariantExpr(st, l, initE) {
+		return indFact{}, false
+	}
+	return indFact{
+		v: v, initE: initE, boundE: boundE,
+		includeEnd: op == clc.LEQ || op == clc.GEQ,
+		up:         up, step: step,
+		hasExit: l.HasBreak || l.HasReturn,
+	}, true
+}
+
+// stepOf matches v++, ++v, v--, --v, v += c, v -= c.
+func stepOf(st *symtab, v *Var, post clc.Expr) (int64, bool) {
+	switch x := post.(type) {
+	case *clc.PostfixExpr:
+		if st.varOf(x.X) == v {
+			if x.Op == clc.INC {
+				return 1, true
+			}
+			return -1, true
+		}
+	case *clc.UnaryExpr:
+		if (x.Op == clc.INC || x.Op == clc.DEC) && st.varOf(x.X) == v {
+			if x.Op == clc.INC {
+				return 1, true
+			}
+			return -1, true
+		}
+	case *clc.AssignExpr:
+		if st.varOf(x.X) != v {
+			return 0, false
+		}
+		lit, ok := x.Y.(*clc.IntLit)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case clc.ADDASSIGN:
+			return lit.Value, true
+		case clc.SUBASSIGN:
+			return -lit.Value, true
+		}
+	}
+	return 0, false
+}
+
+// factIval materializes the in-body interval of an induction variable,
+// evaluating init and bound in the loop-head state (both are
+// loop-invariant, so head-out equals loop-entry for them).
+func (ev *ienv) factIval(s *istate, f indFact) ival {
+	initV := ev.pureIval(s, f.initE)
+	boundV := ev.pureIval(s, f.boundE)
+	end := boundV
+	if !f.includeEnd {
+		if f.up {
+			end = addIval(boundV, constIval(-1))
+		} else {
+			end = addIval(boundV, constIval(1))
+		}
+	}
+	var r ival
+	if f.up {
+		r = ival{lo: initV.lo, hi: end.hi}
+	} else {
+		r = ival{lo: end.lo, hi: initV.hi}
+	}
+	if !(r.lo.isFin() || r.lo.inf == -1) || !(r.hi.isFin() || r.hi.inf == +1) {
+		return topIval
+	}
+	// Attainment: the first iteration pins the init end whenever the loop
+	// is entered; the far end needs unit steps, a pinned attained bound,
+	// and no early exit.
+	entered := leqAll(r.lo, r.hi)
+	unit := f.step == 1 || f.step == -1
+	initAtt := initV.isPoint() && initV.loAtt && entered
+	endAtt := initAtt && unit && end.isPoint() && end.loAtt && !f.hasExit
+	if f.up {
+		r.loAtt, r.hiAtt = initAtt, endAtt
+	} else {
+		r.loAtt, r.hiAtt = endAtt, initAtt
+	}
+	r.dense = unit && initV.isPoint() && end.isPoint()
+	return r.norm()
+}
+
+// loopInvariantExpr reports whether an expression provably evaluates to
+// the same value on every iteration of l: it must avoid memory reads,
+// calls (other than uniform work-item queries), address-taken variables,
+// and any variable the loop assigns.
+func (ev *ienv) loopInvariantExpr(st *symtab, l *Loop, e clc.Expr) bool {
+	assigned := loopDefs(st, l)
+	ok := true
+	clc.Walk(e, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.Ident:
+			v := st.uses[x]
+			if v == nil {
+				// Unresolved: builtin constant — invariant.
+				return true
+			}
+			if v.AddrTaken || v.Kind == FileVar || assigned.has(v) {
+				ok = false
+			}
+		case *clc.CallExpr:
+			if !invariantCall(x.Fun) {
+				ok = false
+			}
+		case *clc.IndexExpr, *clc.MemberExpr:
+			ok = false // memory may change between iterations
+		case *clc.UnaryExpr:
+			if x.Op == clc.MUL || x.Op == clc.INC || x.Op == clc.DEC {
+				ok = false // pointer dereference or mutation
+			}
+		case *clc.AssignExpr, *clc.PostfixExpr:
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// loopDefs collects every variable the loop may assign (body statements,
+// the post expression — which lives in a body block — and the condition).
+func loopDefs(st *symtab, l *Loop) varset {
+	defs := make(varset)
+	add := func(v *Var) { defs[v] = struct{}{} }
+	for _, b := range l.Body {
+		for _, stm := range b.Stmts {
+			stmtDefs(st, stm, add, nil)
+		}
+		if b.Cond != nil {
+			exprDefs(st, b.Cond, add, nil)
+		}
+	}
+	if l.Cond != nil {
+		exprDefs(st, l.Cond, add, nil)
+	}
+	return defs
+}
+
+// invariantCall reports whether a call returns the same value on every
+// iteration for a fixed work item (the work-item geometry queries do).
+func invariantCall(name string) bool {
+	switch name {
+	case "get_global_id", "get_local_id", "get_group_id", "get_global_size",
+		"get_local_size", "get_num_groups", "get_global_offset", "get_work_dim":
+		return true
+	}
+	return false
+}

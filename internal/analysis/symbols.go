@@ -1,0 +1,226 @@
+package analysis
+
+import "clgen/internal/clc"
+
+// This file resolves identifier uses to variables. Every lint and dataflow
+// pass works over *Var objects rather than raw names, so shadowing and
+// block scoping are handled once, here.
+
+// VarKind classifies a resolved variable.
+type VarKind int
+
+// Variable kinds.
+const (
+	ParamVar VarKind = iota // function parameter
+	LocalVar                // block-scope declaration
+	FileVar                 // file-scope declaration
+)
+
+// Var is one resolved variable of a function: a parameter, a block-scope
+// local, or a file-scope variable referenced by the function.
+type Var struct {
+	Name string
+	Type clc.Type
+	Kind VarKind
+	// Param is set for ParamVar; Decl for LocalVar and FileVar.
+	Param *clc.ParamDecl
+	Decl  *clc.VarDecl
+	// Index is the parameter position for ParamVar, else the declaration
+	// order within the function.
+	Index int
+	// AddrTaken reports whether &v appears anywhere in the function. Such
+	// variables are excluded from value tracking: any store through a
+	// pointer may change them.
+	AddrTaken bool
+}
+
+// Pos returns the declaration position.
+func (v *Var) Pos() clc.Pos {
+	if v.Param != nil {
+		return v.Param.Pos
+	}
+	if v.Decl != nil {
+		return v.Decl.Pos
+	}
+	return clc.Pos{}
+}
+
+// symtab maps every identifier use in one function body to its variable.
+// Identifiers that resolve to nothing (builtin constants, enum values)
+// are simply absent from uses.
+type symtab struct {
+	fn     *clc.FuncDecl
+	uses   map[*clc.Ident]*Var
+	params []*Var // one per fn.Params entry, same order
+	locals []*Var // declaration order, block-scope only
+}
+
+// varOf returns the variable an identifier use resolves to, or nil.
+func (st *symtab) varOf(e clc.Expr) *Var {
+	id, ok := e.(*clc.Ident)
+	if !ok {
+		return nil
+	}
+	return st.uses[id]
+}
+
+type resolver struct {
+	st     *symtab
+	scopes []map[string]*Var
+	file   map[string]*Var
+	nlocal int
+}
+
+// resolveFunc builds the symbol table for one function definition.
+// fileVars holds the file-scope variables of the translation unit.
+func resolveFunc(fn *clc.FuncDecl, fileVars map[string]*Var) *symtab {
+	st := &symtab{fn: fn, uses: make(map[*clc.Ident]*Var)}
+	r := &resolver{st: st, file: fileVars}
+	r.push()
+	for i, p := range fn.Params {
+		v := &Var{Name: p.Name, Type: p.Type, Kind: ParamVar, Param: p, Index: i}
+		st.params = append(st.params, v)
+		if p.Name != "" {
+			r.scopes[len(r.scopes)-1][p.Name] = v
+		}
+	}
+	if fn.Body != nil {
+		r.block(fn.Body)
+	}
+	r.pop()
+	return st
+}
+
+// fileScope collects file-scope variable declarations.
+func fileScope(f *clc.File) map[string]*Var {
+	vars := make(map[string]*Var)
+	for _, d := range f.Decls {
+		if vd, ok := d.(*clc.VarDecl); ok {
+			vars[vd.Name] = &Var{Name: vd.Name, Type: vd.Type, Kind: FileVar, Decl: vd}
+		}
+	}
+	return vars
+}
+
+func (r *resolver) push() { r.scopes = append(r.scopes, make(map[string]*Var)) }
+func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+
+func (r *resolver) declare(d *clc.VarDecl) {
+	v := &Var{Name: d.Name, Type: d.Type, Kind: LocalVar, Decl: d, Index: r.nlocal}
+	r.nlocal++
+	r.st.locals = append(r.st.locals, v)
+	r.scopes[len(r.scopes)-1][d.Name] = v
+}
+
+func (r *resolver) lookup(name string) *Var {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if v, ok := r.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return r.file[name]
+}
+
+func (r *resolver) block(b *clc.BlockStmt) {
+	r.push()
+	for _, s := range b.Stmts {
+		r.stmt(s)
+	}
+	r.pop()
+}
+
+func (r *resolver) stmt(s clc.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *clc.BlockStmt:
+		r.block(x)
+	case *clc.DeclStmt:
+		for _, d := range x.Decls {
+			// C scoping: the name is visible in its own initializer
+			// (so `int x = x;` reads the new, uninitialized x).
+			r.declare(d)
+			r.expr(d.Init)
+		}
+	case *clc.ExprStmt:
+		r.expr(x.X)
+	case *clc.IfStmt:
+		r.expr(x.Cond)
+		r.stmt(x.Then)
+		r.stmt(x.Else)
+	case *clc.ForStmt:
+		r.push() // for-init declarations scope over the whole loop
+		r.stmt(x.Init)
+		r.expr(x.Cond)
+		r.expr(x.Post)
+		r.stmt(x.Body)
+		r.pop()
+	case *clc.WhileStmt:
+		r.expr(x.Cond)
+		r.stmt(x.Body)
+	case *clc.DoWhileStmt:
+		r.stmt(x.Body)
+		r.expr(x.Cond)
+	case *clc.ReturnStmt:
+		r.expr(x.X)
+	case *clc.SwitchStmt:
+		r.expr(x.Tag)
+		r.push()
+		for _, c := range x.Cases {
+			r.expr(c.Value)
+			for _, s := range c.Body {
+				r.stmt(s)
+			}
+		}
+		r.pop()
+	}
+}
+
+func (r *resolver) expr(e clc.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *clc.Ident:
+		if v := r.lookup(x.Name); v != nil {
+			r.st.uses[x] = v
+		}
+	case *clc.BinaryExpr:
+		r.expr(x.X)
+		r.expr(x.Y)
+	case *clc.AssignExpr:
+		r.expr(x.X)
+		r.expr(x.Y)
+	case *clc.UnaryExpr:
+		r.expr(x.X)
+		if x.Op == clc.AND {
+			if v := r.st.varOf(x.X); v != nil {
+				v.AddrTaken = true
+			}
+		}
+	case *clc.PostfixExpr:
+		r.expr(x.X)
+	case *clc.CondExpr:
+		r.expr(x.Cond)
+		r.expr(x.A)
+		r.expr(x.B)
+	case *clc.CallExpr:
+		for _, a := range x.Args {
+			r.expr(a)
+		}
+	case *clc.IndexExpr:
+		r.expr(x.X)
+		r.expr(x.Index)
+	case *clc.MemberExpr:
+		r.expr(x.X)
+	case *clc.CastExpr:
+		r.expr(x.X)
+	case *clc.ArgPack:
+		for _, a := range x.Args {
+			r.expr(a)
+		}
+	case *clc.InitList:
+		for _, el := range x.Elems {
+			r.expr(el)
+		}
+	case *clc.SizeofExpr:
+		r.expr(x.X)
+	}
+}

@@ -1,0 +1,59 @@
+package clc_test
+
+import (
+	"testing"
+
+	"clgen/internal/analysis"
+	"clgen/internal/clc"
+)
+
+// FuzzAnalyze extends the frontend fuzz targets to the static analyzer
+// (external test package: analysis imports clc). The invariants: for any
+// input the frontend accepts, Analyze never panics, and analyzing the
+// same file twice yields byte-identical diagnostics — the passes neither
+// mutate the AST nor depend on map iteration order.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		// One seed per lint family.
+		"__kernel void A(__global float* a) { int x; a[0] = x; }",                               // uninit-read
+		"__kernel void A(__global float* a) { float t = a[0]; a[0] = 1.0f; }",                   // dead-code
+		"__kernel void A(__global float* a, int n) { a[0] = 1.0f; }",                            // unused-arg
+		"__kernel void A(__global float* a) { while (1) { } a[0] = 1.0f; }",                     // invariant-loop
+		"__kernel void A(__global float* a) { if (get_global_id(0)) barrier(1); a[0] = 1.0f; }", // barrier-divergence
+		"__kernel void A(__global float* a) { a[get_global_id(0) + 1] = 1.0f; }",                // oob-index
+		"__kernel void A(__global float* a) { float x = a[0]; }",                                // no-output
+		"__kernel void A(__global float* a, __global float* b) { b[0] = 1.0f; b[0] = a[0]; }",   // write-only-arg
+		// Interval-analysis stress: guards, ternaries, gid/lid identities.
+		"__kernel void A(__global float* a, __global float* b) { int i = get_global_id(0); a[i] = (i > 0) ? b[i - 1] : 0.0f; }",
+		"__kernel void A(__global float* in, __local float* s, __global float* out) { int g = get_global_id(0); int l = get_local_id(0); s[l] = (l > 0) ? in[g - 1] : 0.0f; barrier(1); out[g] = s[l]; }",
+		"__kernel void A(__global float* a, int n) { for (int i = 0; i < n; i++) { a[i % 4] += 1.0f; } }",
+		"__kernel void A(__global int* a) { int i = get_global_id(0); if (i < 8) { a[i] = i; } else { a[0] = 0; } }",
+		"void H(float* p) { p[0] = 2.0f; } __kernel void A(__global float* a) { H(a); }",
+		"__kernel void A(__global float* a) { switch (get_global_id(0) & 3) { case 0: a[0] = 1.0f; break; default: a[1] = 2.0f; } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		expanded, err := clc.Preprocess(src)
+		if err != nil {
+			return
+		}
+		file, err := clc.Parse(expanded)
+		if err != nil {
+			return
+		}
+		if err := clc.Check(file); err != nil {
+			return
+		}
+		first := analysis.Analyze(file).Render("fuzz")
+		second := analysis.Analyze(file).Render("fuzz")
+		if first != second {
+			t.Fatalf("analyzer output is not deterministic\ninput: %q\nfirst:\n%s\nsecond:\n%s",
+				src, first, second)
+		}
+	})
+}

@@ -48,6 +48,11 @@ type Config struct {
 	// Workers bounds the corpus-filter fan-out (<= 0 means the pool
 	// default, i.e. the -workers flag or GOMAXPROCS).
 	Workers int
+	// StaticChecks enables the internal/analysis strict mode in both
+	// rejection filters: corpus files and synthesized samples with
+	// error-severity diagnostics are rejected, and clean samples carry the
+	// analyzer's §5.2 forecast into the journal.
+	StaticChecks bool
 }
 
 func (c *Config) defaults() {
@@ -66,6 +71,8 @@ func (c *Config) defaults() {
 type CLgen struct {
 	Corpus *corpus.Corpus
 	Model  *model.Model
+	// Static applies the analyzer-backed strict filter to samples.
+	Static bool
 }
 
 // Build runs mining, corpus assembly, and model training.
@@ -77,7 +84,7 @@ func Build(cfg Config) (*CLgen, error) {
 	files := github.Mine(cfg.Miner)
 	mine.SetAttr("files", len(files))
 	mine.End()
-	c, err := corpus.BuildWorkers(files, cfg.Workers)
+	c, err := corpus.BuildEx(files, corpus.BuildOpts{Workers: cfg.Workers, Static: cfg.StaticChecks})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -102,7 +109,7 @@ func FromCorpus(c *corpus.Corpus, cfg Config) (*CLgen, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &CLgen{Corpus: c, Model: m}, nil
+	return &CLgen{Corpus: c, Model: m, Static: cfg.StaticChecks}, nil
 }
 
 // SynthesisStats reports one synthesis run.
@@ -162,7 +169,7 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 			start := time.Now()
 			rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
 			k := g.Model.SampleKernel(rng, opts)
-			return attempt{kernel: k, res: corpus.FilterSample(k),
+			return attempt{kernel: k, res: corpus.FilterEx(k, corpus.FilterOpts{Static: g.Static}),
 				durMS: float64(time.Since(start)) / float64(time.Millisecond)}
 		},
 		func(i int, a attempt) bool {
@@ -178,8 +185,17 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 				stats.Reasons[a.res.Reason]++
 				reg.Counter(telemetry.Label("sampler_samples_rejected_total", "reason", string(a.res.Reason)),
 					"Samples rejected by the filter, by reason.").Inc()
-				journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
-					Reason: string(a.res.Reason)})
+				if a.res.StaticReject {
+					// The sample passed the base §4.3 filter and fell to
+					// the analyzer: journal both stages so the funnel
+					// attributes the discard to the right one.
+					journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter})
+					journal.Emit(journal.Event{ID: kid, Stage: journal.StageStaticFilter,
+						Reason: string(a.res.Reason), Predicted: a.res.Predicted})
+				} else {
+					journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
+						Reason: string(a.res.Reason)})
+				}
 				return true
 			}
 			if seen[a.kernel] {
@@ -193,6 +209,10 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 			stats.Accepted++
 			accepted.Inc()
 			journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter})
+			if g.Static {
+				journal.Emit(journal.Event{ID: kid, Stage: journal.StageStaticFilter,
+					Predicted: a.res.Predicted})
+			}
 			return len(out) < n
 		})
 	span.SetAttr("accepted", stats.Accepted).SetAttr("attempts", stats.Attempts)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"clgen/internal/analysis"
 	"clgen/internal/clc"
 	"clgen/internal/github"
 	"clgen/internal/ir"
@@ -109,20 +110,51 @@ const (
 	RejectTooFewInstrs RejectReason = "fewer than 3 static instructions"
 )
 
+// StaticReason labels a rejection produced by the static analyzer, naming
+// the blocking lint ("static: oob-index"). Static reasons extend the base
+// RejectReason values in Stats.Reasons and journal filter events.
+func StaticReason(lint string) RejectReason {
+	return RejectReason("static: " + lint)
+}
+
+// FilterOpts configures the rejection filter.
+type FilterOpts struct {
+	// Shim injects the §4.1 shim header of inferred types and constants.
+	Shim bool
+	// Static additionally runs the internal/analysis CFG+dataflow passes
+	// (strict mode): error-severity diagnostics reject the input, and dead
+	// statements no longer count toward the instruction minimum.
+	Static bool
+}
+
 // FilterResult is the outcome of the rejection filter on one input.
 type FilterResult struct {
 	OK     bool
 	Reason RejectReason
 	File   *clc.File // parsed file when OK
 	Instrs int       // static instruction count when compiled
+	// Static is the analyzer's report (FilterOpts.Static only), retained
+	// for compiling inputs even when they are rejected.
+	Static *analysis.Report
+	// Predicted is the analyzer's §5.2 forecast for the first kernel — the
+	// one the driver would load ("" = expected to pass the checker).
+	Predicted string
+	// StaticReject marks rejections the static analyzer caused: the input
+	// compiles and would have been accepted by the base filter.
+	StaticReject bool
 }
 
 // Filter runs the §4.1 rejection filter: attempt to compile the input (our
 // analogue of compiling to NVIDIA PTX) and require at least
 // MinInstructions static instructions. withShim injects the shim header.
 func Filter(src string, withShim bool) FilterResult {
+	return FilterEx(src, FilterOpts{Shim: withShim})
+}
+
+// FilterEx is Filter with full options.
+func FilterEx(src string, opts FilterOpts) FilterResult {
 	var pp *clc.Preprocessor
-	if withShim {
+	if opts.Shim {
 		pp = ShimPreprocessor()
 		src = shimTypedefs + src
 	} else {
@@ -147,7 +179,26 @@ func Filter(src string, withShim bool) FilterResult {
 	if n < MinInstructions {
 		return FilterResult{Reason: RejectTooFewInstrs, Instrs: n}
 	}
-	return FilterResult{OK: true, File: f, Instrs: n}
+	res := FilterResult{OK: true, File: f, Instrs: n}
+	if opts.Static {
+		rep := analysis.Analyze(f)
+		res.Static = rep
+		res.Predicted = rep.PredictedVerdict(f.Kernels()[0].Name)
+		if d := rep.PrimaryError(); d != nil {
+			res.OK, res.File = false, nil
+			res.Reason, res.StaticReject = StaticReason(d.Lint), true
+			return res
+		}
+		if n-rep.DeadOps < MinInstructions {
+			// Dead statements don't count toward the §4.1 instruction
+			// minimum in strict mode: a kernel of provably unread stores
+			// is as empty as one with no stores at all.
+			res.OK, res.File = false, nil
+			res.Reason, res.StaticReject = StaticReason("dead-code"), true
+			return res
+		}
+	}
+	return res
 }
 
 // FilterSample applies the rejection filter to a model-synthesized kernel
@@ -213,12 +264,12 @@ type unitOutcome struct {
 // processFile runs the heavy per-file work of §4.1 — both rejection-filter
 // passes, shim stripping, kernel-unit splitting, and rewriting — with no
 // shared state.
-func processFile(cf github.ContentFile) (o fileOutcome) {
+func processFile(cf github.ContentFile, static bool) (o fileOutcome) {
 	start := time.Now()
 	defer func() { o.durMS = float64(time.Since(start)) / float64(time.Millisecond) }()
 	o = fileOutcome{lines: cf.Lines()}
 	o.noShimRejected = !Filter(cf.Text, false).OK
-	res := Filter(cf.Text, true)
+	res := FilterEx(cf.Text, FilterOpts{Shim: true, Static: static})
 	if !res.OK {
 		o.reason = res.Reason
 		return o
@@ -251,15 +302,30 @@ func processFile(cf github.ContentFile) (o fileOutcome) {
 // Build runs the full pipeline over mined content files: rejection
 // filtering (recording the no-shim discard rate for comparison), code
 // rewriting, and corpus concatenation. Per-file work fans out over the
-// pool's default worker count; see BuildWorkers.
+// pool's default worker count; see BuildEx.
 func Build(files []github.ContentFile) (*Corpus, error) {
-	return BuildWorkers(files, 0)
+	return BuildEx(files, BuildOpts{})
 }
 
 // BuildWorkers is Build with an explicit worker count (<= 0 means the pool
-// default). The per-file stage is pure and results are aggregated in file
-// order, so the corpus is byte-identical for every worker count.
+// default).
 func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
+	return BuildEx(files, BuildOpts{Workers: workers})
+}
+
+// BuildOpts configures a corpus build.
+type BuildOpts struct {
+	// Workers is the per-file fan-out width (<= 0 means the pool default).
+	Workers int
+	// Static enables the analyzer-backed strict mode of the rejection
+	// filter (FilterOpts.Static) on every content file.
+	Static bool
+}
+
+// BuildEx is Build with full options. The per-file stage is pure and
+// results are aggregated in file order, so the corpus is byte-identical
+// for every worker count.
+func BuildEx(files []github.ContentFile, opts BuildOpts) (*Corpus, error) {
 	span := telemetry.Start("corpus.build")
 	defer span.End()
 	reg := telemetry.Default()
@@ -270,8 +336,8 @@ func BuildWorkers(files []github.ContentFile, workers int) (*Corpus, error) {
 	identsAfter := map[string]bool{}
 	var text strings.Builder
 
-	outcomes := pool.Map(workers, len(files), func(i int) fileOutcome {
-		return processFile(files[i])
+	outcomes := pool.Map(opts.Workers, len(files), func(i int) fileOutcome {
+		return processFile(files[i], opts.Static)
 	})
 	// Journal emission happens here in the ordered fold (not in the worker
 	// fn) so the event stream is deterministic for every worker count.

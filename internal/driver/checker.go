@@ -33,6 +33,9 @@ type CheckResult struct {
 	Err     error // cause for RunFailure
 	Profile *interp.Profile
 	Payload *Payload // the A1 payload, post-execution
+	// Static marks a verdict the analyzer predicted without executing
+	// (RunConfig.Static == StaticPreScreen): no profile or payload exists.
+	Static bool
 }
 
 // OK reports whether the kernel performs useful work.
@@ -50,6 +53,11 @@ func (r CheckResult) OK() bool { return r.Verdict == UsefulWork }
 // step-limit timeout, barrier divergence) yield RunFailure — the analogue
 // of a crashed or timed-out run on hardware.
 func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
+	if cfg.Static != StaticOff {
+		if res, done := staticPreScreen(k, cfg.Static); done {
+			return res
+		}
+	}
 	start := time.Now()
 	res := check(k, globalSize, seed, cfg)
 	telemetry.Default().Counter(
@@ -65,6 +73,41 @@ func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	}
 	return res
 }
+
+// staticPreScreen consults the analyzer before any execution. It journals
+// the forecast (a static_filter event keyed by the same content hash as
+// the kernel's checked events, so cltrace can join them) and, in
+// StaticPreScreen mode, resolves predicted-to-fail kernels without running
+// them. done reports that the caller should return res as the verdict; no
+// StageChecked event is emitted for such kernels — the checker never ran.
+func staticPreScreen(k *Kernel, mode StaticMode) (res CheckResult, done bool) {
+	rep := k.Analysis()
+	pred := rep.PredictedVerdict(k.Name)
+	reason := ""
+	if d := rep.PrimaryError(); d != nil {
+		reason = corpusStaticReason(d.Lint)
+	}
+	if journal.Enabled() {
+		k.staticEmitOnce.Do(func() {
+			journal.Emit(journal.Event{ID: journal.ID(k.Src), Stage: journal.StageStaticFilter,
+				Reason: reason, Predicted: pred})
+		})
+	}
+	if mode != StaticPreScreen || pred == "" {
+		return CheckResult{}, false
+	}
+	reg := telemetry.Default()
+	reg.Counter("driver_static_prescreen_skips_total",
+		"Kernels resolved by the static pre-screen without executing.").Inc()
+	reg.Counter("driver_static_prescreen_runs_saved_total",
+		"Dynamic executions the static pre-screen avoided (4 per skipped kernel).").Add(4)
+	return CheckResult{Verdict: CheckVerdict(pred), Static: true}, true
+}
+
+// corpusStaticReason mirrors corpus.StaticReason without importing the
+// corpus package (which imports driver's sibling packages): the journal
+// reason vocabulary must match across both emission sites.
+func corpusStaticReason(lint string) string { return "static: " + lint }
 
 func check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	rngA := rand.New(rand.NewSource(seed))

@@ -76,3 +76,62 @@ func TestBuildWorldDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildWorldStaticDeterministicAcrossWorkers repeats the campaign
+// determinism check with -static-checks semantics: the strict corpus
+// filter, the sampler's static stage, and the driver pre-screen all run,
+// and the journal — including every static_filter event and its
+// predicted verdict — must be order-equivalent for every worker count.
+func TestBuildWorldStaticDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Seed:         7,
+		MinerRepos:   30,
+		SynthKernels: 12,
+		PayloadSizes: []int{4096},
+		ExecCap:      2048,
+		Quiet:        true,
+		StaticChecks: true,
+	}
+	build := func(workers int) (*World, []journal.Event) {
+		c := cfg
+		c.Workers = workers
+		var w *World
+		events := captureJournal(t, func() {
+			var err error
+			w, err = BuildWorld(c)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		return w, events
+	}
+	want, wantEvents := build(1)
+	staticEvents := 0
+	for _, e := range wantEvents {
+		if e.Stage == journal.StageStaticFilter {
+			staticEvents++
+		}
+	}
+	if staticEvents == 0 {
+		t.Fatal("static campaign journaled no static_filter events")
+	}
+	if f := journal.Funnel(wantEvents); f.StaticChecked == 0 {
+		t.Error("funnel reconstructed no static-analysis stage from the journal")
+	}
+	for _, workers := range []int{8} {
+		got, gotEvents := build(workers)
+		if !reflect.DeepEqual(got.Synth, want.Synth) {
+			t.Errorf("workers=%d: synthesized kernels differ", workers)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Errorf("workers=%d: synthesis stats differ:\n%+v\nvs\n%+v",
+				workers, got.Stats, want.Stats)
+		}
+		if !reflect.DeepEqual(got.SynthObs, want.SynthObs) {
+			t.Errorf("workers=%d: synthetic observations differ", workers)
+		}
+		if !journal.Equivalent(wantEvents, gotEvents) {
+			t.Errorf("workers=%d: journal (incl. static_filter events) not equivalent to workers=1", workers)
+		}
+	}
+}

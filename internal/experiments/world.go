@@ -39,6 +39,11 @@ type Config struct {
 	// measurement sweeps). <= 0 means the pool default (-workers flag or
 	// GOMAXPROCS). Results are identical for every worker count.
 	Workers int
+	// StaticChecks enables the internal/analysis strict filter across the
+	// campaign: corpus files and samples run the analyzer-backed rejection
+	// filter, and the host driver pre-screens synthetic kernels, skipping
+	// the four dynamic executions when the verdict is already predicted.
+	StaticChecks bool
 	// Quiet suppresses progress logging.
 	Quiet bool
 	// Log receives progress lines when not quiet.
@@ -109,8 +114,9 @@ func BuildWorld(cfg Config) (*World, error) {
 	}
 	cfg.Log("building corpus and training model (repos=%d)...", cfg.MinerRepos)
 	g, err := core.Build(core.Config{
-		Miner:   github.MinerConfig{Seed: cfg.Seed, Repos: cfg.MinerRepos, FilesPerRepo: 8},
-		Workers: cfg.Workers,
+		Miner:        github.MinerConfig{Seed: cfg.Seed, Repos: cfg.MinerRepos, FilesPerRepo: 8},
+		Workers:      cfg.Workers,
+		StaticChecks: cfg.StaticChecks,
 	})
 	if err != nil {
 		return nil, err
@@ -233,6 +239,10 @@ func (w *World) measureSynthetic() {
 		loadErr    string
 		pairs      []pair
 	}
+	staticMode := driver.StaticOff
+	if w.Cfg.StaticChecks {
+		staticMode = driver.StaticPreScreen
+	}
 	results := pool.Map(w.Cfg.Workers, len(w.Synth), func(i int) outcome {
 		k, err := driver.Load(w.Synth[i])
 		if err != nil {
@@ -246,7 +256,7 @@ func (w *World) measureSynthetic() {
 					// Synthesized kernels can be quadratic (loop bounds tied
 					// to the payload size); bound the timeout budget so they
 					// fail fast like a wall-clock timeout would.
-					Run: driver.RunConfig{MaxSteps: 16 << 20},
+					Run: driver.RunConfig{MaxSteps: 16 << 20, Static: staticMode},
 				})
 			if err != nil {
 				continue

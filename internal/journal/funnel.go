@@ -59,6 +59,15 @@ type FunnelReport struct {
 	SampleDuplicates int
 	SampleReasons    map[string]int // rejection reason -> count (no duplicates)
 
+	StaticChecked  int
+	StaticRejected int
+	StaticReasons  map[string]int // "static: <lint>" -> count
+	// Agreement tabulates the static analyzer's §5.2 forecast against the
+	// dynamic checker's verdict, per (predicted, actual) pair. Kernels the
+	// checker never ran (statically pre-screened) appear under the actual
+	// value "(not run)"; an empty prediction renders as "pass".
+	Agreement map[AgreementCell]int
+
 	Loads        int
 	LoadFailures int
 	Checks       int
@@ -96,17 +105,27 @@ func (r *FunnelReport) UsefulRate() float64 {
 	return float64(r.Verdicts["useful work"]) / float64(r.Checks)
 }
 
+// AgreementCell is one cell of the static-vs-dynamic agreement table.
+type AgreementCell struct {
+	Predicted string // analyzer forecast ("" = expected to pass)
+	Actual    string // checker verdict ("" = checker never ran)
+}
+
 // Funnel aggregates a journal's events into a FunnelReport.
 func Funnel(events []Event) *FunnelReport {
 	r := &FunnelReport{
 		CorpusReasons: map[string]int{},
 		SampleReasons: map[string]int{},
+		StaticReasons: map[string]int{},
+		Agreement:     map[AgreementCell]int{},
 		Verdicts:      map[string]int{},
 		Systems:       map[string]*SystemStats{},
 		Suites:        map[string]*SuiteStats{},
 		Latencies:     map[Stage]LatencyStats{},
 	}
 	durs := map[Stage][]float64{}
+	predicted := map[string]string{} // kernel ID -> static forecast
+	checked := map[string][]string{} // kernel ID -> dynamic verdicts
 	for _, e := range events {
 		if e.DurMS > 0 {
 			durs[e.Stage] = append(durs[e.Stage], e.DurMS)
@@ -137,6 +156,13 @@ func Funnel(events []Event) *FunnelReport {
 			default:
 				r.SampleReasons[e.Reason]++
 			}
+		case StageStaticFilter:
+			r.StaticChecked++
+			if e.Reason != "" {
+				r.StaticRejected++
+				r.StaticReasons[e.Reason]++
+			}
+			predicted[e.ID] = e.Predicted
 		case StageDriverLoad:
 			r.Loads++
 			if e.Reason != "" {
@@ -145,6 +171,7 @@ func Funnel(events []Event) *FunnelReport {
 		case StageChecked:
 			r.Checks++
 			r.Verdicts[e.Verdict]++
+			checked[e.ID] = append(checked[e.ID], e.Verdict)
 		case StageMeasured:
 			r.Measured++
 			sys := r.Systems[e.System]
@@ -169,7 +196,56 @@ func Funnel(events []Event) *FunnelReport {
 	for stage, ds := range durs {
 		r.Latencies[stage] = percentiles(ds)
 	}
+	// Join forecasts with verdicts per kernel ID. A kernel the checker
+	// never touched (statically pre-screened, or the run stopped first)
+	// lands in the "(not run)" column; each distinct dynamic verdict of an
+	// ID contributes its own cell.
+	for id, pred := range predicted {
+		vs := checked[id]
+		if len(vs) == 0 {
+			r.Agreement[AgreementCell{Predicted: pred}]++
+			continue
+		}
+		seen := map[string]bool{}
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				r.Agreement[AgreementCell{Predicted: pred, Actual: v}]++
+			}
+		}
+	}
 	return r
+}
+
+// AgreementRate returns the fraction of statically-analyzed kernels whose
+// dynamic verdict matched the forecast, over kernels the checker ran.
+func (r *FunnelReport) AgreementRate() float64 {
+	match, total := 0, 0
+	for c, n := range r.Agreement {
+		if c.Actual == "" {
+			continue
+		}
+		total += n
+		if agreeCell(c) {
+			match += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}
+
+// agreeCell reports whether a (predicted, actual) pair counts as
+// agreement: an exact verdict match, or a clean forecast confirmed by a
+// "useful work" verdict. A clean forecast against a verdict the analyzer
+// does not model (input insensitive, non-deterministic) counts as a miss,
+// keeping the headline rate honest about what static analysis can see.
+func agreeCell(c AgreementCell) bool {
+	if c.Predicted == c.Actual {
+		return true
+	}
+	return c.Predicted == "" && c.Actual == "useful work"
 }
 
 func minF(a, b float64) float64 {
@@ -209,6 +285,25 @@ func (r *FunnelReport) Render() string {
 		fmt.Fprintf(&b, "sampling  %6d drawn  -> %5d accepted (%.1f%%), %d duplicates\n",
 			r.Sampled, r.SampleAccepted, r.SampleAcceptRate()*100, r.SampleDuplicates)
 		writeReasons(&b, r.SampleReasons)
+	}
+	if r.StaticChecked > 0 {
+		fmt.Fprintf(&b, "static    %6d analyzed -> %3d rejected\n", r.StaticChecked, r.StaticRejected)
+		writeReasons(&b, r.StaticReasons)
+		if len(r.Agreement) > 0 {
+			fmt.Fprintf(&b, "  static vs dynamic (%.1f%% agreement on checked kernels)\n",
+				r.AgreementRate()*100)
+			fmt.Fprintf(&b, "  %-18s %-18s %6s\n", "predicted", "actual", "count")
+			for _, c := range sortedCells(r.Agreement) {
+				pred, act := c.Predicted, c.Actual
+				if pred == "" {
+					pred = "pass"
+				}
+				if act == "" {
+					act = "(not run)"
+				}
+				fmt.Fprintf(&b, "  %-18s %-18s %6d\n", pred, act, r.Agreement[c])
+			}
+		}
 	}
 	if r.Loads > 0 {
 		fmt.Fprintf(&b, "driver    %6d loads  -> %5d failed\n", r.Loads, r.LoadFailures)
@@ -263,6 +358,21 @@ func writeReasons(b *strings.Builder, reasons map[string]int) {
 	for _, x := range rcs {
 		fmt.Fprintf(b, "  %6d  %s\n", x.n, x.r)
 	}
+}
+
+// sortedCells orders agreement cells by predicted then actual verdict.
+func sortedCells(m map[AgreementCell]int) []AgreementCell {
+	cells := make([]AgreementCell, 0, len(m))
+	for c := range m {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Predicted != cells[j].Predicted {
+			return cells[i].Predicted < cells[j].Predicted
+		}
+		return cells[i].Actual < cells[j].Actual
+	})
+	return cells
 }
 
 func sortedKeys[V any](m map[string]V) []string {

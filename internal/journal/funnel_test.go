@@ -2,8 +2,10 @@ package journal
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -70,6 +72,35 @@ func fixtureEvents() []Event {
 	}
 }
 
+// staticFixtureEvents extends the fixture with a -static-checks run's
+// static_filter stage: s1/s3 analyze clean, s5 is forecast "no output"
+// in observe mode (still checked — and the checker agrees), s6 is
+// statically rejected and never reaches the driver, and s7 analyzes
+// clean but the checker finds it input insensitive (a forecast miss).
+func staticFixtureEvents() []Event {
+	events := fixtureEvents()
+	base := events[len(events)-1].Time
+	tick := 0
+	e := func(ev Event) Event {
+		tick++
+		ev.Time = base.Add(time.Duration(tick) * time.Second)
+		return ev
+	}
+	return append(events,
+		e(Event{ID: "s1", Stage: StageStaticFilter}),
+		e(Event{ID: "s3", Stage: StageStaticFilter}),
+		e(Event{ID: "s5", Stage: StageStaticFilter, Predicted: "no output"}),
+		e(Event{ID: "s6", Stage: StageSampled, Item: 6, DurMS: 10}),
+		e(Event{ID: "s6", Stage: StageSampleFilter}),
+		e(Event{ID: "s6", Stage: StageStaticFilter, Reason: "static: oob-index", Predicted: "run failure"}),
+		e(Event{ID: "s7", Stage: StageSampled, Item: 7, DurMS: 11}),
+		e(Event{ID: "s7", Stage: StageSampleFilter}),
+		e(Event{ID: "s7", Stage: StageStaticFilter}),
+		e(Event{ID: "s7", Stage: StageDriverLoad, Item: 3}),
+		e(Event{ID: "s7", Stage: StageChecked, Verdict: "input insensitive", Size: 4096, Seed: 9, DurMS: 6}),
+	)
+}
+
 func checkGolden(t *testing.T, name string, got string) {
 	t.Helper()
 	golden := filepath.Join("testdata", name)
@@ -113,6 +144,72 @@ func TestFunnelCounts(t *testing.T) {
 	}
 	if got := r.Suites["npb"].MeanBest(); got != 1.1 {
 		t.Errorf("npb mean best = %g, want 1.1", got)
+	}
+}
+
+func TestFunnelStaticGolden(t *testing.T) {
+	checkGolden(t, "funnel_static.golden", Funnel(staticFixtureEvents()).Render())
+}
+
+func TestFunnelStaticCounts(t *testing.T) {
+	r := Funnel(staticFixtureEvents())
+	if r.StaticChecked != 5 || r.StaticRejected != 1 {
+		t.Errorf("static: analyzed=%d rejected=%d, want 5/1", r.StaticChecked, r.StaticRejected)
+	}
+	if r.StaticReasons["static: oob-index"] != 1 {
+		t.Errorf("static reasons = %v, want oob-index x1", r.StaticReasons)
+	}
+	want := map[AgreementCell]int{
+		{Predicted: "", Actual: "useful work"}:        1, // s1: agree
+		{Predicted: "", Actual: ""}:                   1, // s3: load failed, never checked
+		{Predicted: "no output", Actual: "no output"}: 1, // s5: agree
+		{Predicted: "run failure", Actual: ""}:        1, // s6: statically rejected, never checked
+		{Predicted: "", Actual: "input insensitive"}:  1, // s7: miss
+	}
+	if !reflect.DeepEqual(r.Agreement, want) {
+		t.Errorf("agreement table = %v, want %v", r.Agreement, want)
+	}
+	// Agreement over checked kernels: s1 and s5 agree, s7 misses.
+	if got, want := r.AgreementRate(), 2.0/3.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("agreement rate = %g, want %g", got, want)
+	}
+	// The base fixture journaled no static stage: its funnel must not
+	// invent one, and its render must not grow a static section.
+	if base := Funnel(fixtureEvents()); base.StaticChecked != 0 || len(base.Agreement) != 0 {
+		t.Errorf("static-free journal reconstructed a static stage: %+v", base)
+	}
+}
+
+// TestDiffStaticGate covers the static_filter rows of the regression
+// gate: identical static runs diff clean, and a run where the analyzer
+// starts rejecting a previously clean kernel trips "static rejected"
+// (BadDir +1: over-rejection discards kernels the checker accepts).
+func TestDiffStaticGate(t *testing.T) {
+	if d := Diff(staticFixtureEvents(), staticFixtureEvents(), 0); !d.OK() {
+		t.Fatalf("identical static runs regressed: %v", d.Regressions)
+	}
+	var perturbed []Event
+	for _, e := range staticFixtureEvents() {
+		switch {
+		case e.ID == "s1" && e.Stage == StageStaticFilter:
+			e.Reason, e.Predicted = "static: barrier-divergence", "run failure"
+		case e.ID == "s1" && (e.Stage == StageDriverLoad || e.Stage == StageChecked):
+			continue // pre-screened away, never executed
+		}
+		perturbed = append(perturbed, e)
+	}
+	d := Diff(staticFixtureEvents(), perturbed, 0)
+	if d.OK() {
+		t.Fatal("doubled static rejections passed the gate")
+	}
+	regressed := map[string]bool{}
+	for _, r := range d.Rows {
+		if r.Regressed {
+			regressed[r.Name] = true
+		}
+	}
+	if !regressed["static rejected"] {
+		t.Errorf("expected 'static rejected' to regress; regressions: %v", d.Regressions)
 	}
 }
 

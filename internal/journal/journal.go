@@ -54,6 +54,12 @@ const (
 	// Reason empty means accepted, a corpus.RejectReason otherwise, or
 	// ReasonDuplicate for filter-passing samples discarded by dedup.
 	StageSampleFilter Stage = "sample_filter"
+	// StageStaticFilter is the static analyzer's verdict on a kernel that
+	// passed the base rejection filter: Reason empty means clean, otherwise
+	// "static: <lint>" names the blocking diagnostic. Predicted carries the
+	// analyzer's §5.2 forecast ("" when it expects the dynamic checker to
+	// pass), letting cltrace tabulate static-vs-dynamic agreement.
+	StageStaticFilter Stage = "static_filter"
 	// StageDriverLoad marks the host driver loading a kernel; Reason holds
 	// the load error when it failed.
 	StageDriverLoad Stage = "driver_load"
@@ -71,7 +77,7 @@ const ReasonDuplicate = "duplicate"
 // StageOrder lists the stages in pipeline order, for rendering.
 var StageOrder = []Stage{
 	StageMined, StageCorpusFilter, StageRewritten,
-	StageSampled, StageSampleFilter,
+	StageSampled, StageSampleFilter, StageStaticFilter,
 	StageDriverLoad, StageChecked, StageMeasured,
 }
 
@@ -90,6 +96,9 @@ type Event struct {
 	Reason string `json:"reason,omitempty"`
 	// Verdict is the dynamic-checker outcome of a checked stage.
 	Verdict string `json:"verdict,omitempty"`
+	// Predicted is the static analyzer's §5.2 forecast in a static_filter
+	// stage ("" = expected to pass the dynamic checker).
+	Predicted string `json:"predicted,omitempty"`
 	// Parent links a derived artifact (rewritten unit) to its source ID.
 	Parent string `json:"parent,omitempty"`
 	// Kernel / Suite / System name a measured stage's subject.
@@ -412,6 +421,15 @@ func describe(e Event) string {
 		}
 		if e.Recovered {
 			s += " shim-recovered"
+		}
+	case StageStaticFilter:
+		if e.Reason == "" {
+			s += " clean"
+		} else {
+			s += fmt.Sprintf(" rejected (%s)", e.Reason)
+		}
+		if e.Predicted != "" {
+			s += fmt.Sprintf(" predicted=%q", e.Predicted)
 		}
 	case StageRewritten:
 		s += fmt.Sprintf(" parent=%s kernels=%d", e.Parent, e.Kernels)

@@ -17,6 +17,12 @@ type CLIFlags struct {
 	MetricsAddr string // -metrics-addr: serve /metrics, /vars, /debug/pprof
 	ReportPath  string // -report: write a RunReport JSON on exit
 	JournalPath string // -journal: append a JSONL provenance journal
+	// StaticChecks enables the internal/analysis static analyzer in
+	// whatever pipeline the binary runs: strict rejection filtering in
+	// clgen/clexp, the dynamic-checker pre-screen in cldrive. Pipeline
+	// packages read it from their own configs; it lives here so every
+	// binary spells the flag the same way.
+	StaticChecks bool // -static-checks
 }
 
 // RegisterCLIFlags installs the shared observability flags on fs
@@ -29,6 +35,7 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics, /vars and /debug/pprof on this address (e.g. :9090)")
 	fs.StringVar(&f.ReportPath, "report", "", "write a JSON telemetry RunReport to this path on exit")
 	fs.StringVar(&f.JournalPath, "journal", "", "write a per-artifact JSONL provenance journal to this path (analyze with cltrace)")
+	fs.BoolVar(&f.StaticChecks, "static-checks", false, "run the CFG+dataflow static analyzer: strict rejection filtering and dynamic-checker pre-screening")
 	return f
 }
 
