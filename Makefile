@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke lint-suites
+.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke lint-suites
 
 check: build vet fmt race
 
@@ -43,6 +43,7 @@ bench-snapshot:
 	$(GO) test -run=TestMain -bench=. -benchtime=1x
 	BENCH_PARALLEL=1 $(GO) test -run=TestParallelBenchSnapshot .
 	BENCH_ANALYSIS=1 $(GO) test -run=TestAnalysisBenchSnapshot -timeout 30m .
+	$(GO) run ./cmd/clperf record -history PERF_HISTORY.jsonl -component bench BENCH_telemetry.json
 
 # Static-analyzer false-positive sweep over the seven benchmark suites:
 # cllint exits nonzero if any hand-audited working kernel draws an
@@ -65,3 +66,29 @@ provenance-smoke:
 	@if /tmp/cltrace-smoke diff /tmp/prov-run1.jsonl /tmp/prov-run3.jsonl >/dev/null; then \
 		echo "provenance-smoke: perturbed run should have tripped the diff gate"; exit 1; \
 	else echo "provenance-smoke: perturbed run tripped the gate as expected"; fi
+
+# End-to-end perf gate: two identical-seed runs with -perf recorded into a
+# fresh history must diff clean; a third run with an injected 2s sleep in
+# core.synthesize must trip clperf diff; and a single-worker run with the
+# same injected sleep under a 1s stall deadline must leave a flight-
+# recorder dump naming the stalled stage. -workers 1 on the stall run is
+# load-bearing: with parallel workers the non-sleeping ones keep advancing
+# and the (correct) watchdog never fires.
+perf-smoke:
+	$(GO) build -o /tmp/clgen-perf ./cmd/clgen
+	$(GO) build -o /tmp/clperf-smoke ./cmd/clperf
+	rm -f /tmp/perf-hist.jsonl /tmp/perf-stall.txt
+	/tmp/clgen-perf -mode sample -n 3 -repos 15 -seed 9 -quiet -perf -perf-history /tmp/perf-hist.jsonl >/dev/null
+	/tmp/clgen-perf -mode sample -n 3 -repos 15 -seed 9 -quiet -perf -perf-history /tmp/perf-hist.jsonl >/dev/null
+	/tmp/clperf-smoke diff -threshold 100 -min-seconds 0.25 /tmp/perf-hist.jsonl
+	CLGEN_FAULT_SLEEP="core.synthesize=2s" /tmp/clgen-perf -mode sample -n 3 -repos 15 -seed 9 -quiet -perf -perf-history /tmp/perf-hist.jsonl >/dev/null
+	@if /tmp/clperf-smoke diff -threshold 100 -min-seconds 0.25 /tmp/perf-hist.jsonl; then \
+		echo "perf-smoke: injected slowdown should have tripped the diff gate"; exit 1; \
+	else echo "perf-smoke: injected slowdown tripped the gate as expected"; fi
+	/tmp/clperf-smoke history /tmp/perf-hist.jsonl
+	CLGEN_FAULT_SLEEP="core.synthesize=3s" /tmp/clgen-perf -mode sample -n 3 -repos 15 -seed 9 -quiet -workers 1 \
+		-stall-timeout 1s -stall-dump /tmp/perf-stall.txt >/dev/null
+	@test -s /tmp/perf-stall.txt || { echo "perf-smoke: stall watchdog produced no dump"; exit 1; }
+	@grep -q "core.synthesize" /tmp/perf-stall.txt || { echo "perf-smoke: dump does not name the stalled stage"; exit 1; }
+	@grep -q "attempt-" /tmp/perf-stall.txt || { echo "perf-smoke: dump does not list in-flight artifacts"; exit 1; }
+	@echo "perf-smoke: watchdog dump produced and names the stalled stage"

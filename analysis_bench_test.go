@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
@@ -20,10 +19,9 @@ import (
 // strict mode off vs on) and its payoff on the driver — dynamic checker
 // executions eliminated by the pre-screen over a full reduced campaign.
 type analysisBenchReport struct {
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	NumCPU     int                 `json:"num_cpu"`
-	Filter     []analysisBenchRow  `json:"corpus_filter"`
-	PreScreen  analysisBenchDriver `json:"driver_prescreen"`
+	Env       telemetry.EnvInfo   `json:"env"`
+	Filter    []analysisBenchRow  `json:"corpus_filter"`
+	PreScreen analysisBenchDriver `json:"driver_prescreen"`
 }
 
 type analysisBenchRow struct {
@@ -58,7 +56,7 @@ func TestAnalysisBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_ANALYSIS") == "" {
 		t.Skip("set BENCH_ANALYSIS=1 to record the static-analysis snapshot")
 	}
-	report := analysisBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	report := analysisBenchReport{Env: telemetry.Env()}
 
 	// Filter throughput: identical mined input, strict mode off vs on.
 	files := github.Mine(github.MinerConfig{Seed: 3, Repos: 120, FilesPerRepo: 8})

@@ -14,6 +14,9 @@
 //	cldrive -metrics-addr :9090    live /metrics, /vars, /stages, /debug/pprof/
 //	cldrive -report run.json       machine-readable RunReport on exit
 //	cldrive -journal run.jsonl     per-artifact provenance journal (cltrace)
+//	cldrive -perf                  per-stage CPU/alloc/GC accounting
+//	cldrive -stall-timeout 30s     stall watchdog + flight-recorder dump
+//	cldrive -perf-history h.jsonl  append per-stage run profile (clperf)
 //	cldrive -workers N             worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 //	cldrive -static-checks         pre-screen with the static analyzer;
@@ -29,6 +32,7 @@ import (
 
 	"clgen/internal/driver"
 	"clgen/internal/journal"
+	_ "clgen/internal/perf" // -perf/-stall-timeout/-perf-history backend
 	"clgen/internal/platform"
 	"clgen/internal/pool"
 	"clgen/internal/telemetry"

@@ -15,6 +15,9 @@
 //	clexp -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
 //	clexp -report run.json         machine-readable RunReport on exit
 //	clexp -journal run.jsonl       per-artifact provenance journal (cltrace)
+//	clexp -perf                    per-stage CPU/alloc/GC accounting
+//	clexp -stall-timeout 30s       stall watchdog + flight-recorder dump
+//	clexp -perf-history h.jsonl    append per-stage run profile (clperf)
 //	clexp -workers N               worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 package main
@@ -26,6 +29,7 @@ import (
 	"strings"
 
 	"clgen/internal/experiments"
+	_ "clgen/internal/perf" // -perf/-stall-timeout/-perf-history backend
 	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )

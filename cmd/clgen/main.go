@@ -17,6 +17,9 @@
 //	clgen -metrics-addr :9090      live /metrics, /vars, /stages, /debug/pprof/
 //	clgen -report run.json         machine-readable RunReport on exit
 //	clgen -journal run.jsonl       per-artifact provenance journal (cltrace)
+//	clgen -perf                    per-stage CPU/alloc/GC accounting
+//	clgen -stall-timeout 30s       stall watchdog + flight-recorder dump
+//	clgen -perf-history h.jsonl    append per-stage run profile (clperf)
 //	clgen -workers N               worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 package main
@@ -32,6 +35,7 @@ import (
 	"clgen/internal/github"
 	"clgen/internal/model"
 	"clgen/internal/nn"
+	_ "clgen/internal/perf" // -perf/-stall-timeout/-perf-history backend
 	"clgen/internal/pool"
 	"clgen/internal/telemetry"
 )

@@ -16,6 +16,10 @@
 // at least one input has an Error diagnostic or fails to parse, and 2
 // on usage or I/O failure. Error-severity diagnostics are the ones the
 // strict corpus filter (-static-checks) rejects on.
+//
+// cllint shares the observability flags of the other binaries (-v,
+// -report, -perf, -perf-history, ...); -quiet both lowers the log level
+// and suppresses the per-input summary on stderr.
 package main
 
 import (
@@ -27,23 +31,30 @@ import (
 	"clgen/internal/analysis"
 	"clgen/internal/clc"
 	"clgen/internal/corpus"
+	_ "clgen/internal/perf" // -perf/-stall-timeout/-perf-history backend
 	"clgen/internal/suites"
+	"clgen/internal/telemetry"
 )
 
 func main() {
 	var (
 		suitesMode = flag.Bool("suites", false, "lint the built-in benchmark suites instead of files")
-		quiet      = flag.Bool("quiet", false, "suppress the per-input summary on stderr")
 	)
+	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := tf.Start("cllint")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cllint:", err)
+		os.Exit(2)
+	}
 
 	var failed bool
-	var err error
 	if *suitesMode {
-		failed = lintSuites(*quiet)
+		failed = lintSuites(tf.Quiet)
 	} else {
-		failed, err = lintFiles(flag.Args(), *quiet)
+		failed, err = lintFiles(flag.Args(), tf.Quiet)
 	}
+	rt.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cllint:", err)
 		os.Exit(2)

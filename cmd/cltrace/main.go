@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	cltrace funnel run.jsonl
+//	cltrace funnel [-json] run.jsonl
 //	    §4.1 corpus discard breakdown, §4.3 sample acceptance, §5.2
 //	    dynamic-checker verdicts, and per-stage latency percentiles.
+//	    -json emits the same funnel as JSON with derived rates inlined.
 //
 //	cltrace show run.jsonl <id-prefix>
 //	    Reconstruct one artifact's full history (events whose content-hash
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,13 +63,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cltrace funnel <journal.jsonl>
+  cltrace funnel [-json] <journal.jsonl>
   cltrace show   <journal.jsonl> <id-prefix>
   cltrace diff   [-threshold pct] <old.jsonl> <new.jsonl>`)
 }
 
 func funnel(args []string) error {
 	fs := flag.NewFlagSet("funnel", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the funnel as JSON (counters plus derived rates)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,7 +81,16 @@ func funnel(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(journal.Funnel(events).Render())
+	rep := journal.Funnel(events)
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Print(rep.Render())
 	return nil
 }
 

@@ -166,6 +166,8 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 	// so the event stream is deterministic for every worker count.
 	pool.Scan(workers, maxAttempts,
 		func(i int) attempt {
+			done := telemetry.BeginWorkf("core.synthesize", "attempt-%05d", i)
+			defer done()
 			start := time.Now()
 			rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
 			k := g.Model.SampleKernel(rng, opts)

@@ -337,6 +337,8 @@ func BuildEx(files []github.ContentFile, opts BuildOpts) (*Corpus, error) {
 	var text strings.Builder
 
 	outcomes := pool.Map(opts.Workers, len(files), func(i int) fileOutcome {
+		done := telemetry.BeginWorkf("corpus.build", "%s/%s", files[i].Repo, files[i].Path)
+		defer done()
 		return processFile(files[i], opts.Static)
 	})
 	// Journal emission happens here in the ordered fold (not in the worker

@@ -53,6 +53,8 @@ func (r CheckResult) OK() bool { return r.Verdict == UsefulWork }
 // step-limit timeout, barrier divergence) yield RunFailure — the analogue
 // of a crashed or timed-out run on hardware.
 func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
+	done := telemetry.BeginWorkf("driver.check", "%s@%d", k.Name, globalSize)
+	defer done()
 	if cfg.Static != StaticOff {
 		if res, done := staticPreScreen(k, cfg.Static); done {
 			return res

@@ -174,6 +174,8 @@ func (w *World) measureSuites() error {
 	}
 	results := pool.Map(w.Cfg.Workers, len(jobs), func(i int) outcome {
 		j := jobs[i]
+		done := telemetry.BeginWorkf("world.measure_suites", "%s:%s", j.b.ID(), j.ds.Name)
+		defer done()
 		k, err := j.b.Load()
 		if err != nil {
 			return outcome{err: err}
@@ -244,6 +246,8 @@ func (w *World) measureSynthetic() {
 		staticMode = driver.StaticPreScreen
 	}
 	results := pool.Map(w.Cfg.Workers, len(w.Synth), func(i int) outcome {
+		done := telemetry.BeginWorkf("world.measure_synthetic", "clgen-%04d", i)
+		defer done()
 		k, err := driver.Load(w.Synth[i])
 		if err != nil {
 			return outcome{loadFailed: true, loadErr: err.Error()}

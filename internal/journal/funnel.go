@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -382,4 +383,42 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// agreementRow is the JSON form of one agreement cell: the map's struct
+// key cannot be a JSON object key, so the table flattens to a list.
+type agreementRow struct {
+	Predicted string `json:"predicted"`
+	Actual    string `json:"actual"`
+	Count     int    `json:"count"`
+	Agree     bool   `json:"agree"`
+}
+
+// MarshalJSON exports the funnel for machine consumers (cltrace funnel
+// -json): the raw counters plus the derived headline rates, with the
+// agreement table flattened to a deterministically-ordered list.
+func (r *FunnelReport) MarshalJSON() ([]byte, error) {
+	type alias FunnelReport // drops methods: no recursion
+	rows := make([]agreementRow, 0, len(r.Agreement))
+	for _, c := range sortedCells(r.Agreement) {
+		rows = append(rows, agreementRow{
+			Predicted: c.Predicted, Actual: c.Actual,
+			Count: r.Agreement[c], Agree: agreeCell(c),
+		})
+	}
+	return json.Marshal(struct {
+		*alias
+		Agreement         []agreementRow `json:"Agreement,omitempty"`
+		CorpusDiscardRate float64        `json:"corpus_discard_rate"`
+		SampleAcceptRate  float64        `json:"sample_accept_rate"`
+		UsefulRate        float64        `json:"useful_rate"`
+		AgreementRate     float64        `json:"agreement_rate"`
+	}{
+		alias:             (*alias)(r),
+		Agreement:         rows,
+		CorpusDiscardRate: r.CorpusDiscardRate(),
+		SampleAcceptRate:  r.SampleAcceptRate(),
+		UsefulRate:        r.UsefulRate(),
+		AgreementRate:     r.AgreementRate(),
+	})
 }

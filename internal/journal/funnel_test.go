@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -273,5 +274,67 @@ func TestDiffCatchesRegressions(t *testing.T) {
 	// A huge threshold lets everything through.
 	if d := Diff(fixtureEvents(), perturbedEvents(), 1000); !d.OK() {
 		t.Errorf("threshold 1000%% still regressed: %v", d.Regressions)
+	}
+}
+
+// TestFunnelJSON checks the -json export: valid JSON, the struct-keyed
+// agreement table flattened to rows, and the derived rates inlined.
+func TestFunnelJSON(t *testing.T) {
+	r := Funnel(fixtureEvents())
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("funnel does not marshal: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if got := decoded["Mined"]; got != float64(r.Mined) {
+		t.Errorf("Mined = %v, want %d", got, r.Mined)
+	}
+	for _, key := range []string{"corpus_discard_rate", "sample_accept_rate", "useful_rate", "agreement_rate"} {
+		if _, ok := decoded[key].(float64); !ok {
+			t.Errorf("derived rate %s missing or non-numeric: %v", key, decoded[key])
+		}
+	}
+	if got := decoded["corpus_discard_rate"]; got != r.CorpusDiscardRate() {
+		t.Errorf("corpus_discard_rate = %v, want %v", got, r.CorpusDiscardRate())
+	}
+}
+
+// TestFunnelJSONAgreement checks the flattened agreement rows on a journal
+// that exercises the static analyzer.
+func TestFunnelJSONAgreement(t *testing.T) {
+	r := Funnel(staticFixtureEvents())
+	if len(r.Agreement) == 0 {
+		t.Skip("fixture has no agreement cells")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Agreement []struct {
+			Predicted string `json:"predicted"`
+			Actual    string `json:"actual"`
+			Count     int    `json:"count"`
+		}
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Agreement) != len(r.Agreement) {
+		t.Fatalf("agreement rows = %d, want %d", len(decoded.Agreement), len(r.Agreement))
+	}
+	total := 0
+	for _, row := range decoded.Agreement {
+		total += row.Count
+	}
+	want := 0
+	for _, n := range r.Agreement {
+		want += n
+	}
+	if total != want {
+		t.Fatalf("agreement counts sum to %d, want %d", total, want)
 	}
 }

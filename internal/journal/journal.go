@@ -222,6 +222,9 @@ func (w *Writer) Emit(e Event) {
 	}
 	select {
 	case w.ch <- e:
+		if telemetry.Tapped() {
+			telemetry.Tap("journal", string(e.Stage)+" "+e.ID)
+		}
 	default:
 		dropped().Inc()
 	}

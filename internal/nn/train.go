@@ -74,6 +74,7 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 	lr := cfg.LearnRate
 	var lastLoss float64
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		epochDone := telemetry.BeginWorkf("nn.train", "epoch-%d", epoch)
 		epochStart := time.Now()
 		st := m.ZeroState()
 		g := m.newGrads()
@@ -113,6 +114,7 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 		if epoch%cfg.DecayEvery == 0 {
 			lr *= cfg.DecayFactor
 		}
+		epochDone()
 	}
 	span.SetAttr("final_loss", lastLoss)
 	return lastLoss, nil

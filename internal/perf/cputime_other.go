@@ -1,0 +1,8 @@
+//go:build !unix
+
+package perf
+
+// cpuSeconds reports 0 on platforms without getrusage; stage cpu_s attrs
+// degrade to zero there while wall time, allocations, and GC stats keep
+// working.
+func cpuSeconds() float64 { return 0 }

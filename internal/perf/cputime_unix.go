@@ -1,0 +1,19 @@
+//go:build unix
+
+package perf
+
+import "syscall"
+
+// cpuSeconds returns the process's cumulative CPU time (user + system)
+// in seconds via getrusage(RUSAGE_SELF).
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvSeconds(ru.Utime) + tvSeconds(ru.Stime)
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

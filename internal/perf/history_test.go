@@ -1,0 +1,200 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clgen/internal/telemetry"
+)
+
+func testEnv() telemetry.EnvInfo {
+	return telemetry.EnvInfo{GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8}
+}
+
+func testRecord(totalSec float64, stages map[string]float64) Record {
+	rec := Record{
+		Time:      time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+		Component: "clgen",
+		Env:       testEnv(),
+		Seconds:   totalSec,
+		Stages:    map[string]StageProfile{},
+	}
+	for name, s := range stages {
+		rec.Stages[name] = StageProfile{Seconds: s, Count: 1}
+	}
+	return rec
+}
+
+// TestHistoryRoundtrip appends records and reads them back.
+func TestHistoryRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	r1 := testRecord(10, map[string]float64{"corpus.build": 4, "core.synthesize": 6})
+	r1.GitRev = "abc1234"
+	r2 := testRecord(11, map[string]float64{"corpus.build": 5, "core.synthesize": 6})
+	for _, r := range []Record{r1, r2} {
+		if err := Append(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].GitRev != "abc1234" || got[0].Seconds != 10 {
+		t.Fatalf("record 0 mangled: %+v", got[0])
+	}
+	if got[1].Stages["corpus.build"].Seconds != 5 {
+		t.Fatalf("record 1 stage mangled: %+v", got[1].Stages)
+	}
+}
+
+// TestDiffIdenticalRunsPass is the CI contract: two identical-seed runs
+// must never trip the gate.
+func TestDiffIdenticalRunsPass(t *testing.T) {
+	h := []Record{
+		testRecord(10, map[string]float64{"a": 4, "b": 6}),
+		testRecord(10.01, map[string]float64{"a": 4.01, "b": 6.0}),
+	}
+	rep, err := Diff(h, DefaultThresholdPct, DefaultMinSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoBaseline || rep.Regressions != 0 {
+		t.Fatalf("identical runs flagged: %+v", rep)
+	}
+}
+
+// TestDiffSlowedStageRegresses checks an artificially slowed stage trips
+// the gate — the injected-sleep perf-smoke scenario.
+func TestDiffSlowedStageRegresses(t *testing.T) {
+	h := []Record{
+		testRecord(10, map[string]float64{"a": 4, "core.synthesize": 1}),
+		testRecord(10, map[string]float64{"a": 4, "core.synthesize": 1}),
+		testRecord(12, map[string]float64{"a": 4, "core.synthesize": 3}), // +2s injected
+	}
+	rep, err := Diff(h, 100, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions == 0 {
+		t.Fatalf("slowed stage not flagged: %+v", rep)
+	}
+	var found bool
+	for _, d := range rep.Stages {
+		if d.Stage == "core.synthesize" {
+			found = true
+			if !d.Regressed {
+				t.Fatalf("core.synthesize not marked regressed: %+v", d)
+			}
+		}
+		if d.Stage == "a" && d.Regressed {
+			t.Fatalf("unchanged stage flagged: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatal("core.synthesize row missing from diff")
+	}
+	var b strings.Builder
+	rep.Render(&b)
+	if !strings.Contains(b.String(), "REGRESSION") || !strings.Contains(b.String(), "FAIL") {
+		t.Fatalf("render lacks verdict:\n%s", b.String())
+	}
+}
+
+// TestDiffMinSecondsFloor checks the absolute floor: a 10x relative blowup
+// of a sub-millisecond stage is noise, not a regression.
+func TestDiffMinSecondsFloor(t *testing.T) {
+	h := []Record{
+		testRecord(1, map[string]float64{"tiny": 0.001}),
+		testRecord(1, map[string]float64{"tiny": 0.010}),
+	}
+	rep, err := Diff(h, 75, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("sub-floor jitter flagged: %+v", rep)
+	}
+}
+
+// TestDiffEnvMismatchNoBaseline checks records from a different machine
+// never form a baseline.
+func TestDiffEnvMismatchNoBaseline(t *testing.T) {
+	other := testRecord(5, map[string]float64{"a": 5})
+	other.Env.GOMAXPROCS = 2
+	h := []Record{other, testRecord(10, map[string]float64{"a": 10})}
+	rep, err := Diff(h, DefaultThresholdPct, DefaultMinSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NoBaseline {
+		t.Fatalf("cross-machine records formed a baseline: %+v", rep)
+	}
+	var b strings.Builder
+	rep.Render(&b)
+	if !strings.Contains(b.String(), "no comparable baseline") {
+		t.Fatalf("render lacks no-baseline notice:\n%s", b.String())
+	}
+}
+
+// TestDiffMedianBaseline checks one outlier baseline run doesn't mask (or
+// manufacture) a regression: the median, not the mean, is the reference.
+func TestDiffMedianBaseline(t *testing.T) {
+	h := []Record{
+		testRecord(10, map[string]float64{"a": 1}),
+		testRecord(10, map[string]float64{"a": 1}),
+		testRecord(60, map[string]float64{"a": 50}), // one anomalous slow run
+		testRecord(10, map[string]float64{"a": 1.1}),
+	}
+	rep, err := Diff(h, DefaultThresholdPct, DefaultMinSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("median baseline should absorb the outlier: %+v", rep)
+	}
+}
+
+// TestBuildRecord flattens a nested RunReport: same-name spans sum, perf
+// attrs carry over whatever JSON number type they decoded into.
+func TestBuildRecord(t *testing.T) {
+	rep := &telemetry.RunReport{
+		Component: "clgen",
+		Seconds:   12,
+		Env:       testEnv(),
+		Stages: []telemetry.StageNode{{
+			Name: "world.build", Seconds: 12,
+			Children: []telemetry.StageNode{
+				{Name: "driver.check", Seconds: 2,
+					Attrs: map[string]any{"cpu_s": 1.5, "alloc_bytes": float64(1000), "gc_pause_s": 0.01}},
+				{Name: "driver.check", Seconds: 3,
+					Attrs: map[string]any{"cpu_s": 2.5, "alloc_bytes": int64(500)}},
+			},
+		}},
+	}
+	rec := BuildRecord(rep, "deadbee")
+	if rec.GitRev != "deadbee" || rec.Component != "clgen" || rec.Env != testEnv() {
+		t.Fatalf("record header mangled: %+v", rec)
+	}
+	p := rec.Stages["driver.check"]
+	if p.Count != 2 || p.Seconds != 5 || p.CPUSeconds != 4 || p.AllocBytes != 1500 || p.GCPauseSeconds != 0.01 {
+		t.Fatalf("driver.check profile = %+v", p)
+	}
+	if rec.Stages["world.build"].Seconds != 12 {
+		t.Fatalf("root stage missing: %+v", rec.Stages)
+	}
+}
+
+// TestBuildRecordStampsEnv checks a pre-Env report gets the recording
+// machine's stamp so diff has a comparability key.
+func TestBuildRecordStampsEnv(t *testing.T) {
+	rec := BuildRecord(&telemetry.RunReport{Component: "clgen"}, "")
+	if rec.Env == (telemetry.EnvInfo{}) {
+		t.Fatal("record left without an env stamp")
+	}
+}

@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ringEvent is one flight-recorder entry: a tapped log line, span end,
+// journal event, or watchdog heartbeat.
+type ringEvent struct {
+	Time time.Time
+	Kind string
+	Msg  string
+}
+
+func (e ringEvent) String() string {
+	return fmt.Sprintf("%s [%s] %s", e.Time.UTC().Format("15:04:05.000"), e.Kind, e.Msg)
+}
+
+// DefaultRingSize is the flight recorder's default capacity. 256 recent
+// events is enough to see what the pipeline was doing when it stalled
+// without the dump becoming a log file.
+const DefaultRingSize = 256
+
+// recorder is a fixed-size ring buffer of recent events — the flight
+// recorder the stall watchdog dumps. Safe for concurrent use.
+type recorder struct {
+	mu    sync.Mutex
+	buf   []ringEvent
+	next  int
+	total int
+	now   func() time.Time
+}
+
+func newRecorder(size int) *recorder {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &recorder{buf: make([]ringEvent, size), now: time.Now}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (r *recorder) Record(kind, msg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = ringEvent{Time: r.now(), Kind: kind, Msg: msg}
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+}
+
+// Events returns the buffered events oldest-first.
+func (r *recorder) Events() []ringEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]ringEvent, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(r.next-n+i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

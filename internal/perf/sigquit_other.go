@@ -1,0 +1,6 @@
+//go:build !unix
+
+package perf
+
+// notifySignals is a no-op where SIGQUIT does not exist.
+func notifySignals(*Watchdog) func() { return func() {} }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package perf
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifySignals hooks SIGQUIT: instead of the runtime's bare stack dump,
+// a stalled run killed with `kill -QUIT` leaves the full flight-recorder
+// report. Returns the teardown func.
+func notifySignals(w *Watchdog) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			w.DumpNow("SIGQUIT received")
+			os.Exit(2)
+		}
+	}()
+	return func() { signal.Stop(ch); close(ch) }
+}

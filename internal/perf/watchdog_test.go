@@ -1,0 +1,119 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clgen/internal/telemetry"
+)
+
+// TestWatchdogDumpsOnStall arms a short-deadline watchdog, registers an
+// in-flight artifact that never completes, and checks the flight-recorder
+// dump names the stalled stage, the artifact, and goroutine stacks.
+func TestWatchdogDumpsOnStall(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "stall.txt")
+	w := StartWatchdog(WatchdogConfig{
+		Component: "test",
+		Deadline:  80 * time.Millisecond,
+		Interval:  20 * time.Millisecond,
+		DumpPath:  dump,
+	})
+	defer w.Stop()
+
+	telemetry.Advance("stage.test") // first progress arms the stall clock
+	done := telemetry.BeginWorkf("stage.test", "artifact-%d", 42)
+	defer done()
+	telemetry.Tap("log", "about to hang")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(dump); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never dumped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"stage.test",          // the stalled stage
+		"artifact-42",         // the in-flight artifact ID
+		"goroutine",           // stack dump
+		"about to hang",       // tapped flight-recorder event
+		"heartbeat",           // periodic pool-progress heartbeats
+		"no progress for",     // stall reason
+		"in-flight artifacts", // section header
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+// TestWatchdogIdleIsNotStall checks an idle pipeline (nothing in flight,
+// no busy workers) never trips the watchdog even long past the deadline.
+func TestWatchdogIdleIsNotStall(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "stall.txt")
+	w := StartWatchdog(WatchdogConfig{
+		Component: "test",
+		Deadline:  30 * time.Millisecond,
+		Interval:  10 * time.Millisecond,
+		DumpPath:  dump,
+	})
+	defer w.Stop()
+
+	done := telemetry.BeginWorkf("stage.idle", "only")
+	done() // work completed; pipeline now idle between stages
+	time.Sleep(150 * time.Millisecond)
+	if _, err := os.Stat(dump); err == nil {
+		t.Fatal("watchdog dumped on an idle pipeline")
+	}
+}
+
+// TestWatchdogDumpOnce checks one stall produces one dump, not one per
+// heartbeat.
+func TestWatchdogDumpOnce(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "stall.txt")
+	w := StartWatchdog(WatchdogConfig{
+		Component: "test",
+		Deadline:  30 * time.Millisecond,
+		Interval:  10 * time.Millisecond,
+		DumpPath:  dump,
+	})
+	defer w.Stop()
+
+	telemetry.Advance("s")
+	done := telemetry.BeginWorkf("s", "x")
+	defer done()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(dump); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no dump")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	first, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // several more heartbeats
+	second, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("dump rewritten while the same stall persisted")
+	}
+}

@@ -100,6 +100,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 			busy.Add(1)
 			out[i] = fn(i)
 			busy.Add(-1)
+			telemetry.Advance("pool")
 		}
 		return out
 	}
@@ -117,6 +118,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 				busy.Add(1)
 				out[i] = fn(i)
 				busy.Add(-1)
+				telemetry.Advance("pool")
 			}
 		}()
 	}

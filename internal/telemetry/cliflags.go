@@ -23,6 +23,21 @@ type CLIFlags struct {
 	// packages read it from their own configs; it lives here so every
 	// binary spells the flag the same way.
 	StaticChecks bool // -static-checks
+	// Perf enables per-stage resource accounting: every span captures CPU
+	// time, heap-allocation, GC-pause, and goroutine deltas (internal/perf
+	// backend). Off by default — and overhead-free when off.
+	Perf bool // -perf
+	// StallTimeout arms the stall watchdog: if the pipeline makes no
+	// progress for this long while work is in flight, goroutine stacks,
+	// the flight-recorder ring, and the in-flight artifact IDs are dumped
+	// to StallDump. 0 (the default) disables the watchdog.
+	StallTimeout time.Duration // -stall-timeout
+	// StallDump is the watchdog dump path ("" = <component>.stall.txt).
+	StallDump string // -stall-dump
+	// PerfHistory appends a machine-stamped run profile (per-stage wall,
+	// CPU, and allocation totals) to this JSONL file on exit — the history
+	// clperf record/history/diff operate on.
+	PerfHistory string // -perf-history
 }
 
 // RegisterCLIFlags installs the shared observability flags on fs
@@ -36,8 +51,38 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.StringVar(&f.ReportPath, "report", "", "write a JSON telemetry RunReport to this path on exit")
 	fs.StringVar(&f.JournalPath, "journal", "", "write a per-artifact JSONL provenance journal to this path (analyze with cltrace)")
 	fs.BoolVar(&f.StaticChecks, "static-checks", false, "run the CFG+dataflow static analyzer: strict rejection filtering and dynamic-checker pre-screening")
+	fs.BoolVar(&f.Perf, "perf", false, "sample per-stage CPU time, heap allocations, GC pauses and goroutine counts into spans and perf_* metrics")
+	fs.DurationVar(&f.StallTimeout, "stall-timeout", 0, "arm the stall watchdog: dump stacks, flight recorder and in-flight artifacts if no progress for this long (0 disables)")
+	fs.StringVar(&f.StallDump, "stall-dump", "", "stall watchdog dump path (default <component>.stall.txt)")
+	fs.StringVar(&f.PerfHistory, "perf-history", "", "append a machine-stamped per-stage run profile to this JSONL history on exit (inspect with clperf)")
 	return f
 }
+
+// perfEnabled reports whether any perf-backend flag is set.
+func (f *CLIFlags) perfEnabled() bool {
+	return f.Perf || f.StallTimeout > 0 || f.PerfHistory != ""
+}
+
+// PerfConfig is what the -perf/-stall-timeout/-perf-history backend needs
+// to start: internal/perf receives one via the SetPerfStarter hook.
+type PerfConfig struct {
+	Component    string
+	Start        time.Time
+	Perf         bool          // enable per-stage resource sampling
+	StallTimeout time.Duration // watchdog deadline (0 = no watchdog)
+	StallDump    string        // watchdog dump path ("" = <component>.stall.txt)
+	HistoryPath  string        // perf-history JSONL path ("" = no history append)
+}
+
+// perfStarter is installed by internal/perf's init (telemetry cannot
+// import perf — perf depends on telemetry for spans and metrics). It
+// starts sampling/watchdog per cfg and returns the closer that tears
+// them down and appends the run's history record.
+var perfStarter func(cfg PerfConfig) (io.Closer, error)
+
+// SetPerfStarter installs the perf backend. Called once from
+// internal/perf's init; last writer wins.
+func SetPerfStarter(start func(cfg PerfConfig) (io.Closer, error)) { perfStarter = start }
 
 // journalOpener is installed by internal/journal's init (telemetry cannot
 // import journal — journal depends on telemetry for its drop counters).
@@ -60,6 +105,7 @@ type Runtime struct {
 	flags     *CLIFlags
 	summaryW  io.Writer
 	journal   io.Closer
+	perf      io.Closer
 }
 
 // Start applies the flags: it configures the process-global logger
@@ -92,9 +138,35 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		rt.journal = j
 		log.Info("provenance journal open", "path", f.JournalPath)
 	}
+	if f.perfEnabled() {
+		if perfStarter == nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
+			return nil, fmt.Errorf("telemetry: -perf/-stall-timeout/-perf-history set but no perf backend is linked in")
+		}
+		p, err := perfStarter(PerfConfig{
+			Component:    component,
+			Start:        rt.start,
+			Perf:         f.Perf,
+			StallTimeout: f.StallTimeout,
+			StallDump:    f.StallDump,
+			HistoryPath:  f.PerfHistory,
+		})
+		if err != nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
+			return nil, err
+		}
+		rt.perf = p
+	}
 	if f.MetricsAddr != "" {
 		srv, err := Serve(f.MetricsAddr, Default(), DefaultTracer())
 		if err != nil {
+			if rt.perf != nil {
+				rt.perf.Close()
+			}
 			if rt.journal != nil {
 				rt.journal.Close()
 			}
@@ -110,7 +182,8 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 // Close finishes the run: it prints the stage-tree run summary (unless
 // -quiet or -log-json — the tree is plain text and would corrupt a
 // JSON-lines stream; machine consumers use -report), writes the
-// RunReport when -report is set, flushes and closes the provenance
+// RunReport when -report is set, tears down the perf backend (which
+// appends the -perf-history record), flushes and closes the provenance
 // journal when -journal is set, and stops the metrics server.
 func (rt *Runtime) Close() error {
 	if rt == nil {
@@ -129,6 +202,14 @@ func (rt *Runtime) Close() error {
 			rt.Log.Error("writing run report failed", "path", rt.flags.ReportPath, "err", err)
 		} else {
 			rt.Log.Info("run report written", "path", rt.flags.ReportPath)
+		}
+	}
+	if rt.perf != nil {
+		if err := rt.perf.Close(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			rt.Log.Error("closing perf backend failed", "err", err)
 		}
 	}
 	if rt.journal != nil {

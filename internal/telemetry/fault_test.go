@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want map[string]time.Duration
+	}{
+		{"", nil},
+		{"core.synthesize=2s", map[string]time.Duration{"core.synthesize": 2 * time.Second}},
+		{"a=1s, b=250ms", map[string]time.Duration{"a": time.Second, "b": 250 * time.Millisecond}},
+		{"bad", nil},
+		{"x=", nil},
+		{"=1s", nil},
+		{"x=-5s", nil},
+		{"x=nope,y=1s", map[string]time.Duration{"y": time.Second}},
+	}
+	for _, c := range cases {
+		got := parseFaultSpec(c.spec)
+		if len(got) != len(c.want) {
+			t.Errorf("parseFaultSpec(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for k, v := range c.want {
+			if got[k] != v {
+				t.Errorf("parseFaultSpec(%q)[%s] = %v, want %v", c.spec, k, got[k], v)
+			}
+		}
+	}
+}

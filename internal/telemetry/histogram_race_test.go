@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrent hammers one histogram with concurrent Observe
+// calls while snapshot and Prometheus exposition run — under -race this
+// guards the lock-free bucket/sum updates; afterwards the totals must be
+// exact (no lost increments).
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("stage_seconds_test", "t", DurationBuckets)
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%10) / 10)
+			}
+		}(g)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Snapshot()
+				reg.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot().Histograms["stage_seconds_test"]
+	if snap.Count != writers*perG {
+		t.Fatalf("count = %d, want %d", snap.Count, writers*perG)
+	}
+	if got := snap.Buckets[len(snap.Buckets)-1]; got != writers*perG {
+		t.Fatalf("+Inf bucket = %d, want %d", got, writers*perG)
+	}
+	// Each block of 10 observations sums to 0.0+0.1+...+0.9 = 4.5.
+	want := float64(writers*perG) / 10 * 4.5
+	if diff := snap.Sum - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum = %v, want %v", snap.Sum, want)
+	}
+}

@@ -176,6 +176,9 @@ func (l *Logger) log(level Level, msg string, pairs []any) {
 	default:
 		line = encodeTextRecord(l.now(), level, msg, fields)
 	}
+	if Tapped() {
+		Tap("log", strings.TrimSuffix(string(line), "\n"))
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.w.Write(line)

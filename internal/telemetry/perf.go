@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ResourceSample is a point-in-time snapshot of process-wide resource
+// counters: CPU time consumed, cumulative heap allocations, total GC
+// pause time, completed GC cycles, and live goroutines. Spans capture one
+// sample at Start and one at End and attach the deltas as stage attrs —
+// see the perf-sampling conventions in DESIGN.md for what a delta does
+// (and does not) mean for concurrent stages.
+//
+// The sampler itself lives in internal/perf (it needs getrusage and
+// runtime.ReadMemStats); telemetry only defines the hook so the tracer
+// stays dependency-free.
+type ResourceSample struct {
+	// CPUSeconds is process CPU time (user + system) since process start.
+	CPUSeconds float64
+	// AllocBytes is cumulative heap allocation (runtime.MemStats.TotalAlloc).
+	AllocBytes uint64
+	// GCPauseSeconds is total stop-the-world pause time since start.
+	GCPauseSeconds float64
+	// GCCycles is the number of completed GC cycles.
+	GCCycles uint32
+	// Goroutines is the current goroutine count.
+	Goroutines int
+}
+
+type samplerFunc func() ResourceSample
+
+var (
+	resourceSampler atomic.Pointer[samplerFunc]
+	perfSampling    atomic.Bool
+)
+
+// SetResourceSampler installs the process resource sampler (nil removes
+// it). Called once from internal/perf's init — telemetry cannot import
+// perf, which depends on telemetry for metrics and the stage tree.
+func SetResourceSampler(fn func() ResourceSample) {
+	if fn == nil {
+		resourceSampler.Store(nil)
+		return
+	}
+	f := samplerFunc(fn)
+	resourceSampler.Store(&f)
+}
+
+// EnablePerfSampling switches per-stage resource accounting on or off.
+// Off (the default) is overhead-free: spans never call the sampler and
+// carry no perf attrs. Binaries enable it via the shared -perf flag.
+func EnablePerfSampling(on bool) { perfSampling.Store(on) }
+
+// PerfSamplingEnabled reports whether spans are capturing resource deltas.
+func PerfSamplingEnabled() bool {
+	return perfSampling.Load() && resourceSampler.Load() != nil
+}
+
+// sampleResources takes one resource sample when sampling is enabled.
+func sampleResources() (ResourceSample, bool) {
+	if !perfSampling.Load() {
+		return ResourceSample{}, false
+	}
+	fp := resourceSampler.Load()
+	if fp == nil {
+		return ResourceSample{}, false
+	}
+	return (*fp)(), true
+}
+
+// EnvInfo stamps a measurement with the machine and toolchain that
+// produced it. Every BENCH_*.json snapshot, RunReport, and clperf history
+// record carries one — cross-machine comparison of wall times is
+// meaningless without it (PR 2 recorded ~1x pool speedups that were
+// simply a GOMAXPROCS=1 container).
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// Env returns the current process's environment stamp.
+func Env() EnvInfo {
+	return EnvInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

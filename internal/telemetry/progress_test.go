@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func withProgress(t *testing.T) *fakeClock {
+	t.Helper()
+	clk := newFakeClock()
+	SetProgressClock(clk.now)
+	EnableProgressTracking(true)
+	t.Cleanup(func() {
+		EnableProgressTracking(false)
+		SetProgressClock(nil)
+	})
+	return clk
+}
+
+// TestProgressTracking drives Advance/BeginWorkf over a fake clock and
+// checks the snapshot the watchdog consumes.
+func TestProgressTracking(t *testing.T) {
+	clk := withProgress(t)
+
+	Advance("pool")
+	clk.advance(time.Second)
+	done := BeginWorkf("core.synthesize", "attempt-%05d", 7)
+	snap := Progress()
+	if got := snap.InFlight["core.synthesize"]; len(got) != 1 || got[0] != "attempt-00007" {
+		t.Fatalf("in-flight = %v, want [attempt-00007]", got)
+	}
+	if snap.InFlightCount() != 1 {
+		t.Fatalf("InFlightCount = %d, want 1", snap.InFlightCount())
+	}
+	if want := clk.now().Add(-time.Second); !snap.LastAdvance["pool"].Equal(want) {
+		t.Fatalf("pool last advance = %v, want %v", snap.LastAdvance["pool"], want)
+	}
+
+	clk.advance(time.Second)
+	done()
+	snap = Progress()
+	if snap.InFlightCount() != 0 {
+		t.Fatalf("InFlightCount after done = %d, want 0", snap.InFlightCount())
+	}
+	if !snap.Last.Equal(clk.now()) {
+		t.Fatalf("Last = %v, want %v (done counts as advance)", snap.Last, clk.now())
+	}
+	if !snap.LastAdvance["core.synthesize"].Equal(clk.now()) {
+		t.Fatalf("stage last advance not updated by done")
+	}
+}
+
+// TestProgressDuplicateIDs checks refcounting: two in-flight copies of the
+// same ID stay registered until both release.
+func TestProgressDuplicateIDs(t *testing.T) {
+	withProgress(t)
+	d1 := BeginWorkf("s", "same")
+	d2 := BeginWorkf("s", "same")
+	if got := Progress().InFlight["s"]; len(got) != 1 {
+		t.Fatalf("in-flight = %v, want one deduped ID", got)
+	}
+	d1()
+	if got := Progress().InFlight["s"]; len(got) != 1 {
+		t.Fatalf("ID released after first done; second copy still running")
+	}
+	d2()
+	if Progress().InFlightCount() != 0 {
+		t.Fatalf("in-flight not empty after both dones")
+	}
+}
+
+// TestProgressDisabled checks the off path: no state accumulates and the
+// returned done func is safe to call.
+func TestProgressDisabled(t *testing.T) {
+	done := BeginWorkf("s", "id-%d", 1)
+	done()
+	Advance("s")
+	if ProgressEnabled() {
+		t.Fatal("progress unexpectedly enabled")
+	}
+	if snap := Progress(); snap.InFlightCount() != 0 || !snap.Last.IsZero() {
+		t.Fatalf("state accumulated while disabled: %+v", snap)
+	}
+}
+
+// TestProgressDisableClears checks disable wipes state so the next arm
+// starts fresh.
+func TestProgressDisableClears(t *testing.T) {
+	withProgress(t)
+	Advance("s")
+	BeginWorkf("s", "id")
+	EnableProgressTracking(false)
+	EnableProgressTracking(true)
+	if snap := Progress(); snap.InFlightCount() != 0 || len(snap.LastAdvance) != 0 {
+		t.Fatalf("state survived disable: %+v", snap)
+	}
+}

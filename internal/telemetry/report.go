@@ -17,6 +17,10 @@ type RunReport struct {
 	Start     time.Time `json:"start"`
 	End       time.Time `json:"end"`
 	Seconds   float64   `json:"seconds"`
+	// Env stamps the machine and toolchain that produced the run, making
+	// reports (and the BENCH_*.json snapshots built from them) comparable
+	// across machines. clperf record carries it into the perf history.
+	Env EnvInfo `json:"env"`
 
 	Stages     []StageNode                  `json:"stages,omitempty"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
@@ -33,6 +37,7 @@ func BuildReport(component string, start time.Time, reg *Registry, tracer *Trace
 		Start:      start,
 		End:        end,
 		Seconds:    end.Sub(start).Seconds(),
+		Env:        Env(),
 		Stages:     tracer.Stages(),
 		Counters:   snap.Counters,
 		Gauges:     snap.Gauges,

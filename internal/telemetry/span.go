@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -67,6 +68,10 @@ type Span struct {
 	parent   *Span
 	children []*Span
 	attrs    []kv
+	// res0 is the resource sample captured at Start when -perf sampling is
+	// enabled (nil otherwise). Written once before the span is shared, so
+	// End may read it without the tracer lock.
+	res0 *ResourceSample
 }
 
 type ctxKey struct{}
@@ -100,12 +105,18 @@ func (s *Span) Child(name string) *Span {
 }
 
 func (t *Tracer) start(name string, parent *Span, implicit bool) *Span {
+	// Resource sampling happens outside the lock: ReadMemStats is not free
+	// and must not serialize unrelated spans.
+	var res0 *ResourceSample
+	if r, ok := sampleResources(); ok {
+		res0 = &r
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if implicit && parent == nil {
 		parent = t.cur
 	}
-	s := &Span{tracer: t, name: name, start: t.now(), implicit: implicit, parent: parent}
+	s := &Span{tracer: t, name: name, start: t.now(), implicit: implicit, parent: parent, res0: res0}
 	if parent != nil {
 		parent.children = append(parent.children, s)
 	} else {
@@ -140,19 +151,33 @@ func (s *Span) Duration() time.Duration {
 func (s *Span) SetAttr(key string, value any) *Span {
 	s.tracer.mu.Lock()
 	defer s.tracer.mu.Unlock()
-	for i := range s.attrs {
-		if s.attrs[i].k == key {
-			s.attrs[i].v = value
-			return s
-		}
-	}
-	s.attrs = append(s.attrs, kv{key, value})
+	s.setAttrLocked(key, value)
 	return s
 }
 
+// setAttrLocked upserts one attr; the caller holds the tracer lock.
+func (s *Span) setAttrLocked(key string, value any) {
+	for i := range s.attrs {
+		if s.attrs[i].k == key {
+			s.attrs[i].v = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, kv{key, value})
+}
+
 // End closes the span, records its duration into the tracer's registry,
-// and pops it from the implicit stack. End is idempotent.
+// and pops it from the implicit stack. End is idempotent. When -perf
+// sampling was enabled at Start, End attaches the stage's resource deltas
+// (cpu_s, alloc_bytes, gc_pause_s, gc_cycles, goroutines) as attrs — they
+// surface in /stages, the RunReport, and the perf_stage_* metrics.
 func (s *Span) End() {
+	// Sample before taking the lock, mirroring start.
+	var res1 ResourceSample
+	haveRes := false
+	if s.res0 != nil {
+		res1, haveRes = sampleResources()
+	}
 	t := s.tracer
 	t.mu.Lock()
 	if s.ended {
@@ -161,6 +186,17 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	s.dur = t.now().Sub(s.start)
+	var resCPU, resAlloc, resGCPause float64
+	if haveRes {
+		resCPU = clampNonNeg(res1.CPUSeconds - s.res0.CPUSeconds)
+		resAlloc = float64(res1.AllocBytes - s.res0.AllocBytes)
+		resGCPause = clampNonNeg(res1.GCPauseSeconds - s.res0.GCPauseSeconds)
+		s.setAttrLocked("cpu_s", roundMicro(resCPU))
+		s.setAttrLocked("alloc_bytes", int64(res1.AllocBytes-s.res0.AllocBytes))
+		s.setAttrLocked("gc_pause_s", roundMicro(resGCPause))
+		s.setAttrLocked("gc_cycles", int(res1.GCCycles-s.res0.GCCycles))
+		s.setAttrLocked("goroutines", res1.Goroutines)
+	}
 	// Pop this span (and any unclosed descendants) off the implicit stack.
 	// Explicit spans (Child/ctx-parented) were never pushed, so ending them
 	// from a worker goroutine cannot disturb the coordinator's stack.
@@ -179,7 +215,31 @@ func (s *Span) End() {
 	if reg != nil {
 		reg.Histogram(Label("stage_seconds", "stage", name),
 			"Stage wall time in seconds.", DurationBuckets).Observe(dur.Seconds())
+		if haveRes {
+			reg.Gauge(Label("perf_stage_cpu_seconds", "stage", name),
+				"CPU time (user+system) attributed to the stage, in seconds.").Add(resCPU)
+			reg.Gauge(Label("perf_stage_alloc_bytes", "stage", name),
+				"Heap bytes allocated while the stage was open.").Add(resAlloc)
+			reg.Gauge(Label("perf_stage_gc_pause_seconds", "stage", name),
+				"GC stop-the-world pause time while the stage was open, in seconds.").Add(resGCPause)
+		}
 	}
+	if Tapped() {
+		Tap("span", fmt.Sprintf("%s %s", name, formatSeconds(dur.Seconds())))
+	}
+}
+
+// clampNonNeg floors small negative deltas (clock/rusage granularity) at 0.
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// roundMicro rounds seconds to microsecond resolution so attrs stay tidy.
+func roundMicro(v float64) float64 {
+	return math.Round(v*1e6) / 1e6
 }
 
 // StageNode is the exported form of a span for the RunReport.

@@ -1,0 +1,36 @@
+package telemetry
+
+import "sync/atomic"
+
+// The event tap is the flight recorder's feed: when installed, every log
+// line, span end, and journal event is forwarded as a (kind, msg) pair so
+// the watchdog's ring buffer holds the run's last moments. No tap (the
+// default) costs one atomic load at each call site; producers of
+// expensive messages guard with Tapped() before formatting.
+
+// TapFunc receives one telemetry event. It must be fast and must not
+// call back into the logger or tracer at the risk of recursion.
+type TapFunc func(kind, msg string)
+
+var tapFn atomic.Pointer[TapFunc]
+
+// SetTap installs the process-wide event tap (nil removes it). Installed
+// by the internal/perf flight recorder; last writer wins.
+func SetTap(fn TapFunc) {
+	if fn == nil {
+		tapFn.Store(nil)
+		return
+	}
+	tapFn.Store(&fn)
+}
+
+// Tapped reports whether an event tap is installed. Call sites use it to
+// skip message formatting when nobody is recording.
+func Tapped() bool { return tapFn.Load() != nil }
+
+// Tap forwards one event to the installed tap, if any.
+func Tap(kind, msg string) {
+	if f := tapFn.Load(); f != nil {
+		(*f)(kind, msg)
+	}
+}

@@ -4,13 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	"clgen/internal/corpus"
 	"clgen/internal/github"
 	"clgen/internal/model"
+	"clgen/internal/telemetry"
 )
 
 // parallelBenchReport is the BENCH_parallel.json schema: serial-vs-parallel
@@ -20,10 +20,9 @@ import (
 // on a single-CPU box the expected speedup is ~1x and the snapshot mainly
 // proves the pool adds no overhead cliff.
 type parallelBenchReport struct {
-	GOMAXPROCS int                  `json:"gomaxprocs"`
-	NumCPU     int                  `json:"num_cpu"`
-	Corpus     []parallelBenchEntry `json:"corpus_build"`
-	Sample     []parallelBenchEntry `json:"sample_many"`
+	Env    telemetry.EnvInfo    `json:"env"`
+	Corpus []parallelBenchEntry `json:"corpus_build"`
+	Sample []parallelBenchEntry `json:"sample_many"`
 }
 
 type parallelBenchEntry struct {
@@ -41,7 +40,7 @@ func TestParallelBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_PARALLEL") == "" {
 		t.Skip("set BENCH_PARALLEL=1 to record the serial-vs-parallel snapshot")
 	}
-	report := parallelBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	report := parallelBenchReport{Env: telemetry.Env()}
 	counts := []int{1, 2, 4}
 
 	files := github.Mine(github.MinerConfig{Seed: 3, Repos: 120, FilesPerRepo: 8})
