@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke lint-suites
+.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke lint-suites
 
 check: build vet fmt race
 
@@ -36,14 +36,36 @@ bench:
 # BENCH_analysis.json adds the static analyzer's cost/payoff: rejection-
 # filter throughput with strict mode off vs on, and the dynamic-checker
 # executions the pre-screen eliminates.
+# BENCH_cache.json records the content-addressed stage caches' payoff:
+# cold- vs warm-cache corpus build and Figure 9 wall times, with output
+# equality verified (warm must be >= 2x faster and byte-identical).
 # Stale snapshots are removed first so a failed run cannot leave a
 # previous baseline masquerading as fresh (idempotent re-runs).
 bench-snapshot:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_analysis.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_analysis.json BENCH_cache.json
 	$(GO) test -run=TestMain -bench=. -benchtime=1x
 	BENCH_PARALLEL=1 $(GO) test -run=TestParallelBenchSnapshot .
 	BENCH_ANALYSIS=1 $(GO) test -run=TestAnalysisBenchSnapshot -timeout 30m .
+	BENCH_CACHE=1 $(GO) test -run=TestCacheBenchSnapshot -timeout 30m .
 	$(GO) run ./cmd/clperf record -history PERF_HISTORY.jsonl -component bench BENCH_telemetry.json
+
+# End-to-end cache gate: a cold run populates -cache-dir, a warm run with
+# the same seed reuses it. The warm run's stdout must be byte-identical,
+# `cltrace diff` must gate clean between the two journals (the cache may
+# never change what the pipeline produces), and the warm funnel must show
+# a nonzero number of stage results served from cache (the cache must
+# actually engage).
+cache-smoke:
+	$(GO) build -o /tmp/clgen-cache ./cmd/clgen
+	$(GO) build -o /tmp/cltrace-cache ./cmd/cltrace
+	rm -rf /tmp/clgen-cache-dir /tmp/cache-cold.jsonl /tmp/cache-warm.jsonl /tmp/cache-cold.out /tmp/cache-warm.out
+	/tmp/clgen-cache -mode sample -n 3 -repos 15 -seed 9 -quiet -cache-dir /tmp/clgen-cache-dir -journal /tmp/cache-cold.jsonl >/tmp/cache-cold.out
+	/tmp/clgen-cache -mode sample -n 3 -repos 15 -seed 9 -quiet -cache-dir /tmp/clgen-cache-dir -journal /tmp/cache-warm.jsonl >/tmp/cache-warm.out
+	cmp /tmp/cache-cold.out /tmp/cache-warm.out
+	/tmp/cltrace-cache diff /tmp/cache-cold.jsonl /tmp/cache-warm.jsonl
+	@/tmp/cltrace-cache funnel /tmp/cache-warm.jsonl | grep -q "served from cache" || \
+		{ echo "cache-smoke: warm run served nothing from cache"; exit 1; }
+	@echo "cache-smoke: warm run byte-identical, diff clean, cache engaged"
 
 # Static-analyzer false-positive sweep over the seven benchmark suites:
 # cllint exits nonzero if any hand-audited working kernel draws an

@@ -1,0 +1,145 @@
+package clgen_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"clgen/internal/cache"
+	"clgen/internal/corpus"
+	"clgen/internal/experiments"
+	"clgen/internal/github"
+	"clgen/internal/telemetry"
+)
+
+// cacheBenchReport is the BENCH_cache.json schema: wall-clock savings of
+// the content-addressed stage caches on a warm rebuild, with output
+// equality verified — the speedup is only admissible because the results
+// are byte-identical.
+type cacheBenchReport struct {
+	Env     telemetry.EnvInfo `json:"env"`
+	Corpus  cacheBenchStage   `json:"corpus_build"`
+	Figure9 cacheBenchStage   `json:"figure9"`
+	// Hits are the per-memo cache_hits_total deltas over the warm passes.
+	Hits map[string]int64 `json:"warm_hits"`
+}
+
+type cacheBenchStage struct {
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"outputs_identical"`
+}
+
+// TestCacheBenchSnapshot measures cold- vs warm-cache wall time for the
+// corpus build and the Figure 9 sweep and writes BENCH_cache.json. Gated
+// behind BENCH_CACHE=1 so plain `go test` stays fast; run via `make
+// bench-snapshot`. The warm corpus rebuild must be at least 2x faster
+// than cold with identical output — the cache's acceptance bar.
+func TestCacheBenchSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_CACHE") == "" {
+		t.Skip("set BENCH_CACHE=1 to record the cache snapshot")
+	}
+	if err := cache.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.SetDir("") })
+	report := cacheBenchReport{Env: telemetry.Env(), Hits: map[string]int64{}}
+	reg := telemetry.Default()
+
+	warmDelta := func(fn func()) map[string]int64 {
+		before := reg.Snapshot().Counters
+		fn()
+		after := reg.Snapshot().Counters
+		d := map[string]int64{}
+		for name, v := range after {
+			if v != before[name] {
+				d[name] = v - before[name]
+			}
+		}
+		return d
+	}
+	recordHits := func(deltas map[string]int64) {
+		for name, v := range deltas {
+			if len(name) > 16 && name[:16] == "cache_hits_total" {
+				report.Hits[name] += v
+			}
+		}
+	}
+
+	// Corpus build: cold populates the persistent tier, then a simulated
+	// new process (memory flushed, disk warm) rebuilds.
+	files := github.Mine(github.MinerConfig{Seed: 3, Repos: 120, FilesPerRepo: 8})
+	cache.FlushMemory()
+	start := time.Now()
+	cold, err := corpus.BuildEx(files, corpus.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Corpus.ColdSeconds = time.Since(start).Seconds()
+
+	cache.FlushMemory()
+	var warm *corpus.Corpus
+	hits := warmDelta(func() {
+		start = time.Now()
+		warm, err = corpus.BuildEx(files, corpus.BuildOpts{})
+		report.Corpus.WarmSeconds = time.Since(start).Seconds()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordHits(hits)
+	report.Corpus.Identical = cold.Text == warm.Text && reflect.DeepEqual(cold.Kernels, warm.Kernels)
+	report.Corpus.Speedup = report.Corpus.ColdSeconds / report.Corpus.WarmSeconds
+	if !report.Corpus.Identical {
+		t.Error("warm corpus rebuild is not byte-identical to cold")
+	}
+	if report.Corpus.Speedup < 2 {
+		t.Errorf("warm corpus rebuild speedup %.2fx, want >= 2x", report.Corpus.Speedup)
+	}
+
+	// Figure 9: feature extraction and the sampling top-up behind the
+	// "filter" and "features" memos.
+	cfg := experiments.TestConfig()
+	cfg.Quiet = true
+	w, err := experiments.BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.FlushMemory()
+	start = time.Now()
+	f9cold, err := experiments.Figure9(w, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Figure9.ColdSeconds = time.Since(start).Seconds()
+
+	cache.FlushMemory()
+	var f9warm *experiments.Figure9Result
+	hits = warmDelta(func() {
+		start = time.Now()
+		f9warm, err = experiments.Figure9(w, 300)
+		report.Figure9.WarmSeconds = time.Since(start).Seconds()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordHits(hits)
+	report.Figure9.Identical = reflect.DeepEqual(f9cold, f9warm)
+	report.Figure9.Speedup = report.Figure9.ColdSeconds / report.Figure9.WarmSeconds
+	if !report.Figure9.Identical {
+		t.Error("warm Figure 9 differs from cold")
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cache.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "cache bench snapshot written to BENCH_cache.json")
+}

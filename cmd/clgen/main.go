@@ -20,6 +20,9 @@
 //	clgen -perf                    per-stage CPU/alloc/GC accounting
 //	clgen -stall-timeout 30s       stall watchdog + flight-recorder dump
 //	clgen -perf-history h.jsonl    append per-stage run profile (clperf)
+//	clgen -cache-dir DIR           persist content-addressed stage caches;
+//	                               warm runs reuse filter/rewrite/feature/
+//	                               check results (outputs stay identical)
 //	clgen -workers N               worker-pool size (default GOMAXPROCS);
 //	                               outputs are identical for every N
 package main

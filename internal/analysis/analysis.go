@@ -25,6 +25,12 @@ import (
 	"clgen/internal/telemetry"
 )
 
+// Version stamps cached results that depend on the analyzer's verdicts
+// (internal/cache). Bump it whenever a pass, lint, or threshold changes
+// behavior, so persistent caches recompute instead of replaying the old
+// analyzer's conclusions.
+const Version = "analysis-v1"
+
 // Severity grades a diagnostic.
 type Severity int
 

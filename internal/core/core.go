@@ -142,7 +142,35 @@ func (g *CLgen) Synthesize(n int, opts model.SampleOpts, seed int64) ([]string, 
 // (seed, i) and attempts are accepted in index order, so the returned
 // kernels and stats are identical for every worker count.
 func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, workers int) ([]string, SynthesisStats, error) {
-	span := telemetry.Start("core.synthesize").SetAttr("requested", n)
+	return g.synthesizeScan("core.synthesize", n, workers, func(i int) synthAttempt {
+		done := telemetry.BeginWorkf("core.synthesize", "attempt-%05d", i)
+		defer done()
+		start := time.Now()
+		rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
+		k := g.Model.SampleKernel(rng, opts)
+		res, hit := corpus.FilterCached(k, corpus.FilterOpts{Static: g.Static})
+		return synthAttempt{kernel: k, res: res, cached: hit,
+			durMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	})
+}
+
+// synthAttempt is one sampled-and-filtered synthesis candidate.
+type synthAttempt struct {
+	kernel string
+	res    corpus.FilterResult
+	cached bool // filter verdict served by internal/cache
+	durMS  float64
+}
+
+// synthesizeScan is the shared §4.3 synthesis loop behind
+// SynthesizeWorkers and SynthesizeRecursiveWorkers: draw attempt i's
+// candidate on worker goroutines (draw must be pure per index — derive
+// RNGs from the index, never share one), accept in strict attempt order.
+// Acceptance bookkeeping (counters, dedup, the attempt budget) stays
+// sequential inside the accept callback — journal emission lives there
+// too, so the event stream is deterministic for every worker count.
+func (g *CLgen) synthesizeScan(stage string, n, workers int, draw func(i int) synthAttempt) ([]string, SynthesisStats, error) {
+	span := telemetry.Start(stage).SetAttr("requested", n)
 	defer span.End()
 	reg := telemetry.Default()
 	attempted := reg.Counter("sampler_samples_attempted_total", "Samples drawn from the language model.")
@@ -155,26 +183,8 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 	if maxAttempts < 400 {
 		maxAttempts = 400
 	}
-	type attempt struct {
-		kernel string
-		res    corpus.FilterResult
-		durMS  float64
-	}
-	// Sample + filter is the hot, pure stage; acceptance bookkeeping
-	// (counters, dedup, the attempt budget) stays sequential in attempt
-	// order inside the accept callback — journal emission lives there too,
-	// so the event stream is deterministic for every worker count.
-	pool.Scan(workers, maxAttempts,
-		func(i int) attempt {
-			done := telemetry.BeginWorkf("core.synthesize", "attempt-%05d", i)
-			defer done()
-			start := time.Now()
-			rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
-			k := g.Model.SampleKernel(rng, opts)
-			return attempt{kernel: k, res: corpus.FilterEx(k, corpus.FilterOpts{Static: g.Static}),
-				durMS: float64(time.Since(start)) / float64(time.Millisecond)}
-		},
-		func(i int, a attempt) bool {
+	pool.Scan(workers, maxAttempts, draw,
+		func(i int, a synthAttempt) bool {
 			stats.Attempts++
 			attempted.Inc()
 			var kid string
@@ -191,26 +201,27 @@ func (g *CLgen) SynthesizeWorkers(n int, opts model.SampleOpts, seed int64, work
 					// The sample passed the base §4.3 filter and fell to
 					// the analyzer: journal both stages so the funnel
 					// attributes the discard to the right one.
-					journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter})
+					journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
+						CacheHit: a.cached})
 					journal.Emit(journal.Event{ID: kid, Stage: journal.StageStaticFilter,
 						Reason: string(a.res.Reason), Predicted: a.res.Predicted})
 				} else {
 					journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
-						Reason: string(a.res.Reason)})
+						Reason: string(a.res.Reason), CacheHit: a.cached})
 				}
 				return true
 			}
 			if seen[a.kernel] {
 				reg.Counter("sampler_duplicates_total", "Filter-passing samples discarded as duplicates.").Inc()
 				journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter,
-					Reason: journal.ReasonDuplicate})
+					Reason: journal.ReasonDuplicate, CacheHit: a.cached})
 				return true
 			}
 			seen[a.kernel] = true
 			out = append(out, a.kernel)
 			stats.Accepted++
 			accepted.Inc()
-			journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter})
+			journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampleFilter, CacheHit: a.cached})
 			if g.Static {
 				journal.Emit(journal.Event{ID: kid, Stage: journal.StageStaticFilter,
 					Predicted: a.res.Predicted})

@@ -1,13 +1,15 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"clgen/internal/clc"
 	"clgen/internal/corpus"
 	"clgen/internal/model"
+	"clgen/internal/pool"
+	"clgen/internal/telemetry"
 )
 
 // This file implements the recursive program synthesis the paper sketches
@@ -27,56 +29,55 @@ const maxHelpersPerKernel = 3
 
 // SampleWithHelpers draws one kernel and recursively synthesizes helper
 // functions for unresolved calls. It returns the (possibly multi-function)
-// translation unit and whether it passed the rejection filter.
-func (g *CLgen) SampleWithHelpers(rng *rand.Rand, opts model.SampleOpts) (string, bool) {
+// translation unit, the final rejection-filter verdict on it (res.OK means
+// the unit passed — callers must not re-filter a failed unit to learn the
+// reject reason), and whether that verdict was served by internal/cache.
+// The filter honors g.Static, matching SynthesizeWorkers: strict-mode
+// synthesis rejects statically-flagged helpersful units too.
+func (g *CLgen) SampleWithHelpers(rng *rand.Rand, opts model.SampleOpts) (string, corpus.FilterResult, bool) {
+	fopts := corpus.FilterOpts{Static: g.Static}
 	kernel := g.Model.SampleKernel(rng, opts)
 	unit := kernel
-	for attempt := 0; attempt <= maxHelpersPerKernel; attempt++ {
-		res := corpus.FilterSample(unit)
-		if res.OK {
-			return unit, true
+	for attempt := 0; ; attempt++ {
+		res, hit := corpus.FilterCached(unit, fopts)
+		if res.OK || attempt == maxHelpersPerKernel {
+			return unit, res, hit
 		}
 		missing := missingFunctions(unit)
 		if len(missing) == 0 {
-			return unit, false // failure is not a missing helper
+			return unit, res, hit // failure is not a missing helper
 		}
 		helper, ok := g.sampleHelper(rng, missing[0], opts.Temperature)
 		if !ok {
-			return unit, false
+			return unit, res, hit
 		}
 		unit = helper + "\n\n" + unit
 	}
-	return unit, false
 }
 
 // SynthesizeRecursive is Synthesize with helper synthesis enabled.
+// Sampling and filtering fan out over the pool's default worker count;
+// see SynthesizeRecursiveWorkers.
 func (g *CLgen) SynthesizeRecursive(n int, opts model.SampleOpts, seed int64) ([]string, SynthesisStats, error) {
-	rng := rand.New(rand.NewSource(seed))
-	stats := SynthesisStats{Requested: n, Reasons: map[corpus.RejectReason]int{}}
-	seen := map[string]bool{}
-	var out []string
-	maxAttempts := n * 40
-	if maxAttempts < 400 {
-		maxAttempts = 400
-	}
-	for len(out) < n && stats.Attempts < maxAttempts {
-		stats.Attempts++
-		unit, ok := g.SampleWithHelpers(rng, opts)
-		if !ok {
-			stats.Reasons[corpus.FilterSample(unit).Reason]++
-			continue
-		}
-		if seen[unit] {
-			continue
-		}
-		seen[unit] = true
-		out = append(out, unit)
-		stats.Accepted++
-	}
-	if len(out) < n {
-		return out, stats, fmt.Errorf("core: synthesized only %d/%d kernels in %d attempts", len(out), n, stats.Attempts)
-	}
-	return out, stats, nil
+	return g.SynthesizeRecursiveWorkers(n, opts, seed, 0)
+}
+
+// SynthesizeRecursiveWorkers is SynthesizeRecursive with an explicit
+// worker count (<= 0 means the pool default). It shares SynthesizeWorkers'
+// scan loop — per-attempt derived RNGs, ordered acceptance, journal
+// events, telemetry counters, dedup — so recursive synthesis has the same
+// determinism and observability guarantees: identical kernels and stats
+// for every worker count.
+func (g *CLgen) SynthesizeRecursiveWorkers(n int, opts model.SampleOpts, seed int64, workers int) ([]string, SynthesisStats, error) {
+	return g.synthesizeScan("core.synthesize.recursive", n, workers, func(i int) synthAttempt {
+		done := telemetry.BeginWorkf("core.synthesize.recursive", "attempt-%05d", i)
+		defer done()
+		start := time.Now()
+		rng := rand.New(rand.NewSource(pool.DeriveSeed(seed, int64(i))))
+		unit, res, hit := g.SampleWithHelpers(rng, opts)
+		return synthAttempt{kernel: unit, res: res, cached: hit,
+			durMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	})
 }
 
 // missingFunctions parses the unit best-effort and lists called names that

@@ -1,0 +1,142 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"clgen/internal/cache"
+	"clgen/internal/github"
+	"clgen/internal/journal"
+	"clgen/internal/telemetry"
+)
+
+func cacheCounter(name, memo string) *telemetry.Counter {
+	return telemetry.Default().Counter(telemetry.Label(name, "cache", memo), "")
+}
+
+// TestColdWarmBuildsIdentical is the tentpole acceptance test for the
+// corpus stage: a warm-cache rebuild (persistent tier populated, memory
+// flushed to simulate a new process) must produce a byte-identical corpus
+// and an equivalent journal, every corpus_filter event on the warm run
+// must carry the cache_hit annotation, and the journal's annotation count
+// must equal the cache_hits_total{cache="file"} delta exactly.
+func TestColdWarmBuildsIdentical(t *testing.T) {
+	if err := cache.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.SetDir("") })
+	cache.FlushMemory() // other tests may have warmed the memos
+
+	files := github.Mine(github.MinerConfig{Seed: 77, Repos: 30, FilesPerRepo: 6})
+	build := func(workers int) (*Corpus, []journal.Event) {
+		var c *Corpus
+		events := captureJournal(t, func() {
+			var err error
+			c, err = BuildEx(files, BuildOpts{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return c, events
+	}
+
+	cold, coldEvents := build(4)
+
+	cache.FlushMemory() // cold start within the process: only disk is warm
+	hits0 := cacheCounter("cache_hits_total", "file").Value()
+	warm, warmEvents := build(4)
+	hitsDelta := cacheCounter("cache_hits_total", "file").Value() - hits0
+
+	// Warmth and worker count must be independent axes: warm rebuilds at
+	// other -workers values stay byte-identical and journal-equivalent.
+	for _, workers := range []int{1, 8} {
+		w, events := build(workers)
+		if w.Text != cold.Text {
+			t.Errorf("warm workers=%d rebuild changed Corpus.Text", workers)
+		}
+		if !journal.Equivalent(coldEvents, events) {
+			t.Errorf("warm workers=%d journal not equivalent to cold", workers)
+		}
+	}
+
+	if cold.Text != warm.Text {
+		t.Error("warm rebuild changed Corpus.Text")
+	}
+	if !reflect.DeepEqual(cold.Kernels, warm.Kernels) {
+		t.Error("warm rebuild changed Corpus.Kernels")
+	}
+	if !reflect.DeepEqual(cold.Stats, warm.Stats) {
+		t.Errorf("warm rebuild changed Stats:\ncold %+v\nwarm %+v", cold.Stats, warm.Stats)
+	}
+	if !journal.Equivalent(coldEvents, warmEvents) {
+		t.Error("cold and warm journals not equivalent after order normalization")
+	}
+
+	// Every per-file outcome on the warm run came from the persistent
+	// tier (or a singleflight collapse for duplicate file contents), and
+	// the journal attributes each one: annotations == counter delta.
+	annotated := journal.Funnel(warmEvents).CacheHits[journal.StageCorpusFilter]
+	if annotated != len(files) {
+		t.Errorf("warm run annotated %d/%d corpus_filter events as cache hits", annotated, len(files))
+	}
+	if int64(annotated) != hitsDelta {
+		t.Errorf("journal cache_hit annotations = %d, cache_hits_total{cache=file} delta = %d",
+			annotated, hitsDelta)
+	}
+	// The cold run must not have rendered a cache section at all... but
+	// duplicate-content files legitimately collapse even cold, so only
+	// assert the cold count is strictly smaller than full.
+	if coldHits := journal.Funnel(coldEvents).CacheHits[journal.StageCorpusFilter]; coldHits >= len(files) {
+		t.Errorf("cold run reported %d cache hits over %d files", coldHits, len(files))
+	}
+}
+
+// TestFilterCachedMatchesFilterEx asserts warm and cold FilterCached
+// calls return the same verdict FilterEx computes, for both plain and
+// strict (static) options — the §4.3 sampling path's correctness
+// contract.
+func TestFilterCachedMatchesFilterEx(t *testing.T) {
+	srcs := []string{
+		"__kernel void A(__global float* a) {\n  int b = get_global_id(0);\n  a[b] = a[b] * 2;\n}",
+		"__kernel void A(__global float* a, int b) {\n  a[0] = 1;\n}", // unused arg: strict rejects
+		"int main() { return 0; }", // no kernel
+		"not even C {{{",
+	}
+	for _, src := range srcs {
+		for _, opts := range []FilterOpts{{}, {Static: true}} {
+			want := FilterEx(src, opts)
+			got1, hit1 := FilterCached(src, opts)
+			got2, hit2 := FilterCached(src, opts)
+			if hit2 != true || got2.File != nil || got2.Static != nil {
+				t.Errorf("second call: hit=%v File=%v Static=%v, want verdict-only hit", hit2, got2.File, got2.Static)
+			}
+			for name, got := range map[string]FilterResult{"cold": got1, "warm": got2} {
+				if got.OK != want.OK || got.Reason != want.Reason ||
+					got.Instrs != want.Instrs || got.StaticReject != want.StaticReject {
+					t.Errorf("%s (static=%t): FilterCached=%+v, FilterEx=%+v", name, opts.Static, got, want)
+				}
+			}
+			_ = hit1
+		}
+	}
+}
+
+// TestFilterCachedKeysOnOptions: the same source under different
+// FilterOpts must not share verdicts — the strict analyzer rejects what
+// the plain filter accepts.
+func TestFilterCachedKeysOnOptions(t *testing.T) {
+	// The probe reads an uninitialized local — an Error-severity lint the
+	// strict analyzer rejects but the plain §4.3 filter cannot see.
+	src := "__kernel void A(__global float* a) {\n  int b;\n  a[get_global_id(0)] = b;\n}"
+	plain, _ := FilterCached(src, FilterOpts{})
+	strict, _ := FilterCached(src, FilterOpts{Static: true})
+	if !plain.OK {
+		t.Fatalf("plain filter rejected the probe kernel: %s", plain.Reason)
+	}
+	if strict.OK {
+		t.Fatal("strict filter accepted a kernel that reads an uninitialized variable")
+	}
+	if !strict.StaticReject {
+		t.Errorf("strict rejection not attributed to the analyzer: %+v", strict)
+	}
+}

@@ -252,6 +252,7 @@ type fileOutcome struct {
 	units          []unitOutcome
 	err            error
 	durMS          float64 // wall time of the per-file stage, for the journal
+	cacheHit       bool    // outcome served by internal/cache, for the journal
 }
 
 // unitOutcome is one rewritten per-kernel unit of an accepted file.
@@ -339,7 +340,8 @@ func BuildEx(files []github.ContentFile, opts BuildOpts) (*Corpus, error) {
 	outcomes := pool.Map(opts.Workers, len(files), func(i int) fileOutcome {
 		done := telemetry.BeginWorkf("corpus.build", "%s/%s", files[i].Repo, files[i].Path)
 		defer done()
-		return processFile(files[i], opts.Static)
+		o, _ := processFileCached(files[i], opts.Static)
+		return o
 	})
 	// Journal emission happens here in the ordered fold (not in the worker
 	// fn) so the event stream is deterministic for every worker count.
@@ -360,7 +362,7 @@ func BuildEx(files []github.ContentFile, opts BuildOpts) (*Corpus, error) {
 			reg.Counter(telemetry.Label("corpus_files_discarded_total", "reason", string(o.reason)),
 				"Content files discarded by the rejection filter, by reason.").Inc()
 			journal.Emit(journal.Event{ID: fileID, Stage: journal.StageCorpusFilter,
-				Reason: string(o.reason), DurMS: o.durMS})
+				Reason: string(o.reason), CacheHit: o.cacheHit, DurMS: o.durMS})
 			continue
 		}
 		if o.err != nil {
@@ -374,7 +376,7 @@ func BuildEx(files []github.ContentFile, opts BuildOpts) (*Corpus, error) {
 		}
 		reg.Counter("corpus_files_accepted_total", "Content files surviving the rejection filter.").Inc()
 		journal.Emit(journal.Event{ID: fileID, Stage: journal.StageCorpusFilter,
-			Recovered: o.noShimRejected, DurMS: o.durMS})
+			Recovered: o.noShimRejected, CacheHit: o.cacheHit, DurMS: o.durMS})
 		c.Stats.AcceptedFiles++
 		c.Stats.AcceptedLines += o.lines
 		for id := range o.identsBefore {

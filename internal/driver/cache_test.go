@@ -1,0 +1,112 @@
+package driver
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"clgen/internal/cache"
+	"clgen/internal/journal"
+	"clgen/internal/platform"
+	"clgen/internal/telemetry"
+)
+
+func captureJournal(t *testing.T, fn func()) []journal.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf, 0)
+	journal.SetActive(w)
+	defer journal.SetActive(nil)
+	fn()
+	journal.SetActive(nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestCheckColdWarmIdentical: a memoized §5.2 check must return the same
+// verdict, profile, and payload quantities as the execution it skipped,
+// the warm StageChecked event must carry the cache_hit annotation, and
+// the annotation count must equal the cache_hits_total{cache="check"}
+// delta exactly (the checker runs under pool.Map fan-outs, which never
+// overshoot, so the invariant is exact here).
+func TestCheckColdWarmIdentical(t *testing.T) {
+	if err := cache.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.SetDir("") })
+	cache.FlushMemory()
+
+	k, err := Load(zipSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsC := telemetry.Default().Counter(telemetry.Label("cache_hits_total", "cache", "check"), "")
+	verdictsC := telemetry.Default().Counter(
+		telemetry.Label("driver_checker_verdicts_total", "verdict", string(UsefulWork)), "")
+
+	var cold CheckResult
+	coldEvents := captureJournal(t, func() { cold = Check(k, 256, 1, RunConfig{}) })
+	if !cold.OK() || cold.CacheHit {
+		t.Fatalf("cold check: %+v", cold)
+	}
+
+	cache.FlushMemory() // only the persistent tier stays warm
+	hits0, verdicts0 := hitsC.Value(), verdictsC.Value()
+	var warm CheckResult
+	warmEvents := captureJournal(t, func() { warm = Check(k, 256, 1, RunConfig{}) })
+
+	if !warm.CacheHit {
+		t.Fatal("warm check did not hit the persistent tier")
+	}
+	warm.CacheHit = false
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm check result differs:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if !journal.Equivalent(coldEvents, warmEvents) {
+		t.Error("cold and warm check journals not equivalent")
+	}
+	if got := journal.Funnel(warmEvents).CacheHits[journal.StageChecked]; got != 1 {
+		t.Errorf("warm funnel cache hits = %d, want 1", got)
+	}
+	if d := hitsC.Value() - hits0; d != 1 {
+		t.Errorf("cache_hits_total{cache=check} delta = %d, want 1", d)
+	}
+	// The funnel==telemetry invariant: a memoized check still counts a
+	// verdict.
+	if d := verdictsC.Value() - verdicts0; d != 1 {
+		t.Errorf("verdict counter delta on warm run = %d, want 1", d)
+	}
+}
+
+// TestMeasureStableUnderMemoization: Measure aggregates profiles in place
+// (Add/Scale), so cached check outcomes must hand every caller a fresh
+// profile copy. Repeated measurements — first cold, then served from the
+// memo — must agree exactly; a shared profile would be scaled twice and
+// drift.
+func TestMeasureStableUnderMemoization(t *testing.T) {
+	k, err := Load(zipSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := platform.SystemAMD
+	cfg := MeasureConfig{Repeats: 3, ExecCap: 128}
+	var runs []*Measurement
+	for i := 0; i < 3; i++ {
+		m, err := Measure(k, 4096, sys, 9, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, m)
+	}
+	for i := 1; i < len(runs); i++ {
+		if !reflect.DeepEqual(runs[0], runs[i]) {
+			t.Errorf("measurement %d differs from the first:\n%+v\nvs\n%+v", i, runs[0], runs[i])
+		}
+	}
+}

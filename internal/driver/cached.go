@@ -1,0 +1,90 @@
+// Content-addressed memoization of the dynamic checker (internal/cache):
+// the four-execution §5.2 check is a pure function of (kernel source,
+// global size, payload seed, step budget) on the deterministic simulator,
+// so its verdict, first-execution profile, and payload quantities can be
+// reused across repeats, experiments, and warm runs. Check itself still
+// counts verdicts and journals a StageChecked event on every call — a hit
+// skips the executions, not the observability.
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"clgen/internal/cache"
+	"clgen/internal/interp"
+)
+
+// checkVersion stamps cached check outcomes. The check depends on the
+// payload generator, the interpreter, and the platform-independent
+// verdict logic in this package — bump on any behavioral change.
+const checkVersion = "driver-check-v1"
+
+// checkEntry is the serializable mirror of a check()'s CheckResult. The
+// profile is stored by value: every conversion back hands the consumer a
+// fresh copy, because measurement mutates profiles (Add/Scale) while
+// aggregating repeats.
+type checkEntry struct {
+	Verdict       string         `json:"verdict"`
+	Err           string         `json:"err,omitempty"`
+	HasProfile    bool           `json:"has_profile,omitempty"`
+	Profile       interp.Profile `json:"profile,omitempty"`
+	TransferBytes int64          `json:"transfer_bytes,omitempty"`
+	LocalSize     int            `json:"local_size,omitempty"`
+}
+
+var checkMemo = cache.New(cache.Config[checkEntry]{
+	Name:    "check",
+	Version: checkVersion,
+	Disk:    true,
+})
+
+func toCheckEntry(res CheckResult) checkEntry {
+	e := checkEntry{
+		Verdict:       string(res.Verdict),
+		TransferBytes: res.TransferBytes,
+		LocalSize:     res.LocalSize,
+	}
+	if res.Err != nil {
+		e.Err = res.Err.Error()
+	}
+	if res.Profile != nil {
+		e.HasProfile, e.Profile = true, *res.Profile
+	}
+	return e
+}
+
+func fromCheckEntry(e checkEntry) CheckResult {
+	res := CheckResult{
+		Verdict:       CheckVerdict(e.Verdict),
+		TransferBytes: e.TransferBytes,
+		LocalSize:     e.LocalSize,
+	}
+	if e.Err != "" {
+		res.Err = errors.New(e.Err)
+	}
+	if e.HasProfile {
+		p := e.Profile
+		res.Profile = &p
+	}
+	return res
+}
+
+// checkCached is check() behind the "check" memo. Cold and warm calls
+// return value-identical results (both pass through the serializable
+// entry), differing only in CacheHit.
+func checkCached(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
+	key := cache.Key(
+		fmt.Sprintf("size=%d,seed=%d,maxsteps=%d", globalSize, seed, cfg.MaxSteps),
+		k.Src)
+	e, hit, err := checkMemo.Do(key, func() (checkEntry, error) {
+		return toCheckEntry(check(k, globalSize, seed, cfg)), nil
+	})
+	if err != nil {
+		// The compute callback never errors; defensive fallback.
+		return check(k, globalSize, seed, cfg)
+	}
+	res := fromCheckEntry(e)
+	res.CacheHit = hit
+	return res
+}

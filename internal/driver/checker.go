@@ -32,10 +32,18 @@ type CheckResult struct {
 	Verdict CheckVerdict
 	Err     error // cause for RunFailure
 	Profile *interp.Profile
-	Payload *Payload // the A1 payload, post-execution
+	// TransferBytes / LocalSize describe the A1 payload of a useful-work
+	// verdict (zero otherwise) — the two payload quantities measurement
+	// consumes. The payload itself is not retained: check outcomes are
+	// memoized (internal/cache) and must be plain, immutable data.
+	TransferBytes int64
+	LocalSize     int
 	// Static marks a verdict the analyzer predicted without executing
-	// (RunConfig.Static == StaticPreScreen): no profile or payload exists.
+	// (RunConfig.Static == StaticPreScreen): no profile exists.
 	Static bool
+	// CacheHit marks a verdict served by the check memo instead of
+	// executed.
+	CacheHit bool
 }
 
 // OK reports whether the kernel performs useful work.
@@ -61,7 +69,11 @@ func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 		}
 	}
 	start := time.Now()
-	res := check(k, globalSize, seed, cfg)
+	res := checkCached(k, globalSize, seed, cfg)
+	// The verdict counter increments on cache hits too: a memoized check
+	// is still a check outcome, and the funnel==telemetry invariant
+	// (checked events vs. driver_checker_verdicts_total) must hold on
+	// warm runs.
 	telemetry.Default().Counter(
 		telemetry.Label("driver_checker_verdicts_total", "verdict", string(res.Verdict)),
 		"Dynamic-checker verdicts (§5.2), by outcome.").Inc()
@@ -70,7 +82,7 @@ func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	// stay equivalent after order normalization.
 	if journal.Enabled() {
 		journal.Emit(journal.Event{ID: journal.ID(k.Src), Stage: journal.StageChecked,
-			Verdict: string(res.Verdict), Size: globalSize, Seed: seed,
+			Verdict: string(res.Verdict), Size: globalSize, Seed: seed, CacheHit: res.CacheHit,
 			DurMS: float64(time.Since(start)) / float64(time.Millisecond)})
 	}
 	return res
@@ -155,7 +167,8 @@ func check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	if !outputsEqual(a1, a2) || !outputsEqual(b1, b2) {
 		return CheckResult{Verdict: NonDeterministic, Profile: profA1}
 	}
-	return CheckResult{Verdict: UsefulWork, Profile: profA1, Payload: a1}
+	return CheckResult{Verdict: UsefulWork, Profile: profA1,
+		TransferBytes: a1.TransferBytes, LocalSize: a1.LocalSize}
 }
 
 func outputsEqual(a, b *Payload) bool {

@@ -88,8 +88,8 @@ func Measure(k *Kernel, globalSize int, sys *platform.System, seed int64, cfg Me
 		}
 		if agg == nil {
 			agg = res.Profile
-			transfer = res.Payload.TransferBytes
-			wg = res.Payload.LocalSize
+			transfer = res.TransferBytes
+			wg = res.LocalSize
 		} else {
 			agg.Add(res.Profile)
 		}

@@ -104,7 +104,7 @@ func (w *World) clgenKeys(maxKernels int) []string {
 		func(i int) string {
 			rng := rand.New(rand.NewSource(pool.DeriveSeed(base, int64(i))))
 			src := w.CLgen.Model.SampleKernel(rng, model.SampleOpts{Seed: model.FreeSeed})
-			if !corpus.FilterSample(src).OK {
+			if res, _ := corpus.FilterCached(src, corpus.FilterOpts{}); !res.OK {
 				return ""
 			}
 			return keyOf(src)
@@ -119,7 +119,7 @@ func (w *World) clgenKeys(maxKernels int) []string {
 }
 
 func keyOf(src string) string {
-	fs, err := features.ExtractSource(src)
+	fs, err := features.ExtractSourceCached(src)
 	if err != nil || len(fs) == 0 {
 		return ""
 	}

@@ -33,7 +33,7 @@ func TuringTest(w *World) (*TuringResult, error) {
 	}
 	var clsmithPool []string
 	for _, src := range clsmith.GenerateN(w.Cfg.Seed+300, 40) {
-		norm, err := rewriter.Normalize(src, nil)
+		norm, err := rewriter.NormalizeCached(src, nil)
 		if err != nil {
 			return nil, fmt.Errorf("turing: %w", err)
 		}

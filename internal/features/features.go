@@ -9,6 +9,7 @@ package features
 import (
 	"fmt"
 
+	"clgen/internal/cache"
 	"clgen/internal/clc"
 	"clgen/internal/ir"
 )
@@ -136,6 +137,31 @@ func ExtractSource(src string) ([]Static, error) {
 		return nil, fmt.Errorf("features: %w", err)
 	}
 	return ExtractFile(f)
+}
+
+// featuresVersion stamps cached feature vectors: extraction lowers
+// through internal/ir, so the IR stamp participates.
+const featuresVersion = "features-v1|" + ir.Version
+
+var sourceMemo = cache.New(cache.Config[[]Static]{
+	Name:    "features",
+	Version: featuresVersion,
+	Disk:    true,
+	Size:    func(s []Static) int { return 32 + 96*len(s) },
+})
+
+// ExtractSourceCached is ExtractSource behind the "features" memo —
+// Static is plain data, so hits can share the stored slice as long as
+// callers treat it as read-only (they do: vectors are value-copied into
+// Measurements and keys). Extraction errors (unparsable source) are
+// never cached; hot paths filter before extracting, so misses that error
+// are rare.
+func ExtractSourceCached(src string) ([]Static, error) {
+	key := cache.Key(src)
+	s, _, err := sourceMemo.Do(key, func() ([]Static, error) {
+		return ExtractSource(src)
+	})
+	return s, err
 }
 
 // ExtractKernel computes the static features of one kernel. The kernel's

@@ -12,6 +12,13 @@ import (
 	"clgen/internal/clc"
 )
 
+// Version stamps cached results derived from lowered instruction streams
+// (internal/cache): filter verdicts and feature vectors embed it in their
+// cache versions. Bump it whenever lowering or instruction counting
+// changes, so persistent caches recompute instead of reusing counts from
+// the old lowering.
+const Version = "ir-v1"
+
 // OpKind classifies a pseudo-instruction.
 type OpKind int
 

@@ -78,6 +78,10 @@ type FunnelReport struct {
 	Systems  map[string]*SystemStats
 	Suites   map[string]*SuiteStats
 
+	// CacheHits counts events per stage whose work internal/cache served
+	// from a memoized result instead of recomputing (Event.CacheHit).
+	CacheHits map[Stage]int
+
 	Latencies map[Stage]LatencyStats
 }
 
@@ -122,6 +126,7 @@ func Funnel(events []Event) *FunnelReport {
 		Verdicts:      map[string]int{},
 		Systems:       map[string]*SystemStats{},
 		Suites:        map[string]*SuiteStats{},
+		CacheHits:     map[Stage]int{},
 		Latencies:     map[Stage]LatencyStats{},
 	}
 	durs := map[Stage][]float64{}
@@ -130,6 +135,9 @@ func Funnel(events []Event) *FunnelReport {
 	for _, e := range events {
 		if e.DurMS > 0 {
 			durs[e.Stage] = append(durs[e.Stage], e.DurMS)
+		}
+		if e.CacheHit {
+			r.CacheHits[e.Stage]++
 		}
 		switch e.Stage {
 		case StageMined:
@@ -326,6 +334,18 @@ func (r *FunnelReport) Render() string {
 			fmt.Fprintf(&b, "  %6d  suite=%s (mean best %.3fms)\n", s.Count, name, s.MeanBest())
 		}
 	}
+	if len(r.CacheHits) > 0 {
+		total := 0
+		for _, n := range r.CacheHits {
+			total += n
+		}
+		fmt.Fprintf(&b, "cache     %6d stage results served from cache\n", total)
+		for _, stage := range StageOrder {
+			if n := r.CacheHits[stage]; n > 0 {
+				fmt.Fprintf(&b, "  %6d  %s\n", n, stage)
+			}
+		}
+	}
 	if len(r.Latencies) > 0 {
 		fmt.Fprintf(&b, "stage latency (ms)   %8s %9s %9s %9s\n", "count", "p50", "p90", "p99")
 		for _, stage := range StageOrder {
@@ -406,9 +426,14 @@ func (r *FunnelReport) MarshalJSON() ([]byte, error) {
 			Count: r.Agreement[c], Agree: agreeCell(c),
 		})
 	}
+	hits := r.CacheHits
+	if len(hits) == 0 {
+		hits = nil
+	}
 	return json.Marshal(struct {
 		*alias
 		Agreement         []agreementRow `json:"Agreement,omitempty"`
+		CacheHits         map[Stage]int  `json:"CacheHits,omitempty"`
 		CorpusDiscardRate float64        `json:"corpus_discard_rate"`
 		SampleAcceptRate  float64        `json:"sample_accept_rate"`
 		UsefulRate        float64        `json:"useful_rate"`
@@ -416,6 +441,7 @@ func (r *FunnelReport) MarshalJSON() ([]byte, error) {
 	}{
 		alias:             (*alias)(r),
 		Agreement:         rows,
+		CacheHits:         hits,
 		CorpusDiscardRate: r.CorpusDiscardRate(),
 		SampleAcceptRate:  r.SampleAcceptRate(),
 		UsefulRate:        r.UsefulRate(),

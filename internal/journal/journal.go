@@ -119,16 +119,23 @@ type Event struct {
 	// Recovered marks a corpus_filter acceptance the shim header enabled
 	// (rejected without it — the paper's 40% → 32% improvement).
 	Recovered bool `json:"shim_recovered,omitempty"`
+	// CacheHit marks a stage whose result was served by internal/cache
+	// instead of recomputed (`cltrace funnel` attributes skipped work
+	// from it). Run-varying — a warm cache is an execution detail, not a
+	// property of the artifact — so Canonical zeroes it.
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// DurMS is the wall time of the stage's work, for latency funnels.
 	DurMS float64 `json:"dur_ms,omitempty"`
 }
 
-// Canonical returns the event with its run-varying fields (timestamp and
-// wall duration) zeroed — the form under which journals of the same
-// seeded run compare equal regardless of worker count or machine speed.
+// Canonical returns the event with its run-varying fields (timestamp,
+// wall duration, and cache-hit annotation) zeroed — the form under which
+// journals of the same seeded run compare equal regardless of worker
+// count, machine speed, or cache warmth.
 func (e Event) Canonical() Event {
 	e.Time = time.Time{}
 	e.DurMS = 0
+	e.CacheHit = false
 	return e
 }
 
@@ -449,6 +456,9 @@ func describe(e Event) string {
 			s += fmt.Sprintf(" kernel=%s", e.Kernel)
 		}
 		s += fmt.Sprintf(" size=%d cpu=%.3fms gpu=%.3fms -> %s", e.Size, e.CPUms, e.GPUms, e.Oracle)
+	}
+	if e.CacheHit {
+		s += " (cached)"
 	}
 	if e.DurMS > 0 {
 		s += fmt.Sprintf(" (%.1fms)", e.DurMS)

@@ -9,9 +9,17 @@ package rewriter
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"clgen/internal/cache"
 	"clgen/internal/clc"
 )
+
+// Version stamps cached normalization results (internal/cache). Bump it
+// whenever renaming rules or the printer's canonical style change, so
+// persistent caches recompute instead of serving stale rewrites.
+const Version = "rewriter-v1"
 
 // VarName returns the i-th variable name in the rewrite sequence:
 // a, b, ..., z, aa, ab, ...
@@ -63,6 +71,47 @@ func Normalize(src string, pp *clc.Preprocessor) (string, error) {
 func NormalizeParsed(f *clc.File) string {
 	Rename(f)
 	return clc.PrintFile(f)
+}
+
+var normalizeMemo = cache.New(cache.Config[string]{
+	Name:    "rewrite",
+	Version: Version,
+	Disk:    true,
+	Size:    func(s string) int { return len(s) },
+})
+
+// NormalizeCached is Normalize behind the "rewrite" memo, keyed by the
+// source and the preprocessor's (deterministically serialized) header and
+// define tables. Normalization errors are never cached.
+func NormalizeCached(src string, pp *clc.Preprocessor) (string, error) {
+	key := cache.Key(ppKey(pp), src)
+	s, _, err := normalizeMemo.Do(key, func() (string, error) {
+		return Normalize(src, pp)
+	})
+	return s, err
+}
+
+// ppKey serializes a preprocessor configuration into a stable cache-key
+// part: both tables rendered in sorted key order.
+func ppKey(pp *clc.Preprocessor) string {
+	if pp == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeTable := func(tag string, m map[string]string) {
+		b.WriteString(tag)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%q=%q;", k, m[k])
+		}
+	}
+	writeTable("headers:", pp.Headers)
+	writeTable("defines:", pp.Defines)
+	return b.String()
 }
 
 // Rename rewrites all user-defined identifiers in f, in order of first

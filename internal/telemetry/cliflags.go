@@ -38,6 +38,11 @@ type CLIFlags struct {
 	// CPU, and allocation totals) to this JSONL file on exit — the history
 	// clperf record/history/diff operate on.
 	PerfHistory string // -perf-history
+	// CacheDir enables internal/cache's persistent tier: pure-stage
+	// memoization results (filter verdicts, rewritten units, feature
+	// vectors, checker outcomes) are stored under this directory and
+	// reused by later runs. Warm runs are faster but byte-identical.
+	CacheDir string // -cache-dir
 }
 
 // RegisterCLIFlags installs the shared observability flags on fs
@@ -55,6 +60,7 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.DurationVar(&f.StallTimeout, "stall-timeout", 0, "arm the stall watchdog: dump stacks, flight recorder and in-flight artifacts if no progress for this long (0 disables)")
 	fs.StringVar(&f.StallDump, "stall-dump", "", "stall watchdog dump path (default <component>.stall.txt)")
 	fs.StringVar(&f.PerfHistory, "perf-history", "", "append a machine-stamped per-stage run profile to this JSONL history on exit (inspect with clperf)")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", "persist content-addressed stage caches (filter/rewrite/feature/check results) under this directory; warm runs reuse them")
 	return f
 }
 
@@ -93,6 +99,15 @@ var journalOpener func(path string) (io.Closer, error)
 // SetJournalOpener installs the -journal backend. Called once from
 // internal/journal's init; last writer wins.
 func SetJournalOpener(open func(path string) (io.Closer, error)) { journalOpener = open }
+
+// cacheDirApplier is installed by internal/cache's init (telemetry
+// cannot import cache — cache depends on telemetry for its hit/miss
+// counters). It points the persistent cache tier at the -cache-dir path.
+var cacheDirApplier func(path string) error
+
+// SetCacheDirApplier installs the -cache-dir backend. Called once from
+// internal/cache's init; last writer wins.
+func SetCacheDirApplier(apply func(path string) error) { cacheDirApplier = apply }
 
 // Runtime is the per-process observability state a binary tears down on
 // exit: the configured default logger, the optional metrics server, and
@@ -137,6 +152,21 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		}
 		rt.journal = j
 		log.Info("provenance journal open", "path", f.JournalPath)
+	}
+	if f.CacheDir != "" {
+		if cacheDirApplier == nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
+			return nil, fmt.Errorf("telemetry: -cache-dir set but no cache backend is linked in")
+		}
+		if err := cacheDirApplier(f.CacheDir); err != nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
+			return nil, err
+		}
+		log.Info("persistent stage cache enabled", "dir", f.CacheDir)
 	}
 	if f.perfEnabled() {
 		if perfStarter == nil {
