@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke lint-suites
+.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke model-smoke lint-suites
 
 check: build vet fmt race
 
@@ -39,14 +39,18 @@ bench:
 # BENCH_cache.json records the content-addressed stage caches' payoff:
 # cold- vs warm-cache corpus build and Figure 9 wall times, with output
 # equality verified (warm must be >= 2x faster and byte-identical).
+# BENCH_model.json records learning-loop throughput: LSTM training
+# tokens/s, Grewe LOOCV predictions/s, and the journal cost per audited
+# prediction (the number that licenses leaving -journal on in CI).
 # Stale snapshots are removed first so a failed run cannot leave a
 # previous baseline masquerading as fresh (idempotent re-runs).
 bench-snapshot:
-	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_analysis.json BENCH_cache.json
+	rm -f BENCH_telemetry.json BENCH_parallel.json BENCH_analysis.json BENCH_cache.json BENCH_model.json
 	$(GO) test -run=TestMain -bench=. -benchtime=1x
 	BENCH_PARALLEL=1 $(GO) test -run=TestParallelBenchSnapshot .
 	BENCH_ANALYSIS=1 $(GO) test -run=TestAnalysisBenchSnapshot -timeout 30m .
 	BENCH_CACHE=1 $(GO) test -run=TestCacheBenchSnapshot -timeout 30m .
+	BENCH_MODEL=1 $(GO) test -run=TestModelBenchSnapshot -timeout 30m .
 	$(GO) run ./cmd/clperf record -history PERF_HISTORY.jsonl -component bench BENCH_telemetry.json
 
 # End-to-end cache gate: a cold run populates -cache-dir, a warm run with
@@ -66,6 +70,28 @@ cache-smoke:
 	@/tmp/cltrace-cache funnel /tmp/cache-warm.jsonl | grep -q "served from cache" || \
 		{ echo "cache-smoke: warm run served nothing from cache"; exit 1; }
 	@echo "cache-smoke: warm run byte-identical, diff clean, cache engaged"
+
+# End-to-end accuracy gate on the learning loop: two identical-seed
+# evaluation campaigns recorded into a fresh history must diff clean; a
+# third run with CLGEN_FAULT_LABEL_FLIP=1 (which falsifies the predicted
+# device in the journal's audit trail while leaving the in-memory results
+# honest) must collapse journaled accuracy and trip `cltrace model diff`.
+model-smoke:
+	$(GO) build -o /tmp/clexp-model ./cmd/clexp
+	$(GO) build -o /tmp/cltrace-model ./cmd/cltrace
+	rm -f /tmp/model-hist.jsonl /tmp/model-run1.jsonl /tmp/model-run2.jsonl /tmp/model-run3.jsonl
+	/tmp/clexp-model -scale test -run fig7,fig8 -seed 9 -quiet -journal /tmp/model-run1.jsonl >/dev/null
+	/tmp/clexp-model -scale test -run fig7,fig8 -seed 9 -quiet -journal /tmp/model-run2.jsonl >/dev/null
+	/tmp/cltrace-model model report /tmp/model-run1.jsonl
+	/tmp/cltrace-model model record -history /tmp/model-hist.jsonl /tmp/model-run1.jsonl
+	/tmp/cltrace-model model record -history /tmp/model-hist.jsonl /tmp/model-run2.jsonl
+	/tmp/cltrace-model model diff /tmp/model-hist.jsonl
+	CLGEN_FAULT_LABEL_FLIP=1 /tmp/clexp-model -scale test -run fig7,fig8 -seed 9 -quiet -journal /tmp/model-run3.jsonl >/dev/null
+	/tmp/cltrace-model model record -history /tmp/model-hist.jsonl /tmp/model-run3.jsonl
+	@if /tmp/cltrace-model model diff /tmp/model-hist.jsonl >/dev/null; then \
+		echo "model-smoke: label-flip run should have tripped the accuracy gate"; exit 1; \
+	else echo "model-smoke: label-flip run tripped the gate as expected"; fi
+	/tmp/cltrace-model model history /tmp/model-hist.jsonl
 
 # Static-analyzer false-positive sweep over the seven benchmark suites:
 # cllint exits nonzero if any hand-audited working kernel draws an

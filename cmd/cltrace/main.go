@@ -19,6 +19,23 @@
 //	    runtimes gate at the threshold (default 5%); wall-clock stage
 //	    latencies are reported but never gated. Exits 1 on regression —
 //	    identical-seed runs always pass, so this is the CI gate.
+//
+//	cltrace model report [-json] run.jsonl
+//	    Learning-loop view of the journal: training curves (per-epoch
+//	    loss/clip-rate from trained events) and evaluation summaries with
+//	    per-suite confusion matrices (from predicted events).
+//
+//	cltrace model record -history h.jsonl run.jsonl
+//	    Append the run's evaluation summaries as one history record.
+//
+//	cltrace model diff [-accuracy-pp pp] [-speedup-pct pct] h.jsonl
+//	    Gate the newest history record against the median of comparable
+//	    (same-machine) predecessors. Exits 1 when any evaluation's
+//	    accuracy drops more than -accuracy-pp percentage points or its
+//	    geomean speedup more than -speedup-pct percent.
+//
+//	cltrace model history h.jsonl
+//	    Per-record accuracy/speedup trajectory.
 package main
 
 import (
@@ -28,6 +45,8 @@ import (
 	"os"
 
 	"clgen/internal/journal"
+	"clgen/internal/mlobs"
+	"clgen/internal/perf"
 )
 
 func main() {
@@ -44,6 +63,12 @@ func main() {
 	case "diff":
 		var regressed bool
 		regressed, err = diff(os.Args[2:])
+		if err == nil && regressed {
+			os.Exit(1)
+		}
+	case "model":
+		var regressed bool
+		regressed, err = model(os.Args[2:])
 		if err == nil && regressed {
 			os.Exit(1)
 		}
@@ -65,7 +90,124 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cltrace funnel [-json] <journal.jsonl>
   cltrace show   <journal.jsonl> <id-prefix>
-  cltrace diff   [-threshold pct] <old.jsonl> <new.jsonl>`)
+  cltrace diff   [-threshold pct] <old.jsonl> <new.jsonl>
+  cltrace model  report [-json] <journal.jsonl>
+  cltrace model  record -history <h.jsonl> <journal.jsonl>
+  cltrace model  diff [-accuracy-pp pp] [-speedup-pct pct] <h.jsonl>
+  cltrace model  history <h.jsonl>`)
+}
+
+// model dispatches the learning-loop subcommands. The bool mirrors diff:
+// true means the regression gate tripped (exit 1, distinct from errors).
+func model(args []string) (bool, error) {
+	if len(args) < 1 {
+		return false, fmt.Errorf("model needs a subcommand: report | record | diff | history")
+	}
+	switch args[0] {
+	case "report":
+		return false, modelReport(args[1:])
+	case "record":
+		return false, modelRecord(args[1:])
+	case "diff":
+		return modelDiff(args[1:])
+	case "history":
+		return false, modelHistory(args[1:])
+	default:
+		return false, fmt.Errorf("unknown model subcommand %q", args[0])
+	}
+}
+
+func modelReport(args []string) error {
+	fs := flag.NewFlagSet("model report", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("model report needs exactly one journal path")
+	}
+	events, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := mlobs.Report(events)
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Print(rep.Render())
+	return nil
+}
+
+func modelRecord(args []string) error {
+	fs := flag.NewFlagSet("model record", flag.ExitOnError)
+	history := fs.String("history", "", "history JSONL to append the record to (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *history == "" {
+		return fmt.Errorf("model record needs -history FILE")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("model record needs exactly one journal path")
+	}
+	events, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rec := mlobs.BuildRecord(events, perf.GitRev())
+	if len(rec.Evals) == 0 {
+		return fmt.Errorf("journal %s has no predicted events to record", fs.Arg(0))
+	}
+	if err := mlobs.Append(*history, rec); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d evaluation(s) to %s\n", len(rec.Evals), *history)
+	return nil
+}
+
+func modelDiff(args []string) (bool, error) {
+	fs := flag.NewFlagSet("model diff", flag.ExitOnError)
+	accPP := fs.Float64("accuracy-pp", mlobs.DefaultAccuracyPP,
+		"accuracy drop, in percentage points, that fails the gate")
+	spdPct := fs.Float64("speedup-pct", mlobs.DefaultSpeedupPct,
+		"relative geomean-speedup drop, in percent, that fails the gate")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 1 {
+		return false, fmt.Errorf("model diff needs exactly one history path")
+	}
+	history, err := mlobs.ReadHistory(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	rep, err := mlobs.Diff(history, *accPP, *spdPct)
+	if err != nil {
+		return false, err
+	}
+	rep.Render(os.Stdout)
+	return !rep.OK(), nil
+}
+
+func modelHistory(args []string) error {
+	fs := flag.NewFlagSet("model history", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("model history needs exactly one history path")
+	}
+	history, err := mlobs.ReadHistory(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	mlobs.RenderHistory(os.Stdout, history)
+	return nil
 }
 
 func funnel(args []string) error {

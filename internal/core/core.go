@@ -191,7 +191,7 @@ func (g *CLgen) synthesizeScan(stage string, n, workers int, draw func(i int) sy
 			if journal.Enabled() {
 				kid = journal.ID(a.kernel)
 				journal.Emit(journal.Event{ID: kid, Stage: journal.StageSampled,
-					Item: i, DurMS: a.durMS})
+					Item: i, DurMS: a.durMS, Model: g.Model.Lineage})
 			}
 			if !a.res.OK {
 				stats.Reasons[a.res.Reason]++

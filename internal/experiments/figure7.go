@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"clgen/internal/grewe"
+	"clgen/internal/mlobs"
 	"clgen/internal/platform"
 	"clgen/internal/telemetry"
 )
@@ -71,6 +72,8 @@ func Figure7(w *World) (*Figure7Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("figure7 %s: %w", sys.Name, err)
 		}
+		mlobs.EmitPredictions("figure7", sys.Name, "grewe", baseline, without, grewe.Combined)
+		mlobs.EmitPredictions("figure7", sys.Name, "grewe+clgen", baseline, withSynth, grewe.Combined)
 
 		panel := Figure7System{System: sys.Name, Baseline: baseline}
 		improved := 0

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"clgen/internal/grewe"
+	"clgen/internal/mlobs"
 	"clgen/internal/telemetry"
 )
 
@@ -60,6 +61,8 @@ func Figure8(w *World) (*Figure8Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("figure8 %s: %w", sys.Name, err)
 		}
+		mlobs.EmitPredictions("figure8", sys.Name, "grewe", baseline, orig, grewe.Combined)
+		mlobs.EmitPredictions("figure8", sys.Name, "extended+clgen", baseline, ext, grewe.Extended)
 
 		p := Figure8System{
 			System:           sys.Name,

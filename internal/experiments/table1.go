@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"clgen/internal/grewe"
+	"clgen/internal/mlobs"
 	"clgen/internal/platform"
 	"clgen/internal/suites"
 	"clgen/internal/telemetry"
@@ -51,6 +52,13 @@ func Table1(w *World) (*Table1Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s->%s: %w", trainSuite, testSuite, err)
 			}
+			// TrainTest has no cross-validation fold; the test suite plays
+			// that role in the audit trail (variant = training suite).
+			for i := range preds {
+				preds[i].Fold = testSuite
+			}
+			mlobs.EmitPredictions("table1", sys, "train:"+trainSuite,
+				grewe.BestStaticDevice(w.SuiteObs(sys, testSuite)), preds, grewe.Combined)
 			perf := grewe.PerfVsOracle(preds)
 			row = append(row, perf)
 			sum += perf

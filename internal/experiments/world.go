@@ -180,10 +180,9 @@ func (w *World) measureSuites() error {
 		if err != nil {
 			return outcome{err: err}
 		}
-		var id string
-		if journal.Enabled() {
-			id = journal.ID(k.Src)
-		}
+		// Computed unconditionally (not just when a journal is attached):
+		// the ID also anchors the prediction audit trail via Observation.ID.
+		id := journal.ID(k.Src)
 		// Execute once (on the AMD system), then re-model the same
 		// profile for the NVIDIA system: the device models share the
 		// execution profile, not the hardware.
@@ -208,9 +207,9 @@ func (w *World) measureSuites() error {
 		emitMeasured(o.id, o.suite, o.bench, o.mAMD, platform.SystemAMD.Name)
 		emitMeasured(o.id, o.suite, o.bench, o.mNV, platform.SystemNVIDIA.Name)
 		w.Obs[platform.SystemAMD.Name][o.suite] = append(w.Obs[platform.SystemAMD.Name][o.suite],
-			&grewe.Observation{Bench: o.bench, M: o.mAMD})
+			&grewe.Observation{Bench: o.bench, ID: o.id, M: o.mAMD})
 		w.Obs[platform.SystemNVIDIA.Name][o.suite] = append(w.Obs[platform.SystemNVIDIA.Name][o.suite],
-			&grewe.Observation{Bench: o.bench, M: o.mNV})
+			&grewe.Observation{Bench: o.bench, ID: o.id, M: o.mNV})
 	}
 	return nil
 }
@@ -279,10 +278,10 @@ func (w *World) measureSynthetic() {
 	usable := 0
 	for i, o := range results {
 		// Journal emission happens in this ordered fold so the event stream
-		// is deterministic for every worker count.
-		var id string
+		// is deterministic for every worker count. The ID is computed even
+		// without a journal attached: it anchors Observation.ID.
+		id := journal.ID(w.Synth[i])
 		if journal.Enabled() {
-			id = journal.ID(w.Synth[i])
 			journal.Emit(journal.Event{ID: id, Stage: journal.StageDriverLoad,
 				Item: i, Reason: o.loadErr})
 		}
@@ -295,9 +294,9 @@ func (w *World) measureSynthetic() {
 			emitMeasured(id, "synthetic", p.mAMD.Kernel, p.mAMD, platform.SystemAMD.Name)
 			emitMeasured(id, "synthetic", p.mNV.Kernel, p.mNV, platform.SystemNVIDIA.Name)
 			w.SynthObs[platform.SystemAMD.Name] = append(w.SynthObs[platform.SystemAMD.Name],
-				&grewe.Observation{Bench: "synthetic", M: p.mAMD})
+				&grewe.Observation{Bench: "synthetic", ID: id, M: p.mAMD})
 			w.SynthObs[platform.SystemNVIDIA.Name] = append(w.SynthObs[platform.SystemNVIDIA.Name],
-				&grewe.Observation{Bench: "synthetic", M: p.mNV})
+				&grewe.Observation{Bench: "synthetic", ID: id, M: p.mNV})
 		}
 		if len(o.pairs) > 0 {
 			usable++

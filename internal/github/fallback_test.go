@@ -1,0 +1,25 @@
+// External test package: corpus imports github, so asserting the fallback
+// kernel against the real §4.1 filter has to happen from outside the
+// github package to avoid an import cycle.
+package github_test
+
+import (
+	"strings"
+	"testing"
+
+	"clgen/internal/corpus"
+	"clgen/internal/github"
+)
+
+// TestFallbackKernelPassesFilter pins the contract the fallback replaced a
+// "// TODO: implement" placeholder to satisfy: it must be a well-formed
+// kernel that clears the rejection filter, not another sub-threshold stub.
+func TestFallbackKernelPassesFilter(t *testing.T) {
+	res := corpus.Filter(github.FallbackKernel, false)
+	if !res.OK {
+		t.Fatalf("FallbackKernel rejected by the §4.1 filter: %s", res.Reason)
+	}
+	if strings.Contains(github.FallbackKernel, "TODO") {
+		t.Fatal("FallbackKernel still carries a TODO placeholder")
+	}
+}

@@ -465,8 +465,22 @@ func genScanSerial(b *strings.Builder, rng *rand.Rand, st *style) {
 	b.WriteString("    }\n  }\n}\n")
 }
 
-// trivialFile produces kernels that compile but fall below the rejection
-// filter's minimum static instruction count.
+// FallbackKernel is the deterministic well-formed kernel trivialFile
+// falls back to: a bounds-checked scale-and-shift with enough static
+// instructions to clear the §4.1 rejection filter (see the corpus test
+// asserting exactly that). Being a constant, it consumes no RNG state, so
+// swapping its body never shifts the miner's downstream draws.
+const FallbackKernel = "__kernel void scale_shift(__global float* a, const float s, const int n) {\n" +
+	"  int gid = get_global_id(0);\n" +
+	"  if (gid < n) {\n" +
+	"    a[gid] = a[gid] * s + 1.0f;\n" +
+	"  }\n" +
+	"}\n"
+
+// trivialFile produces small kernels: two variants fall below the
+// rejection filter's minimum static instruction count, and the third is
+// FallbackKernel — well-formed and filter-passing, standing in for the
+// real GitHub files that are minimal yet legitimate.
 func trivialFile(rng *rand.Rand) string {
 	switch rng.Intn(3) {
 	case 0:
@@ -475,7 +489,7 @@ func trivialFile(rng *rand.Rand) string {
 		return fmt.Sprintf("__kernel void set_one(__global %s* out) {\n  out[0] = 1;\n}\n",
 			pick(rng, []string{"int", "float"}))
 	default:
-		return "// placeholder kernel\n__kernel void todo(__global int* a) {\n  // TODO: implement\n}\n"
+		return FallbackKernel
 	}
 }
 

@@ -37,8 +37,10 @@ func (fs FeatureSet) String() string {
 	return "extended"
 }
 
-// vector renders a measurement's features under the set.
-func (fs FeatureSet) vector(v features.Vector) []float64 {
+// Vector renders a measurement's features under the set. Exported so the
+// prediction audit trail (internal/mlobs) can journal the exact inputs a
+// prediction was made from.
+func (fs FeatureSet) Vector(v features.Vector) []float64 {
 	if fs == Combined {
 		return v.Combined()
 	}
@@ -49,7 +51,11 @@ func (fs FeatureSet) vector(v features.Vector) []float64 {
 // LOOCV grouping key) and its measurement.
 type Observation struct {
 	Bench string // e.g. "NPB.FT" — one benchmark spans several datasets
-	M     *driver.Measurement
+	// ID is the kernel's content-hashed journal identity, linking predicted
+	// events back to the artifact's pipeline provenance. Optional: fabricated
+	// test observations leave it empty.
+	ID string
+	M  *driver.Measurement
 }
 
 // Model is a trained device-mapping predictor.
@@ -66,7 +72,7 @@ func Train(obs []*Observation, fs FeatureSet) (*Model, error) {
 	X := make([][]float64, len(obs))
 	y := make([]int, len(obs))
 	for i, o := range obs {
-		X[i] = fs.vector(o.M.Vector)
+		X[i] = fs.Vector(o.M.Vector)
 		y[i] = int(o.M.Oracle)
 	}
 	tree, err := ml.TrainTree(X, y, ml.TreeConfig{MaxDepth: 10, MinSamples: 2})
@@ -78,13 +84,17 @@ func Train(obs []*Observation, fs FeatureSet) (*Model, error) {
 
 // Predict maps a feature vector to a device.
 func (m *Model) Predict(v features.Vector) platform.DeviceType {
-	return platform.DeviceType(m.tree.Predict(m.FS.vector(v)))
+	return platform.DeviceType(m.tree.Predict(m.FS.Vector(v)))
 }
 
 // Prediction is one evaluated test point.
 type Prediction struct {
 	Obs       *Observation
 	Predicted platform.DeviceType
+	// Fold names the cross-validation fold that produced the prediction:
+	// the held-out benchmark under CrossValidate, "" under plain TrainTest
+	// (Table 1's driver labels those with the test suite instead).
+	Fold string
 }
 
 // Correct reports whether the prediction matched the oracle.
@@ -126,7 +136,7 @@ func CrossValidate(obs []*Observation, synthetic []*Observation, fs FeatureSet) 
 		}
 		for _, o := range obs {
 			if o.Bench == held {
-				preds = append(preds, Prediction{Obs: o, Predicted: m.Predict(o.M.Vector)})
+				preds = append(preds, Prediction{Obs: o, Predicted: m.Predict(o.M.Vector), Fold: held})
 			}
 		}
 	}
@@ -162,40 +172,62 @@ func Accuracy(preds []Prediction) float64 {
 }
 
 // PerfVsOracle is Table 1's metric: the mean of t_oracle / t_predicted —
-// the achieved fraction of optimal performance.
+// the achieved fraction of optimal performance. Observations with a
+// non-positive predicted-mapping runtime are skipped: a degenerate
+// measurement must degrade the metric's sample count, not poison the whole
+// mean with NaN/Inf.
 func PerfVsOracle(preds []Prediction) float64 {
-	if len(preds) == 0 {
+	var s float64
+	n := 0
+	for _, p := range preds {
+		if p.PredictedTime() <= 0 {
+			continue
+		}
+		s += p.OracleTime() / p.PredictedTime()
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var s float64
-	for _, p := range preds {
-		s += p.OracleTime() / p.PredictedTime()
-	}
-	return s / float64(len(preds))
+	return s / float64(n)
 }
 
 // SpeedupOver returns the geometric-mean speedup of the predicted mapping
 // over always using the given static device (Figures 7 and 8 report
-// speedups over the best single-device mapping).
+// speedups over the best single-device mapping). Observations whose
+// predicted or baseline runtime is non-positive are skipped — math.Log
+// would otherwise fold a ±Inf or NaN into the geomean.
 func SpeedupOver(preds []Prediction, static platform.DeviceType) float64 {
-	if len(preds) == 0 {
+	var logSum float64
+	n := 0
+	for _, p := range preds {
+		base, pred := p.Obs.M.TimeOn(static), p.PredictedTime()
+		if base <= 0 || pred <= 0 {
+			continue
+		}
+		logSum += math.Log(base / pred)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var logSum float64
-	for _, p := range preds {
-		logSum += math.Log(p.Obs.M.TimeOn(static) / p.PredictedTime())
-	}
-	return math.Exp(logSum / float64(len(preds)))
+	return math.Exp(logSum / float64(n))
 }
 
 // PerBenchmarkSpeedups aggregates speedups over the static baseline per
-// observation (benchmark × dataset), preserving input order.
+// observation (benchmark × dataset), preserving input order. A degenerate
+// observation (non-positive predicted runtime) reports speedup 0 rather
+// than NaN/Inf, keeping downstream renderers and gates finite.
 func PerBenchmarkSpeedups(preds []Prediction, static platform.DeviceType) []BenchSpeedup {
 	out := make([]BenchSpeedup, len(preds))
 	for i, p := range preds {
+		speedup := 0.0
+		if pt := p.PredictedTime(); pt > 0 {
+			speedup = p.Obs.M.TimeOn(static) / pt
+		}
 		out[i] = BenchSpeedup{
 			Name:    p.Obs.M.Kernel,
-			Speedup: p.Obs.M.TimeOn(static) / p.PredictedTime(),
+			Speedup: speedup,
 			Correct: p.Correct(),
 		}
 	}

@@ -73,10 +73,10 @@ func TestFeatureSetWidths(t *testing.T) {
 		Static:  features.Static{Comp: 1, Mem: 2, LocalMem: 3, Coalesced: 1, Branches: 4},
 		Dynamic: features.Dynamic{Transfer: 100, WgSize: 64},
 	}
-	if got := len(Combined.vector(v)); got != 4 {
+	if got := len(Combined.Vector(v)); got != 4 {
 		t.Errorf("combined width %d", got)
 	}
-	if got := len(Extended.vector(v)); got != 11 {
+	if got := len(Extended.Vector(v)); got != 11 {
 		t.Errorf("extended width %d", got)
 	}
 }
@@ -178,5 +178,86 @@ func TestEmptyInputs(t *testing.T) {
 	}
 	if Accuracy(nil) != 0 || PerfVsOracle(nil) != 0 || SpeedupOver(nil, platform.CPU) != 0 {
 		t.Error("empty metrics not zero")
+	}
+	if bars := PerBenchmarkSpeedups(nil, platform.CPU); len(bars) != 0 {
+		t.Errorf("empty speedups gave %d bars", len(bars))
+	}
+}
+
+// TestDegenerateTimesStayFinite pins the NaN/Inf guards: observations with
+// a zero runtime on the predicted (or baseline) device must be skipped —
+// or floored to 0 in per-benchmark bars — never folded into a metric as
+// Inf or NaN.
+func TestDegenerateTimesStayFinite(t *testing.T) {
+	good := obs("good", 200, 4, 0, 4, 0, 1<<20, 64, 10, 1) // GPU oracle
+	zero := obs("zero", 200, 4, 0, 4, 0, 1<<20, 64, 10, 0) // zero GPU time
+	preds := []Prediction{
+		{Obs: good, Predicted: platform.GPU},
+		{Obs: zero, Predicted: platform.GPU}, // PredictedTime() == 0
+	}
+	for name, v := range map[string]float64{
+		"PerfVsOracle": PerfVsOracle(preds),
+		"SpeedupOver":  SpeedupOver(preds, platform.CPU),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v with a zero predicted time", name, v)
+		}
+	}
+	// The degenerate point is skipped, so the metrics equal the clean
+	// single-observation values.
+	clean := preds[:1]
+	if got, want := PerfVsOracle(preds), PerfVsOracle(clean); got != want {
+		t.Errorf("PerfVsOracle %v, want %v (degenerate point skipped)", got, want)
+	}
+	if got, want := SpeedupOver(preds, platform.CPU), SpeedupOver(clean, platform.CPU); got != want {
+		t.Errorf("SpeedupOver %v, want %v (degenerate point skipped)", got, want)
+	}
+	bars := PerBenchmarkSpeedups(preds, platform.CPU)
+	if len(bars) != 2 {
+		t.Fatalf("bars %d, want 2", len(bars))
+	}
+	if bars[1].Speedup != 0 {
+		t.Errorf("degenerate bar speedup %v, want 0", bars[1].Speedup)
+	}
+	if math.IsNaN(bars[0].Speedup) || math.IsInf(bars[0].Speedup, 0) {
+		t.Errorf("clean bar speedup %v not finite", bars[0].Speedup)
+	}
+	// All-degenerate inputs collapse to the empty-slice zero values.
+	if PerfVsOracle(preds[1:]) != 0 || SpeedupOver(preds[1:], platform.CPU) != 0 {
+		t.Error("all-degenerate metrics not zero")
+	}
+	// A zero baseline time is likewise skipped by SpeedupOver.
+	zeroCPU := obs("zerocpu", 200, 4, 0, 4, 0, 1<<20, 64, 0, 1)
+	p := []Prediction{{Obs: zeroCPU, Predicted: platform.GPU}}
+	if v := SpeedupOver(p, platform.CPU); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("SpeedupOver with zero baseline = %v", v)
+	}
+}
+
+// TestCrossValidateFoldAssignment pins Prediction.Fold: every LOOCV
+// prediction must name its held-out benchmark.
+func TestCrossValidateFoldAssignment(t *testing.T) {
+	set := separableSet()
+	preds, err := CrossValidate(set, nil, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if p.Fold == "" {
+			t.Fatal("CrossValidate left Fold empty")
+		}
+		if p.Fold != p.Obs.Bench {
+			t.Fatalf("fold %q does not match held-out bench %q", p.Fold, p.Obs.Bench)
+		}
+	}
+	// TrainTest has no folds.
+	tt, err := TrainTest(set, set, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tt {
+		if p.Fold != "" {
+			t.Fatalf("TrainTest set Fold %q", p.Fold)
+		}
 	}
 }

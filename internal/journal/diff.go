@@ -87,6 +87,7 @@ func Diff(before, after []Event, thresholdPct float64) *DiffReport {
 	rate("corpus acceptance", 1-fo.CorpusDiscardRate(), 1-fn.CorpusDiscardRate())
 	count("rewritten units", fo.RewrittenUnits, fn.RewrittenUnits)
 	count("rewritten kernels", fo.RewrittenKernels, fn.RewrittenKernels)
+	count("trained epochs", fo.TrainedEpochs, fn.TrainedEpochs)
 	count("samples drawn", fo.Sampled, fn.Sampled)
 	count("samples accepted", fo.SampleAccepted, fn.SampleAccepted)
 	rate("sample acceptance", fo.SampleAcceptRate(), fn.SampleAcceptRate())
@@ -98,6 +99,8 @@ func Diff(before, after []Event, thresholdPct float64) *DiffReport {
 	count("checker useful work", fo.Verdicts["useful work"], fn.Verdicts["useful work"])
 	rate("checker useful rate", fo.UsefulRate(), fn.UsefulRate())
 	count("measurements", fo.Measured, fn.Measured)
+	count("predictions", fo.Predictions, fn.Predictions)
+	rate("prediction accuracy", fo.PredictionAccuracy(), fn.PredictionAccuracy())
 	for _, sys := range union(fo.Systems, fn.Systems) {
 		o, n := fo.Systems[sys], fn.Systems[sys]
 		if o == nil {

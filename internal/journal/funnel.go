@@ -78,6 +78,15 @@ type FunnelReport struct {
 	Systems  map[string]*SystemStats
 	Suites   map[string]*SuiteStats
 
+	// TrainedEpochs counts trained events; TrainedModels counts distinct
+	// model lineage IDs among them (full curves live in internal/mlobs).
+	TrainedEpochs int
+	TrainedModels int
+	// Predictions counts predicted events; PredictionsCorrect the subset
+	// whose predicted device matched the oracle.
+	Predictions        int
+	PredictionsCorrect int
+
 	// CacheHits counts events per stage whose work internal/cache served
 	// from a memoized result instead of recomputing (Event.CacheHit).
 	CacheHits map[Stage]int
@@ -110,6 +119,15 @@ func (r *FunnelReport) UsefulRate() float64 {
 	return float64(r.Verdicts["useful work"]) / float64(r.Checks)
 }
 
+// PredictionAccuracy returns the fraction of predicted events whose device
+// mapping matched the oracle, over every experiment in the journal.
+func (r *FunnelReport) PredictionAccuracy() float64 {
+	if r.Predictions == 0 {
+		return 0
+	}
+	return float64(r.PredictionsCorrect) / float64(r.Predictions)
+}
+
 // AgreementCell is one cell of the static-vs-dynamic agreement table.
 type AgreementCell struct {
 	Predicted string // analyzer forecast ("" = expected to pass)
@@ -132,6 +150,7 @@ func Funnel(events []Event) *FunnelReport {
 	durs := map[Stage][]float64{}
 	predicted := map[string]string{} // kernel ID -> static forecast
 	checked := map[string][]string{} // kernel ID -> dynamic verdicts
+	models := map[string]bool{}      // trained lineage IDs
 	for _, e := range events {
 		if e.DurMS > 0 {
 			durs[e.Stage] = append(durs[e.Stage], e.DurMS)
@@ -156,6 +175,17 @@ func Funnel(events []Event) *FunnelReport {
 			r.RewrittenKernels += e.Kernels
 		case StageSampled:
 			r.Sampled++
+		case StageTrained:
+			r.TrainedEpochs++
+			if !models[e.Model] {
+				models[e.Model] = true
+				r.TrainedModels++
+			}
+		case StagePredicted:
+			r.Predictions++
+			if e.Predicted == e.Oracle {
+				r.PredictionsCorrect++
+			}
 		case StageSampleFilter:
 			switch e.Reason {
 			case "":
@@ -290,6 +320,9 @@ func (r *FunnelReport) Render() string {
 		fmt.Fprintf(&b, "          shim recovered %d; rewritten units %d (%d kernels)\n",
 			r.ShimRecovered, r.RewrittenUnits, r.RewrittenKernels)
 	}
+	if r.TrainedEpochs > 0 {
+		fmt.Fprintf(&b, "training  %6d epochs -> %5d model(s)\n", r.TrainedEpochs, r.TrainedModels)
+	}
 	if r.Sampled > 0 {
 		fmt.Fprintf(&b, "sampling  %6d drawn  -> %5d accepted (%.1f%%), %d duplicates\n",
 			r.Sampled, r.SampleAccepted, r.SampleAcceptRate()*100, r.SampleDuplicates)
@@ -316,6 +349,10 @@ func (r *FunnelReport) Render() string {
 	}
 	if r.Loads > 0 {
 		fmt.Fprintf(&b, "driver    %6d loads  -> %5d failed\n", r.Loads, r.LoadFailures)
+	}
+	if r.Predictions > 0 {
+		fmt.Fprintf(&b, "predict   %6d predictions -> %5d correct (%.1f%%)\n",
+			r.Predictions, r.PredictionsCorrect, r.PredictionAccuracy()*100)
 	}
 	if r.Checks > 0 {
 		fmt.Fprintf(&b, "checker   %6d checks -> %5d useful work (%.1f%%, §5.2)\n",
@@ -432,19 +469,21 @@ func (r *FunnelReport) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(struct {
 		*alias
-		Agreement         []agreementRow `json:"Agreement,omitempty"`
-		CacheHits         map[Stage]int  `json:"CacheHits,omitempty"`
-		CorpusDiscardRate float64        `json:"corpus_discard_rate"`
-		SampleAcceptRate  float64        `json:"sample_accept_rate"`
-		UsefulRate        float64        `json:"useful_rate"`
-		AgreementRate     float64        `json:"agreement_rate"`
+		Agreement          []agreementRow `json:"Agreement,omitempty"`
+		CacheHits          map[Stage]int  `json:"CacheHits,omitempty"`
+		CorpusDiscardRate  float64        `json:"corpus_discard_rate"`
+		SampleAcceptRate   float64        `json:"sample_accept_rate"`
+		UsefulRate         float64        `json:"useful_rate"`
+		AgreementRate      float64        `json:"agreement_rate"`
+		PredictionAccuracy float64        `json:"prediction_accuracy"`
 	}{
-		alias:             (*alias)(r),
-		Agreement:         rows,
-		CacheHits:         hits,
-		CorpusDiscardRate: r.CorpusDiscardRate(),
-		SampleAcceptRate:  r.SampleAcceptRate(),
-		UsefulRate:        r.UsefulRate(),
-		AgreementRate:     r.AgreementRate(),
+		alias:              (*alias)(r),
+		Agreement:          rows,
+		CacheHits:          hits,
+		CorpusDiscardRate:  r.CorpusDiscardRate(),
+		SampleAcceptRate:   r.SampleAcceptRate(),
+		UsefulRate:         r.UsefulRate(),
+		AgreementRate:      r.AgreementRate(),
+		PredictionAccuracy: r.PredictionAccuracy(),
 	})
 }

@@ -48,6 +48,13 @@ const (
 	// StageRewritten marks one normalized per-kernel unit produced by the
 	// rewriter from an accepted file (Parent links the source file).
 	StageRewritten Stage = "rewritten"
+	// StageTrained is one epoch (or one whole fit, for epoch-less
+	// backends) of language-model training. The artifact ID is the model's
+	// content-hashed lineage (cache.Key over backend config + corpus
+	// content + seed); Loss and ClipRate are deterministic for a fixed
+	// seed, while TokensPerSec and CPUSeconds are run-varying and zeroed
+	// by Canonical.
+	StageTrained Stage = "trained"
 	// StageSampled marks a kernel drawn from the language model.
 	StageSampled Stage = "sampled"
 	// StageSampleFilter is the §4.3 rejection-filter verdict on a sample:
@@ -67,6 +74,13 @@ const (
 	StageChecked Stage = "checked"
 	// StageMeasured is one modeled (kernel, size, system) measurement.
 	StageMeasured Stage = "measured"
+	// StagePredicted is one device-mapping prediction of the Grewe et al.
+	// model in an evaluation fold (Figures 7/8, Table 1). The artifact ID
+	// is the predicted kernel's content hash — the same ID its measured
+	// events carry — so a misclassification is attributable to the
+	// benchmark, the fold, the feature vector, and (through Model) the
+	// training-corpus composition.
+	StagePredicted Stage = "predicted"
 )
 
 // ReasonDuplicate marks a sample that passed the rejection filter but was
@@ -76,9 +90,9 @@ const ReasonDuplicate = "duplicate"
 
 // StageOrder lists the stages in pipeline order, for rendering.
 var StageOrder = []Stage{
-	StageMined, StageCorpusFilter, StageRewritten,
+	StageMined, StageCorpusFilter, StageRewritten, StageTrained,
 	StageSampled, StageSampleFilter, StageStaticFilter,
-	StageDriverLoad, StageChecked, StageMeasured,
+	StageDriverLoad, StageChecked, StageMeasured, StagePredicted,
 }
 
 // Event is one journal record. ID is the artifact's content hash; the
@@ -97,7 +111,8 @@ type Event struct {
 	// Verdict is the dynamic-checker outcome of a checked stage.
 	Verdict string `json:"verdict,omitempty"`
 	// Predicted is the static analyzer's §5.2 forecast in a static_filter
-	// stage ("" = expected to pass the dynamic checker).
+	// stage ("" = expected to pass the dynamic checker), or the predicted
+	// device of a predicted stage (the oracle device lands in Oracle).
 	Predicted string `json:"predicted,omitempty"`
 	// Parent links a derived artifact (rewritten unit) to its source ID.
 	Parent string `json:"parent,omitempty"`
@@ -105,6 +120,40 @@ type Event struct {
 	Kernel string `json:"kernel,omitempty"`
 	Suite  string `json:"suite,omitempty"`
 	System string `json:"system,omitempty"`
+	// Model is the content-hashed lineage ID of the language model (trained
+	// stages: the model being fitted; sampled stages: the model that drew
+	// the kernel), linking every synthesized artifact back to the exact
+	// model — config, corpus, and seed — that produced it.
+	Model string `json:"model,omitempty"`
+	// Epoch numbers a trained stage's training epoch (1-based; epoch-less
+	// backends such as the n-gram fit emit a single epoch 1).
+	Epoch int `json:"epoch,omitempty"`
+	// Loss is a trained stage's mean cross-entropy per character.
+	Loss float64 `json:"loss,omitempty"`
+	// ClipRate is the fraction of gradient elements clipped this epoch.
+	ClipRate float64 `json:"clip_rate,omitempty"`
+	// TokensPerSec is a trained stage's throughput. Run-varying — zeroed
+	// by Canonical.
+	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
+	// CPUSeconds is a trained stage's process CPU time delta, sampled via
+	// the -perf resource sampler (0 when -perf is off). Run-varying —
+	// zeroed by Canonical.
+	CPUSeconds float64 `json:"cpu_s,omitempty"`
+	// Experiment / Variant / Fold locate a predicted stage: the experiment
+	// ("figure7", "figure8", "table1"), the model variant within it (e.g.
+	// "grewe", "grewe+clgen", "extended+clgen", or Table 1's training
+	// suite), and the evaluation fold (the held-out benchmark of a LOOCV
+	// fold, or Table 1's testing suite).
+	Experiment string `json:"experiment,omitempty"`
+	Variant    string `json:"variant,omitempty"`
+	Fold       string `json:"fold,omitempty"`
+	// Features is a predicted stage's model-input feature vector.
+	Features []float64 `json:"features,omitempty"`
+	// Baseline names a predicted stage's static single-device baseline;
+	// Speedup is the predicted mapping's speedup over it (0 when the
+	// baseline or predicted runtime is unavailable).
+	Baseline string  `json:"baseline,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
 	// Kernels counts kernel functions in a rewritten unit.
 	Kernels int `json:"kernels,omitempty"`
 	// Size is the global size of a checked/measured stage.
@@ -129,12 +178,14 @@ type Event struct {
 }
 
 // Canonical returns the event with its run-varying fields (timestamp,
-// wall duration, and cache-hit annotation) zeroed — the form under which
-// journals of the same seeded run compare equal regardless of worker
-// count, machine speed, or cache warmth.
+// wall duration, throughput, CPU time, and cache-hit annotation) zeroed —
+// the form under which journals of the same seeded run compare equal
+// regardless of worker count, machine speed, or cache warmth.
 func (e Event) Canonical() Event {
 	e.Time = time.Time{}
 	e.DurMS = 0
+	e.TokensPerSec = 0
+	e.CPUSeconds = 0
 	e.CacheHit = false
 	return e
 }
@@ -443,8 +494,22 @@ func describe(e Event) string {
 		}
 	case StageRewritten:
 		s += fmt.Sprintf(" parent=%s kernels=%d", e.Parent, e.Kernels)
+	case StageTrained:
+		s += fmt.Sprintf(" backend=%s epoch=%d loss=%.4f", e.Variant, e.Epoch, e.Loss)
+		if e.ClipRate > 0 {
+			s += fmt.Sprintf(" clip=%.1f%%", e.ClipRate*100)
+		}
+		if e.TokensPerSec > 0 {
+			s += fmt.Sprintf(" %.0f tok/s", e.TokensPerSec)
+		}
+		if e.CPUSeconds > 0 {
+			s += fmt.Sprintf(" cpu=%.3fs", e.CPUSeconds)
+		}
 	case StageSampled:
 		s += fmt.Sprintf(" attempt=%d", e.Item)
+		if e.Model != "" {
+			s += fmt.Sprintf(" model=%s", e.Model)
+		}
 	case StageChecked:
 		s += fmt.Sprintf(" verdict=%q size=%d seed=%d", e.Verdict, e.Size, e.Seed)
 	case StageMeasured:
@@ -456,6 +521,16 @@ func describe(e Event) string {
 			s += fmt.Sprintf(" kernel=%s", e.Kernel)
 		}
 		s += fmt.Sprintf(" size=%d cpu=%.3fms gpu=%.3fms -> %s", e.Size, e.CPUms, e.GPUms, e.Oracle)
+	case StagePredicted:
+		verdict := "WRONG"
+		if e.Predicted == e.Oracle {
+			verdict = "ok"
+		}
+		s += fmt.Sprintf(" %s/%s %s fold=%s predicted=%s oracle=%s (%s)",
+			e.Experiment, e.Variant, e.Kernel, e.Fold, e.Predicted, e.Oracle, verdict)
+		if e.Speedup > 0 {
+			s += fmt.Sprintf(" speedup=%.2fx vs %s", e.Speedup, e.Baseline)
+		}
 	}
 	if e.CacheHit {
 		s += " (cached)"

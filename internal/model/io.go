@@ -12,15 +12,20 @@ import (
 // modelFile is the on-disk representation: the vocabulary plus exactly one
 // backend payload. The paper ships its trained network the same way ("the
 // trained network can be deployed to lower-compute machines", §4.2).
+// Lineage carries the content-hashed model identity across the checkpoint
+// boundary, so a deployed model's sampled kernels still journal the
+// lineage of the training run that produced it; gob decodes checkpoints
+// written before the field existed to "".
 type modelFile struct {
-	Chars []byte
-	NGram *nn.NGram
-	LSTM  *nn.LSTM
+	Chars   []byte
+	NGram   *nn.NGram
+	LSTM    *nn.LSTM
+	Lineage string
 }
 
 // Save serializes the model (vocabulary + backend) with encoding/gob.
 func (m *Model) Save(w io.Writer) error {
-	mf := modelFile{Chars: m.Vocab.Chars}
+	mf := modelFile{Chars: m.Vocab.Chars, Lineage: m.Lineage}
 	switch lm := m.LM.(type) {
 	case *nn.NGram:
 		mf.NGram = lm
@@ -42,7 +47,7 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("model: load: %w", err)
 	}
 	v := BuildVocabulary(string(mf.Chars))
-	m := &Model{Vocab: v}
+	m := &Model{Vocab: v, Lineage: mf.Lineage}
 	switch {
 	case mf.NGram != nil:
 		m.LM = mf.NGram

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"clgen/internal/cache"
 	"clgen/internal/journal"
 	"clgen/internal/nn"
 	"clgen/internal/pool"
@@ -75,6 +76,21 @@ func (v *Vocabulary) Decode(ids []int) string {
 type Model struct {
 	Vocab *Vocabulary
 	LM    nn.LanguageModel
+	// Lineage is the content-hashed model identity: cache.Key over the
+	// backend configuration, the corpus content hash, and the training
+	// seed, truncated to journal-ID width. Every trained journal event and
+	// every sampled kernel's journal entry carries it, linking artifacts
+	// back to the exact model that produced them. Empty for models loaded
+	// from pre-lineage checkpoints.
+	Lineage string
+}
+
+// lineageID derives the content-hashed model identity from the backend
+// configuration and corpus text. Two trainings with identical config,
+// corpus, and seed share a lineage; any divergence produces a new one.
+func lineageID(corpus string, cfgParts ...string) string {
+	parts := append([]string{"model-lineage", journal.ID(corpus)}, cfgParts...)
+	return cache.Key(parts...)[:16]
 }
 
 // DefaultNGramOrder is the context length that maximizes the fraction of
@@ -103,21 +119,39 @@ func TrainNGram(corpus string, order int) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: %w", err)
 	}
-	return &Model{Vocab: v, LM: lm}, nil
+	lineage := lineageID(corpus, "ngram", fmt.Sprintf("order=%d", order))
+	lm.Lineage = lineage
+	// N-gram fitting is a single counting pass: one trained event stands
+	// for the whole "curve".
+	if journal.Enabled() {
+		journal.Emit(journal.Event{
+			ID: lineage, Stage: journal.StageTrained,
+			Model: lineage, Variant: "ngram", Epoch: 1,
+		})
+	}
+	return &Model{Vocab: v, LM: lm, Lineage: lineage}, nil
 }
 
-// TrainLSTM fits an LSTM backend to corpus text.
+// TrainLSTM fits an LSTM backend to corpus text. The model's lineage ID is
+// derived before training and threaded into the per-epoch trained journal
+// events the training loop emits.
 func TrainLSTM(corpus string, hidden, layers int, cfg nn.TrainConfig) (*Model, float64, error) {
 	if len(corpus) == 0 {
 		return nil, 0, fmt.Errorf("model: empty corpus")
 	}
 	v := BuildVocabulary(corpus)
 	lstm := nn.NewLSTM(v.Size(), hidden, layers, rand.New(rand.NewSource(cfg.Seed)))
+	lineage := lineageID(corpus, "lstm",
+		fmt.Sprintf("hidden=%d layers=%d epochs=%d seqlen=%d lr=%g decay=%d/%g clip=%g batch=%d seed=%d",
+			hidden, layers, cfg.Epochs, cfg.SeqLen, cfg.LearnRate,
+			cfg.DecayEvery, cfg.DecayFactor, cfg.Clip, cfg.BatchSeqs, cfg.Seed))
+	lstm.Lineage = lineage
+	cfg.Lineage = lineage
 	loss, err := lstm.Train(v.Encode(corpus), cfg)
 	if err != nil {
 		return nil, 0, fmt.Errorf("model: %w", err)
 	}
-	return &Model{Vocab: v, LM: lstm}, loss, nil
+	return &Model{Vocab: v, LM: lstm, Lineage: lineage}, loss, nil
 }
 
 // Arg describes one kernel argument in an argument specification (§4.3
@@ -335,7 +369,9 @@ func (m *Model) SampleMany(seed int64, opts SampleOpts, count, workers int) []st
 	// stream is deterministic for every worker count.
 	if journal.Enabled() {
 		for i, k := range out {
-			journal.Emit(journal.Event{ID: journal.ID(k), Stage: journal.StageSampled, Item: i})
+			journal.Emit(journal.Event{
+				ID: journal.ID(k), Stage: journal.StageSampled, Item: i, Model: m.Lineage,
+			})
 		}
 	}
 	return out

@@ -14,6 +14,12 @@ type LSTM struct {
 	Hidden int
 	Layers int
 
+	// Lineage is the content-hashed model identity (cache.Key over config +
+	// corpus + seed, computed by internal/model) stamped into checkpoints so
+	// journal events can link sampled kernels to the producing model. Gob
+	// decodes checkpoints written before this field existed to "".
+	Lineage string
+
 	// Per layer: Wx (4H × input), Wh (4H × H), B (4H).
 	Wx []*Mat
 	Wh []*Mat
@@ -264,14 +270,17 @@ func (m *LSTM) trainSequence(inputs, targets []int, st *State, g *grads) float64
 }
 
 // applySGD performs one clipped SGD update with the given learning rate,
-// scaling gradients by 1/steps.
-func (m *LSTM) applySGD(g *grads, lr float64, clip float64, steps int) {
+// scaling gradients by 1/steps. It returns the number of gradient elements
+// the clip bound touched and the total updated, so the training loop can
+// report a per-epoch grad-clip rate.
+func (m *LSTM) applySGD(g *grads, lr float64, clip float64, steps int) (clipped, total int) {
 	scale := 1 / float64(max(steps, 1))
 	upd := func(p, gr []float64) {
 		for i := range gr {
 			gr[i] *= scale
 		}
-		clipInPlace(gr, clip)
+		clipped += clipInPlace(gr, clip)
+		total += len(gr)
 		for i := range p {
 			p[i] -= lr * gr[i]
 		}
@@ -283,6 +292,7 @@ func (m *LSTM) applySGD(g *grads, lr float64, clip float64, steps int) {
 	}
 	upd(m.Wy.W, g.Wy.W)
 	upd(m.By, g.By)
+	return clipped, total
 }
 
 func max(a, b int) int {

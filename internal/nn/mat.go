@@ -149,13 +149,18 @@ func SampleDist(probs []float64, rng *rand.Rand) int {
 	return len(probs) - 1
 }
 
-// clipInPlace clips every gradient element to [-clip, clip].
-func clipInPlace(g []float64, clip float64) {
+// clipInPlace clips every gradient element to [-clip, clip] and returns
+// how many elements were clipped (the training loop's grad-clip rate).
+func clipInPlace(g []float64, clip float64) int {
+	clipped := 0
 	for i, v := range g {
 		if v > clip {
 			g[i] = clip
+			clipped++
 		} else if v < -clip {
 			g[i] = -clip
+			clipped++
 		}
 	}
+	return clipped
 }

@@ -71,6 +71,10 @@ type NGram struct {
 	Order  int // context length in symbols
 	Vocab  int
 	Counts map[string][]Succ // context (encoded as bytes) -> successors
+
+	// Lineage is the content-hashed model identity (see LSTM.Lineage);
+	// stamped by internal/model after fitting, "" for old checkpoints.
+	Lineage string
 }
 
 // NewNGram creates an empty model of the given order (context length).

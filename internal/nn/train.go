@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"clgen/internal/journal"
 	"clgen/internal/telemetry"
 )
 
@@ -23,6 +24,10 @@ type TrainConfig struct {
 	Seed        int64
 	// Progress, when non-nil, receives (epoch, meanLossPerChar).
 	Progress func(epoch int, loss float64)
+	// Lineage, when non-empty, is the model identity stamped into the
+	// per-epoch trained journal events (set by internal/model, which
+	// computes it as cache.Key over config + corpus + seed).
+	Lineage string
 }
 
 func (c *TrainConfig) defaults() {
@@ -66,7 +71,9 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 	defer span.End()
 	reg := telemetry.Default()
 	lossGauge := reg.Gauge("nn_train_loss", "Mean cross-entropy per character of the last epoch.")
+	pplGauge := reg.Gauge("nn_train_perplexity", "exp(loss) of the last epoch.")
 	rateGauge := reg.Gauge("nn_train_chars_per_sec", "Training throughput of the last epoch.")
+	clipGauge := reg.Gauge("nn_train_clip_rate", "Fraction of gradient elements clipped in the last epoch.")
 	charsTotal := reg.Counter("nn_train_chars_total", "Characters consumed by LSTM training.")
 	epochSeconds := reg.Histogram("nn_train_epoch_seconds", "Wall time per training epoch.", nil)
 
@@ -76,10 +83,12 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		epochDone := telemetry.BeginWorkf("nn.train", "epoch-%d", epoch)
 		epochStart := time.Now()
+		cpuStart, cpuOK := telemetry.SampleResources()
 		st := m.ZeroState()
 		g := m.newGrads()
 		var epochLoss float64
 		var chars int
+		var clipped, gradTotal int
 		seqsInBatch := 0
 		// March through the corpus in SeqLen windows; a random phase keeps
 		// epochs from seeing identical window boundaries.
@@ -91,23 +100,46 @@ func (m *LSTM) Train(corpus []int, cfg TrainConfig) (float64, error) {
 			chars += cfg.SeqLen
 			seqsInBatch++
 			if seqsInBatch == cfg.BatchSeqs {
-				m.applySGD(g, lr, cfg.Clip, seqsInBatch*cfg.SeqLen)
+				c, t := m.applySGD(g, lr, cfg.Clip, seqsInBatch*cfg.SeqLen)
+				clipped, gradTotal = clipped+c, gradTotal+t
 				g = m.newGrads()
 				seqsInBatch = 0
 			}
 		}
 		if seqsInBatch > 0 {
-			m.applySGD(g, lr, cfg.Clip, seqsInBatch*cfg.SeqLen)
+			c, t := m.applySGD(g, lr, cfg.Clip, seqsInBatch*cfg.SeqLen)
+			clipped, gradTotal = clipped+c, gradTotal+t
 		}
 		lastLoss = epochLoss / math.Max(float64(chars), 1)
 		elapsed := time.Since(epochStart)
 		charsPerSec := float64(chars) / math.Max(elapsed.Seconds(), 1e-9)
+		clipRate := float64(clipped) / math.Max(float64(gradTotal), 1)
 		lossGauge.Set(lastLoss)
+		pplGauge.Set(math.Exp(lastLoss))
 		rateGauge.Set(charsPerSec)
+		clipGauge.Set(clipRate)
 		charsTotal.Add(int64(chars))
 		epochSeconds.Observe(elapsed.Seconds())
 		telemetry.Debug("nn: epoch complete",
-			"epoch", epoch, "loss", lastLoss, "chars_per_sec", charsPerSec, "lr", lr)
+			"epoch", epoch, "loss", lastLoss, "chars_per_sec", charsPerSec,
+			"clip_rate", clipRate, "lr", lr)
+		if cfg.Lineage != "" && journal.Enabled() {
+			ev := journal.Event{
+				ID:           cfg.Lineage,
+				Stage:        journal.StageTrained,
+				Model:        cfg.Lineage,
+				Variant:      "lstm",
+				Epoch:        epoch,
+				Loss:         lastLoss,
+				ClipRate:     clipRate,
+				TokensPerSec: charsPerSec,
+				DurMS:        float64(elapsed.Microseconds()) / 1000,
+			}
+			if cpuEnd, ok := telemetry.SampleResources(); ok && cpuOK {
+				ev.CPUSeconds = cpuEnd.CPUSeconds - cpuStart.CPUSeconds
+			}
+			journal.Emit(ev)
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, lastLoss)
 		}

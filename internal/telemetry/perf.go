@@ -69,6 +69,12 @@ func sampleResources() (ResourceSample, bool) {
 	return (*fp)(), true
 }
 
+// SampleResources exposes one resource sample to instrumentation outside
+// the span machinery (the nn training loop stamps per-epoch CPU deltas
+// into its trained journal events). Returns ok=false when -perf is off or
+// no sampler is installed; callers must treat the sample as optional.
+func SampleResources() (ResourceSample, bool) { return sampleResources() }
+
 // EnvInfo stamps a measurement with the machine and toolchain that
 // produced it. Every BENCH_*.json snapshot, RunReport, and clperf history
 // record carries one — cross-machine comparison of wall times is

@@ -1,0 +1,166 @@
+package clgen_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"clgen/internal/driver"
+	"clgen/internal/features"
+	"clgen/internal/github"
+	"clgen/internal/grewe"
+	"clgen/internal/interp"
+	"clgen/internal/journal"
+	"clgen/internal/mlobs"
+	"clgen/internal/model"
+	"clgen/internal/nn"
+	"clgen/internal/platform"
+	"clgen/internal/telemetry"
+)
+
+// modelBenchReport is the BENCH_model.json schema: learning-loop
+// throughput plus the cost of observing it. The overhead section is the
+// number that licenses leaving -journal on in CI — prediction auditing
+// must stay cheap relative to the evaluation itself.
+type modelBenchReport struct {
+	Env telemetry.EnvInfo `json:"env"`
+	// Training throughput of the LSTM backend (characters == tokens here;
+	// the vocabulary is character-level).
+	Train struct {
+		CorpusChars int     `json:"corpus_chars"`
+		Epochs      int     `json:"epochs"`
+		Seconds     float64 `json:"seconds"`
+		TokensPerS  float64 `json:"tokens_per_sec"`
+		FinalLoss   float64 `json:"final_loss"`
+	} `json:"lstm_train"`
+	// Evaluation throughput of the Grewe model's LOOCV loop.
+	Eval struct {
+		Predictions int     `json:"predictions"`
+		Seconds     float64 `json:"seconds"`
+		PredPerS    float64 `json:"predictions_per_sec"`
+	} `json:"grewe_eval"`
+	// Journal overhead of the prediction audit trail: EmitPredictions with
+	// the journal off vs writing to a discard sink. The off path is nearly
+	// free (counters only), so the honest cost metric is microseconds per
+	// journaled prediction and its share of the per-prediction eval cost.
+	Overhead struct {
+		OffSeconds    float64 `json:"journal_off_seconds"`
+		OnSeconds     float64 `json:"journal_on_seconds"`
+		MicrosPerPred float64 `json:"journal_us_per_prediction"`
+		PctOfEval     float64 `json:"pct_of_eval_cost"`
+	} `json:"emit_overhead"`
+}
+
+func benchObs(bench string, comp int, transfer int64, cpu, gpu float64) *grewe.Observation {
+	oracle := platform.CPU
+	if gpu < cpu {
+		oracle = platform.GPU
+	}
+	return &grewe.Observation{
+		Bench: bench,
+		M: &driver.Measurement{
+			Kernel: bench,
+			Vector: features.Vector{
+				Static:  features.Static{Comp: comp, Mem: 5, Coalesced: 5},
+				Dynamic: features.Dynamic{Transfer: transfer, WgSize: 64},
+			},
+			Profile: &interp.Profile{},
+			CPUTime: cpu, GPUTime: gpu,
+			Oracle: oracle,
+		},
+	}
+}
+
+// TestModelBenchSnapshot measures learning-loop throughput — LSTM training
+// tokens/s, Grewe LOOCV predictions/s — and the journal overhead of the
+// prediction audit trail, then writes BENCH_model.json. Gated behind
+// BENCH_MODEL=1 so plain `go test` stays fast; run via `make bench-snapshot`.
+func TestModelBenchSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_MODEL") == "" {
+		t.Skip("set BENCH_MODEL=1 to record the model snapshot")
+	}
+	var report modelBenchReport
+	report.Env = telemetry.Env()
+
+	// Training throughput: a small character-level LSTM over a corpus of
+	// repeated fallback kernels — enough text for stable tokens/s without
+	// taking minutes.
+	corpus := strings.Repeat(github.FallbackKernel, 200)
+	cfg := nn.TrainConfig{Epochs: 3, SeqLen: 64, BatchSeqs: 4, Seed: 1}
+	start := time.Now()
+	_, loss, err := model.TrainLSTM(corpus, 64, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := time.Since(start).Seconds()
+	report.Train.CorpusChars = len(corpus)
+	report.Train.Epochs = 3
+	report.Train.Seconds = dur
+	report.Train.TokensPerS = float64(len(corpus)*3) / dur
+	report.Train.FinalLoss = loss
+
+	// Evaluation throughput: LOOCV over a 40-benchmark separable set,
+	// repeated until predictions accumulate.
+	var set []*grewe.Observation
+	for i := 0; i < 20; i++ {
+		set = append(set, benchObs(fmt.Sprintf("gpu%d", i), 200+i, 1<<20, 10, 1))
+		set = append(set, benchObs(fmt.Sprintf("cpu%d", i), 2+i, 1<<24, 1, 10))
+	}
+	const evalRounds = 5
+	start = time.Now()
+	var preds []grewe.Prediction
+	for r := 0; r < evalRounds; r++ {
+		preds, err = grewe.CrossValidate(set, nil, grewe.Combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dur = time.Since(start).Seconds()
+	report.Eval.Predictions = len(preds) * evalRounds
+	report.Eval.Seconds = dur
+	report.Eval.PredPerS = float64(len(preds)*evalRounds) / dur
+
+	// Audit-trail overhead: emit the same prediction set with the journal
+	// disabled vs streaming to a discard writer.
+	const emitRounds = 200
+	emit := func() {
+		for r := 0; r < emitRounds; r++ {
+			mlobs.EmitPredictions("bench", "AMD", "grewe", platform.CPU, preds, grewe.Combined)
+		}
+	}
+	journal.SetActive(nil)
+	start = time.Now()
+	emit()
+	report.Overhead.OffSeconds = time.Since(start).Seconds()
+	w := journal.NewWriter(io.Discard, 0)
+	journal.SetActive(w)
+	start = time.Now()
+	emit()
+	report.Overhead.OnSeconds = time.Since(start).Seconds()
+	journal.SetActive(nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	emitted := float64(len(preds) * emitRounds)
+	journalSecs := report.Overhead.OnSeconds - report.Overhead.OffSeconds
+	report.Overhead.MicrosPerPred = journalSecs / emitted * 1e6
+	if report.Eval.PredPerS > 0 {
+		evalSecsPerPred := 1 / report.Eval.PredPerS
+		report.Overhead.PctOfEval = journalSecs / emitted / evalSecsPerPred * 100
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_model.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("train %.0f tokens/s, eval %.0f pred/s, journal %.2fus/pred (%.1f%% of eval)",
+		report.Train.TokensPerS, report.Eval.PredPerS,
+		report.Overhead.MicrosPerPred, report.Overhead.PctOfEval)
+}
