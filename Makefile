@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke model-smoke lint-suites
+.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke model-smoke feature-smoke lint-suites
 
 check: build vet fmt race
 
@@ -92,6 +92,34 @@ model-smoke:
 		echo "model-smoke: label-flip run should have tripped the accuracy gate"; exit 1; \
 	else echo "model-smoke: label-flip run tripped the gate as expected"; fi
 	/tmp/cltrace-model model history /tmp/model-hist.jsonl
+
+# End-to-end precise-features gate. First, determinism: two sampling runs
+# journaled under -precise-features at workers=1 and the pool default
+# must diff clean (feature-agreement events are part of the canonical
+# stream) and the funnel must render the agreement table. Then, accuracy:
+# the Table 1 campaign must complete in precise mode with prediction
+# accuracy within 2 percentage points of the heuristic run — precise
+# features may move the model slightly, not break it.
+feature-smoke:
+	$(GO) build -o /tmp/clgen-feat ./cmd/clgen
+	$(GO) build -o /tmp/cltrace-feat ./cmd/cltrace
+	$(GO) build -o /tmp/clexp-feat ./cmd/clexp
+	rm -f /tmp/feat-w1.jsonl /tmp/feat-wN.jsonl /tmp/feat-heur.jsonl /tmp/feat-prec.jsonl
+	/tmp/clgen-feat -mode sample -n 3 -repos 15 -seed 9 -quiet -workers 1 -precise-features -journal /tmp/feat-w1.jsonl >/dev/null
+	/tmp/clgen-feat -mode sample -n 3 -repos 15 -seed 9 -quiet -precise-features -journal /tmp/feat-wN.jsonl >/dev/null
+	/tmp/cltrace-feat diff /tmp/feat-w1.jsonl /tmp/feat-wN.jsonl
+	@grep -q '"stage":"features"' /tmp/feat-wN.jsonl || \
+		{ echo "feature-smoke: run journaled no feature-agreement events"; exit 1; }
+	@/tmp/cltrace-feat funnel /tmp/feat-wN.jsonl | grep -q "^features" || \
+		{ echo "feature-smoke: funnel did not render the feature-agreement table"; exit 1; }
+	/tmp/clexp-feat -scale test -run table1 -seed 9 -quiet -journal /tmp/feat-heur.jsonl >/dev/null
+	/tmp/clexp-feat -scale test -run table1 -seed 9 -quiet -precise-features -journal /tmp/feat-prec.jsonl >/dev/null
+	@h=$$(/tmp/cltrace-feat funnel -json /tmp/feat-heur.jsonl | grep -o '"prediction_accuracy": *[0-9.]*' | grep -o '[0-9.]*$$'); \
+	p=$$(/tmp/cltrace-feat funnel -json /tmp/feat-prec.jsonl | grep -o '"prediction_accuracy": *[0-9.]*' | grep -o '[0-9.]*$$'); \
+	echo "feature-smoke: prediction accuracy heuristic=$$h precise=$$p"; \
+	awk -v h="$$h" -v p="$$p" 'BEGIN { d = (h - p) * 100; if (d < 0) d = -d; \
+		if (d > 2) { printf "feature-smoke: accuracy moved %.1fpp between modes (limit 2pp)\n", d; exit 1 } \
+		printf "feature-smoke: accuracy within 2pp across modes (%.2fpp)\n", d }'
 
 # Static-analyzer false-positive sweep over the seven benchmark suites:
 # cllint exits nonzero if any hand-audited working kernel draws an

@@ -7,9 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"clgen/internal/clc"
 	"clgen/internal/corpus"
 	"clgen/internal/driver"
 	"clgen/internal/experiments"
+	"clgen/internal/features"
 	"clgen/internal/github"
 	"clgen/internal/telemetry"
 )
@@ -22,6 +24,19 @@ type analysisBenchReport struct {
 	Env       telemetry.EnvInfo   `json:"env"`
 	Filter    []analysisBenchRow  `json:"corpus_filter"`
 	PreScreen analysisBenchDriver `json:"driver_prescreen"`
+	Features  []featureBenchRow   `json:"feature_extraction"`
+}
+
+// featureBenchRow records one extraction mode's throughput over the
+// accepted seed-corpus files: the heuristic row is the baseline, the
+// precise row is the cost of routing extraction through the analyzer's
+// CFG+dataflow machinery under -precise-features.
+type featureBenchRow struct {
+	Precise       bool    `json:"precise"`
+	Files         int     `json:"files"`
+	Kernels       int     `json:"kernels"`
+	Seconds       float64 `json:"seconds"`
+	KernelsPerSec float64 `json:"kernels_per_sec"`
 }
 
 type analysisBenchRow struct {
@@ -76,6 +91,33 @@ func TestAnalysisBenchSnapshot(t *testing.T) {
 		report.Filter = append(report.Filter, analysisBenchRow{
 			Static: static, Files: len(files), Accepted: c.Stats.AcceptedFiles,
 			Seconds: sec, FilesPerSec: float64(len(files)) / sec, StaticReject: rejected,
+		})
+	}
+
+	// Feature-extraction throughput: both modes over every accepted file
+	// of the same mined set (parsed once up front so the rows time
+	// extraction, not the frontend).
+	var parsed []*clc.File
+	for _, cf := range files {
+		res := corpus.Filter(cf.Text, true)
+		if res.OK {
+			parsed = append(parsed, res.File)
+		}
+	}
+	for _, precise := range []bool{false, true} {
+		start := time.Now()
+		kernels := 0
+		for _, f := range parsed {
+			fs, err := features.ExtractFileMode(f, precise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kernels += len(fs)
+		}
+		sec := time.Since(start).Seconds()
+		report.Features = append(report.Features, featureBenchRow{
+			Precise: precise, Files: len(parsed), Kernels: kernels,
+			Seconds: sec, KernelsPerSec: float64(kernels) / sec,
 		})
 	}
 

@@ -11,6 +11,12 @@
 //	cllint -suites                  lint the seven built-in benchmark
 //	                                suites (regression baseline; output
 //	                                is deterministic and golden-diffable)
+//	cllint -json ...                emit diagnostics as JSON lines
+//	                                (file, line, col, lint, severity, msg)
+//
+// Identical diagnostics at the same position (same file, line, column,
+// lint, severity, and message) are deduplicated before printing, in
+// both output formats.
 //
 // Exit status is 0 when no Error-severity diagnostic was found, 1 when
 // at least one input has an Error diagnostic or fails to parse, and 2
@@ -19,10 +25,13 @@
 //
 // cllint shares the observability flags of the other binaries (-v,
 // -report, -perf, -perf-history, ...); -quiet both lowers the log level
-// and suppresses the per-input summary on stderr.
+// and suppresses the per-input summary on stderr. -precise-features has
+// no effect on lint output (diagnostics come from the analyzer either
+// way) but is accepted for flag parity.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,7 +40,8 @@ import (
 	"clgen/internal/analysis"
 	"clgen/internal/clc"
 	"clgen/internal/corpus"
-	_ "clgen/internal/perf" // -perf/-stall-timeout/-perf-history backend
+	_ "clgen/internal/features" // -precise-features backend
+	_ "clgen/internal/perf"     // -perf/-stall-timeout/-perf-history backend
 	"clgen/internal/suites"
 	"clgen/internal/telemetry"
 )
@@ -39,6 +49,7 @@ import (
 func main() {
 	var (
 		suitesMode = flag.Bool("suites", false, "lint the built-in benchmark suites instead of files")
+		jsonMode   = flag.Bool("json", false, "emit diagnostics as JSON lines instead of text")
 	)
 	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -48,11 +59,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	p := &printer{json: *jsonMode, seen: map[string]bool{}}
 	var failed bool
 	if *suitesMode {
-		failed = lintSuites(tf.Quiet)
+		failed = lintSuites(p, tf.Quiet)
 	} else {
-		failed, err = lintFiles(flag.Args(), tf.Quiet)
+		failed, err = lintFiles(p, flag.Args(), tf.Quiet)
 	}
 	rt.Close()
 	if err != nil {
@@ -64,22 +76,85 @@ func main() {
 	}
 }
 
+// diagJSON is the -json wire format: one object per diagnostic, one per
+// line, stable field names.
+type diagJSON struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Severity  string `json:"severity"`
+	Lint      string `json:"lint"`
+	Fn        string `json:"fn,omitempty"`
+	Kernel    bool   `json:"kernel,omitempty"`
+	Msg       string `json:"msg"`
+	Predicted string `json:"predicted,omitempty"`
+}
+
+// printer renders diagnostics in the selected format, deduplicating
+// identical diagnostics at the same position (analyzing a file and then
+// a unit split from it, or repeated helper inlining, can repeat one).
+type printer struct {
+	json bool
+	seen map[string]bool
+}
+
+// input resets the dedup scope: diagnostics dedup within one input, not
+// across files (the same line/col/message in two files is two findings).
+func (p *printer) input() { p.seen = map[string]bool{} }
+
+func (p *printer) diag(prefix string, d analysis.Diagnostic) {
+	key := fmt.Sprintf("%d:%d:%s:%d:%s:%s", d.Pos.Line, d.Pos.Col, d.Lint, d.Severity, d.Fn, d.Msg)
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	if p.json {
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(diagJSON{
+			File: prefix, Line: d.Pos.Line, Col: d.Pos.Col,
+			Severity: d.Severity.String(), Lint: d.Lint,
+			Fn: d.Fn, Kernel: d.Kernel, Msg: d.Msg, Predicted: d.Predicted,
+		})
+		return
+	}
+	fmt.Println(analysis.FormatDiagnostic(prefix, d))
+}
+
+// fail reports an input that did not survive the front end (preprocess,
+// parse, or check); rendered as a diagnostic so -json streams stay valid.
+func (p *printer) fail(prefix, lint string, err error) {
+	if p.json {
+		json.NewEncoder(os.Stdout).Encode(diagJSON{
+			File: prefix, Severity: "error", Lint: lint, Msg: err.Error(),
+		})
+		return
+	}
+	fmt.Printf("%s: %s: %v\n", prefix, lint, err)
+}
+
+func (p *printer) report(prefix string, rep *analysis.Report) {
+	p.input()
+	for _, d := range rep.Diags {
+		p.diag(prefix, d)
+	}
+}
+
 // lintFiles analyzes each named file (stdin when none) and reports
 // whether any input produced an Error diagnostic or failed to parse.
-func lintFiles(paths []string, quiet bool) (failed bool, err error) {
+func lintFiles(p *printer, paths []string, quiet bool) (failed bool, err error) {
 	if len(paths) == 0 {
 		src, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			return false, err
 		}
-		return lintSource("<stdin>", string(src), quiet), nil
+		return lintSource(p, "<stdin>", string(src), quiet), nil
 	}
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			return failed, err
 		}
-		if lintSource(path, string(src), quiet) {
+		if lintSource(p, path, string(src), quiet) {
 			failed = true
 		}
 	}
@@ -89,23 +164,23 @@ func lintFiles(paths []string, quiet bool) (failed bool, err error) {
 // lintSource preprocesses, parses, checks and analyzes one translation
 // unit. The shim preprocessor serves the same header set the corpus
 // filter uses, so cllint sees kernels exactly as the pipeline does.
-func lintSource(prefix, src string, quiet bool) (failed bool) {
+func lintSource(p *printer, prefix, src string, quiet bool) (failed bool) {
 	expanded, err := corpus.ShimPreprocessor().Preprocess(src)
 	if err != nil {
-		fmt.Printf("%s: preprocess error: %v\n", prefix, err)
+		p.fail(prefix, "preprocess error", err)
 		return true
 	}
 	f, err := clc.Parse(expanded)
 	if err != nil {
-		fmt.Printf("%s: parse error: %v\n", prefix, err)
+		p.fail(prefix, "parse error", err)
 		return true
 	}
 	if err := clc.Check(f); err != nil {
-		fmt.Printf("%s: check error: %v\n", prefix, err)
+		p.fail(prefix, "check error", err)
 		return true
 	}
 	rep := analysis.Analyze(f)
-	fmt.Print(rep.Render(prefix))
+	p.report(prefix, rep)
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "%s: %d diagnostics, %d errors\n",
 			prefix, len(rep.Diags), len(rep.Errors()))
@@ -117,22 +192,22 @@ func lintSource(prefix, src string, quiet bool) (failed bool) {
 // with the benchmark ID. Suite sources are pre-expanded, so they parse
 // without the preprocessor; any diagnostic here is a candidate false
 // positive and is golden-checked in CI (make lint-suites).
-func lintSuites(quiet bool) (failed bool) {
+func lintSuites(p *printer, quiet bool) (failed bool) {
 	flagged, errors := 0, 0
 	for _, b := range suites.All() {
 		f, err := clc.Parse(b.Src)
 		if err != nil {
-			fmt.Printf("%s: parse error: %v\n", b.ID(), err)
+			p.fail(b.ID(), "parse error", err)
 			failed = true
 			continue
 		}
 		if err := clc.Check(f); err != nil {
-			fmt.Printf("%s: check error: %v\n", b.ID(), err)
+			p.fail(b.ID(), "check error", err)
 			failed = true
 			continue
 		}
 		rep := analysis.Analyze(f)
-		fmt.Print(rep.Render(b.ID()))
+		p.report(b.ID(), rep)
 		if len(rep.Diags) > 0 {
 			flagged++
 		}

@@ -8,6 +8,9 @@
 //	cltrace funnel [-json] run.jsonl
 //	    §4.1 corpus discard breakdown, §4.3 sample acceptance, §5.2
 //	    dynamic-checker verdicts, and per-stage latency percentiles.
+//	    Runs journaled under -precise-features additionally render the
+//	    feature-agreement table: per-feature mean |delta| and exact-match
+//	    rate between the heuristic and analyzer-derived vectors.
 //	    -json emits the same funnel as JSON with derived rates inlined.
 //
 //	cltrace show run.jsonl <id-prefix>
@@ -15,10 +18,11 @@
 //	    ID — or parent ID, for derived artifacts — starts with the prefix).
 //
 //	cltrace diff [-threshold pct] old.jsonl new.jsonl
-//	    Compare two runs: artifact counts, acceptance rates, and modeled
-//	    runtimes gate at the threshold (default 5%); wall-clock stage
-//	    latencies are reported but never gated. Exits 1 on regression —
-//	    identical-seed runs always pass, so this is the CI gate.
+//	    Compare two runs: artifact counts, acceptance rates, modeled
+//	    runtimes, and (when journaled) the feature-agreement rate gate at
+//	    the threshold (default 5%); wall-clock stage latencies are
+//	    reported but never gated. Exits 1 on regression — identical-seed
+//	    runs always pass, so this is the CI gate.
 //
 //	cltrace model report [-json] run.jsonl
 //	    Learning-loop view of the journal: training curves (per-epoch

@@ -6,8 +6,11 @@
 // executing the kernel: statically out-of-bounds buffer accesses under
 // the §5.1 payload contract, barriers in divergent control flow,
 // provably non-terminating loops, kernels that cannot produce output,
-// plus code-quality diagnostics (uninitialized reads, unused arguments,
-// dead statements).
+// inter-work-item write races and address-space misuse (derived from
+// gid/lid-affine access regions), plus code-quality diagnostics
+// (uninitialized reads, unused arguments, dead statements). The same
+// access-region machinery backs the dataflow-precise feature pass
+// (Features) that internal/features consults under -precise-features.
 //
 // The corpus rejection filter consumes Error-severity diagnostics in its
 // opt-in strict mode, and the driver skips the four-execution dynamic
@@ -29,7 +32,7 @@ import (
 // (internal/cache). Bump it whenever a pass, lint, or threshold changes
 // behavior, so persistent caches recompute instead of replaying the old
 // analyzer's conclusions.
-const Version = "analysis-v1"
+const Version = "analysis-v2"
 
 // Severity grades a diagnostic.
 type Severity int
@@ -216,6 +219,9 @@ func Analyze(f *clc.File) *Report {
 			lintUnusedArgs(rep, info)
 			lintBounds(rep, info)
 			lintBarriers(rep, info)
+			regions := collectRegions(info)
+			lintWorkItemRace(rep, info, regions)
+			lintAddrSpace(rep, info, regions)
 			lintOutput(rep, info, stores, byName)
 			predict(rep, info)
 		}

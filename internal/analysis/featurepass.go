@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"clgen/internal/clc"
+	"clgen/internal/ir"
+)
+
+// This file is the dataflow-precise feature-extraction pass: it derives
+// the Grewe et al. static code features (comp, mem, localmem, coalesced,
+// branches) from the analyzer's CFG, liveness, and affine interval
+// machinery instead of internal/features' AST/token heuristics. Memory
+// features come from the access-region replay (regions.go), so accesses
+// in provably dead blocks or dead conditional arms are not counted, and
+// a global access counts as coalesced iff its index decomposes as
+// affine in get_global_id(0) with unit stride. internal/features
+// substitutes these counts for its heuristic ones under -precise-features.
+
+// KernelFeatures is the precise feature vector of one kernel, callee
+// contributions included.
+type KernelFeatures struct {
+	Kernel    string
+	Comp      int // compute ops (ALU/FPU-lowered operators, math builtins)
+	Mem       int // global + __constant + local memory accesses
+	LocalMem  int // local memory accesses
+	Coalesced int // global accesses with unit gid stride (kernel body only)
+	Branches  int // live decision points (block conditions + selects)
+}
+
+// Features extracts precise static features for every kernel in a checked
+// file (clc.Check must have succeeded). Each kernel accumulates its own
+// counts plus each reachable user callee's counts once — mirroring how
+// internal/features counts inlined callees — except Coalesced, which only
+// the kernel body contributes (a callee has no work-item identity of its
+// own). The result maps kernel names; kernels without bodies are absent.
+// When a file defines the same name twice the first definition wins,
+// matching ir.Program.Func — mined files do redefine kernels, and every
+// name-keyed consumer must describe the same definition.
+func Features(f *clc.File) map[string]KernelFeatures {
+	fileVars := fileScope(f)
+	own := make(map[string]KernelFeatures)
+	infos := make(map[string]*fnInfo)
+	for _, fn := range f.Functions() {
+		if fn.Body == nil {
+			continue
+		}
+		if _, dup := own[fn.Name]; dup {
+			continue
+		}
+		info := analyzeFn(fn, fileVars)
+		infos[fn.Name] = info
+		own[fn.Name] = ownFeatures(info)
+	}
+
+	out := make(map[string]KernelFeatures)
+	for _, k := range f.Kernels() {
+		if k.Body == nil {
+			continue
+		}
+		if _, dup := out[k.Name]; dup {
+			continue
+		}
+		total := KernelFeatures{Kernel: k.Name}
+		seen := map[string]bool{}
+		var accumulate func(name string)
+		accumulate = func(name string) {
+			if seen[name] {
+				return // recursion guard; count once
+			}
+			seen[name] = true
+			o, ok := own[name]
+			if !ok {
+				return
+			}
+			total.Comp += o.Comp
+			total.Mem += o.Mem
+			total.LocalMem += o.LocalMem
+			total.Branches += o.Branches
+			clc.Walk(infos[name].fn.Body, func(n clc.Node) bool {
+				if call, ok := n.(*clc.CallExpr); ok && f.Function(call.Fun) != nil {
+					accumulate(call.Fun)
+				}
+				return true
+			})
+		}
+		accumulate(k.Name)
+		total.Coalesced = own[k.Name].Coalesced
+		out[k.Name] = total
+	}
+	return out
+}
+
+// ownFeatures computes one function's feature contribution from its
+// analysis artifacts: memory counts from the access-region replay,
+// compute and branch counts structurally over the live blocks.
+func ownFeatures(info *fnInfo) KernelFeatures {
+	kf := KernelFeatures{Kernel: info.fn.Name}
+	for _, r := range collectRegions(info) {
+		if r.barrier || r.space == clc.Private {
+			continue
+		}
+		w := 1
+		if r.compound {
+			w = 2 // read-modify-write: one load plus one store
+		}
+		kf.Mem += w
+		if r.space == clc.Local {
+			kf.LocalMem += w
+		}
+		if r.space == clc.Global && !r.vector && r.idx.unitGid() {
+			kf.Coalesced += w
+		}
+	}
+	_, leas := prewalkAccesses(info.fn)
+	for _, b := range info.g.Blocks {
+		if !blockLive(info, b) {
+			continue
+		}
+		if b.Cond != nil {
+			kf.Branches++
+		}
+		for _, s := range b.Stmts {
+			c, br := countComp(s, leas)
+			kf.Comp += c
+			kf.Branches += br
+		}
+		if b.Cond != nil {
+			c, br := countComp(b.Cond, leas)
+			kf.Comp += c
+			kf.Branches += br
+		}
+	}
+	return kf
+}
+
+// countComp counts the ALU/FPU-lowered operations and select branches in
+// a subtree, mirroring internal/ir's emitArith sites: every binary
+// operator, compound assignment, arithmetic unary, increment/decrement,
+// &a[i] address computation (lea), and math-builtin call is one op.
+// sizeof operands fold to compile-time constants and contribute nothing.
+func countComp(n clc.Node, leas map[clc.Node]bool) (comp, branches int) {
+	clc.Walk(n, func(m clc.Node) bool {
+		switch x := m.(type) {
+		case *clc.BinaryExpr:
+			comp++
+		case *clc.AssignExpr:
+			if x.Op != clc.ASSIGN {
+				comp++
+			}
+		case *clc.UnaryExpr:
+			switch x.Op {
+			case clc.SUB, clc.ADD, clc.NOT, clc.BNOT, clc.INC, clc.DEC:
+				comp++
+			case clc.AND:
+				if _, ok := x.X.(*clc.IndexExpr); ok && leas[x.X] {
+					comp++ // lea
+				}
+			}
+		case *clc.PostfixExpr:
+			comp++
+		case *clc.CondExpr:
+			branches++ // select
+		case *clc.CallExpr:
+			if ir.IsMathBuiltin(x.Fun) && clc.LookupBuiltin(x.Fun) != nil {
+				comp++
+			}
+		case *clc.SizeofExpr:
+			return false
+		}
+		return true
+	})
+	return comp, branches
+}

@@ -1,0 +1,477 @@
+package analysis
+
+import (
+	"fmt"
+
+	"clgen/internal/clc"
+)
+
+// This file implements the access-region machinery shared by the precise
+// feature pass (featurepass.go) and the inter-work-item lints: a replay
+// over the interval analysis that records every memory access with its
+// address space, read/write role, and gid/lid-affine index decomposition.
+// Under the §5.1 launch contract dimension 0 spans the whole problem
+// (gid = group*L + lid), so an index affine in get_global_id(0) and
+// get_local_id(0) with uniform remainder describes exactly which element
+// each work item touches — the foundation for coalescing classification
+// (stride 1 in gid) and write-overlap reasoning (stride 0: every work
+// item hits the same element).
+
+// affIndex is the gid/lid-affine decomposition of an index expression:
+// idx = gid*get_global_id(0) + lid*get_local_id(0) + rest, with rest
+// uniform across work items. ok is false when the expression does not fit
+// the form (the index may then differ arbitrarily between work items).
+type affIndex struct {
+	gid, lid int64
+	// off is the constant part of rest, valid when offExact; a rest with
+	// uniform but non-constant terms (kernel scalar arguments) leaves
+	// offExact false.
+	off      int64
+	offExact bool
+	ok       bool
+}
+
+// uniformAff reports whether every work item computes the same index.
+func (a affIndex) uniformAff() bool { return a.ok && a.gid == 0 && a.lid == 0 }
+
+// unitGid reports the coalescing property: consecutive work items touch
+// consecutive elements.
+func (a affIndex) unitGid() bool { return a.ok && a.gid == 1 && a.lid == 0 }
+
+// accessRegion is one site observed during the replay: a memory access,
+// or a barrier (which separates local-memory phases).
+type accessRegion struct {
+	pos      clc.Pos
+	base     *Var // buffer variable, nil when pointer arithmetic hides it
+	space    clc.AddrSpace
+	write    bool
+	compound bool // read-modify-write target: one load plus one store
+	vector   bool // vloadN/vstoreN: N elements per work item
+	barrier  bool // work-group barrier call, not a memory access
+	idx      affIndex
+	must     bool // the site's block executes on every path
+	// divValue marks writes whose stored value may differ between work
+	// items (reads and barriers leave it false).
+	divValue bool
+}
+
+// regionCollector carries the per-function context of one replay.
+type regionCollector struct {
+	info    *fnInfo
+	div     varset // divergent variables (work-item-dependent values)
+	writes  map[clc.Expr]*clc.AssignExpr
+	leas    map[clc.Node]bool // &a[i] operands: address computation, no access
+	counted map[clc.Node]bool
+	out     []accessRegion
+}
+
+// collectRegions replays the interval analysis over every live block and
+// returns the function's access regions in block-creation (approximately
+// program) order. Accesses in provably dead blocks or dead conditional
+// arms never appear.
+func collectRegions(info *fnInfo) []accessRegion {
+	ev := info.ev
+	writes, leas := prewalkAccesses(info.fn)
+	rc := &regionCollector{
+		info:    info,
+		div:     divergentVars(info),
+		writes:  writes,
+		leas:    leas,
+		counted: make(map[clc.Node]bool),
+	}
+
+	var curBlk *Block
+	record := func(site clc.Node, base *Var, space clc.AddrSpace, idx affIndex, vector bool) {
+		if rc.counted[site] {
+			return
+		}
+		rc.counted[site] = true
+		r := accessRegion{
+			pos: site.NodePos(), base: base, space: space,
+			vector: vector, idx: idx, must: info.must[curBlk],
+		}
+		if as, ok := rc.writes[site.(clc.Expr)]; ok {
+			r.write = true
+			r.compound = as.Op != clc.ASSIGN
+			r.divValue = divergentExpr(info.st, as.Y, rc.div)
+		}
+		rc.out = append(rc.out, r)
+	}
+
+	onAccess := func(e clc.Expr, _ ival, s *istate) {
+		switch x := e.(type) {
+		case *clc.IndexExpr:
+			if rc.leas[x] {
+				return // operand of &: an address computation, not an access
+			}
+			switch x.X.ExprType().(type) {
+			case *clc.VectorType:
+				return // component selection: a register, not memory
+			}
+			base, space, ok := rc.accessBase(s, x.X)
+			if !ok {
+				return
+			}
+			record(x, base, space, rc.affine(x.Index), false)
+		case *clc.UnaryExpr: // *(p + i): decompose the pointer expression
+			base, space, ok := rc.accessBase(s, x.X)
+			if !ok {
+				return
+			}
+			record(x, base, space, rc.pointerAff(x.X), false)
+		}
+	}
+	onCall := func(x *clc.CallExpr, _ []ival, s *istate) {
+		if rc.counted[x] {
+			return
+		}
+		if isBarrierCall(x.Fun) {
+			rc.counted[x] = true
+			rc.out = append(rc.out, accessRegion{
+				pos: x.NodePos(), barrier: true, must: info.must[curBlk],
+			})
+			return
+		}
+		n, ok := clc.VectorWidthOfName(x.Fun)
+		if !ok || n == 0 {
+			return
+		}
+		isStore := x.Fun[0] == 'v' && x.Fun[1] == 's' // vstoreN
+		ptrIdx := 1
+		if isStore {
+			ptrIdx = 2
+		}
+		if len(x.Args) <= ptrIdx {
+			return
+		}
+		base, space, ok := rc.accessBase(s, x.Args[ptrIdx])
+		if !ok {
+			return
+		}
+		rc.counted[x] = true
+		r := accessRegion{
+			pos: x.NodePos(), base: base, space: space, vector: true,
+			idx: affIndex{}, must: info.must[curBlk], write: isStore,
+		}
+		if isStore {
+			r.divValue = divergentExpr(info.st, x.Args[0], rc.div)
+		}
+		rc.out = append(rc.out, r)
+	}
+
+	ev.onAccess, ev.onCall = onAccess, onCall
+	defer func() { ev.onAccess, ev.onCall = nil, nil }()
+	for _, b := range info.g.Blocks {
+		if !blockLive(info, b) {
+			continue
+		}
+		curBlk = b
+		cur := info.intervals.In[b].clone()
+		for _, s := range b.Stmts {
+			ev.execStmt(cur, s)
+		}
+		if b.Cond != nil {
+			ev.exec(cur, b.Cond)
+		}
+	}
+	return rc.out
+}
+
+// prewalkAccesses maps every indexed or dereferencing assignment target
+// in the function body to its assignment (so the replay can classify the
+// access its target fires as a write and recover the stored value), and
+// collects the index expressions under an address-of operator (&a[i]
+// computes an address — the lowering emits a lea, not a load).
+func prewalkAccesses(fn *clc.FuncDecl) (map[clc.Expr]*clc.AssignExpr, map[clc.Node]bool) {
+	writes := make(map[clc.Expr]*clc.AssignExpr)
+	leas := make(map[clc.Node]bool)
+	var atomicArgs []clc.Node
+	clc.Walk(fn.Body, func(n clc.Node) bool {
+		switch x := n.(type) {
+		case *clc.AssignExpr:
+			switch t := x.X.(type) {
+			case *clc.IndexExpr:
+				writes[t] = x
+			case *clc.UnaryExpr:
+				if t.Op == clc.MUL {
+					writes[t] = x
+				}
+			}
+		case *clc.UnaryExpr:
+			if x.Op == clc.AND {
+				if ix, ok := x.X.(*clc.IndexExpr); ok {
+					leas[ix] = true
+				}
+			}
+		case *clc.CallExpr:
+			// atomic_op(&a[i], ...) accesses memory through its address
+			// argument: keep that index expression an access (the lowering
+			// emits OpAtomic), unlike a plain &a[i].
+			if b := clc.LookupBuiltin(x.Fun); b != nil && b.Atomic && len(x.Args) > 0 {
+				if u, ok := x.Args[0].(*clc.UnaryExpr); ok && u.Op == clc.AND {
+					if ix, ok := u.X.(*clc.IndexExpr); ok {
+						atomicArgs = append(atomicArgs, ix)
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, ix := range atomicArgs {
+		delete(leas, ix)
+	}
+	return writes, leas
+}
+
+// accessBase resolves the buffer a pointer or array expression accesses:
+// its variable (when visible through pointer arithmetic) and address
+// space. ok is false for register-resident objects (private scalars,
+// vectors) whose "accesses" are not memory traffic.
+func (rc *regionCollector) accessBase(s *istate, e clc.Expr) (*Var, clc.AddrSpace, bool) {
+	v, _, _ := rc.info.ev.pointerBase(s, e)
+	switch t := e.ExprType().(type) {
+	case *clc.PointerType:
+		return v, t.Space, true
+	case *clc.ArrayType:
+		if v != nil && v.Decl != nil {
+			return v, v.Decl.Space, true
+		}
+		if v != nil && v.Param != nil {
+			return v, clc.Private, true
+		}
+	}
+	return nil, clc.Private, false
+}
+
+// pointerAff decomposes a dereferenced pointer expression (*(p + i)) into
+// the affine form of its element offset.
+func (rc *regionCollector) pointerAff(e clc.Expr) affIndex {
+	switch x := e.(type) {
+	case *clc.Ident:
+		return affIndex{offExact: true, ok: true}
+	case *clc.BinaryExpr:
+		if x.Op != clc.ADD && x.Op != clc.SUB {
+			return affIndex{}
+		}
+		if isPointerish(x.X.ExprType()) {
+			p := rc.pointerAff(x.X)
+			d := rc.affine(x.Y)
+			if x.Op == clc.SUB {
+				d = affIndex{gid: -d.gid, lid: -d.lid, off: -d.off, offExact: d.offExact, ok: d.ok}
+			}
+			return addAff(p, d)
+		}
+		if x.Op == clc.ADD && isPointerish(x.Y.ExprType()) {
+			return addAff(rc.pointerAff(x.Y), rc.affine(x.X))
+		}
+	case *clc.CastExpr:
+		if sameElemSize(x.To, x.X.ExprType()) {
+			return rc.pointerAff(x.X)
+		}
+	case *clc.UnaryExpr:
+		if x.Op == clc.AND {
+			if ix, ok := x.X.(*clc.IndexExpr); ok {
+				return addAff(rc.pointerAff(ix.X), rc.affine(ix.Index))
+			}
+		}
+	}
+	return affIndex{}
+}
+
+func addAff(a, b affIndex) affIndex {
+	if !a.ok || !b.ok {
+		return affIndex{}
+	}
+	return affIndex{
+		gid: a.gid + b.gid, lid: a.lid + b.lid,
+		off: a.off + b.off, offExact: a.offExact && b.offExact, ok: true,
+	}
+}
+
+// affine decomposes an index expression into its gid/lid-affine form.
+// Variables that are single-definition copies of get_global_id(0) or
+// get_local_id(0) (ienv.findWorkItemCopies) carry unit coefficients;
+// multiplication scales by compile-time constants; any work-item-uniform
+// subexpression folds into the remainder.
+func (rc *regionCollector) affine(e clc.Expr) affIndex {
+	switch x := e.(type) {
+	case *clc.IntLit:
+		return affIndex{off: x.Value, offExact: true, ok: true}
+	case *clc.CharLit:
+		return affIndex{off: x.Value, offExact: true, ok: true}
+	case *clc.Ident:
+		if v := rc.info.st.uses[x]; v != nil {
+			if rc.info.ev.gidCopies[v] {
+				return affIndex{gid: 1, offExact: true, ok: true}
+			}
+			if rc.info.ev.lidCopies[v] {
+				return affIndex{lid: 1, offExact: true, ok: true}
+			}
+		}
+	case *clc.CallExpr:
+		switch workItemCall(x) {
+		case "get_global_id":
+			return affIndex{gid: 1, offExact: true, ok: true}
+		case "get_local_id":
+			return affIndex{lid: 1, offExact: true, ok: true}
+		}
+	case *clc.BinaryExpr:
+		switch x.Op {
+		case clc.ADD:
+			return addAff(rc.affine(x.X), rc.affine(x.Y))
+		case clc.SUB:
+			b := rc.affine(x.Y)
+			b = affIndex{gid: -b.gid, lid: -b.lid, off: -b.off, offExact: b.offExact, ok: b.ok}
+			return addAff(rc.affine(x.X), b)
+		case clc.MUL:
+			if c, ok := clc.ConstIntValue(x.X); ok {
+				return scaleAff(rc.affine(x.Y), c)
+			}
+			if c, ok := clc.ConstIntValue(x.Y); ok {
+				return scaleAff(rc.affine(x.X), c)
+			}
+		}
+	case *clc.CastExpr:
+		// Value-preserving integer widenings keep the decomposition; a
+		// truncating cast can change the stride.
+		if s, ok := x.To.(*clc.ScalarType); ok && s.Kind.IsInteger() && s.Kind.Bits() >= 32 {
+			return rc.affine(x.X)
+		}
+		return affIndex{}
+	}
+	if e != nil && !divergentExpr(rc.info.st, e, rc.div) {
+		return affIndex{ok: true} // uniform remainder of unknown value
+	}
+	return affIndex{}
+}
+
+func scaleAff(a affIndex, c int64) affIndex {
+	if !a.ok {
+		return affIndex{}
+	}
+	return affIndex{gid: a.gid * c, lid: a.lid * c, off: a.off * c, offExact: a.offExact, ok: true}
+}
+
+// --- work-item races -----------------------------------------------------
+
+// lintWorkItemRace flags unconditional writes through which every work
+// item hits the same global or local element (index stride 0 in both gid
+// and lid): with a divergent stored value the surviving value is
+// scheduling-dependent, and a read-modify-write loses updates regardless
+// of the value. Barriers order phases but never serialize two work items'
+// stores to one address, so no barrier placement fixes these. Writes in
+// conditional code (typically `if (gid == 0)` single-writer guards) and
+// writes of provably uniform values are not flagged.
+func lintWorkItemRace(rep *Report, info *fnInfo, regions []accessRegion) {
+	for _, r := range regions {
+		if r.barrier || !r.write || !r.must || r.vector {
+			continue
+		}
+		if r.space != clc.Global && r.space != clc.Local {
+			continue
+		}
+		if !r.idx.uniformAff() {
+			continue
+		}
+		if !r.divValue && !r.compound {
+			continue
+		}
+		scope := "work items"
+		if r.space == clc.Local {
+			scope = "work items of a group"
+		}
+		what := "a work-item-dependent value"
+		if r.compound {
+			what = "a read-modify-write"
+		}
+		name := "buffer"
+		if r.base != nil {
+			name = fmt.Sprintf("%q", r.base.Name)
+		}
+		addDiag(rep, info, Diagnostic{
+			Pos: r.pos, Lint: "work-item-race", Severity: Error,
+			Msg: fmt.Sprintf("all %s write the same element of %s with %s: the result is scheduling-dependent",
+				scope, name, what),
+		})
+	}
+}
+
+// --- address-space misuse ------------------------------------------------
+
+// lintAddrSpace flags two address-space contracts: stores through
+// __constant pointers (the space is read-only on real devices; the
+// simulated device happens to accept them), and local-memory reads that
+// may observe another work item's write with no intervening barrier
+// (write s[f(lid)], read s[g(lid)] with f != g before any barrier — on
+// real hardware the read races the other work item's store). The barrier
+// check runs over the replay's linearized region order; a read whose
+// index provably matches the write's (same work item's own element) is
+// never flagged.
+func lintAddrSpace(rep *Report, info *fnInfo, regions []accessRegion) {
+	// Local buffers written since the last barrier, with the write index.
+	written := make(map[*Var]affIndex)
+	for _, r := range regions {
+		if r.barrier {
+			written = make(map[*Var]affIndex)
+			continue
+		}
+		if r.write && r.space == clc.Constant {
+			name := "buffer"
+			if r.base != nil {
+				name = fmt.Sprintf("%q", r.base.Name)
+			}
+			addDiag(rep, info, Diagnostic{
+				Pos: r.pos, Lint: "addr-space-misuse", Severity: Error,
+				Msg: fmt.Sprintf("write to __constant memory %s: the space is read-only", name),
+			})
+			continue
+		}
+		if r.space != clc.Local || r.base == nil {
+			continue
+		}
+		if r.write {
+			if prev, ok := written[r.base]; !ok || sameAff(prev, r.idx) {
+				written[r.base] = r.idx
+			} else {
+				written[r.base] = affIndex{} // multiple distinct write shapes
+			}
+			if !r.compound {
+				continue
+			}
+			// A compound target also reads; fall through to the read check
+			// against earlier writes (its own entry matches itself).
+		}
+		w, ok := written[r.base]
+		if !ok {
+			continue
+		}
+		// Flag only provably-different indices: both decompositions must
+		// succeed and differ in stride or exact offset. Unknown shapes stay
+		// quiet — the lint's contract is zero false positives.
+		if !w.ok || !r.idx.ok || sameAff(w, r.idx) {
+			continue
+		}
+		addDiag(rep, info, Diagnostic{
+			Pos: r.pos, Lint: "addr-space-misuse", Severity: Warn,
+			Msg: fmt.Sprintf("read of __local %q may observe another work item's write: no barrier since the write",
+				r.base.Name),
+		})
+	}
+}
+
+// sameAff reports whether two affine indices provably or possibly denote
+// the same element for one work item: equal strides and, when both
+// constant parts are known, equal offsets. Unknown offsets compare as
+// possibly-equal (optimistic — the lints only act on proven differences).
+func sameAff(a, b affIndex) bool {
+	if !a.ok || !b.ok {
+		return true
+	}
+	if a.gid != b.gid || a.lid != b.lid {
+		return false
+	}
+	if a.offExact && b.offExact && a.off != b.off {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"testing"
+
+	"clgen/internal/clc"
+)
+
+// --- work-item-race ------------------------------------------------------
+
+func TestWorkItemRacePositiveDivergentValue(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  out[0] = get_global_id(0);
+}`)
+	d := wantLint(t, rep, "work-item-race")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want Error", d.Severity)
+	}
+	if d.Predicted != "" {
+		t.Errorf("predicted = %q, want none (simulator is deterministic)", d.Predicted)
+	}
+}
+
+func TestWorkItemRacePositiveCompound(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  out[0] += 1;
+}`)
+	wantLint(t, rep, "work-item-race")
+}
+
+func TestWorkItemRacePositiveLocal(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  local int s[16];
+  s[2] = (int)get_local_id(0);
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = s[2];
+}`)
+	wantLint(t, rep, "work-item-race")
+}
+
+func TestWorkItemRaceNegativeGidIndex(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  out[get_global_id(0)] = n;
+}`)
+	wantNoLint(t, rep, "work-item-race")
+}
+
+func TestWorkItemRaceNegativeGuarded(t *testing.T) {
+	// The single-writer idiom: only work item 0 stores.
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  if (get_global_id(0) == 0) {
+    out[0] = n + 1;
+  }
+  out[get_global_id(0)] = n;
+}`)
+	wantNoLint(t, rep, "work-item-race")
+}
+
+func TestWorkItemRaceNegativeUniformValue(t *testing.T) {
+	// Every work item stores the same value: benign (idempotent).
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  out[0] = n;
+  out[get_global_id(0)] = n;
+}`)
+	wantNoLint(t, rep, "work-item-race")
+}
+
+func TestWorkItemRaceNegativeAtomic(t *testing.T) {
+	// Atomics are the sanctioned way to accumulate at one address.
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  atomic_add(&out[0], (int)get_global_id(0));
+  out[get_global_id(0)] = n;
+}`)
+	wantNoLint(t, rep, "work-item-race")
+}
+
+func TestWorkItemRaceNegativePrivate(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  int t[4];
+  t[0] = (int)get_global_id(0);
+  out[get_global_id(0)] = t[0];
+}`)
+	wantNoLint(t, rep, "work-item-race")
+}
+
+// --- addr-space-misuse ---------------------------------------------------
+
+func TestAddrSpaceConstantWrite(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(constant int* tbl, global int* out, const int n) {
+  tbl[get_global_id(0)] = 1;
+  out[get_global_id(0)] = n;
+}`)
+	d := wantLint(t, rep, "addr-space-misuse")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want Error", d.Severity)
+	}
+}
+
+func TestAddrSpaceLocalReadNoBarrier(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  local int s[64];
+  int lid = (int)get_local_id(0);
+  s[lid] = n;
+  out[get_global_id(0)] = s[lid + 1];
+}`)
+	d := wantLint(t, rep, "addr-space-misuse")
+	if d.Severity != Warn {
+		t.Errorf("severity = %v, want Warn", d.Severity)
+	}
+}
+
+func TestAddrSpaceLocalReadAfterBarrier(t *testing.T) {
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  local int s[64];
+  int lid = (int)get_local_id(0);
+  s[lid] = n;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = s[lid + 1];
+}`)
+	wantNoLint(t, rep, "addr-space-misuse")
+}
+
+func TestAddrSpaceLocalOwnElement(t *testing.T) {
+	// Reading back the element this work item wrote needs no barrier.
+	rep := analyzeSrc(t, `
+kernel void A(global int* out, const int n) {
+  local int s[64];
+  int lid = (int)get_local_id(0);
+  s[lid] = n;
+  out[get_global_id(0)] = s[lid];
+}`)
+	wantNoLint(t, rep, "addr-space-misuse")
+}
+
+// --- precise feature pass ------------------------------------------------
+
+func featuresOf(t *testing.T, src string, kernel string) KernelFeatures {
+	t.Helper()
+	pp, err := clc.Preprocess(src)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	f, err := clc.Parse(pp)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := clc.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	kf, ok := Features(f)[kernel]
+	if !ok {
+		t.Fatalf("Features: kernel %q absent", kernel)
+	}
+	return kf
+}
+
+func TestFeaturesSaxpy(t *testing.T) {
+	kf := featuresOf(t, `
+kernel void saxpy(global float* x, global float* y, const float a, const int n) {
+  int i = get_global_id(0);
+  y[i] = a * x[i] + y[i];
+}`, "saxpy")
+	if kf.Mem != 3 || kf.Coalesced != 3 {
+		t.Errorf("mem/coalesced = %d/%d, want 3/3", kf.Mem, kf.Coalesced)
+	}
+	if kf.LocalMem != 0 {
+		t.Errorf("localmem = %d, want 0", kf.LocalMem)
+	}
+	if kf.Comp != 2 { // a*x[i], +y[i]
+		t.Errorf("comp = %d, want 2", kf.Comp)
+	}
+}
+
+func TestFeaturesStridedNotCoalesced(t *testing.T) {
+	kf := featuresOf(t, `
+kernel void A(global float* a, const int n) {
+  int i = get_global_id(0);
+  a[i * 2] = 0.0f;
+}`, "A")
+	if kf.Coalesced != 0 {
+		t.Errorf("coalesced = %d, want 0 (stride 2)", kf.Coalesced)
+	}
+	if kf.Mem != 1 {
+		t.Errorf("mem = %d, want 1", kf.Mem)
+	}
+}
+
+func TestFeaturesLocalAndCompound(t *testing.T) {
+	kf := featuresOf(t, `
+kernel void A(global int* out, const int n) {
+  local int s[64];
+  int lid = (int)get_local_id(0);
+  s[lid] = n;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] += s[lid];
+}`, "A")
+	if kf.LocalMem != 2 { // one store, one load
+		t.Errorf("localmem = %d, want 2", kf.LocalMem)
+	}
+	if kf.Mem != 4 { // two local + compound global (load+store)
+		t.Errorf("mem = %d, want 4", kf.Mem)
+	}
+	if kf.Coalesced != 2 { // the compound out[gid] load and store
+		t.Errorf("coalesced = %d, want 2", kf.Coalesced)
+	}
+	if kf.Mem < kf.LocalMem || kf.Coalesced > kf.Mem {
+		t.Errorf("invariants violated: %+v", kf)
+	}
+}
+
+func TestFeaturesDeadBranchNotCounted(t *testing.T) {
+	// The guarded access can never execute: gid-derived i is >= 0.
+	kf := featuresOf(t, `
+kernel void A(global float* a, const int n) {
+  int i = get_global_id(0);
+  if (i < 0) {
+    a[i + n] = 1.0f;
+  }
+  a[i] = 0.0f;
+}`, "A")
+	if kf.Mem != 1 {
+		t.Errorf("mem = %d, want 1 (dead access dropped)", kf.Mem)
+	}
+}
+
+func TestFeaturesCalleeAccumulation(t *testing.T) {
+	kf := featuresOf(t, `
+float sq(float v) { return v * v; }
+kernel void A(global float* a, const int n) {
+  int i = get_global_id(0);
+  a[i] = sq(a[i]);
+}`, "A")
+	if kf.Comp != 1 { // v*v from the callee, once
+		t.Errorf("comp = %d, want 1", kf.Comp)
+	}
+	if kf.Mem != 2 {
+		t.Errorf("mem = %d, want 2", kf.Mem)
+	}
+}

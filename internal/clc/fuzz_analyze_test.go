@@ -11,7 +11,10 @@ import (
 // (external test package: analysis imports clc). The invariants: for any
 // input the frontend accepts, Analyze never panics, and analyzing the
 // same file twice yields byte-identical diagnostics — the passes neither
-// mutate the AST nor depend on map iteration order.
+// mutate the AST nor depend on map iteration order. The feature pass
+// rides along under the same invariants: no panics, deterministic
+// per-kernel counts, and counts that respect Mem >= LocalMem and
+// Coalesced <= Mem by construction.
 func FuzzAnalyze(f *testing.F) {
 	seeds := []string{
 		// One seed per lint family.
@@ -54,6 +57,25 @@ func FuzzAnalyze(f *testing.F) {
 		if first != second {
 			t.Fatalf("analyzer output is not deterministic\ninput: %q\nfirst:\n%s\nsecond:\n%s",
 				src, first, second)
+		}
+		kf := analysis.Features(file)
+		for name, f1 := range kf {
+			if f1.Mem < f1.LocalMem {
+				t.Fatalf("feature pass: %s: Mem %d < LocalMem %d\ninput: %q", name, f1.Mem, f1.LocalMem, src)
+			}
+			if f1.Coalesced > f1.Mem {
+				t.Fatalf("feature pass: %s: Coalesced %d > Mem %d\ninput: %q", name, f1.Coalesced, f1.Mem, src)
+			}
+		}
+		if again := analysis.Features(file); len(again) != len(kf) {
+			t.Fatalf("feature pass is not deterministic: %d kernels then %d\ninput: %q", len(kf), len(again), src)
+		} else {
+			for name, f1 := range kf {
+				if again[name] != f1 {
+					t.Fatalf("feature pass is not deterministic for %s: %+v then %+v\ninput: %q",
+						name, f1, again[name], src)
+				}
+			}
 		}
 	})
 }

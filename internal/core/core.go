@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"clgen/internal/corpus"
+	"clgen/internal/features"
 	"clgen/internal/github"
 	"clgen/internal/journal"
 	"clgen/internal/model"
@@ -162,6 +163,25 @@ type synthAttempt struct {
 	durMS  float64
 }
 
+// emitSampleFeatures journals one feature-agreement event per kernel of
+// an accepted sample under -precise-features: both the heuristic and the
+// precise vector, for cltrace funnel's agreement table. A no-op unless
+// precise mode and the journal are both on; extraction errors are
+// swallowed — agreement reporting is observability, not a filter stage.
+func emitSampleFeatures(kid, src string) {
+	if !features.Precise() || !journal.Enabled() {
+		return
+	}
+	pairs, err := features.PairsSource(src)
+	if err != nil {
+		return
+	}
+	for _, p := range pairs {
+		journal.Emit(journal.Event{ID: kid, Stage: journal.StageFeatures,
+			Kernel: p.Kernel, FeatHeur: p.Heur, FeatPrec: p.Prec})
+	}
+}
+
 // synthesizeScan is the shared §4.3 synthesis loop behind
 // SynthesizeWorkers and SynthesizeRecursiveWorkers: draw attempt i's
 // candidate on worker goroutines (draw must be pure per index — derive
@@ -226,6 +246,7 @@ func (g *CLgen) synthesizeScan(stage string, n, workers int, draw func(i int) sy
 				journal.Emit(journal.Event{ID: kid, Stage: journal.StageStaticFilter,
 					Predicted: a.res.Predicted})
 			}
+			emitSampleFeatures(kid, a.kernel)
 			return len(out) < n
 		})
 	span.SetAttr("accepted", stats.Accepted).SetAttr("attempts", stats.Attempts)

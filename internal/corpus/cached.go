@@ -21,14 +21,16 @@ import (
 
 	"clgen/internal/analysis"
 	"clgen/internal/cache"
+	"clgen/internal/features"
 	"clgen/internal/github"
 	"clgen/internal/ir"
 	"clgen/internal/rewriter"
 )
 
 // fileVersion stamps cached per-file outcomes: the stage runs the filter
-// (analysis + IR) and the rewriter, so all three stamps participate.
-const fileVersion = "corpus-file-v1|" + analysis.Version + "|" + rewriter.Version + "|" + ir.Version
+// (analysis + IR), the rewriter, and — in precise mode — both feature
+// extractors, so all their stamps participate.
+const fileVersion = "corpus-file-v2|" + analysis.Version + "|" + rewriter.Version + "|" + ir.Version + "|" + features.Version
 
 // filterVersion stamps cached filter verdicts (no rewriting involved).
 const filterVersion = "corpus-filter-v1|" + analysis.Version + "|" + ir.Version
@@ -40,16 +42,24 @@ type cachedUnit struct {
 	IdentsAfter []string `json:"idents_after,omitempty"`
 }
 
+// cachedFeatPair mirrors featPair in plain serializable data.
+type cachedFeatPair struct {
+	Kernel string    `json:"kernel"`
+	Heur   []float64 `json:"heur,omitempty"`
+	Prec   []float64 `json:"prec,omitempty"`
+}
+
 // cachedFileOutcome mirrors fileOutcome: identifier sets flatten to
 // slices and the error to its message. Wall time is never cached — the
 // consumer restamps it with the (hit or miss) elapsed time.
 type cachedFileOutcome struct {
-	Lines          int          `json:"lines"`
-	NoShimRejected bool         `json:"no_shim_rejected,omitempty"`
-	Reason         string       `json:"reason,omitempty"`
-	IdentsBefore   []string     `json:"idents_before,omitempty"`
-	Units          []cachedUnit `json:"units,omitempty"`
-	Err            string       `json:"err,omitempty"`
+	Lines          int              `json:"lines"`
+	NoShimRejected bool             `json:"no_shim_rejected,omitempty"`
+	Reason         string           `json:"reason,omitempty"`
+	IdentsBefore   []string         `json:"idents_before,omitempty"`
+	Units          []cachedUnit     `json:"units,omitempty"`
+	FeatPairs      []cachedFeatPair `json:"feat_pairs,omitempty"`
+	Err            string           `json:"err,omitempty"`
 }
 
 func setToSlice(m map[string]bool) []string {
@@ -86,6 +96,9 @@ func toCachedOutcome(o fileOutcome) cachedFileOutcome {
 			Text: u.text, Kernels: u.kernels, IdentsAfter: setToSlice(u.identsAfter),
 		})
 	}
+	for _, p := range o.featPairs {
+		c.FeatPairs = append(c.FeatPairs, cachedFeatPair{Kernel: p.kernel, Heur: p.heur, Prec: p.prec})
+	}
 	return c
 }
 
@@ -105,6 +118,9 @@ func fromCachedOutcome(c cachedFileOutcome) fileOutcome {
 		o.units = append(o.units, unitOutcome{
 			text: u.Text, kernels: u.Kernels, identsAfter: sliceToSet(u.IdentsAfter),
 		})
+	}
+	for _, p := range c.FeatPairs {
+		o.featPairs = append(o.featPairs, featPair{kernel: p.Kernel, heur: p.Heur, prec: p.Prec})
 	}
 	return o
 }
@@ -127,7 +143,10 @@ var fileMemo = cache.New(cache.Config[cachedFileOutcome]{
 // computation of the same content) for journal attribution.
 func processFileCached(cf github.ContentFile, static bool) (fileOutcome, bool) {
 	start := time.Now()
-	key := cache.Key(fmt.Sprintf("static=%t", static), cf.Text)
+	// Precise mode participates in the key: the outcome carries feature
+	// pairs only when it is on, and a heuristic-mode hit must not starve a
+	// precise run of them (or vice versa).
+	key := cache.Key(fmt.Sprintf("static=%t,precise=%t", static, features.Precise()), cf.Text)
 	c, hit, err := fileMemo.Do(key, func() (cachedFileOutcome, error) {
 		return toCachedOutcome(processFile(cf, static)), nil
 	})

@@ -13,6 +13,7 @@ import (
 
 	"clgen/internal/analysis"
 	"clgen/internal/clc"
+	"clgen/internal/features"
 	"clgen/internal/github"
 	"clgen/internal/ir"
 	"clgen/internal/journal"
@@ -250,9 +251,18 @@ type fileOutcome struct {
 	reason         RejectReason // Accepted when the file survived
 	identsBefore   map[string]bool
 	units          []unitOutcome
+	featPairs      []featPair // per-kernel heuristic/precise feature vectors
 	err            error
 	durMS          float64 // wall time of the per-file stage, for the journal
 	cacheHit       bool    // outcome served by internal/cache, for the journal
+}
+
+// featPair carries one kernel's static feature vector under both
+// extraction modes (journal.FeatureNames order). Computed only in
+// precise mode, where the feature-agreement journal events need both.
+type featPair struct {
+	kernel     string
+	heur, prec []float64
 }
 
 // unitOutcome is one rewritten per-kernel unit of an accepted file.
@@ -276,6 +286,9 @@ func processFile(cf github.ContentFile, static bool) (o fileOutcome) {
 		return o
 	}
 	stripShimDecls(res.File)
+	if features.Precise() {
+		o.featPairs = featurePairs(res.File)
+	}
 	o.identsBefore = map[string]bool{}
 	collectIdents(res.File, o.identsBefore)
 	// Split the file into per-kernel units — the corpus is a collection
@@ -298,6 +311,23 @@ func processFile(cf github.ContentFile, static bool) (o fileOutcome) {
 		})
 	}
 	return o
+}
+
+// featurePairs extracts every kernel's static features under both the
+// heuristic and the precise mode, paired by kernel name, for the
+// feature-agreement journal events. Extraction errors drop the file's
+// pairs rather than the file — agreement reporting is observability,
+// not a filter stage.
+func featurePairs(f *clc.File) []featPair {
+	ps, err := features.Pairs(f)
+	if err != nil {
+		return nil
+	}
+	pairs := make([]featPair, len(ps))
+	for i, p := range ps {
+		pairs[i] = featPair{kernel: p.Kernel, heur: p.Heur, prec: p.Prec}
+	}
+	return pairs
 }
 
 // Build runs the full pipeline over mined content files: rejection
@@ -377,6 +407,12 @@ func BuildEx(files []github.ContentFile, opts BuildOpts) (*Corpus, error) {
 		reg.Counter("corpus_files_accepted_total", "Content files surviving the rejection filter.").Inc()
 		journal.Emit(journal.Event{ID: fileID, Stage: journal.StageCorpusFilter,
 			Recovered: o.noShimRejected, CacheHit: o.cacheHit, DurMS: o.durMS})
+		if journal.Enabled() {
+			for _, p := range o.featPairs {
+				journal.Emit(journal.Event{ID: fileID, Stage: journal.StageFeatures,
+					Kernel: p.kernel, FeatHeur: p.heur, FeatPrec: p.prec})
+			}
+		}
 		c.Stats.AcceptedFiles++
 		c.Stats.AcceptedLines += o.lines
 		for id := range o.identsBefore {

@@ -10,6 +10,7 @@ import (
 
 	"clgen/internal/core"
 	"clgen/internal/driver"
+	"clgen/internal/features"
 	"clgen/internal/github"
 	"clgen/internal/grewe"
 	"clgen/internal/journal"
@@ -164,6 +165,7 @@ func (w *World) measureSuites() error {
 		bench     string
 		id        string // journal content hash of the kernel source
 		mAMD, mNV *driver.Measurement
+		pairs     []features.Pair // heuristic/precise vectors under -precise-features
 		err       error
 	}
 	var jobs []job
@@ -183,6 +185,12 @@ func (w *World) measureSuites() error {
 		// Computed unconditionally (not just when a journal is attached):
 		// the ID also anchors the prediction audit trail via Observation.ID.
 		id := journal.ID(k.Src)
+		var pairs []features.Pair
+		if features.Precise() && journal.Enabled() {
+			// Agreement events for the suite kernels; extraction errors are
+			// swallowed (observability, not a pipeline stage).
+			pairs, _ = features.PairsSource(k.Src)
+		}
 		// Execute once (on the AMD system), then re-model the same
 		// profile for the NVIDIA system: the device models share the
 		// execution profile, not the hardware.
@@ -196,14 +204,23 @@ func (w *World) measureSuites() error {
 			return outcome{err: err}
 		}
 		mNV.Kernel = mAMD.Kernel
-		return outcome{suite: j.b.Suite, bench: j.b.ID(), id: id, mAMD: mAMD, mNV: mNV}
+		return outcome{suite: j.b.Suite, bench: j.b.ID(), id: id, mAMD: mAMD, mNV: mNV, pairs: pairs}
 	})
+	seenFeat := map[string]bool{}
 	for _, o := range results {
 		if o.err != nil {
 			return fmt.Errorf("experiments: %w", o.err)
 		}
 		// Journal emission happens in this ordered fold so the event stream
-		// is deterministic for every worker count.
+		// is deterministic for every worker count. A benchmark's feature
+		// events are emitted once, not once per dataset.
+		if !seenFeat[o.id] {
+			seenFeat[o.id] = true
+			for _, p := range o.pairs {
+				journal.Emit(journal.Event{ID: o.id, Stage: journal.StageFeatures,
+					Kernel: p.Kernel, FeatHeur: p.Heur, FeatPrec: p.Prec})
+			}
+		}
 		emitMeasured(o.id, o.suite, o.bench, o.mAMD, platform.SystemAMD.Name)
 		emitMeasured(o.id, o.suite, o.bench, o.mNV, platform.SystemNVIDIA.Name)
 		w.Obs[platform.SystemAMD.Name][o.suite] = append(w.Obs[platform.SystemAMD.Name][o.suite],

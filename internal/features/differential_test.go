@@ -1,0 +1,127 @@
+package features_test
+
+import (
+	"testing"
+
+	"clgen/internal/clc"
+	"clgen/internal/corpus"
+	"clgen/internal/features"
+	"clgen/internal/github"
+	"clgen/internal/suites"
+)
+
+// diffStats accumulates per-feature disagreement counts between the
+// heuristic and precise extractors, journal.FeatureNames order.
+type diffStats struct {
+	kernels  int
+	exact    int
+	perFeat  [5]int
+	featName [5]string
+}
+
+func newDiffStats() *diffStats {
+	return &diffStats{featName: [5]string{"comp", "mem", "localmem", "coalesced", "branches"}}
+}
+
+// compare checks both extraction modes of one checked file against the
+// structural invariants and tallies disagreements. Both modes must
+// satisfy Coalesced <= Mem — the heuristic extractor no longer clamps,
+// so a violation here is a counting bug, not a formatting one. Precise
+// vectors must additionally satisfy Mem >= LocalMem: the access-region
+// pass counts every non-private access into Mem, so the local subset
+// can never exceed it. (The heuristic's Mem is global+constant only —
+// Grewe's definition — so that bound does not apply to it.)
+func (ds *diffStats) compare(t *testing.T, label string, f *clc.File) {
+	t.Helper()
+	heur, err := features.ExtractFileMode(f, false)
+	if err != nil {
+		t.Fatalf("%s: heuristic extraction: %v", label, err)
+	}
+	prec, err := features.ExtractFileMode(f, true)
+	if err != nil {
+		t.Fatalf("%s: precise extraction: %v", label, err)
+	}
+	if len(heur) != len(prec) {
+		t.Fatalf("%s: %d heuristic kernels vs %d precise", label, len(heur), len(prec))
+	}
+	byName := map[string]features.Static{}
+	for _, s := range prec {
+		byName[s.Kernel] = s
+	}
+	for _, h := range heur {
+		p, ok := byName[h.Kernel]
+		if !ok {
+			t.Fatalf("%s: kernel %q extracted heuristically but not precisely", label, h.Kernel)
+		}
+		for _, s := range []features.Static{h, p} {
+			if s.Coalesced > s.Mem {
+				t.Errorf("%s: %s: Coalesced %d > Mem %d", label, s.Kernel, s.Coalesced, s.Mem)
+			}
+		}
+		if p.Mem < p.LocalMem {
+			t.Errorf("%s: %s: precise Mem %d < LocalMem %d", label, p.Kernel, p.Mem, p.LocalMem)
+		}
+		ds.kernels++
+		hv, pv := h.FeatureVec(), p.FeatureVec()
+		same := true
+		for i := range hv {
+			if hv[i] != pv[i] {
+				ds.perFeat[i]++
+				same = false
+			}
+		}
+		if same {
+			ds.exact++
+		}
+	}
+}
+
+func (ds *diffStats) log(t *testing.T, label string) {
+	t.Logf("%s: %d kernels, %d vectors exact", label, ds.kernels, ds.exact)
+	for i, n := range ds.featName {
+		t.Logf("%s: %-10s %d disagreements", label, n, ds.perFeat[i])
+	}
+}
+
+// TestDifferentialCorpus runs both extractors over every seed-corpus
+// file the base rejection filter accepts (the TestCorpusAcceptedGolden
+// population) and checks the structural feature invariants under both
+// modes. Disagreement counts are logged, not asserted: the two modes
+// are allowed to differ — that difference is the point of the
+// feature-agreement journal — but neither may be internally
+// inconsistent.
+func TestDifferentialCorpus(t *testing.T) {
+	files := github.Mine(github.MinerConfig{Seed: 1, Repos: 60, FilesPerRepo: 8})
+	ds := newDiffStats()
+	accepted := 0
+	for _, cf := range files {
+		res := corpus.Filter(cf.Text, true)
+		if !res.OK {
+			continue
+		}
+		accepted++
+		ds.compare(t, cf.Path, res.File)
+	}
+	if accepted == 0 {
+		t.Fatal("no corpus file survived the base filter")
+	}
+	ds.log(t, "corpus")
+}
+
+// TestDifferentialSuites is the same differential over the seven
+// benchmark suites — hand-written kernels with the access patterns the
+// precise extractor was built for.
+func TestDifferentialSuites(t *testing.T) {
+	ds := newDiffStats()
+	for _, b := range suites.All() {
+		f, err := clc.Parse(b.Src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", b.ID(), err)
+		}
+		if err := clc.Check(f); err != nil {
+			t.Fatalf("%s: check: %v", b.ID(), err)
+		}
+		ds.compare(t, b.ID(), f)
+	}
+	ds.log(t, "suites")
+}

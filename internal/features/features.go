@@ -8,11 +8,30 @@ package features
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"clgen/internal/analysis"
 	"clgen/internal/cache"
 	"clgen/internal/clc"
 	"clgen/internal/ir"
+	"clgen/internal/telemetry"
 )
+
+// preciseMode selects analyzer-derived static features (analysis.Features)
+// over the AST/token heuristics, process-globally: the -precise-features
+// flag applies here through the telemetry hook, so every extraction path
+// (corpus filter, driver, experiments) switches together.
+var preciseMode atomic.Bool
+
+// SetPrecise flips the process-global precise-extraction mode.
+func SetPrecise(on bool) { preciseMode.Store(on) }
+
+// Precise reports whether precise extraction is active.
+func Precise() bool { return preciseMode.Load() }
+
+func init() {
+	telemetry.SetPreciseFeaturesApplier(SetPrecise)
+}
 
 // Static holds the static code features of one kernel.
 type Static struct {
@@ -101,23 +120,58 @@ func (v Static) Key() string {
 	return fmt.Sprintf("%d/%d/%d/%d/%d", v.Comp, v.Mem, v.LocalMem, v.Coalesced, v.Branches)
 }
 
+// FeatureVec returns the five static code features in the journal's
+// feature-event order: comp, mem, localmem, coalesced, branches. The
+// funnel's agreement table assumes this order (journal.FeatureNames).
+func (s Static) FeatureVec() []float64 {
+	return []float64{
+		float64(s.Comp), float64(s.Mem), float64(s.LocalMem),
+		float64(s.Coalesced), float64(s.Branches),
+	}
+}
+
 // CombinedNames are display names for the combined features (Table 2b).
 var CombinedNames = []string{"F1 transfer/(comp+mem)", "F2 coalesced/mem", "F3 (localmem/mem)*wgsize", "F4 comp/mem"}
 
 // RawNames are display names for the raw features plus branch counter.
 var RawNames = []string{"comp", "mem", "localmem", "coalesced", "transfer", "wgsize", "branches"}
 
-// ExtractFile computes static features for every kernel in a checked file.
+// ExtractFile computes static features for every kernel in a checked
+// file, in the process-global mode (heuristic, or precise under
+// -precise-features).
 func ExtractFile(f *clc.File) ([]Static, error) {
+	return ExtractFileMode(f, Precise())
+}
+
+// ExtractFileMode is ExtractFile with the extraction mode pinned,
+// regardless of the process-global setting — the differential tests and
+// the feature-agreement journal events need both vectors for one kernel.
+func ExtractFileMode(f *clc.File, precise bool) ([]Static, error) {
 	prog := ir.Lower(f)
+	var pf map[string]analysis.KernelFeatures
+	if precise {
+		pf = analysis.Features(f)
+	}
 	var out []Static
+	extracted := map[string]bool{}
 	for _, k := range f.Kernels() {
 		if k.Body == nil {
 			continue
 		}
-		s, err := ExtractKernel(f, k, prog)
+		// First definition wins on duplicate kernel names, matching
+		// ir.Program.Func: mined files do redefine kernels, and the
+		// AST-derived counts must describe the same definition the
+		// IR-derived ones do.
+		if extracted[k.Name] {
+			continue
+		}
+		extracted[k.Name] = true
+		s, err := extractKernel(f, k, prog)
 		if err != nil {
 			return nil, err
+		}
+		if precise {
+			applyPrecise(&s, pf)
 		}
 		out = append(out, s)
 	}
@@ -125,6 +179,68 @@ func ExtractFile(f *clc.File) ([]Static, error) {
 		return nil, fmt.Errorf("features: no kernels in file")
 	}
 	return out, nil
+}
+
+// Pair carries one kernel's static code-feature vector under both
+// extraction modes, FeatureVec order — the payload of the
+// feature-agreement journal events (journal.StageFeatures).
+type Pair struct {
+	Kernel     string
+	Heur, Prec []float64
+}
+
+// Pairs extracts every kernel's features under both the heuristic and
+// the precise mode, paired by kernel name.
+func Pairs(f *clc.File) ([]Pair, error) {
+	heur, err := ExtractFileMode(f, false)
+	if err != nil {
+		return nil, err
+	}
+	prec, err := ExtractFileMode(f, true)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string][]float64, len(prec))
+	for _, s := range prec {
+		byName[s.Kernel] = s.FeatureVec()
+	}
+	pairs := make([]Pair, 0, len(heur))
+	for _, s := range heur {
+		pv, ok := byName[s.Kernel]
+		if !ok {
+			continue
+		}
+		pairs = append(pairs, Pair{Kernel: s.Kernel, Heur: s.FeatureVec(), Prec: pv})
+	}
+	return pairs, nil
+}
+
+// PairsSource parses and checks src, then extracts Pairs.
+func PairsSource(src string) ([]Pair, error) {
+	f, err := clc.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	if err := clc.Check(f); err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	return Pairs(f)
+}
+
+// applyPrecise overwrites the five heuristic code features with the
+// analyzer's counts. Atomics and Instrs stay IR-derived: the rejection
+// filter's instruction threshold and the atomics ablation are defined on
+// the lowering, not the dataflow view.
+func applyPrecise(s *Static, pf map[string]analysis.KernelFeatures) {
+	kf, ok := pf[s.Kernel]
+	if !ok {
+		return
+	}
+	s.Comp = kf.Comp
+	s.Mem = kf.Mem
+	s.LocalMem = kf.LocalMem
+	s.Coalesced = kf.Coalesced
+	s.Branches = kf.Branches
 }
 
 // ExtractSource parses, checks, and extracts static features from source.
@@ -139,13 +255,15 @@ func ExtractSource(src string) ([]Static, error) {
 	return ExtractFile(f)
 }
 
-// featuresVersion stamps cached feature vectors: extraction lowers
-// through internal/ir, so the IR stamp participates.
-const featuresVersion = "features-v1|" + ir.Version
+// Version stamps cached feature vectors: extraction lowers through
+// internal/ir, and precise mode additionally consults the analyzer, so
+// both stamps participate. Exported so internal/corpus can compose it
+// into its own cache versions (corpus outcomes embed feature vectors).
+const Version = "features-v2|" + ir.Version + "|" + analysis.Version
 
 var sourceMemo = cache.New(cache.Config[[]Static]{
 	Name:    "features",
-	Version: featuresVersion,
+	Version: Version,
 	Disk:    true,
 	Size:    func(s []Static) int { return 32 + 96*len(s) },
 })
@@ -153,21 +271,35 @@ var sourceMemo = cache.New(cache.Config[[]Static]{
 // ExtractSourceCached is ExtractSource behind the "features" memo —
 // Static is plain data, so hits can share the stored slice as long as
 // callers treat it as read-only (they do: vectors are value-copied into
-// Measurements and keys). Extraction errors (unparsable source) are
-// never cached; hot paths filter before extracting, so misses that error
-// are rare.
+// Measurements and keys). The extraction mode participates in the key:
+// heuristic and precise vectors for one source coexist in the cache.
+// Extraction errors (unparsable source) are never cached; hot paths
+// filter before extracting, so misses that error are rare.
 func ExtractSourceCached(src string) ([]Static, error) {
-	key := cache.Key(src)
+	key := cache.Key(fmt.Sprintf("precise=%t", Precise()), src)
 	s, _, err := sourceMemo.Do(key, func() ([]Static, error) {
 		return ExtractSource(src)
 	})
 	return s, err
 }
 
-// ExtractKernel computes the static features of one kernel. The kernel's
-// callees contribute their counts once per call site, mirroring how the
-// paper's feature extractor measured inlined code.
+// ExtractKernel computes the static features of one kernel in the
+// process-global mode (heuristic, or precise under -precise-features).
 func ExtractKernel(f *clc.File, k *clc.FuncDecl, prog *ir.Program) (Static, error) {
+	s, err := extractKernel(f, k, prog)
+	if err != nil {
+		return s, err
+	}
+	if Precise() {
+		applyPrecise(&s, analysis.Features(f))
+	}
+	return s, nil
+}
+
+// extractKernel computes the heuristic static features of one kernel. The
+// kernel's callees contribute their counts once per call site, mirroring
+// how the paper's feature extractor measured inlined code.
+func extractKernel(f *clc.File, k *clc.FuncDecl, prog *ir.Program) (Static, error) {
 	if prog == nil {
 		prog = ir.Lower(f)
 	}
@@ -184,7 +316,10 @@ func ExtractKernel(f *clc.File, k *clc.FuncDecl, prog *ir.Program) (Static, erro
 			return
 		}
 		s.Comp += lf.Count(ir.OpALU) + lf.Count(ir.OpFPU)
-		s.Mem += lf.CountMem(clc.Global)
+		// __constant lives in the global memory system; counting it here
+		// keeps Mem and countCoalesced (which classifies global and
+		// constant accesses) drawn from the same access set.
+		s.Mem += lf.CountMem(clc.Global) + lf.CountMem(clc.Constant)
 		s.LocalMem += lf.CountMem(clc.Local)
 		s.Branches += lf.Count(ir.OpBranch)
 		s.Atomics += lf.Count(ir.OpAtomic)
@@ -204,10 +339,10 @@ func ExtractKernel(f *clc.File, k *clc.FuncDecl, prog *ir.Program) (Static, erro
 		})
 	}
 	accumulate(k.Name)
+	// countCoalesced counts loads and stores from the same access set the
+	// IR's Mem count covers, so Coalesced <= Mem holds by construction
+	// (asserted in tests, not clamped).
 	s.Coalesced = countCoalesced(f, k)
-	if s.Coalesced > s.Mem {
-		s.Coalesced = s.Mem
-	}
 	return s, nil
 }
 
@@ -244,20 +379,40 @@ func countCoalesced(f *clc.File, k *clc.FuncDecl) int {
 	// Second pass: count global-pointer index expressions that are
 	// unit-affine in the gid. A compound assignment target (a[i] += x) is
 	// both a load and a store, so it weighs twice — matching how the IR
-	// counts raw accesses.
+	// counts raw accesses. &a[i] lowers to an address computation (lea)
+	// with no memory access, so those targets are skipped; sizeof operands
+	// are never lowered at all. Both exclusions keep every counted site
+	// backed by a load or store the IR's Mem count covers, so
+	// Coalesced <= Mem by construction.
 	weight2 := map[*clc.IndexExpr]bool{}
+	lea := map[*clc.IndexExpr]bool{}
 	clc.Walk(k.Body, func(n clc.Node) bool {
-		if as, ok := n.(*clc.AssignExpr); ok && as.Op != clc.ASSIGN {
-			if ix, ok := as.X.(*clc.IndexExpr); ok {
-				weight2[ix] = true
+		switch x := n.(type) {
+		case *clc.AssignExpr:
+			if x.Op != clc.ASSIGN {
+				if ix, ok := x.X.(*clc.IndexExpr); ok {
+					weight2[ix] = true
+				}
+			}
+		case *clc.UnaryExpr:
+			if x.Op == clc.AND {
+				if ix, ok := x.X.(*clc.IndexExpr); ok {
+					lea[ix] = true
+				}
 			}
 		}
 		return true
 	})
 	count := 0
 	clc.Walk(k.Body, func(n clc.Node) bool {
+		if _, isSizeof := n.(*clc.SizeofExpr); isSizeof {
+			return false // compile-time constant: operand is never lowered
+		}
 		ix, ok := n.(*clc.IndexExpr)
 		if !ok {
+			return true
+		}
+		if lea[ix] {
 			return true
 		}
 		pt, isPtr := ix.X.ExprType().(*clc.PointerType)

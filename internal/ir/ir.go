@@ -399,9 +399,11 @@ func (g *lowerer) emitArith(t clc.Type, note string) {
 	g.emit(Instr{Op: op, Width: widthOf(t), Note: note})
 }
 
-// mathBuiltins lower to FPU instructions rather than calls, matching how
-// PTX inlines transcendental approximations.
-func isMathBuiltin(name string) bool {
+// IsMathBuiltin reports whether a builtin lowers to FPU instructions
+// rather than a call, matching how PTX inlines transcendental
+// approximations. Exported so the precise feature pass (internal/analysis)
+// counts these calls as compute ops the same way the lowering does.
+func IsMathBuiltin(name string) bool {
 	switch name {
 	case "sqrt", "rsqrt", "cbrt", "sin", "cos", "tan", "asin", "acos", "atan",
 		"sinh", "cosh", "tanh", "exp", "exp2", "exp10", "log", "log2", "log10",
@@ -438,7 +440,7 @@ func (g *lowerer) emitCall(x *clc.CallExpr) {
 		g.emit(Instr{Op: OpStore, Space: vecMemSpace(x), Width: vstoreWidth(x)})
 	case strings.HasPrefix(x.Fun, "convert_"), strings.HasPrefix(x.Fun, "as_"):
 		g.emit(Instr{Op: OpCvt, Width: widthOf(x.ExprType())})
-	case isMathBuiltin(x.Fun):
+	case IsMathBuiltin(x.Fun):
 		width := widthOf(x.ExprType())
 		g.emit(Instr{Op: OpFPU, Width: width, Note: x.Fun})
 	default:

@@ -93,6 +93,8 @@ func Diff(before, after []Event, thresholdPct float64) *DiffReport {
 	rate("sample acceptance", fo.SampleAcceptRate(), fn.SampleAcceptRate())
 	count("static analyzed", fo.StaticChecked, fn.StaticChecked)
 	row("static rejected", "count", +1, float64(fo.StaticRejected), float64(fn.StaticRejected))
+	count("feature kernels", fo.FeatureKernels, fn.FeatureKernels)
+	rate("feature agreement", fo.FeatureAgreementRate(), fn.FeatureAgreementRate())
 	count("driver loads", fo.Loads, fn.Loads)
 	row("driver load failures", "count", +1, float64(fo.LoadFailures), float64(fn.LoadFailures))
 	count("checker checks", fo.Checks, fn.Checks)

@@ -63,6 +63,16 @@ type FunnelReport struct {
 	StaticChecked  int
 	StaticRejected int
 	StaticReasons  map[string]int // "static: <lint>" -> count
+
+	// FeatureKernels counts features events (one per filtered kernel under
+	// -precise-features); FeatureExact counts, per feature name, the events
+	// whose heuristic and precise values agree exactly; FeatureDelta sums
+	// their absolute differences; FeatureAllExact counts events whose whole
+	// vectors match.
+	FeatureKernels  int
+	FeatureExact    map[string]int
+	FeatureDelta    map[string]float64
+	FeatureAllExact int
 	// Agreement tabulates the static analyzer's §5.2 forecast against the
 	// dynamic checker's verdict, per (predicted, actual) pair. Kernels the
 	// checker never ran (statically pre-screened) appear under the actual
@@ -128,6 +138,30 @@ func (r *FunnelReport) PredictionAccuracy() float64 {
 	return float64(r.PredictionsCorrect) / float64(r.Predictions)
 }
 
+// FeatureMeanDelta returns the mean absolute heuristic-vs-precise delta
+// of one feature across the journal's features events.
+func (r *FunnelReport) FeatureMeanDelta(name string) float64 {
+	return mean(r.FeatureDelta[name], r.FeatureKernels)
+}
+
+// FeatureExactRate returns the fraction of features events whose
+// heuristic and precise values of one feature agree exactly.
+func (r *FunnelReport) FeatureExactRate(name string) float64 {
+	if r.FeatureKernels == 0 {
+		return 0
+	}
+	return float64(r.FeatureExact[name]) / float64(r.FeatureKernels)
+}
+
+// FeatureAgreementRate returns the fraction of features events whose
+// whole heuristic and precise vectors match.
+func (r *FunnelReport) FeatureAgreementRate() float64 {
+	if r.FeatureKernels == 0 {
+		return 0
+	}
+	return float64(r.FeatureAllExact) / float64(r.FeatureKernels)
+}
+
 // AgreementCell is one cell of the static-vs-dynamic agreement table.
 type AgreementCell struct {
 	Predicted string // analyzer forecast ("" = expected to pass)
@@ -140,6 +174,8 @@ func Funnel(events []Event) *FunnelReport {
 		CorpusReasons: map[string]int{},
 		SampleReasons: map[string]int{},
 		StaticReasons: map[string]int{},
+		FeatureExact:  map[string]int{},
+		FeatureDelta:  map[string]float64{},
 		Agreement:     map[AgreementCell]int{},
 		Verdicts:      map[string]int{},
 		Systems:       map[string]*SystemStats{},
@@ -202,6 +238,24 @@ func Funnel(events []Event) *FunnelReport {
 				r.StaticReasons[e.Reason]++
 			}
 			predicted[e.ID] = e.Predicted
+		case StageFeatures:
+			r.FeatureKernels++
+			if featuresMatch(e) {
+				r.FeatureAllExact++
+			}
+			for i, name := range FeatureNames {
+				if i >= len(e.FeatHeur) || i >= len(e.FeatPrec) {
+					break
+				}
+				d := e.FeatHeur[i] - e.FeatPrec[i]
+				if d < 0 {
+					d = -d
+				}
+				r.FeatureDelta[name] += d
+				if d == 0 {
+					r.FeatureExact[name]++
+				}
+			}
 		case StageDriverLoad:
 			r.Loads++
 			if e.Reason != "" {
@@ -347,6 +401,15 @@ func (r *FunnelReport) Render() string {
 			}
 		}
 	}
+	if r.FeatureKernels > 0 {
+		fmt.Fprintf(&b, "features  %6d kernels -> %4d vectors exact (%.1f%% agreement, heuristic vs precise)\n",
+			r.FeatureKernels, r.FeatureAllExact, r.FeatureAgreementRate()*100)
+		fmt.Fprintf(&b, "  %-10s %12s %12s\n", "feature", "mean |delta|", "exact match")
+		for _, name := range FeatureNames {
+			fmt.Fprintf(&b, "  %-10s %12.3f %11.1f%%\n",
+				name, r.FeatureMeanDelta(name), r.FeatureExactRate(name)*100)
+		}
+	}
 	if r.Loads > 0 {
 		fmt.Fprintf(&b, "driver    %6d loads  -> %5d failed\n", r.Loads, r.LoadFailures)
 	}
@@ -469,21 +532,23 @@ func (r *FunnelReport) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(struct {
 		*alias
-		Agreement          []agreementRow `json:"Agreement,omitempty"`
-		CacheHits          map[Stage]int  `json:"CacheHits,omitempty"`
-		CorpusDiscardRate  float64        `json:"corpus_discard_rate"`
-		SampleAcceptRate   float64        `json:"sample_accept_rate"`
-		UsefulRate         float64        `json:"useful_rate"`
-		AgreementRate      float64        `json:"agreement_rate"`
-		PredictionAccuracy float64        `json:"prediction_accuracy"`
+		Agreement            []agreementRow `json:"Agreement,omitempty"`
+		CacheHits            map[Stage]int  `json:"CacheHits,omitempty"`
+		CorpusDiscardRate    float64        `json:"corpus_discard_rate"`
+		SampleAcceptRate     float64        `json:"sample_accept_rate"`
+		UsefulRate           float64        `json:"useful_rate"`
+		AgreementRate        float64        `json:"agreement_rate"`
+		PredictionAccuracy   float64        `json:"prediction_accuracy"`
+		FeatureAgreementRate float64        `json:"feature_agreement_rate"`
 	}{
-		alias:              (*alias)(r),
-		Agreement:          rows,
-		CacheHits:          hits,
-		CorpusDiscardRate:  r.CorpusDiscardRate(),
-		SampleAcceptRate:   r.SampleAcceptRate(),
-		UsefulRate:         r.UsefulRate(),
-		AgreementRate:      r.AgreementRate(),
-		PredictionAccuracy: r.PredictionAccuracy(),
+		alias:                (*alias)(r),
+		Agreement:            rows,
+		CacheHits:            hits,
+		CorpusDiscardRate:    r.CorpusDiscardRate(),
+		SampleAcceptRate:     r.SampleAcceptRate(),
+		UsefulRate:           r.UsefulRate(),
+		AgreementRate:        r.AgreementRate(),
+		PredictionAccuracy:   r.PredictionAccuracy(),
+		FeatureAgreementRate: r.FeatureAgreementRate(),
 	})
 }

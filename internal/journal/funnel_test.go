@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -102,6 +103,26 @@ func staticFixtureEvents() []Event {
 	)
 }
 
+// featureFixtureEvents extends the static fixture with a
+// -precise-features run's features stage: s1's heuristic and precise
+// vectors agree exactly, s3's disagree on mem (by 1) and branches (by 2).
+func featureFixtureEvents() []Event {
+	events := staticFixtureEvents()
+	base := events[len(events)-1].Time
+	tick := 0
+	e := func(ev Event) Event {
+		tick++
+		ev.Time = base.Add(time.Duration(tick) * time.Second)
+		return ev
+	}
+	return append(events,
+		e(Event{ID: "s1", Stage: StageFeatures, Kernel: "A",
+			FeatHeur: []float64{4, 2, 0, 1, 1}, FeatPrec: []float64{4, 2, 0, 1, 1}}),
+		e(Event{ID: "s3", Stage: StageFeatures, Kernel: "B",
+			FeatHeur: []float64{6, 2, 0, 1, 1}, FeatPrec: []float64{6, 3, 0, 1, 3}}),
+	)
+}
+
 func checkGolden(t *testing.T, name string, got string) {
 	t.Helper()
 	golden := filepath.Join("testdata", name)
@@ -178,6 +199,80 @@ func TestFunnelStaticCounts(t *testing.T) {
 	// invent one, and its render must not grow a static section.
 	if base := Funnel(fixtureEvents()); base.StaticChecked != 0 || len(base.Agreement) != 0 {
 		t.Errorf("static-free journal reconstructed a static stage: %+v", base)
+	}
+}
+
+func TestFunnelFeatureCounts(t *testing.T) {
+	r := Funnel(featureFixtureEvents())
+	if r.FeatureKernels != 2 || r.FeatureAllExact != 1 {
+		t.Errorf("features: kernels=%d exact=%d, want 2/1", r.FeatureKernels, r.FeatureAllExact)
+	}
+	if got := r.FeatureAgreementRate(); got != 0.5 {
+		t.Errorf("agreement rate = %g, want 0.5", got)
+	}
+	for name, want := range map[string]float64{"comp": 0, "mem": 0.5, "branches": 1} {
+		if got := r.FeatureMeanDelta(name); got != want {
+			t.Errorf("mean |delta| for %s = %g, want %g", name, got, want)
+		}
+	}
+	if got := r.FeatureExactRate("mem"); got != 0.5 {
+		t.Errorf("mem exact rate = %g, want 0.5", got)
+	}
+	if got := r.FeatureExactRate("coalesced"); got != 1 {
+		t.Errorf("coalesced exact rate = %g, want 1", got)
+	}
+	if out := r.Render(); !strings.Contains(out, "features") {
+		t.Errorf("render missing feature-agreement table:\n%s", out)
+	}
+	// A journal without features events must not grow the table.
+	base := Funnel(staticFixtureEvents())
+	if base.FeatureKernels != 0 || strings.Contains(base.Render(), "features") {
+		t.Errorf("feature-free journal rendered a feature table")
+	}
+}
+
+// TestFunnelFeatureJSON checks the derived agreement rate is inlined in
+// the -json export.
+func TestFunnelFeatureJSON(t *testing.T) {
+	data, err := json.Marshal(Funnel(featureFixtureEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := decoded["feature_agreement_rate"]; got != 0.5 {
+		t.Errorf("feature_agreement_rate = %v, want 0.5", got)
+	}
+}
+
+// TestDiffFeatureGate covers the features rows of the regression gate:
+// identical runs diff clean, and a run whose precise extraction drifts
+// away from the heuristic trips "feature agreement".
+func TestDiffFeatureGate(t *testing.T) {
+	if d := Diff(featureFixtureEvents(), featureFixtureEvents(), 0); !d.OK() {
+		t.Fatalf("identical feature runs regressed: %v", d.Regressions)
+	}
+	var perturbed []Event
+	for _, e := range featureFixtureEvents() {
+		if e.Stage == StageFeatures && e.ID == "s1" {
+			e.FeatPrec = []float64{4, 5, 0, 1, 1} // s1 no longer agrees
+		}
+		perturbed = append(perturbed, e)
+	}
+	d := Diff(featureFixtureEvents(), perturbed, 0)
+	if d.OK() {
+		t.Fatal("halved feature agreement passed the gate")
+	}
+	regressed := map[string]bool{}
+	for _, r := range d.Rows {
+		if r.Regressed {
+			regressed[r.Name] = true
+		}
+	}
+	if !regressed["feature agreement"] {
+		t.Errorf("expected 'feature agreement' to regress; regressions: %v", d.Regressions)
 	}
 }
 

@@ -67,6 +67,11 @@ const (
 	// analyzer's §5.2 forecast ("" when it expects the dynamic checker to
 	// pass), letting cltrace tabulate static-vs-dynamic agreement.
 	StageStaticFilter Stage = "static_filter"
+	// StageFeatures carries one filtered kernel's static feature vectors
+	// under -precise-features: FeatHeur is the AST-heuristic extraction,
+	// FeatPrec the analyzer-derived one, both in FeatureNames order.
+	// `cltrace funnel` folds these into the feature-agreement table.
+	StageFeatures Stage = "features"
 	// StageDriverLoad marks the host driver loading a kernel; Reason holds
 	// the load error when it failed.
 	StageDriverLoad Stage = "driver_load"
@@ -91,9 +96,14 @@ const ReasonDuplicate = "duplicate"
 // StageOrder lists the stages in pipeline order, for rendering.
 var StageOrder = []Stage{
 	StageMined, StageCorpusFilter, StageRewritten, StageTrained,
-	StageSampled, StageSampleFilter, StageStaticFilter,
+	StageSampled, StageSampleFilter, StageStaticFilter, StageFeatures,
 	StageDriverLoad, StageChecked, StageMeasured, StagePredicted,
 }
+
+// FeatureNames orders the entries of a features event's FeatHeur/FeatPrec
+// vectors (and the funnel's per-feature agreement rows). It matches
+// features.Static.FeatureVec.
+var FeatureNames = []string{"comp", "mem", "localmem", "coalesced", "branches"}
 
 // Event is one journal record. ID is the artifact's content hash; the
 // remaining fields are stage-specific and zero elsewhere. Time and DurMS
@@ -149,6 +159,10 @@ type Event struct {
 	Fold       string `json:"fold,omitempty"`
 	// Features is a predicted stage's model-input feature vector.
 	Features []float64 `json:"features,omitempty"`
+	// FeatHeur / FeatPrec are a features stage's heuristic and precise
+	// static code features, in FeatureNames order.
+	FeatHeur []float64 `json:"feat_heur,omitempty"`
+	FeatPrec []float64 `json:"feat_prec,omitempty"`
 	// Baseline names a predicted stage's static single-device baseline;
 	// Speedup is the predicted mapping's speedup over it (0 when the
 	// baseline or predicted runtime is unavailable).
@@ -468,6 +482,20 @@ func RenderHistory(events []Event) string {
 	return string(b)
 }
 
+// featuresMatch reports whether a features event's heuristic and precise
+// vectors agree exactly in every position.
+func featuresMatch(e Event) bool {
+	if len(e.FeatHeur) == 0 || len(e.FeatHeur) != len(e.FeatPrec) {
+		return false
+	}
+	for i := range e.FeatHeur {
+		if e.FeatHeur[i] != e.FeatPrec[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // describe renders an event's stage-specific fields on one line.
 func describe(e Event) string {
 	s := "id=" + e.ID
@@ -494,6 +522,11 @@ func describe(e Event) string {
 		}
 	case StageRewritten:
 		s += fmt.Sprintf(" parent=%s kernels=%d", e.Parent, e.Kernels)
+	case StageFeatures:
+		s += fmt.Sprintf(" kernel=%s heur=%v prec=%v", e.Kernel, e.FeatHeur, e.FeatPrec)
+		if featuresMatch(e) {
+			s += " (match)"
+		}
 	case StageTrained:
 		s += fmt.Sprintf(" backend=%s epoch=%d loss=%.4f", e.Variant, e.Epoch, e.Loss)
 		if e.ClipRate > 0 {

@@ -43,6 +43,11 @@ type CLIFlags struct {
 	// vectors, checker outcomes) are stored under this directory and
 	// reused by later runs. Warm runs are faster but byte-identical.
 	CacheDir string // -cache-dir
+	// PreciseFeatures switches internal/features to the dataflow-precise
+	// analyzer-derived static features (analysis.Features) instead of its
+	// AST/token heuristics, and makes the pipeline journal a per-kernel
+	// feature event carrying both vectors (inspect with cltrace funnel).
+	PreciseFeatures bool // -precise-features
 }
 
 // RegisterCLIFlags installs the shared observability flags on fs
@@ -61,6 +66,7 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.StringVar(&f.StallDump, "stall-dump", "", "stall watchdog dump path (default <component>.stall.txt)")
 	fs.StringVar(&f.PerfHistory, "perf-history", "", "append a machine-stamped per-stage run profile to this JSONL history on exit (inspect with clperf)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "persist content-addressed stage caches (filter/rewrite/feature/check results) under this directory; warm runs reuse them")
+	fs.BoolVar(&f.PreciseFeatures, "precise-features", false, "derive static code features from the CFG+dataflow analyzer (precise coalescing/memory counts) instead of AST heuristics, and journal per-kernel feature-agreement events")
 	return f
 }
 
@@ -108,6 +114,16 @@ var cacheDirApplier func(path string) error
 // SetCacheDirApplier installs the -cache-dir backend. Called once from
 // internal/cache's init; last writer wins.
 func SetCacheDirApplier(apply func(path string) error) { cacheDirApplier = apply }
+
+// preciseFeaturesApplier is installed by internal/features' init
+// (telemetry cannot import features — features depends on telemetry
+// transitively through internal/analysis). It flips the process-global
+// precise-extraction mode.
+var preciseFeaturesApplier func(on bool)
+
+// SetPreciseFeaturesApplier installs the -precise-features backend.
+// Called once from internal/features' init; last writer wins.
+func SetPreciseFeaturesApplier(apply func(on bool)) { preciseFeaturesApplier = apply }
 
 // Runtime is the per-process observability state a binary tears down on
 // exit: the configured default logger, the optional metrics server, and
@@ -167,6 +183,16 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 			return nil, err
 		}
 		log.Info("persistent stage cache enabled", "dir", f.CacheDir)
+	}
+	if f.PreciseFeatures {
+		if preciseFeaturesApplier == nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
+			return nil, fmt.Errorf("telemetry: -precise-features set but no features backend is linked in")
+		}
+		preciseFeaturesApplier(true)
+		log.Info("precise feature extraction enabled")
 	}
 	if f.perfEnabled() {
 		if perfStarter == nil {
