@@ -3,15 +3,20 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke model-smoke feature-smoke lint-suites
+.PHONY: check build vet vet-stages fmt test race bench bench-snapshot provenance-smoke perf-smoke cache-smoke model-smoke feature-smoke footprint-smoke lint-suites
 
-check: build vet fmt race
+check: build vet vet-stages fmt race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-local vet pass: journal stage names must be the typed constants,
+# never string literals (tools/vet/journalstages).
+vet-stages:
+	$(GO) run ./tools/vet/journalstages ./...
 
 # gofmt -l prints offending files; fail if any.
 fmt:
@@ -120,6 +125,32 @@ feature-smoke:
 	awk -v h="$$h" -v p="$$p" 'BEGIN { d = (h - p) * 100; if (d < 0) d = -d; \
 		if (d > 2) { printf "feature-smoke: accuracy moved %.1fpp between modes (limit 2pp)\n", d; exit 1 } \
 		printf "feature-smoke: accuracy within 2pp across modes (%.2fpp)\n", d }'
+
+# End-to-end footprint gate: the strided fixture kernel (a[2*gid])
+# crashes under default §5.1 sizing (cldrive exit 2) and is rescued by
+# -footprint-sizing; footprint journals are worker-count independent
+# (cltrace diff-clean); and the funnel renders the footprint section
+# including the rescued-kernel count.
+footprint-smoke:
+	$(GO) build -o /tmp/cldrive-foot ./cmd/cldrive
+	$(GO) build -o /tmp/cltrace-foot ./cmd/cltrace
+	rm -f /tmp/foot-w1.jsonl /tmp/foot-wN.jsonl
+	@/tmp/cldrive-foot -quiet internal/driver/testdata/stride.cl >/dev/null; st=$$?; \
+	if [ $$st -ne 2 ]; then \
+		echo "footprint-smoke: expected default sizing to reject the strided kernel (exit 2, got $$st)"; exit 1; \
+	fi; echo "footprint-smoke: default sizing rejected the strided kernel"
+	/tmp/cldrive-foot -quiet -footprint-sizing internal/driver/testdata/stride.cl >/dev/null
+	@echo "footprint-smoke: -footprint-sizing rescued the strided kernel"
+	/tmp/cldrive-foot -quiet -footprint-sizing -workers 1 -journal /tmp/foot-w1.jsonl internal/driver/testdata/stride.cl >/dev/null
+	/tmp/cldrive-foot -quiet -footprint-sizing -journal /tmp/foot-wN.jsonl internal/driver/testdata/stride.cl >/dev/null
+	/tmp/cltrace-foot diff /tmp/foot-w1.jsonl /tmp/foot-wN.jsonl
+	@grep -q '"stage":"footprint"' /tmp/foot-wN.jsonl || \
+		{ echo "footprint-smoke: run journaled no footprint events"; exit 1; }
+	@/tmp/cltrace-foot funnel /tmp/foot-wN.jsonl | grep -q "^footprint" || \
+		{ echo "footprint-smoke: funnel did not render the footprint section"; exit 1; }
+	@/tmp/cltrace-foot funnel /tmp/foot-wN.jsonl | grep -q "1 rescued" || \
+		{ echo "footprint-smoke: funnel did not count the rescued kernel"; exit 1; }
+	@echo "footprint-smoke: journals worker-independent, funnel renders footprints"
 
 # Static-analyzer false-positive sweep over the seven benchmark suites:
 # cllint exits nonzero if any hand-audited working kernel draws an

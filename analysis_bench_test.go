@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"clgen/internal/analysis"
 	"clgen/internal/clc"
 	"clgen/internal/corpus"
 	"clgen/internal/driver"
@@ -21,10 +22,36 @@ import (
 // strict mode off vs on) and its payoff on the driver — dynamic checker
 // executions eliminated by the pre-screen over a full reduced campaign.
 type analysisBenchReport struct {
-	Env       telemetry.EnvInfo   `json:"env"`
-	Filter    []analysisBenchRow  `json:"corpus_filter"`
-	PreScreen analysisBenchDriver `json:"driver_prescreen"`
-	Features  []featureBenchRow   `json:"feature_extraction"`
+	Env                telemetry.EnvInfo   `json:"env"`
+	Filter             []analysisBenchRow  `json:"corpus_filter"`
+	PreScreen          analysisBenchDriver `json:"driver_prescreen"`
+	Features           []featureBenchRow   `json:"feature_extraction"`
+	Footprint          footprintBenchRow   `json:"footprint_analysis"`
+	FootprintPreScreen footprintPreScreen  `json:"driver_prescreen_footprint"`
+}
+
+// footprintBenchRow records symbolic-footprint throughput over the
+// accepted seed-corpus files: full Analyze including the footprint pass,
+// plus how many pointer-argument bounds it proves on real code.
+type footprintBenchRow struct {
+	Files         int     `json:"files"`
+	Kernels       int     `json:"kernels"`
+	Args          int     `json:"args"`
+	KnownArgs     int     `json:"known_args"`
+	Seconds       float64 `json:"seconds"`
+	KernelsPerSec float64 `json:"kernels_per_sec"`
+}
+
+// footprintPreScreen re-measures the direct pre-screen under
+// -footprint-sizing: rescuable forecasts (oob-index, buffer-overrun)
+// fall through to the dynamic checker, trading pre-screen skips for
+// rescued kernels.
+type footprintPreScreen struct {
+	Checked        int `json:"checked"`
+	PreScreenSkips int `json:"prescreen_skips"`
+	RunsSaved      int `json:"prescreen_runs_saved"`
+	Resizes        int `json:"resizes"`
+	Rescued        int `json:"rescued"`
 }
 
 // featureBenchRow records one extraction mode's throughput over the
@@ -161,6 +188,44 @@ func TestAnalysisBenchSnapshot(t *testing.T) {
 		before["driver_static_prescreen_skips_total"])
 	report.PreScreen.RunsSaved = int(after["driver_static_prescreen_runs_saved_total"] -
 		before["driver_static_prescreen_runs_saved_total"])
+
+	// Footprint-analysis throughput over the same accepted files.
+	start := time.Now()
+	for _, f := range parsed {
+		fps := analysis.Footprints(f)
+		report.Footprint.Kernels += len(fps)
+		for _, args := range fps {
+			report.Footprint.Args += len(args)
+			for _, a := range args {
+				if a.Known() {
+					report.Footprint.KnownArgs++
+				}
+			}
+		}
+	}
+	sec := time.Since(start).Seconds()
+	report.Footprint.Files = len(parsed)
+	report.Footprint.Seconds = sec
+	report.Footprint.KernelsPerSec = float64(report.Footprint.Kernels) / sec
+
+	// The same direct pre-screen under -footprint-sizing.
+	driver.SetFootprintSizing(true)
+	defer driver.SetFootprintSizing(false)
+	before = reg.Snapshot().Counters
+	for _, src := range offWorld.Synth {
+		k, err := driver.Load(src)
+		if err != nil {
+			continue
+		}
+		report.FootprintPreScreen.Checked++
+		driver.Check(k, 256, 1, driver.RunConfig{Static: driver.StaticPreScreen})
+	}
+	after = reg.Snapshot().Counters
+	delta := func(name string) int { return int(after[name] - before[name]) }
+	report.FootprintPreScreen.PreScreenSkips = delta("driver_static_prescreen_skips_total")
+	report.FootprintPreScreen.RunsSaved = delta("driver_static_prescreen_runs_saved_total")
+	report.FootprintPreScreen.Resizes = delta("driver_footprint_resizes_total")
+	report.FootprintPreScreen.Rescued = delta("driver_footprint_rescued_total")
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

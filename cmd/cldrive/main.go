@@ -115,6 +115,17 @@ func drive(rt *telemetry.Runtime, size int, seed int64, cap int, static bool, ar
 		if res.Err != nil {
 			fmt.Printf("  cause: %v\n", res.Err)
 		}
+		if f := res.Fault; f != nil {
+			culprit := "anonymous buffer"
+			if f.Arg >= 0 && f.Arg < len(k.Decl.Params) {
+				culprit = fmt.Sprintf("argument %d (%s)", f.Arg, k.Decl.Params[f.Arg].Name)
+			}
+			op := "read"
+			if f.Write {
+				op = "write"
+			}
+			fmt.Printf("  fault: %s %s slot %d of %d\n", culprit, op, f.Slot, f.Len)
+		}
 		rt.Log.Warn("kernel rejected", "kernel", k.Name, "verdict", string(res.Verdict))
 		return errCheckerRejected
 	}

@@ -11,8 +11,13 @@
 //	cllint -suites                  lint the seven built-in benchmark
 //	                                suites (regression baseline; output
 //	                                is deterministic and golden-diffable)
-//	cllint -json ...                emit diagnostics as JSON lines
-//	                                (file, line, col, lint, severity, msg)
+//	cllint -format json ...         emit diagnostics as JSON lines
+//	                                (file, line, col, lint, severity, msg);
+//	                                -json is a shorthand
+//	cllint -format sarif ...        emit one SARIF 2.1.0 document
+//	cllint -footprints ...          also print each kernel's proven
+//	                                per-pointer-argument access footprints
+//	                                (symbolic extents affine in G)
 //
 // Identical diagnostics at the same position (same file, line, column,
 // lint, severity, and message) are deduplicated before printing, in
@@ -36,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"clgen/internal/analysis"
 	"clgen/internal/clc"
@@ -49,22 +55,36 @@ import (
 func main() {
 	var (
 		suitesMode = flag.Bool("suites", false, "lint the built-in benchmark suites instead of files")
-		jsonMode   = flag.Bool("json", false, "emit diagnostics as JSON lines instead of text")
+		jsonMode   = flag.Bool("json", false, "shorthand for -format json")
+		format     = flag.String("format", "text", "output format: text, json, or sarif")
+		footprints = flag.Bool("footprints", false, "print per-kernel pointer-argument access footprints")
 	)
 	tf := telemetry.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if *jsonMode && *format == "text" {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "cllint: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
 	rt, err := tf.Start("cllint")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cllint:", err)
 		os.Exit(2)
 	}
 
-	p := &printer{json: *jsonMode, seen: map[string]bool{}}
+	p := newPrinter(os.Stdout, *format, *footprints)
 	var failed bool
 	if *suitesMode {
 		failed = lintSuites(p, tf.Quiet)
 	} else {
 		failed, err = lintFiles(p, flag.Args(), tf.Quiet)
+	}
+	if ferr := p.flush(); err == nil {
+		err = ferr
 	}
 	rt.Close()
 	if err != nil {
@@ -90,12 +110,37 @@ type diagJSON struct {
 	Predicted string `json:"predicted,omitempty"`
 }
 
+// footprintJSON is the -footprints wire format under -format json: one
+// object per kernel, one per line.
+type footprintJSON struct {
+	File       string         `json:"file"`
+	Kernel     string         `json:"kernel"`
+	Footprints []footprintArg `json:"footprints"`
+}
+
+type footprintArg struct {
+	Arg     int    `json:"arg"`
+	Name    string `json:"name"`
+	Extent  string `json:"extent"`
+	Known   bool   `json:"known"`
+	Written bool   `json:"written,omitempty"`
+	Overrun bool   `json:"overrun,omitempty"`
+}
+
 // printer renders diagnostics in the selected format, deduplicating
 // identical diagnostics at the same position (analyzing a file and then
 // a unit split from it, or repeated helper inlining, can repeat one).
+// SARIF output buffers results and emits one document on flush.
 type printer struct {
-	json bool
-	seen map[string]bool
+	out        io.Writer
+	format     string // "text", "json", or "sarif"
+	footprints bool
+	seen       map[string]bool
+	sarif      []sarifResult
+}
+
+func newPrinter(out io.Writer, format string, footprints bool) *printer {
+	return &printer{out: out, format: format, footprints: footprints, seen: map[string]bool{}}
 }
 
 // input resets the dedup scope: diagnostics dedup within one input, not
@@ -108,28 +153,36 @@ func (p *printer) diag(prefix string, d analysis.Diagnostic) {
 		return
 	}
 	p.seen[key] = true
-	if p.json {
-		enc := json.NewEncoder(os.Stdout)
+	switch p.format {
+	case "json":
+		enc := json.NewEncoder(p.out)
 		enc.Encode(diagJSON{
 			File: prefix, Line: d.Pos.Line, Col: d.Pos.Col,
 			Severity: d.Severity.String(), Lint: d.Lint,
 			Fn: d.Fn, Kernel: d.Kernel, Msg: d.Msg, Predicted: d.Predicted,
 		})
-		return
+	case "sarif":
+		p.sarif = append(p.sarif, sarifResultFor(prefix, d.Lint,
+			sarifLevel(d.Severity), d.Msg, d.Pos.Line, d.Pos.Col))
+	default:
+		fmt.Fprintln(p.out, analysis.FormatDiagnostic(prefix, d))
 	}
-	fmt.Println(analysis.FormatDiagnostic(prefix, d))
 }
 
 // fail reports an input that did not survive the front end (preprocess,
-// parse, or check); rendered as a diagnostic so -json streams stay valid.
+// parse, or check); rendered as a diagnostic so machine formats stay
+// valid.
 func (p *printer) fail(prefix, lint string, err error) {
-	if p.json {
-		json.NewEncoder(os.Stdout).Encode(diagJSON{
+	switch p.format {
+	case "json":
+		json.NewEncoder(p.out).Encode(diagJSON{
 			File: prefix, Severity: "error", Lint: lint, Msg: err.Error(),
 		})
-		return
+	case "sarif":
+		p.sarif = append(p.sarif, sarifResultFor(prefix, lint, "error", err.Error(), 0, 0))
+	default:
+		fmt.Fprintf(p.out, "%s: %s: %v\n", prefix, lint, err)
 	}
-	fmt.Printf("%s: %s: %v\n", prefix, lint, err)
 }
 
 func (p *printer) report(prefix string, rep *analysis.Report) {
@@ -137,6 +190,57 @@ func (p *printer) report(prefix string, rep *analysis.Report) {
 	for _, d := range rep.Diags {
 		p.diag(prefix, d)
 	}
+	if p.footprints {
+		p.foot(prefix, rep)
+	}
+}
+
+// foot prints the per-kernel pointer-argument footprints (-footprints),
+// kernels in name order. SARIF carries findings only, so footprints are
+// skipped there.
+func (p *printer) foot(prefix string, rep *analysis.Report) {
+	if p.format == "sarif" {
+		return
+	}
+	names := make([]string, 0, len(rep.Footprints))
+	for name := range rep.Footprints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fps := rep.Footprints[name]
+		if p.format == "json" {
+			fj := footprintJSON{File: prefix, Kernel: name, Footprints: []footprintArg{}}
+			for _, f := range fps {
+				fj.Footprints = append(fj.Footprints, footprintArg{
+					Arg: f.Arg, Name: f.Name, Extent: f.String(),
+					Known: f.Known(), Written: f.Written, Overrun: f.Overrun,
+				})
+			}
+			json.NewEncoder(p.out).Encode(fj)
+			continue
+		}
+		fmt.Fprintf(p.out, "%s: kernel %s footprints:\n", prefix, name)
+		for _, f := range fps {
+			marks := ""
+			if f.Written {
+				marks += " written"
+			}
+			if f.Overrun {
+				marks += " overrun"
+			}
+			fmt.Fprintf(p.out, "  arg %d %s: %s%s\n", f.Arg, f.Name, f.String(), marks)
+		}
+	}
+}
+
+// flush completes document-oriented formats; line-oriented formats have
+// already written everything.
+func (p *printer) flush() error {
+	if p.format != "sarif" {
+		return nil
+	}
+	return writeSarif(p.out, p.sarif)
 }
 
 // lintFiles analyzes each named file (stdin when none) and reports

@@ -1,0 +1,126 @@
+// SARIF 2.1.0 output (-format sarif): the minimal static-analysis
+// interchange envelope — one run, one tool.driver, one result per
+// diagnostic — so cllint findings load into SARIF consumers (code
+// scanning UIs, IDE problem panes) without an adapter.
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"clgen/internal/analysis"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version,omitempty"`
+	Rules   []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID string `json:"id"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps a diagnostic severity onto the three SARIF levels.
+func sarifLevel(s analysis.Severity) string {
+	switch s {
+	case analysis.Error:
+		return "error"
+	case analysis.Warn:
+		return "warning"
+	}
+	return "note"
+}
+
+// sarifResultFor renders one diagnostic. A zero line (front-end failures
+// carry no position) omits the region, which SARIF permits.
+func sarifResultFor(uri, lint, level, msg string, line, col int) sarifResult {
+	res := sarifResult{
+		RuleID:  lint,
+		Level:   level,
+		Message: sarifMessage{Text: msg},
+	}
+	loc := sarifLocation{PhysicalLocation: sarifPhysical{
+		ArtifactLocation: sarifArtifact{URI: uri},
+	}}
+	if line > 0 {
+		loc.PhysicalLocation.Region = &sarifRegion{StartLine: line, StartColumn: col}
+	}
+	res.Locations = []sarifLocation{loc}
+	return res
+}
+
+// writeSarif assembles and emits the document: results in emission
+// order, the rule table sorted by ID (deterministic, golden-diffable).
+func writeSarif(w io.Writer, results []sarifResult) error {
+	ruleSet := map[string]bool{}
+	for _, r := range results {
+		ruleSet[r.RuleID] = true
+	}
+	rules := make([]sarifRule, 0, len(ruleSet))
+	for id := range ruleSet {
+		rules = append(rules, sarifRule{ID: id})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if results == nil {
+		results = []sarifResult{}
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name: "cllint", Version: analysis.Version, Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -32,7 +32,7 @@ import (
 // (internal/cache). Bump it whenever a pass, lint, or threshold changes
 // behavior, so persistent caches recompute instead of replaying the old
 // analyzer's conclusions.
-const Version = "analysis-v2"
+const Version = "analysis-v3"
 
 // Severity grades a diagnostic.
 type Severity int
@@ -98,6 +98,10 @@ type Report struct {
 	// statements across the file (the strict filter subtracts it from the
 	// instruction count before applying the §4.1 threshold).
 	DeadOps int
+	// Footprints maps kernel names to per-pointer-argument access
+	// footprints (footprint.go), in parameter order. Duplicate kernel
+	// names keep the first definition, matching ir.Program.
+	Footprints map[string][]ArgFootprint
 }
 
 // HasErrors reports whether any Error-severity diagnostic was found.
@@ -191,7 +195,7 @@ type fnInfo struct {
 func Analyze(f *clc.File) *Report {
 	reg := telemetry.Default()
 	reg.Counter("analysis_files_total", "Translation units analyzed.").Inc()
-	rep := &Report{Predictions: make(map[string]Prediction)}
+	rep := &Report{Predictions: make(map[string]Prediction), Footprints: make(map[string][]ArgFootprint)}
 	fileVars := fileScope(f)
 
 	var infos []*fnInfo
@@ -210,6 +214,16 @@ func Analyze(f *clc.File) *Report {
 	// Store summaries are interprocedural: compute them once for the file.
 	stores := storeSummaries(infos, byName)
 
+	// Footprint expansion resolves callees first-definition-wins, like
+	// ir.Program (byName above is last-wins, kept for store summaries).
+	firstByName := make(map[string]*fnInfo, len(infos))
+	for _, info := range infos {
+		if _, dup := firstByName[info.fn.Name]; !dup {
+			firstByName[info.fn.Name] = info
+		}
+	}
+	fp := newFootprinter(f, firstByName)
+
 	start = time.Now()
 	for _, info := range infos {
 		lintUninit(rep, info)
@@ -222,6 +236,13 @@ func Analyze(f *clc.File) *Report {
 			regions := collectRegions(info)
 			lintWorkItemRace(rep, info, regions)
 			lintAddrSpace(rep, info, regions)
+			fstart := time.Now()
+			fps, faccs := fp.kernel(info)
+			lintFootprint(rep, info, fps, faccs)
+			if _, dup := rep.Footprints[info.fn.Name]; !dup {
+				rep.Footprints[info.fn.Name] = fps
+			}
+			observePass(reg, "footprint", time.Since(fstart))
 			lintOutput(rep, info, stores, byName)
 			predict(rep, info)
 		}

@@ -14,7 +14,9 @@ import (
 // mutate the AST nor depend on map iteration order. The feature pass
 // rides along under the same invariants: no panics, deterministic
 // per-kernel counts, and counts that respect Mem >= LocalMem and
-// Coalesced <= Mem by construction.
+// Coalesced <= Mem by construction. The footprint pass likewise: no
+// panics, deterministic extents, and proven min <= proven max wherever
+// both sides resolve.
 func FuzzAnalyze(f *testing.F) {
 	seeds := []string{
 		// One seed per lint family.
@@ -33,6 +35,13 @@ func FuzzAnalyze(f *testing.F) {
 		"__kernel void A(__global int* a) { int i = get_global_id(0); if (i < 8) { a[i] = i; } else { a[0] = 0; } }",
 		"void H(float* p) { p[0] = 2.0f; } __kernel void A(__global float* a) { H(a); }",
 		"__kernel void A(__global float* a) { switch (get_global_id(0) & 3) { case 0: a[0] = 1.0f; break; default: a[1] = 2.0f; } }",
+		// Footprint stress: strides past the §5.1 extent, interprocedural
+		// offsets, vector spans, aliasing assignments.
+		"__kernel void A(__global int* a) { int g = get_global_id(0); a[2 * g] = g; }",
+		"void H(float* p, int i) { p[i + 1] = 0.0f; } __kernel void A(__global float* a) { H(a + get_global_id(0), 2); }",
+		"__kernel void A(__global float* a, __global float* b) { vstore4(vload4(get_global_id(0), a), get_global_id(0), b); }",
+		"__kernel void A(__global int* a, __global int* b, int n) { int g = get_global_id(0); a[g] = b[n - 1 - g]; }",
+		"__kernel void A(__global int* a, __global int* b) { __global int* q = a; q[0] = b[get_global_id(0)]; }",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -74,6 +83,38 @@ func FuzzAnalyze(f *testing.F) {
 				if again[name] != f1 {
 					t.Fatalf("feature pass is not deterministic for %s: %+v then %+v\ninput: %q",
 						name, f1, again[name], src)
+				}
+			}
+		}
+		fps := analysis.Footprints(file)
+		for name, args := range fps {
+			for _, a := range args {
+				for _, g := range []int64{1, 2, 256, 16384} {
+					lo, okLo := a.MinElem(g)
+					hi, okHi := a.MaxElem(g)
+					if okLo && okHi && lo > hi {
+						t.Fatalf("footprint pass: %s arg %d: min %d > max %d at G=%d\ninput: %q",
+							name, a.Arg, lo, hi, g, src)
+					}
+				}
+			}
+		}
+		fps2 := analysis.Footprints(file)
+		if len(fps2) != len(fps) {
+			t.Fatalf("footprint pass is not deterministic: %d kernels then %d\ninput: %q",
+				len(fps), len(fps2), src)
+		}
+		for name, args := range fps {
+			again := fps2[name]
+			if len(again) != len(args) {
+				t.Fatalf("footprint pass is not deterministic for %s\ninput: %q", name, src)
+			}
+			for i := range args {
+				if args[i].String() != again[i].String() ||
+					args[i].MinExpr() != again[i].MinExpr() ||
+					args[i].MaxExpr() != again[i].MaxExpr() {
+					t.Fatalf("footprint pass is not deterministic for %s arg %d: %s then %s\ninput: %q",
+						name, args[i].Arg, args[i].String(), again[i].String(), src)
 				}
 			}
 		}

@@ -18,19 +18,20 @@ import (
 // checkVersion stamps cached check outcomes. The check depends on the
 // payload generator, the interpreter, and the platform-independent
 // verdict logic in this package — bump on any behavioral change.
-const checkVersion = "driver-check-v1"
+const checkVersion = "driver-check-v2"
 
 // checkEntry is the serializable mirror of a check()'s CheckResult. The
 // profile is stored by value: every conversion back hands the consumer a
 // fresh copy, because measurement mutates profiles (Add/Scale) while
 // aggregating repeats.
 type checkEntry struct {
-	Verdict       string         `json:"verdict"`
-	Err           string         `json:"err,omitempty"`
-	HasProfile    bool           `json:"has_profile,omitempty"`
-	Profile       interp.Profile `json:"profile,omitempty"`
-	TransferBytes int64          `json:"transfer_bytes,omitempty"`
-	LocalSize     int            `json:"local_size,omitempty"`
+	Verdict       string           `json:"verdict"`
+	Err           string           `json:"err,omitempty"`
+	Fault         *interp.MemFault `json:"fault,omitempty"`
+	HasProfile    bool             `json:"has_profile,omitempty"`
+	Profile       interp.Profile   `json:"profile,omitempty"`
+	TransferBytes int64            `json:"transfer_bytes,omitempty"`
+	LocalSize     int              `json:"local_size,omitempty"`
 }
 
 var checkMemo = cache.New(cache.Config[checkEntry]{
@@ -48,6 +49,10 @@ func toCheckEntry(res CheckResult) checkEntry {
 	if res.Err != nil {
 		e.Err = res.Err.Error()
 	}
+	if res.Fault != nil {
+		f := *res.Fault
+		e.Fault = &f
+	}
 	if res.Profile != nil {
 		e.HasProfile, e.Profile = true, *res.Profile
 	}
@@ -63,6 +68,10 @@ func fromCheckEntry(e checkEntry) CheckResult {
 	if e.Err != "" {
 		res.Err = errors.New(e.Err)
 	}
+	if e.Fault != nil {
+		f := *e.Fault
+		res.Fault = &f
+	}
 	if e.HasProfile {
 		p := e.Profile
 		res.Profile = &p
@@ -75,7 +84,8 @@ func fromCheckEntry(e checkEntry) CheckResult {
 // entry), differing only in CacheHit.
 func checkCached(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	key := cache.Key(
-		fmt.Sprintf("size=%d,seed=%d,maxsteps=%d", globalSize, seed, cfg.MaxSteps),
+		fmt.Sprintf("size=%d,seed=%d,maxsteps=%d%s", globalSize, seed, cfg.MaxSteps,
+			k.footprintKeyPart(globalSize)),
 		k.Src)
 	e, hit, err := checkMemo.Do(key, func() (checkEntry, error) {
 		return toCheckEntry(check(k, globalSize, seed, cfg)), nil

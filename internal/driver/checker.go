@@ -31,6 +31,10 @@ const Epsilon = 1e-4
 type CheckResult struct {
 	Verdict CheckVerdict
 	Err     error // cause for RunFailure
+	// Fault attributes a RunFailure caused by an out-of-bounds buffer
+	// access to the faulting kernel argument and slot (nil for non-crash
+	// verdicts and failures that are not memory faults).
+	Fault   *interp.MemFault
 	Profile *interp.Profile
 	// TransferBytes / LocalSize describe the A1 payload of a useful-work
 	// verdict (zero otherwise) — the two payload quantities measurement
@@ -68,22 +72,35 @@ func Check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 			return res
 		}
 	}
+	if journal.Enabled() && footprintSizing.Load() {
+		k.footprintEmitOnce.Do(func() { journal.Emit(footprintEvent(k)) })
+	}
 	start := time.Now()
 	res := checkCached(k, globalSize, seed, cfg)
 	// The verdict counter increments on cache hits too: a memoized check
 	// is still a check outcome, and the funnel==telemetry invariant
 	// (checked events vs. driver_checker_verdicts_total) must hold on
 	// warm runs.
-	telemetry.Default().Counter(
+	reg := telemetry.Default()
+	reg.Counter(
 		telemetry.Label("driver_checker_verdicts_total", "verdict", string(res.Verdict)),
 		"Dynamic-checker verdicts (§5.2), by outcome.").Inc()
+	if footprintSizing.Load() && res.OK() && k.footprintResized(globalSize) {
+		reg.Counter("driver_footprint_rescued_total",
+			"Useful-work verdicts reached with a buffer resized beyond the §5.1 extent.").Inc()
+	}
 	// Emission happens on the calling (possibly worker) goroutine, but the
 	// set of Check calls is the same for every worker count, so journals
 	// stay equivalent after order normalization.
 	if journal.Enabled() {
-		journal.Emit(journal.Event{ID: journal.ID(k.Src), Stage: journal.StageChecked,
+		ev := journal.Event{ID: journal.ID(k.Src), Stage: journal.StageChecked,
 			Verdict: string(res.Verdict), Size: globalSize, Seed: seed, CacheHit: res.CacheHit,
-			DurMS: float64(time.Since(start)) / float64(time.Millisecond)})
+			DurMS: float64(time.Since(start)) / float64(time.Millisecond)}
+		if res.Fault != nil {
+			ev.Fault = &journal.Fault{Arg: res.Fault.Arg, Slot: res.Fault.Slot,
+				Len: res.Fault.Len, Write: res.Fault.Write}
+		}
+		journal.Emit(ev)
 	}
 	return res
 }
@@ -110,6 +127,13 @@ func staticPreScreen(k *Kernel, mode StaticMode) (res CheckResult, done bool) {
 	if mode != StaticPreScreen || pred == "" {
 		return CheckResult{}, false
 	}
+	// A run-failure forecast from an extent-based lint reasons about §5.1
+	// sizing; under -footprint-sizing the driver may allocate past that
+	// extent and rescue the kernel, so the forecast must not short-circuit
+	// the dynamic checker.
+	if footprintSizing.Load() && footprintRescuable(rep.Predictions[k.Name].Lint) {
+		return CheckResult{}, false
+	}
 	reg := telemetry.Default()
 	reg.Counter("driver_static_prescreen_skips_total",
 		"Kernels resolved by the static pre-screen without executing.").Inc()
@@ -128,11 +152,11 @@ func check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	rngB := rand.New(rand.NewSource(seed + 1))
 	a1, err := GeneratePayload(k, globalSize, rngA)
 	if err != nil {
-		return CheckResult{Verdict: RunFailure, Err: err}
+		return runFailure(err)
 	}
 	b1, err := GeneratePayload(k, globalSize, rngB)
 	if err != nil {
-		return CheckResult{Verdict: RunFailure, Err: err}
+		return runFailure(err)
 	}
 	a2, b2 := a1.Clone(), b1.Clone()
 	a1Pre, b1Pre := a1.Clone(), b1.Clone()
@@ -143,16 +167,16 @@ func check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 
 	profA1, err := k.Run(a1, cfg)
 	if err != nil {
-		return CheckResult{Verdict: RunFailure, Err: err}
+		return runFailure(err)
 	}
 	if _, err := k.Run(b1, cfg); err != nil {
-		return CheckResult{Verdict: RunFailure, Err: err}
+		return runFailure(err)
 	}
 	if _, err := k.Run(a2, cfg); err != nil {
-		return CheckResult{Verdict: RunFailure, Err: err}
+		return runFailure(err)
 	}
 	if _, err := k.Run(b2, cfg); err != nil {
-		return CheckResult{Verdict: RunFailure, Err: err}
+		return runFailure(err)
 	}
 
 	// A1out != A1in and B1out != B1in, else no output for these inputs.
@@ -169,6 +193,17 @@ func check(k *Kernel, globalSize int, seed int64, cfg RunConfig) CheckResult {
 	}
 	return CheckResult{Verdict: UsefulWork, Profile: profA1,
 		TransferBytes: a1.TransferBytes, LocalSize: a1.LocalSize}
+}
+
+// runFailure builds a RunFailure result, attributing memory faults to
+// the culprit buffer argument when the error chain carries one.
+func runFailure(err error) CheckResult {
+	res := CheckResult{Verdict: RunFailure, Err: err}
+	var mf *interp.MemFault
+	if errors.As(err, &mf) {
+		res.Fault = mf
+	}
+	return res
 }
 
 func outputsEqual(a, b *Payload) bool {

@@ -34,6 +34,9 @@ type Kernel struct {
 	// is size-independent, so one event per loaded kernel regardless of
 	// how many measurement repeats re-run Check.
 	staticEmitOnce sync.Once
+	// footprintEmitOnce dedups the per-kernel footprint journal event
+	// (emitted at a fixed reference size, so once is enough).
+	footprintEmitOnce sync.Once
 }
 
 // Analysis returns the static analyzer's report over the kernel's file,
@@ -159,15 +162,25 @@ func GeneratePayload(k *Kernel, globalSize int, rng *rand.Rand) (*Payload, error
 		switch t := prm.Type.(type) {
 		case *clc.PointerType:
 			kind := elemScalarKind(t.Elem)
-			slots := globalSize * slotsPerElem(t.Elem)
 			if t.Space == clc.Local {
 				// Device-only scratch: one work-group's worth.
 				lslots := local * slotsPerElem(t.Elem)
 				buf := interp.NewBuffer(kind, lslots, clc.Local)
+				buf.Arg = i
 				p.Args = append(p.Args, interp.PtrValue(&interp.Pointer{Buf: buf, Elem: t.Elem}))
 				continue
 			}
+			// Under -footprint-sizing a proven extent past Sg enlarges the
+			// buffer to cover it (max(Sg, extent+1)); otherwise — and for
+			// symbolic-unknown bounds — the §5.1 size stands.
+			elems, resized := k.footprintElems(i, globalSize)
+			if resized {
+				telemetry.Default().Counter("driver_footprint_resizes_total",
+					"Buffers allocated beyond the §5.1 extent to cover a proven footprint.").Inc()
+			}
+			slots := elems * slotsPerElem(t.Elem)
 			buf := interp.NewBuffer(kind, slots, t.Space)
+			buf.Arg = i
 			fillRandom(buf, rng)
 			p.Args = append(p.Args, interp.PtrValue(&interp.Pointer{Buf: buf, Elem: t.Elem}))
 			bytes := int64(slots) * int64(kindBytes(kind))

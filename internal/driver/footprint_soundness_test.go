@@ -1,0 +1,114 @@
+package driver_test
+
+// The differential soundness oracle lives in the external test package:
+// it sweeps the suites package, which itself imports driver.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clgen/internal/clc"
+	"clgen/internal/corpus"
+	"clgen/internal/driver"
+	"clgen/internal/github"
+	"clgen/internal/suites"
+)
+
+// TestFootprintSoundnessDifferential is the analysis-vs-interpreter
+// oracle over real code: for every kernel of the seven benchmark suites
+// and the filter-accepted seed corpus, the maximum scalar slot the
+// interpreter actually touches per buffer (Buffer.MaxSlot) must not
+// exceed the proven symbolic footprint resolved at the same size.
+// Symbolic-unknown bounds are exempt (there is nothing to compare); a
+// violation means the "proven" upper bound is unsound. Only the max side
+// is checked: side-effecting index expressions can make the proven
+// minimum exceed the observed one without unsoundness (DESIGN.md).
+func TestFootprintSoundnessDifferential(t *testing.T) {
+	type source struct {
+		id, src string
+		file    *clc.File
+	}
+	var srcs []source
+	for _, b := range suites.All() {
+		f, err := clc.Parse(b.Src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", b.ID(), err)
+		}
+		if err := clc.Check(f); err != nil {
+			t.Fatalf("%s: check: %v", b.ID(), err)
+		}
+		srcs = append(srcs, source{b.ID(), b.Src, f})
+	}
+	// The corpus filter preprocesses (shim headers) before parsing; reuse
+	// its checked file rather than re-parsing the raw mined text.
+	for i, cf := range github.Mine(github.MinerConfig{Seed: 1, Repos: 60, FilesPerRepo: 8}) {
+		res := corpus.Filter(cf.Text, true)
+		if !res.OK {
+			continue
+		}
+		srcs = append(srcs, source{fmt.Sprintf("file%03d", i), cf.Text, res.File})
+	}
+
+	const g = 256
+	kernels, compared := 0, 0
+	for _, s := range srcs {
+		f := s.file
+		for _, decl := range f.Kernels() {
+			k, err := driver.LoadKernel(f, decl.Name, s.src)
+			if err != nil {
+				continue // irregular argument types (§6.2)
+			}
+			p, err := driver.GeneratePayload(k, g, rand.New(rand.NewSource(1)))
+			if err != nil {
+				continue
+			}
+			// Run errors (OOB crash, step budget) still leave MaxSlot
+			// describing every access that succeeded before the abort — all
+			// of which the proven footprint must cover.
+			k.Run(p, driver.RunConfig{MaxSteps: 2 << 20})
+			kernels++
+			fps := k.Footprints()
+			for i, arg := range p.Args {
+				if !arg.IsPointer() {
+					continue
+				}
+				observed := arg.Ptr.Buf.MaxSlot
+				if observed < 0 {
+					continue // untouched
+				}
+				pt, ok := k.Decl.Params[i].Type.(*clc.PointerType)
+				if !ok {
+					continue
+				}
+				var hi int64
+				found := false
+				for j := range fps {
+					if fps[j].Arg == i {
+						var ok bool
+						hi, ok = fps[j].MaxElem(g)
+						found = ok
+						break
+					}
+				}
+				if !found {
+					continue // symbolic-unknown: nothing to compare
+				}
+				slotsPer := int64(1)
+				if v, ok := pt.Elem.(*clc.VectorType); ok {
+					slotsPer = int64(v.Len)
+				}
+				allowed := (hi+1)*slotsPer - 1
+				compared++
+				if observed > allowed {
+					t.Errorf("%s: kernel %s arg %d (%s): observed max slot %d exceeds proven footprint slot %d",
+						s.id, decl.Name, i, k.Decl.Params[i].Name, observed, allowed)
+				}
+			}
+		}
+	}
+	if kernels < 20 || compared < 20 {
+		t.Fatalf("differential test barely ran: %d kernels, %d compared args", kernels, compared)
+	}
+	t.Logf("differential soundness: %d kernels, %d arg bounds compared", kernels, compared)
+}

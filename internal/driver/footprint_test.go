@@ -1,0 +1,126 @@
+package driver
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"clgen/internal/cache"
+	"clgen/internal/telemetry"
+)
+
+// withFootprintSizing flips the process-global mode for one test and
+// restores it afterwards.
+func withFootprintSizing(t *testing.T, on bool) {
+	t.Helper()
+	prev := FootprintSizingEnabled()
+	SetFootprintSizing(on)
+	t.Cleanup(func() { SetFootprintSizing(prev) })
+}
+
+// TestFootprintRescueFixture is the end-to-end rescue scenario the
+// -footprint-sizing flag exists for: the strided fixture (a[2*gid])
+// crashes under default §5.1 sizing with the fault attributed to the
+// culprit argument, is rescued to a useful-work verdict under footprint
+// sizing, and a previously-passing kernel's verdict is untouched by the
+// flag flip.
+func TestFootprintRescueFixture(t *testing.T) {
+	if err := cache.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.SetDir("") })
+	cache.FlushMemory()
+
+	src, err := os.ReadFile("testdata/stride.cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Load(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := Load(zipSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := Check(k, 256, 1, RunConfig{})
+	if res.Verdict != RunFailure {
+		t.Fatalf("default sizing verdict = %s, want run failure", res.Verdict)
+	}
+	if res.Fault == nil {
+		t.Fatal("run failure carries no fault attribution")
+	}
+	if res.Fault.Arg != 0 {
+		t.Errorf("fault argument = %d, want 0", res.Fault.Arg)
+	}
+	if res.Fault.Slot < 256 {
+		t.Errorf("fault slot = %d, want beyond the §5.1 extent 256", res.Fault.Slot)
+	}
+	before := Check(ctl, 256, 1, RunConfig{})
+	if !before.OK() {
+		t.Fatalf("control kernel verdict = %s, want useful work", before.Verdict)
+	}
+
+	withFootprintSizing(t, true)
+	reg := telemetry.Default()
+	resizes := reg.Counter("driver_footprint_resizes_total", "")
+	rescued := reg.Counter("driver_footprint_rescued_total", "")
+	resizes0, rescued0 := resizes.Value(), rescued.Value()
+
+	res2 := Check(k, 256, 1, RunConfig{})
+	if !res2.OK() {
+		t.Fatalf("footprint-sizing verdict = %s (%v), want useful work", res2.Verdict, res2.Err)
+	}
+	if res2.Fault != nil {
+		t.Errorf("rescued verdict still carries a fault: %+v", res2.Fault)
+	}
+	if resizes.Value() <= resizes0 {
+		t.Error("driver_footprint_resizes_total did not advance on the rescue")
+	}
+	if rescued.Value() != rescued0+1 {
+		t.Errorf("driver_footprint_rescued_total delta = %d, want 1", rescued.Value()-rescued0)
+	}
+
+	after := Check(ctl, 256, 1, RunConfig{})
+	after.CacheHit = before.CacheHit
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("control kernel verdict changed under -footprint-sizing:\nbefore %+v\nafter  %+v",
+			before, after)
+	}
+}
+
+// TestFootprintCheckColdWarmIdentical: the footprint-sized allocation is
+// stamped into the check memo key, so a warm result must be identical to
+// the cold one — and a default-sizing cached verdict must never be
+// replayed for a footprint-sized check (the allocations differ).
+func TestFootprintCheckColdWarmIdentical(t *testing.T) {
+	if err := cache.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.SetDir("") })
+	cache.FlushMemory()
+	withFootprintSizing(t, true)
+
+	src, err := os.ReadFile("testdata/stride.cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Load(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := Check(k, 256, 1, RunConfig{})
+	if !cold.OK() || cold.CacheHit {
+		t.Fatalf("cold sized check: %+v", cold)
+	}
+	cache.FlushMemory() // only the persistent tier stays warm
+	warm := Check(k, 256, 1, RunConfig{})
+	if !warm.CacheHit {
+		t.Fatal("warm sized check did not hit the persistent tier")
+	}
+	warm.CacheHit = false
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm sized check differs:\ncold %+v\nwarm %+v", cold, warm)
+	}
+}

@@ -1,0 +1,8 @@
+/* Strided fixture for the footprint-sizing gate: every work item touches
+ * a[2*gid], so the §5.1 allocation of exactly Sg elements is overrun for
+ * any Sg >= 2 (proven footprint [0, 2*G-2]). Under -footprint-sizing the
+ * driver allocates 2*Sg-1 elements and the kernel does useful work. */
+__kernel void stride(__global int* a) {
+    int gid = get_global_id(0);
+    a[2 * gid] = a[2 * gid] * 2 + 1;
+}

@@ -42,11 +42,19 @@ type Buffer struct {
 	Space clc.AddrSpace
 	F     []float64 // payload for float kinds
 	I     []int64   // payload for integer kinds
+	// Arg is the kernel argument index this buffer backs, or -1 for
+	// anonymous memory (local scratch, private arrays). Out-of-bounds
+	// traps carry it so crashes name the culprit argument.
+	Arg int
+	// MaxSlot is the largest slot successfully accessed, -1 when the
+	// buffer is untouched: the observed footprint that the differential
+	// soundness test compares against the statically proven one.
+	MaxSlot int64
 }
 
 // NewBuffer allocates a zeroed buffer of n scalar slots of the given kind.
 func NewBuffer(kind clc.ScalarKind, n int, space clc.AddrSpace) *Buffer {
-	b := &Buffer{Kind: kind, Space: space}
+	b := &Buffer{Kind: kind, Space: space, Arg: -1, MaxSlot: -1}
 	if kind.IsFloat() {
 		b.F = make([]float64, n)
 	} else {
@@ -65,7 +73,7 @@ func (b *Buffer) Len() int {
 
 // Clone returns a deep copy of the buffer.
 func (b *Buffer) Clone() *Buffer {
-	nb := &Buffer{Kind: b.Kind, Space: b.Space}
+	nb := &Buffer{Kind: b.Kind, Space: b.Space, Arg: b.Arg, MaxSlot: b.MaxSlot}
 	if b.F != nil {
 		nb.F = append([]float64(nil), b.F...)
 	}
@@ -110,10 +118,31 @@ func floatEq(a, b, eps float64) bool {
 	return d <= eps*m
 }
 
+// MemFault is an out-of-bounds buffer access. It survives the
+// interpreter's %w error wrapping, so the driver can attribute a crash
+// to the faulting kernel argument with errors.As.
+type MemFault struct {
+	Arg   int   // kernel argument index of the buffer; -1 when anonymous
+	Slot  int64 // scalar-slot offset of the faulting access
+	Len   int   // buffer length in scalar slots
+	Write bool
+}
+
+func (e *MemFault) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("out-of-bounds %s at slot %d of %d", op, e.Slot, e.Len)
+}
+
 // loadScalar reads one scalar slot as a float64/int64 pair in kind k.
 func (b *Buffer) loadScalar(off int64) (int64, float64, error) {
 	if off < 0 || off >= int64(b.Len()) {
-		return 0, 0, fmt.Errorf("out-of-bounds read at slot %d of %d", off, b.Len())
+		return 0, 0, &MemFault{Arg: b.Arg, Slot: off, Len: b.Len()}
+	}
+	if off > b.MaxSlot {
+		b.MaxSlot = off
 	}
 	if b.Kind.IsFloat() {
 		f := b.F[off]
@@ -125,7 +154,10 @@ func (b *Buffer) loadScalar(off int64) (int64, float64, error) {
 
 func (b *Buffer) storeScalar(off int64, i int64, f float64) error {
 	if off < 0 || off >= int64(b.Len()) {
-		return fmt.Errorf("out-of-bounds write at slot %d of %d", off, b.Len())
+		return &MemFault{Arg: b.Arg, Slot: off, Len: b.Len(), Write: true}
+	}
+	if off > b.MaxSlot {
+		b.MaxSlot = off
 	}
 	if b.Kind.IsFloat() {
 		b.F[off] = f

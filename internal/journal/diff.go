@@ -97,6 +97,9 @@ func Diff(before, after []Event, thresholdPct float64) *DiffReport {
 	rate("feature agreement", fo.FeatureAgreementRate(), fn.FeatureAgreementRate())
 	count("driver loads", fo.Loads, fn.Loads)
 	row("driver load failures", "count", +1, float64(fo.LoadFailures), float64(fn.LoadFailures))
+	count("footprint kernels", fo.FootprintKernels, fn.FootprintKernels)
+	count("footprint rescued", fo.FootprintRescued, fn.FootprintRescued)
+	row("footprint overrun args", "count", +1, float64(fo.FootprintOverrun), float64(fn.FootprintOverrun))
 	count("checker checks", fo.Checks, fn.Checks)
 	count("checker useful work", fo.Verdicts["useful work"], fn.Verdicts["useful work"])
 	rate("checker useful rate", fo.UsefulRate(), fn.UsefulRate())

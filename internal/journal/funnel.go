@@ -97,6 +97,23 @@ type FunnelReport struct {
 	Predictions        int
 	PredictionsCorrect int
 
+	// FootprintKernels counts footprint events (one per kernel under
+	// -footprint-sizing); FootprintArgs counts the pointer arguments
+	// across them. Resized/Overrun/Unknown count arguments allocated past
+	// the §5.1 extent, proven to overrun it, and symbolically unbounded.
+	// FootprintRescued counts footprinted kernels with a resized argument
+	// whose dynamic verdict was "useful work" — kernels the §5.1 rules
+	// alone would have crashed. FootprintTightness histograms proven max
+	// extents against the §5.1 extent G ("=G", "<G", "<=2G", ">2G",
+	// "unknown", "unused").
+	FootprintKernels   int
+	FootprintArgs      int
+	FootprintResized   int
+	FootprintOverrun   int
+	FootprintUnknown   int
+	FootprintRescued   int
+	FootprintTightness map[string]int
+
 	// CacheHits counts events per stage whose work internal/cache served
 	// from a memoized result instead of recomputing (Event.CacheHit).
 	CacheHits map[Stage]int
@@ -171,22 +188,24 @@ type AgreementCell struct {
 // Funnel aggregates a journal's events into a FunnelReport.
 func Funnel(events []Event) *FunnelReport {
 	r := &FunnelReport{
-		CorpusReasons: map[string]int{},
-		SampleReasons: map[string]int{},
-		StaticReasons: map[string]int{},
-		FeatureExact:  map[string]int{},
-		FeatureDelta:  map[string]float64{},
-		Agreement:     map[AgreementCell]int{},
-		Verdicts:      map[string]int{},
-		Systems:       map[string]*SystemStats{},
-		Suites:        map[string]*SuiteStats{},
-		CacheHits:     map[Stage]int{},
-		Latencies:     map[Stage]LatencyStats{},
+		CorpusReasons:      map[string]int{},
+		SampleReasons:      map[string]int{},
+		StaticReasons:      map[string]int{},
+		FeatureExact:       map[string]int{},
+		FeatureDelta:       map[string]float64{},
+		Agreement:          map[AgreementCell]int{},
+		Verdicts:           map[string]int{},
+		FootprintTightness: map[string]int{},
+		Systems:            map[string]*SystemStats{},
+		Suites:             map[string]*SuiteStats{},
+		CacheHits:          map[Stage]int{},
+		Latencies:          map[Stage]LatencyStats{},
 	}
 	durs := map[Stage][]float64{}
 	predicted := map[string]string{} // kernel ID -> static forecast
 	checked := map[string][]string{} // kernel ID -> dynamic verdicts
 	models := map[string]bool{}      // trained lineage IDs
+	resizedIDs := map[string]bool{}  // kernel IDs with a resized footprint
 	for _, e := range events {
 		if e.DurMS > 0 {
 			durs[e.Stage] = append(durs[e.Stage], e.DurMS)
@@ -261,6 +280,37 @@ func Funnel(events []Event) *FunnelReport {
 			if e.Reason != "" {
 				r.LoadFailures++
 			}
+		case StageFootprint:
+			r.FootprintKernels++
+			g := int64(e.Size)
+			if g <= 0 {
+				g = 256
+			}
+			for _, a := range e.Footprint {
+				r.FootprintArgs++
+				if a.Resized {
+					r.FootprintResized++
+					resizedIDs[e.ID] = true
+				}
+				if a.Overrun {
+					r.FootprintOverrun++
+				}
+				switch {
+				case a.Hi < -1:
+					r.FootprintUnknown++
+					r.FootprintTightness["unknown"]++
+				case a.Hi == -1:
+					r.FootprintTightness["unused"]++
+				case a.Hi+1 < g:
+					r.FootprintTightness["<G"]++
+				case a.Hi+1 == g:
+					r.FootprintTightness["=G"]++
+				case a.Hi+1 <= 2*g:
+					r.FootprintTightness["<=2G"]++
+				default:
+					r.FootprintTightness[">2G"]++
+				}
+			}
 		case StageChecked:
 			r.Checks++
 			r.Verdicts[e.Verdict]++
@@ -288,6 +338,17 @@ func Funnel(events []Event) *FunnelReport {
 	}
 	for stage, ds := range durs {
 		r.Latencies[stage] = percentiles(ds)
+	}
+	// A rescued kernel is one whose buffers grew past the §5.1 extent and
+	// that the dynamic checker then accepted: join footprint events with
+	// checked verdicts by kernel ID.
+	for id := range resizedIDs {
+		for _, v := range checked[id] {
+			if v == "useful work" {
+				r.FootprintRescued++
+				break
+			}
+		}
 	}
 	// Join forecasts with verdicts per kernel ID. A kernel the checker
 	// never touched (statically pre-screened, or the run stopped first)
@@ -413,6 +474,17 @@ func (r *FunnelReport) Render() string {
 	if r.Loads > 0 {
 		fmt.Fprintf(&b, "driver    %6d loads  -> %5d failed\n", r.Loads, r.LoadFailures)
 	}
+	if r.FootprintKernels > 0 {
+		fmt.Fprintf(&b, "footprint %6d kernels -> %4d args (%d resized, %d overrun, %d unknown), %d rescued\n",
+			r.FootprintKernels, r.FootprintArgs,
+			r.FootprintResized, r.FootprintOverrun, r.FootprintUnknown, r.FootprintRescued)
+		fmt.Fprintf(&b, "  bound tightness (proven max extent vs the §5.1 extent G)\n")
+		for _, bkt := range tightnessBuckets {
+			if n := r.FootprintTightness[bkt]; n > 0 {
+				fmt.Fprintf(&b, "  %6d  %s\n", n, bkt)
+			}
+		}
+	}
 	if r.Predictions > 0 {
 		fmt.Fprintf(&b, "predict   %6d predictions -> %5d correct (%.1f%%)\n",
 			r.Predictions, r.PredictionsCorrect, r.PredictionAccuracy()*100)
@@ -458,6 +530,9 @@ func (r *FunnelReport) Render() string {
 	}
 	return b.String()
 }
+
+// tightnessBuckets orders the bound-tightness histogram's rows.
+var tightnessBuckets = []string{"<G", "=G", "<=2G", ">2G", "unknown", "unused"}
 
 // writeReasons renders a reason histogram, most common first (ties by
 // name), matching corpus.Stats.ReasonsSummary's layout.
@@ -530,10 +605,15 @@ func (r *FunnelReport) MarshalJSON() ([]byte, error) {
 	if len(hits) == 0 {
 		hits = nil
 	}
+	tight := r.FootprintTightness
+	if len(tight) == 0 {
+		tight = nil
+	}
 	return json.Marshal(struct {
 		*alias
 		Agreement            []agreementRow `json:"Agreement,omitempty"`
 		CacheHits            map[Stage]int  `json:"CacheHits,omitempty"`
+		FootprintTightness   map[string]int `json:"FootprintTightness,omitempty"`
 		CorpusDiscardRate    float64        `json:"corpus_discard_rate"`
 		SampleAcceptRate     float64        `json:"sample_accept_rate"`
 		UsefulRate           float64        `json:"useful_rate"`
@@ -544,6 +624,7 @@ func (r *FunnelReport) MarshalJSON() ([]byte, error) {
 		alias:                (*alias)(r),
 		Agreement:            rows,
 		CacheHits:            hits,
+		FootprintTightness:   tight,
 		CorpusDiscardRate:    r.CorpusDiscardRate(),
 		SampleAcceptRate:     r.SampleAcceptRate(),
 		UsefulRate:           r.UsefulRate(),

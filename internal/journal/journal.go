@@ -75,6 +75,11 @@ const (
 	// StageDriverLoad marks the host driver loading a kernel; Reason holds
 	// the load error when it failed.
 	StageDriverLoad Stage = "driver_load"
+	// StageFootprint carries a kernel's per-pointer-argument symbolic
+	// footprints under -footprint-sizing: proven extent expressions in G,
+	// resolved bytes at the reference size Sg=256, and whether the driver
+	// resized the buffer beyond the §5.1 extent. One event per kernel.
+	StageFootprint Stage = "footprint"
 	// StageChecked is the §5.2 dynamic-checker outcome (Verdict).
 	StageChecked Stage = "checked"
 	// StageMeasured is one modeled (kernel, size, system) measurement.
@@ -97,13 +102,44 @@ const ReasonDuplicate = "duplicate"
 var StageOrder = []Stage{
 	StageMined, StageCorpusFilter, StageRewritten, StageTrained,
 	StageSampled, StageSampleFilter, StageStaticFilter, StageFeatures,
-	StageDriverLoad, StageChecked, StageMeasured, StagePredicted,
+	StageDriverLoad, StageFootprint, StageChecked, StageMeasured, StagePredicted,
 }
 
 // FeatureNames orders the entries of a features event's FeatHeur/FeatPrec
 // vectors (and the funnel's per-feature agreement rows). It matches
 // features.Static.FeatureVec.
 var FeatureNames = []string{"comp", "mem", "localmem", "coalesced", "branches"}
+
+// FootprintArg is one pointer argument's proven footprint in a footprint
+// event: extent expressions affine in G ("0", "2*G-2", "?" when the
+// analysis could not bound the argument) plus the concrete allocation the
+// driver chose at this event's Size.
+type FootprintArg struct {
+	Arg   int    `json:"arg"`
+	Name  string `json:"name,omitempty"`
+	Min   string `json:"min,omitempty"`
+	Max   string `json:"max,omitempty"`
+	Known bool   `json:"known,omitempty"`
+	// Hi is the proven max element index resolved at this event's Size:
+	// -1 for an untouched argument, -2 when unresolvable (symbolic
+	// unknown) — the funnel's bound-tightness histogram buckets on it.
+	Hi      int64 `json:"hi"`
+	Elems   int64 `json:"elems,omitempty"` // elements allocated
+	Bytes   int64 `json:"bytes,omitempty"` // bytes allocated
+	Resized bool  `json:"resized,omitempty"`
+	Overrun bool  `json:"overrun,omitempty"`
+	Written bool  `json:"written,omitempty"`
+}
+
+// Fault names the buffer access that crashed a run-failure checked
+// event: the kernel argument index (-1 for anonymous memory such as
+// local scratch), the scalar-slot offset, and the buffer length.
+type Fault struct {
+	Arg   int   `json:"arg"`
+	Slot  int64 `json:"slot"`
+	Len   int   `json:"len"`
+	Write bool  `json:"write,omitempty"`
+}
 
 // Event is one journal record. ID is the artifact's content hash; the
 // remaining fields are stage-specific and zero elsewhere. Time and DurMS
@@ -182,6 +218,12 @@ type Event struct {
 	// Recovered marks a corpus_filter acceptance the shim header enabled
 	// (rejected without it — the paper's 40% → 32% improvement).
 	Recovered bool `json:"shim_recovered,omitempty"`
+	// Footprint carries a footprint stage's per-argument extents.
+	Footprint []FootprintArg `json:"footprint,omitempty"`
+	// Fault attributes a run-failure checked stage's crash to the faulting
+	// buffer argument and access offset (nil for non-crash verdicts and
+	// crashes that are not memory faults).
+	Fault *Fault `json:"fault,omitempty"`
 	// CacheHit marks a stage whose result was served by internal/cache
 	// instead of recomputed (`cltrace funnel` attributes skipped work
 	// from it). Run-varying — a warm cache is an execution detail, not a
@@ -543,8 +585,34 @@ func describe(e Event) string {
 		if e.Model != "" {
 			s += fmt.Sprintf(" model=%s", e.Model)
 		}
+	case StageFootprint:
+		s += fmt.Sprintf(" size=%d", e.Size)
+		for _, a := range e.Footprint {
+			ext := "?"
+			if a.Known {
+				ext = fmt.Sprintf("[%s, %s]", a.Min, a.Max)
+			}
+			s += fmt.Sprintf(" %s=%s", a.Name, ext)
+			if a.Resized {
+				s += fmt.Sprintf("(resized to %d)", a.Elems)
+			}
+			if a.Overrun {
+				s += "(overrun)"
+			}
+		}
 	case StageChecked:
 		s += fmt.Sprintf(" verdict=%q size=%d seed=%d", e.Verdict, e.Size, e.Seed)
+		if e.Fault != nil {
+			op := "read"
+			if e.Fault.Write {
+				op = "write"
+			}
+			which := fmt.Sprintf("arg %d", e.Fault.Arg)
+			if e.Fault.Arg < 0 {
+				which = "anonymous buffer"
+			}
+			s += fmt.Sprintf(" fault=%s %s slot %d of %d", which, op, e.Fault.Slot, e.Fault.Len)
+		}
 	case StageMeasured:
 		s += fmt.Sprintf(" system=%q", e.System)
 		if e.Suite != "" {

@@ -48,6 +48,11 @@ type CLIFlags struct {
 	// AST/token heuristics, and makes the pipeline journal a per-kernel
 	// feature event carrying both vectors (inspect with cltrace funnel).
 	PreciseFeatures bool // -precise-features
+	// FootprintSizing makes the §5.1 payload generator consult the
+	// symbolic footprint analysis: buffers grow to max(Sg, proven extent)
+	// so stride-past-gid kernels run instead of crashing, and the driver
+	// journals per-kernel footprint events (inspect with cltrace funnel).
+	FootprintSizing bool // -footprint-sizing
 }
 
 // RegisterCLIFlags installs the shared observability flags on fs
@@ -67,6 +72,7 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.StringVar(&f.PerfHistory, "perf-history", "", "append a machine-stamped per-stage run profile to this JSONL history on exit (inspect with clperf)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "persist content-addressed stage caches (filter/rewrite/feature/check results) under this directory; warm runs reuse them")
 	fs.BoolVar(&f.PreciseFeatures, "precise-features", false, "derive static code features from the CFG+dataflow analyzer (precise coalescing/memory counts) instead of AST heuristics, and journal per-kernel feature-agreement events")
+	fs.BoolVar(&f.FootprintSizing, "footprint-sizing", false, "size §5.1 payload buffers to max(Sg, proven symbolic footprint) so stride-past-gid kernels are rescued instead of crashing, and journal per-kernel footprint events")
 	return f
 }
 
@@ -124,6 +130,15 @@ var preciseFeaturesApplier func(on bool)
 // SetPreciseFeaturesApplier installs the -precise-features backend.
 // Called once from internal/features' init; last writer wins.
 func SetPreciseFeaturesApplier(apply func(on bool)) { preciseFeaturesApplier = apply }
+
+// footprintSizingApplier is installed by internal/driver's init
+// (telemetry cannot import driver — driver depends on telemetry for its
+// counters). It flips the process-global footprint-sizing mode.
+var footprintSizingApplier func(on bool)
+
+// SetFootprintSizingApplier installs the -footprint-sizing backend.
+// Called once from internal/driver's init; last writer wins.
+func SetFootprintSizingApplier(apply func(on bool)) { footprintSizingApplier = apply }
 
 // Runtime is the per-process observability state a binary tears down on
 // exit: the configured default logger, the optional metrics server, and
@@ -193,6 +208,16 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		}
 		preciseFeaturesApplier(true)
 		log.Info("precise feature extraction enabled")
+	}
+	if f.FootprintSizing {
+		if footprintSizingApplier == nil {
+			if rt.journal != nil {
+				rt.journal.Close()
+			}
+			return nil, fmt.Errorf("telemetry: -footprint-sizing set but no driver backend is linked in")
+		}
+		footprintSizingApplier(true)
+		log.Info("footprint-aware payload sizing enabled")
 	}
 	if f.perfEnabled() {
 		if perfStarter == nil {

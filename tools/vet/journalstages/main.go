@@ -1,0 +1,174 @@
+// Command journalstages is a repo-local vet pass: it rejects string
+// literals used as journal stage names (type clgen/internal/journal.Stage)
+// anywhere outside internal/journal itself. Stage names are a closed
+// vocabulary — cltrace's funnel, diff, and ordering all switch on them —
+// so a free-floating "checked" that drifts from the constant silently
+// drops events from every report. The typed constants (StageChecked, ...)
+// are the only spelling allowed.
+//
+// Usage (from the module root, wired into `make check`):
+//
+//	go run ./tools/vet/journalstages ./...
+//
+// The pass typechecks every package with the standard library's go/types
+// against gc export data served by `go list -export` — no dependency on
+// golang.org/x/tools, which this module does not vendor. Test files are
+// exempt (they construct synthetic journals), as is internal/journal,
+// which defines the constants.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// stagePkg/stageType identify the guarded named type.
+const (
+	stagePkg  = "clgen/internal/journal"
+	stageType = "Stage"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "journalstages:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// listPkg is the subset of `go list -json` output the pass consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+func run(patterns []string) ([]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Export data for every package in the dependency graph, keyed by
+	// import path — the gc importer's lookup source.
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	var findings []string
+	for _, p := range pkgs {
+		if p.Standard || p.ImportPath == stagePkg {
+			continue
+		}
+		fs, err := checkPackage(p, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// goList resolves patterns to packages plus their full dependency
+// closure, compiling export data as a side effect (-export).
+func goList(patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list: %v\n%s", err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkPackage typechecks one package's non-test files and reports every
+// string literal whose resolved type is journal.Stage.
+func checkPackage(p listPkg, exports map[string]string) ([]string, error) {
+	if len(p.GoFiles) == 0 {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp := exports[path]
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			if tv, ok := info.Types[lit]; ok && isStage(tv.Type) {
+				findings = append(findings, fmt.Sprintf(
+					"%s: string literal %s used as journal.Stage; use the typed Stage constants",
+					fset.Position(lit.Pos()), lit.Value))
+			}
+			return true
+		})
+	}
+	return findings, nil
+}
+
+// isStage reports whether t (or its core named type) is journal.Stage.
+func isStage(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == stageType &&
+		obj.Pkg() != nil && obj.Pkg().Path() == stagePkg
+}
